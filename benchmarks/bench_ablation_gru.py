@@ -1,0 +1,24 @@
+"""Ablation — GRU vs LSTM cells.
+
+The paper's related work cites the GRU as "a simpler version of LSTMs" that
+does "not outperform LSTM in general" (Greff et al.).  The benchmark trains
+both cell types at the same grid point and budget.
+"""
+
+from repro.experiments.ablations import run_gru_ablation
+
+
+def test_gru_vs_lstm(benchmark, bench_data):
+    results = benchmark.pedantic(
+        run_gru_ablation, kwargs={"data": bench_data}, rounds=1, iterations=1
+    )
+    print("\nAblation — GRU vs LSTM test perplexity (1 layer x 200 nodes)")
+    for cell, perplexity in results.items():
+        print(f"  {cell:<6} {perplexity:.2f}")
+
+    # Both cells must train to a sane band; the two architectures should
+    # land in the same neighbourhood (neither dominating by a wide margin).
+    assert 1.0 < results["lstm"] < 38.0
+    assert 1.0 < results["gru"] < 38.0
+    ratio = results["gru"] / results["lstm"]
+    assert 0.6 < ratio < 1.7

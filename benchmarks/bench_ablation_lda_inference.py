@@ -1,0 +1,22 @@
+"""Ablation — LDA inference back-ends: collapsed Gibbs vs variational Bayes.
+
+The paper uses gensim's (variational) LDA; our reproduction implements both
+inference styles and this benchmark demonstrates their parity on held-out
+perplexity, which justifies using the faster variational back-end in the
+other experiments.
+"""
+
+from repro.experiments.ablations import run_lda_inference_ablation
+
+
+def test_gibbs_vs_variational(benchmark, bench_data):
+    results = benchmark.pedantic(
+        run_lda_inference_ablation, kwargs={"data": bench_data}, rounds=1, iterations=1
+    )
+    print("\nAblation — LDA inference parity (4 topics)")
+    for inference, perplexity in results.items():
+        print(f"  {inference:<12} {perplexity:.2f}")
+
+    gibbs = results["gibbs"]
+    variational = results["variational"]
+    assert abs(gibbs - variational) / min(gibbs, variational) < 0.1

@@ -1,0 +1,20 @@
+"""Ablation — retraining per sliding window vs training once.
+
+The paper retrains on everything before each window.  Training once before
+the first window is far cheaper; this benchmark quantifies how little the
+recall at the operating threshold changes, which justifies the cheaper
+default in the figure benchmarks.
+"""
+
+from repro.experiments.ablations import run_retrain_ablation
+
+
+def test_retrain_per_window(benchmark, bench_data):
+    results = benchmark.pedantic(
+        run_retrain_ablation, kwargs={"data": bench_data}, rounds=1, iterations=1
+    )
+    print("\nAblation — LDA recall at phi = 0.1")
+    print(f"  retrain per window: {results['retrain_per_window']:.3f}")
+    print(f"  train once:         {results['train_once']:.3f}")
+
+    assert abs(results["retrain_per_window"] - results["train_once"]) < 0.08

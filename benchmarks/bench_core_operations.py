@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Unlike the figure benchmarks (one-shot experiment timings), these run the
+classic pytest-benchmark loop so performance regressions in the core
+numerical routines are visible across commits.
+"""
+
+import numpy as np
+
+from repro.analysis.kmeans import KMeans
+from repro.analysis.silhouette import silhouette_score
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.ngram import NGramModel
+from repro.preprocessing.tfidf import TfidfTransform
+
+
+def test_bench_corpus_binary_matrix(benchmark, bench_data):
+    corpus = bench_data.corpus
+    matrix = benchmark(corpus.binary_matrix)
+    assert matrix.shape == (corpus.n_companies, 38)
+
+
+def test_bench_tfidf_transform(benchmark, bench_data):
+    matrix = bench_data.corpus.binary_matrix()
+    transform = TfidfTransform().fit(matrix)
+    out = benchmark(transform.transform, matrix)
+    assert out.shape == matrix.shape
+
+
+def test_bench_lda_variational_fit(benchmark, bench_data):
+    train = bench_data.split.train
+
+    def fit():
+        return LatentDirichletAllocation(
+            n_topics=3, inference="variational", n_iter=30, seed=0
+        ).fit(train)
+
+    model = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert model.is_fitted
+
+
+def test_bench_lda_fold_in(benchmark, bench_data):
+    model = LatentDirichletAllocation(
+        n_topics=3, inference="variational", n_iter=30, seed=0
+    ).fit(bench_data.split.train)
+    matrix = bench_data.split.test.binary_matrix()
+    theta = benchmark(model.infer_theta, matrix)
+    assert theta.shape == (matrix.shape[0], 3)
+
+
+def test_bench_ngram_fit(benchmark, bench_data):
+    train = bench_data.split.train
+    model = benchmark.pedantic(
+        lambda: NGramModel(order=2).fit(train), rounds=3, iterations=1
+    )
+    assert model.is_fitted
+
+
+def test_bench_kmeans(benchmark, bench_data):
+    features = bench_data.corpus.binary_matrix()
+    labels = benchmark.pedantic(
+        lambda: KMeans(10, seed=0).fit_predict(features), rounds=3, iterations=1
+    )
+    assert len(np.unique(labels)) == 10
+
+
+def test_bench_silhouette(benchmark, bench_data):
+    features = bench_data.corpus.binary_matrix()
+    labels = KMeans(10, seed=0).fit_predict(features)
+    score = benchmark.pedantic(
+        lambda: silhouette_score(features, labels, sample_size=800, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    assert -1.0 <= score <= 1.0

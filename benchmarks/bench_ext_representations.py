@@ -1,0 +1,32 @@
+"""Extension — the representation families the paper discusses but skips.
+
+Sections 3.4/3.5 consider word2vec-with-Fisher-kernel aggregation and
+LSI-family topic models as alternatives to LDA, without evaluating them.
+This benchmark completes the comparison on the Figure-7-style clustering
+task: silhouette quality plus purity against the true latent profiles.
+"""
+
+from repro.experiments.extensions import run_representation_families
+
+
+def test_representation_families(benchmark, bench_data):
+    results = benchmark.pedantic(
+        run_representation_families, kwargs={"data": bench_data}, rounds=1, iterations=1
+    )
+    print("\nExtension — representation families (silhouette / profile purity)")
+    for name, metrics in sorted(
+        results.items(), key=lambda kv: -kv[1]["silhouette"]
+    ):
+        print(
+            f"  {name:<8} silhouette {metrics['silhouette']:.3f}  "
+            f"purity {metrics['profile_purity']:.3f}"
+        )
+
+    # The paper's choice must hold against the unevaluated alternatives:
+    # LDA features cluster better than raw, TF-IDF, LSI and Fisher vectors.
+    lda = results["lda"]
+    assert lda["silhouette"] == max(m["silhouette"] for m in results.values())
+    assert lda["profile_purity"] >= results["raw"]["profile_purity"] - 0.02
+    assert lda["profile_purity"] > 0.8
+    # Every learned representation must beat raw binary on silhouette.
+    assert results["lsi"]["silhouette"] > results["raw"]["silhouette"]

@@ -1,0 +1,29 @@
+"""Extension — streaming CHH accuracy vs memory budget.
+
+The exact CHH recommender of Figures 3/4 keeps full count tables; the CHH
+literature's motivation is bounded-memory streams.  This benchmark sweeps
+the SpaceSaving context capacity and measures how far the streamed
+conditional estimates drift from the exact ones on the strongest rules.
+"""
+
+from repro.experiments.extensions import run_streaming_chh_accuracy
+
+
+def test_streaming_chh_accuracy(benchmark, bench_data):
+    rows = benchmark.pedantic(
+        run_streaming_chh_accuracy, kwargs={"data": bench_data}, rounds=1, iterations=1
+    )
+    print("\nExtension — streaming CHH error vs context capacity")
+    print(f"{'capacity':>8} {'mean_abs_err':>12} {'max_abs_err':>11}")
+    for row in rows:
+        print(
+            f"{row['capacity']:>8.0f} {row['mean_abs_error']:>12.4f} "
+            f"{row['max_abs_error']:>11.4f}"
+        )
+
+    by_capacity = {row["capacity"]: row for row in rows}
+    # Error must shrink as the budget grows, and the largest budget must be
+    # essentially exact (depth-1 context space is tiny next to it).
+    errors = [by_capacity[c]["mean_abs_error"] for c in sorted(by_capacity)]
+    assert errors[-1] <= errors[0] + 1e-12
+    assert errors[-1] < 0.02

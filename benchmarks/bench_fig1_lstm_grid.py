@@ -1,0 +1,36 @@
+"""Figure 1 — LSTM test perplexity across the 12-architecture grid.
+
+Paper: layers in {1,2,3} x nodes in {10,100,200,300}, 14 epochs; best test
+perplexity 11.6 at 1 layer x 200 nodes; deeper stacks strictly worse; the
+10-node model barely beats the unigram.
+"""
+
+from repro.experiments.fig1_lstm_grid import best_point, run_lstm_grid
+
+
+def test_fig1_lstm_architecture_grid(benchmark, bench_data):
+    rows = benchmark.pedantic(
+        run_lstm_grid,
+        kwargs={"data": bench_data, "n_epochs": 14},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 1 — LSTM test perplexity per architecture")
+    print(f"{'layers':>6} {'nodes':>6} {'perplexity':>11} {'params':>9}")
+    for row in rows:
+        print(
+            f"{row['n_layers']:>6.0f} {row['nodes']:>6.0f} "
+            f"{row['test_perplexity']:>11.2f} {row['n_parameters']:>9.0f}"
+        )
+
+    best = best_point(rows)
+    by_key = {(r["n_layers"], r["nodes"]): r["test_perplexity"] for r in rows}
+
+    # Shape 1: the best architecture has a single layer (paper: 1 x 200).
+    assert best["n_layers"] == 1
+    assert best["nodes"] >= 200
+    # Shape 2: at the best node count, deeper is worse.
+    nodes = best["nodes"]
+    assert by_key[(1, nodes)] < by_key[(2, nodes)] < by_key[(3, nodes)]
+    # Shape 3: the 10-node model is far worse than the best model.
+    assert by_key[(1, 10)] > best["test_perplexity"] * 1.3

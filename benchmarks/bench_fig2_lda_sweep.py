@@ -1,0 +1,31 @@
+"""Figure 2 — LDA test perplexity vs topic count, binary vs TF-IDF input.
+
+Paper: binary input beats TF-IDF across the topic grid; 2-4 topics give the
+lowest perplexity (8.5-8.9), rising slowly toward 16 topics.
+"""
+
+import numpy as np
+
+from repro.experiments.fig2_lda_sweep import best_binary_band, run_lda_sweep
+
+
+def test_fig2_lda_topic_sweep(benchmark, bench_data):
+    rows = benchmark.pedantic(
+        run_lda_sweep, kwargs={"data": bench_data}, rounds=1, iterations=1
+    )
+    print("\nFigure 2 — LDA test perplexity vs topics (binary vs TF-IDF)")
+    print(f"{'input':<8} {'topics':>6} {'perplexity':>11}")
+    for row in rows:
+        print(f"{row['input']:<8} {row['n_topics']:>6.0f} {row['test_perplexity']:>11.2f}")
+
+    binary = {r["n_topics"]: r["test_perplexity"] for r in rows if r["input"] == "binary"}
+    tfidf = {r["n_topics"]: r["test_perplexity"] for r in rows if r["input"] == "tfidf"}
+
+    # Shape 1: binary input beats TF-IDF on average and at the optimum.
+    assert np.mean(list(binary.values())) < np.mean(list(tfidf.values()))
+    assert min(binary.values()) < min(tfidf.values())
+    # Shape 2: a small topic count (<= 6) is optimal for binary input.
+    best_perplexity, best_topics = best_binary_band(rows)
+    assert best_topics <= 6
+    # Shape 3: the curve rises toward 16 topics (the paper's U shape).
+    assert binary[16.0] > best_perplexity * 1.05

@@ -1,0 +1,51 @@
+"""Figure 4 — retrieved / correctly retrieved / relevant counts vs phi.
+
+Paper: CHH retrieves far more products than LDA at the same threshold while
+finding a similar number of *true* products (hence its precision gap);
+counts collapse past phi ~ 0.2 and nothing is recommended past phi = 0.5.
+
+Shares the sliding-window computation with the Figure 3 benchmark through
+the session cache; when run in isolation it recomputes the curves.
+"""
+
+from repro.experiments.fig34_recommendation import run_recommendation_accuracy
+
+
+def _get_curves(bench_data, shared_cache):
+    if "fig34_curves" not in shared_cache:
+        shared_cache["fig34_curves"] = run_recommendation_accuracy(
+            bench_data, lstm_hidden=200
+        )
+    return shared_cache["fig34_curves"]
+
+
+def test_fig4_retrieved_counts(benchmark, bench_data, shared_cache):
+    curves = benchmark.pedantic(
+        _get_curves, args=(bench_data, shared_cache), rounds=1, iterations=1
+    )
+    print("\nFigure 4 — average per-window product counts vs threshold phi")
+    lda_name = next(n for n in curves if n.startswith("LDA"))
+    print(f"{'phi':>5}  " + "  ".join(f"{n:>18}" for n in (lda_name, "LSTM", "CHH")))
+    for phi in curves[lda_name].thresholds:
+        cells = []
+        for name in (lda_name, "LSTM", "CHH"):
+            retrieved = curves[name].retrieved(phi)[0]
+            correct = curves[name].correct(phi)[0]
+            cells.append(f"{retrieved:>9.0f}/{correct:>7.0f}")
+        relevant = curves[lda_name].relevant(phi)[0]
+        print(f"{phi:>5.2f}  " + "  ".join(cells) + f"   relevant {relevant:.0f}")
+
+    lda, lstm, chh = curves[lda_name], curves["LSTM"], curves["CHH"]
+    # Shape 1: CHH over-retrieves relative to LDA in the operating region.
+    assert chh.retrieved(0.1)[0] > lda.retrieved(0.1)[0]
+    # Shape 2: ...while finding a comparable number of true products to the
+    # LSTM (the paper: "the recall [of] LSTM and CHH is similar").
+    chh_correct = chh.correct(0.05)[0]
+    lstm_correct = lstm.correct(0.05)[0]
+    assert 0.3 < (chh_correct + 1.0) / (lstm_correct + 1.0) < 3.0
+    # Shape 3: counts die out at high thresholds.
+    for curve in (lda, lstm, chh):
+        assert curve.retrieved(0.5)[0] <= curve.retrieved(0.05)[0] * 0.05 + 10
+    # Shape 4: at phi = 0 every unowned product is retrieved, so retrieved
+    # counts are maximal and equal across models.
+    assert lda.retrieved(0.0)[0] == chh.retrieved(0.0)[0]

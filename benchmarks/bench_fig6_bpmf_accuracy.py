@@ -1,0 +1,46 @@
+"""Figure 6 — BPMF precision/recall/F1 vs recommendation-score threshold.
+
+Paper: for thresholds below ~0.94 the full product set is recommended
+regardless of history (precision flat at the base rate, recall ~1); the
+curves barely move across [0.90, 0.99] — BPMF carries no ranking signal on
+this data.
+"""
+
+from repro.experiments.fig56_bpmf import run_bpmf_analysis
+
+
+def _get_result(bench_data, shared_cache):
+    if "bpmf_result" not in shared_cache:
+        shared_cache["bpmf_result"] = run_bpmf_analysis(bench_data)
+    return shared_cache["bpmf_result"]
+
+
+def test_fig6_bpmf_threshold_sweep(benchmark, bench_data, shared_cache):
+    result = benchmark.pedantic(
+        _get_result, args=(bench_data, shared_cache), rounds=1, iterations=1
+    )
+    rows = result["threshold_rows"]
+    print("\nFigure 6 — BPMF accuracy vs score threshold")
+    print(f"{'threshold':>9} {'precision':>9} {'recall':>7} {'f1':>7} {'retrieved':>10}")
+    for row in rows:
+        print(
+            f"{row['threshold']:>9.2f} {row['precision']:>9.3f} "
+            f"{row['recall']:>7.3f} {row['f1']:>7.3f} {row['retrieved']:>10.0f}"
+        )
+
+    by_threshold = {row["threshold"]: row for row in rows}
+    # Shape 1: at the low end of the sweep nearly everything is retrieved
+    # (recall close to 1) and precision sits at the base rate.
+    low = by_threshold[0.9]
+    assert low["recall"] > 0.9
+    assert low["precision"] < 0.2
+    # Shape 2: the low-threshold half of the sweep is essentially flat —
+    # the scores do not discriminate.
+    recalls = [by_threshold[t]["recall"] for t in (0.9, 0.91, 0.92, 0.93)]
+    assert max(recalls) - min(recalls) < 0.1
+    # Shape 3: even the best F1 across the sweep stays poor compared to the
+    # hidden-layer models' operating points (paper Section 5.2 conclusion).
+    import numpy as np
+
+    best_f1 = np.nanmax([row["f1"] for row in rows])
+    assert best_f1 < 0.35

@@ -1,0 +1,36 @@
+"""Figure 7 — silhouette curves of eight company representations.
+
+Paper: LDA on binary input with 2-4 topics produces the best-separated
+company clusters across the cluster-count grid; raw binary vectors are the
+worst; TF-IDF improves the raw representation; LDA-on-TF-IDF sits between.
+"""
+
+from repro.experiments.fig7_silhouette import mean_by_representation, run_silhouette_curves
+
+
+def test_fig7_silhouette_curves(benchmark, bench_data):
+    rows = benchmark.pedantic(
+        run_silhouette_curves, kwargs={"data": bench_data}, rounds=1, iterations=1
+    )
+    print("\nFigure 7 — silhouette score per representation and cluster count")
+    print(f"{'representation':<14} {'clusters':>8} {'silhouette':>11}")
+    for row in rows:
+        print(
+            f"{row['representation']:<14} {row['n_clusters']:>8.0f} "
+            f"{row['silhouette']:>11.3f}"
+        )
+    means = mean_by_representation(rows)
+    print("\nmean silhouette per representation:")
+    for name, value in sorted(means.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<14} {value:.3f}")
+
+    # Shape 1: raw binary is the worst representation on average.
+    assert means["raw"] == min(means.values())
+    # Shape 2: TF-IDF improves on raw binary.
+    assert means["raw_tfidf"] > means["raw"]
+    # Shape 3: the best LDA-binary representation beats both naive ones and
+    # the LDA-on-TF-IDF variants (paper: lda_2/3/4 on top).
+    best_lda_binary = max(means[f"lda_{k}"] for k in (2, 3, 4))
+    assert best_lda_binary > means["raw_tfidf"]
+    assert best_lda_binary > means["raw"]
+    assert best_lda_binary >= max(means["tfidf_lda_2"], means["tfidf_lda_4"]) - 0.02

@@ -1,0 +1,33 @@
+"""Figures 8 and 9 — t-SNE projections of LDA3/LDA4 product embeddings.
+
+Paper: hardware categories ('server_HW', 'storage_HW', 'HW_other') land
+close together in the 2-D projection, and so do software/commerce
+categories — LDA captures the semantic proximity of products.  The
+benchmark quantifies "close together" as the ratio of within-group to
+global mean pairwise distance (< 1 means co-located).
+"""
+
+from repro.experiments.fig89_tsne import run_tsne_projection
+
+
+def test_fig8_fig9_product_projections(benchmark, bench_data):
+    def run_both():
+        return {
+            3: run_tsne_projection(bench_data, n_topics=3),
+            4: run_tsne_projection(bench_data, n_topics=4),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for n_topics, result in results.items():
+        figure = "Figure 8" if n_topics == 3 else "Figure 9"
+        print(f"\n{figure} — t-SNE of LDA{n_topics} product embeddings")
+        for category, (x, y) in sorted(result["coordinates"].items()):
+            print(f"  {category:<26} {x:>8.2f} {y:>8.2f}")
+        print(f"  hardware group ratio:     {result['hardware_ratio']:.3f}")
+        print(f"  software group ratio:     {result['software_ratio']:.3f}")
+        print(f"  profile-core group ratio: {result['profile_core_ratio']:.3f}")
+
+        # Shape: the products that construct each latent profile cluster
+        # tightly in the projection (the paper's central observation for
+        # these figures), for both the LDA3 and the LDA4 embedding.
+        assert result["profile_core_ratio"] < 0.8

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+standard synthetic corpus (DESIGN.md Section 4 maps benchmarks to paper
+artifacts).  The corpus is generated once per session; individual
+benchmarks time the experiment drivers and print the reproduced rows next
+to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import make_experiment_data
+
+#: Corpus size used by the benchmark suite.  The paper uses 860k companies;
+#: the experiments here are calibrated so their qualitative results hold at
+#: this laptop-friendly scale (see DESIGN.md Section 2).  Note that the
+#: LDA-vs-LSTM margin is training-budget sensitive: with a larger corpus the
+#: fixed 14-epoch PTB recipe converges further and the LSTM closes the gap,
+#: exactly as the paper's own "more training data" caveat predicts (the
+#: bench_ablation_lstm_training benchmark quantifies this).
+BENCH_COMPANIES = 1000
+
+#: Universe seed shared by all benchmarks.
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    """The standard benchmark universe, corpus and 70/10/20 split."""
+    return make_experiment_data(BENCH_COMPANIES, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def shared_cache():
+    """Cross-benchmark cache for expensive intermediate results.
+
+    Figure pairs that share a computation (3/4, 5/6) store it here so the
+    second benchmark does not redo the work; the first benchmark of each
+    pair carries the full cost.
+    """
+    return {}

@@ -1,0 +1,91 @@
+"""Model bake-off: choose a production model the way the paper does.
+
+Fits every generative model on the same train split and compares held-out
+perplexity (Table 1's protocol) plus recommendation recall at the operating
+threshold over a few sliding windows (Figure 3's protocol), then prints a
+recommendation of which model to deploy.
+
+Run with ``python examples/model_bakeoff.py`` (takes a couple of minutes).
+"""
+
+from repro import (
+    ConditionalHeavyHitters,
+    Corpus,
+    InstallBaseSimulator,
+    LatentDirichletAllocation,
+    LSTMModel,
+    NGramModel,
+    RecommendationEvaluator,
+    SimulatorConfig,
+    SlidingWindowSpec,
+    UnigramModel,
+)
+
+
+def main() -> None:
+    simulator = InstallBaseSimulator(SimulatorConfig(n_companies=800))
+    corpus = Corpus(simulator.generate_companies(seed=11), simulator.catalog.categories)
+    split = corpus.split((0.7, 0.1, 0.2), seed=0)
+
+    # --- Goodness of fit (Table 1 protocol) -----------------------------
+    candidates = {
+        "unigram": UnigramModel(),
+        "bigram": NGramModel(order=2),
+        "trigram": NGramModel(order=3),
+        "lda_3": LatentDirichletAllocation(
+            n_topics=3, inference="variational", n_iter=100, seed=0
+        ),
+        "lda_4": LatentDirichletAllocation(
+            n_topics=4, inference="variational", n_iter=100, seed=0
+        ),
+        "lstm_200": LSTMModel(
+            hidden=200, n_layers=1, n_epochs=14, validation=split.validation, seed=0
+        ),
+    }
+    perplexities = {}
+    for name, model in candidates.items():
+        model.fit(split.train)
+        perplexities[name] = model.perplexity(split.test)
+    print("held-out perplexity (lower is better):")
+    for name, value in sorted(perplexities.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<10} {value:6.2f}")
+
+    # --- Recommendation accuracy (Figure 3 protocol, reduced) -----------
+    evaluator = RecommendationEvaluator(
+        corpus,
+        spec=SlidingWindowSpec(n_windows=5),
+        thresholds=[0.05, 0.1],
+        retrain_per_window=False,
+    )
+    curves = evaluator.evaluate(
+        {
+            "lda_3": lambda: LatentDirichletAllocation(
+                n_topics=3, inference="variational", n_iter=80, seed=0
+            ),
+            "chh": lambda: ConditionalHeavyHitters(depth=2),
+            "lstm_200": lambda: LSTMModel(hidden=200, n_layers=1, n_epochs=10, seed=0),
+        }
+    )
+    print("\nrecommendation accuracy at phi = 0.1 (recall / precision / F1):")
+    for name, curve in curves.items():
+        recall = curve.recall(0.1)[0]
+        precision = curve.precision(0.1)[0]
+        f1 = curve.f1(0.1)[0]
+        print(f"  {name:<10} {recall:.3f} / {precision:.3f} / {f1:.3f}")
+
+    # --- Verdict ---------------------------------------------------------
+    best_fit = min(perplexities, key=perplexities.get)
+    best_recall = max(curves, key=lambda n: curves[n].recall(0.1)[0])
+    print(f"\nbest goodness of fit:      {best_fit}")
+    print(f"best recommendation recall: {best_recall}")
+    if best_fit.startswith("lda"):
+        print(
+            "verdict: deploy LDA — best fit, competitive recommendations, "
+            "and interpretable topics (the paper's conclusion)."
+        )
+    else:
+        print(f"verdict: {best_fit} fits best on this corpus; inspect before deploying.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on machines without the
+`wheel` package (PEP 660 editable builds require it)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""repro — hidden layer models for company representations and product recommendations.
+
+A from-scratch reproduction of Mirylenka et al., *Hidden Layer Models for
+Company Representations and Product Recommendations* (EDBT 2019): a
+synthetic install-base universe standing in for the proprietary HG Data
+feed, the full model zoo (unigram, n-gram, LDA, LSTM/GRU, Conditional Heavy
+Hitters, Bayesian PMF), the sliding-window recommendation harness, the
+clustering/silhouette/t-SNE analysis stack, and the Section 6 sales tool.
+
+Quickstart::
+
+    from repro import InstallBaseSimulator, Corpus, LatentDirichletAllocation
+
+    simulator = InstallBaseSimulator()
+    corpus = Corpus.from_companies(simulator.generate_companies(seed=0))
+    split = corpus.split(seed=0)
+    lda = LatentDirichletAllocation(n_topics=3).fit(split.train)
+    print(lda.perplexity(split.test))
+"""
+
+from repro.analysis import (
+    KMeans,
+    SpectralCoclustering,
+    TSNE,
+    cosine_similarity_matrix,
+    mean_confidence_interval,
+    sequentiality_test,
+    silhouette_score,
+    top_k_similar,
+)
+from repro.app import FirmographicFilter, SalesRecommendationTool
+from repro.data import (
+    Company,
+    Corpus,
+    HARDWARE_CATEGORIES,
+    InstallBaseSimulator,
+    InternalSalesDatabase,
+    SimulatorConfig,
+    build_default_catalog,
+)
+from repro.models import (
+    BayesianPMF,
+    ConditionalHeavyHitters,
+    GenerativeModel,
+    LatentDirichletAllocation,
+    LSTMModel,
+    NGramModel,
+    ProductSkipGram,
+    UnigramModel,
+)
+from repro.preprocessing import TfidfTransform
+from repro.recommend import (
+    RandomRecommender,
+    RecommendationEvaluator,
+    SlidingWindowSpec,
+    ThresholdRecommender,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data
+    "Company",
+    "Corpus",
+    "HARDWARE_CATEGORIES",
+    "InstallBaseSimulator",
+    "InternalSalesDatabase",
+    "SimulatorConfig",
+    "build_default_catalog",
+    # models
+    "GenerativeModel",
+    "UnigramModel",
+    "NGramModel",
+    "LatentDirichletAllocation",
+    "ConditionalHeavyHitters",
+    "LSTMModel",
+    "BayesianPMF",
+    "ProductSkipGram",
+    # preprocessing
+    "TfidfTransform",
+    # analysis
+    "KMeans",
+    "SpectralCoclustering",
+    "TSNE",
+    "cosine_similarity_matrix",
+    "mean_confidence_interval",
+    "sequentiality_test",
+    "silhouette_score",
+    "top_k_similar",
+    # recommendation
+    "RandomRecommender",
+    "RecommendationEvaluator",
+    "SlidingWindowSpec",
+    "ThresholdRecommender",
+    # application
+    "FirmographicFilter",
+    "SalesRecommendationTool",
+]

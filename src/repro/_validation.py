@@ -1,0 +1,162 @@
+"""Shared argument-validation helpers.
+
+Every public entry point in :mod:`repro` validates its inputs eagerly so
+that configuration errors surface at call time with a clear message rather
+than deep inside a numerical routine.  The helpers in this module raise
+:class:`ValueError` or :class:`TypeError` with uniform wording.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_probability",
+    "check_positive_float",
+    "check_fraction_triple",
+    "check_in_choices",
+    "check_rng",
+    "as_rng",
+    "check_matrix",
+    "check_sequences",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as ``int`` if it is a positive integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Return ``value`` as ``int`` if it is a non-negative integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Return ``value`` as ``float`` if it lies in [0, 1], else raise."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from exc
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {result}")
+    return result
+
+
+def check_positive_float(value: Any, name: str) -> float:
+    """Return ``value`` as ``float`` if it is strictly positive and finite."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from exc
+    if not np.isfinite(result) or result <= 0.0:
+        raise ValueError(f"{name} must be a positive finite number, got {result}")
+    return result
+
+
+def check_fraction_triple(
+    fractions: Sequence[float], name: str = "fractions"
+) -> tuple[float, float, float]:
+    """Validate a train/validation/test fraction triple summing to 1."""
+    if len(fractions) != 3:
+        raise ValueError(f"{name} must have exactly 3 entries, got {len(fractions)}")
+    triple = tuple(float(f) for f in fractions)
+    if any(f < 0.0 for f in triple):
+        raise ValueError(f"{name} entries must be non-negative, got {triple}")
+    if abs(sum(triple) - 1.0) > 1e-9:
+        raise ValueError(f"{name} must sum to 1, got sum={sum(triple)!r}")
+    if triple[0] <= 0.0:
+        raise ValueError(f"{name}[0] (train fraction) must be positive")
+    return triple  # type: ignore[return-value]
+
+
+def check_in_choices(value: Any, name: str, choices: Iterable[Any]) -> Any:
+    """Raise :class:`ValueError` unless ``value`` is one of ``choices``."""
+    options = tuple(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value
+
+
+def check_rng(value: Any, name: str = "rng") -> np.random.Generator:
+    """Raise unless ``value`` is a :class:`numpy.random.Generator`."""
+    if not isinstance(value, np.random.Generator):
+        raise TypeError(
+            f"{name} must be a numpy.random.Generator, got {type(value).__name__}"
+        )
+    return value
+
+
+def as_rng(seed: Any) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so callers can share stream state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy.random.Generator, "
+        f"got {type(seed).__name__}"
+    )
+
+
+def check_matrix(value: Any, name: str, *, binary: bool = False) -> np.ndarray:
+    """Validate a 2-D numeric array and return it as ``float64``.
+
+    With ``binary=True`` additionally require every entry to be 0 or 1.
+    """
+    array = np.asarray(value, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must contain only finite values")
+    if binary and not np.all((array == 0.0) | (array == 1.0)):
+        raise ValueError(f"{name} must be a binary (0/1) matrix")
+    return array
+
+
+def check_sequences(
+    sequences: Any, name: str, *, vocab_size: int | None = None
+) -> list[list[int]]:
+    """Validate a list of integer token sequences.
+
+    Empty sequences are permitted (a company with no dated products); token
+    ids must be non-negative and, when ``vocab_size`` is given, < vocab_size.
+    """
+    if not isinstance(sequences, (list, tuple)):
+        raise TypeError(f"{name} must be a list of sequences")
+    result: list[list[int]] = []
+    for i, seq in enumerate(sequences):
+        if not isinstance(seq, (list, tuple, np.ndarray)):
+            raise TypeError(f"{name}[{i}] must be a sequence of ints")
+        tokens: list[int] = []
+        for token in seq:
+            if isinstance(token, bool) or not isinstance(token, (int, np.integer)):
+                raise TypeError(f"{name}[{i}] contains non-integer token {token!r}")
+            token_int = int(token)
+            if token_int < 0:
+                raise ValueError(f"{name}[{i}] contains negative token {token_int}")
+            if vocab_size is not None and token_int >= vocab_size:
+                raise ValueError(
+                    f"{name}[{i}] contains token {token_int} >= vocab_size {vocab_size}"
+                )
+            tokens.append(token_int)
+        result.append(tokens)
+    return result

@@ -1,0 +1,34 @@
+"""Analysis substrate: clustering, projections, and statistics.
+
+Everything sklearn/scipy-adjacent the paper relies on, implemented from
+scratch on numpy: k-means(++), silhouette scores, spectral co-clustering,
+exact t-SNE, the binomial sequentiality test, and similarity search.
+"""
+
+from repro.analysis.cocluster import SpectralCoclustering
+from repro.analysis.gmm import DiagonalGMM
+from repro.analysis.kmeans import KMeans
+from repro.analysis.silhouette import silhouette_samples, silhouette_score
+from repro.analysis.similarity import cosine_similarity_matrix, top_k_similar
+from repro.analysis.stats import (
+    SequentialityReport,
+    bootstrap_confidence_interval,
+    mean_confidence_interval,
+    sequentiality_test,
+)
+from repro.analysis.tsne import TSNE
+
+__all__ = [
+    "SpectralCoclustering",
+    "DiagonalGMM",
+    "KMeans",
+    "silhouette_samples",
+    "silhouette_score",
+    "cosine_similarity_matrix",
+    "top_k_similar",
+    "SequentialityReport",
+    "bootstrap_confidence_interval",
+    "mean_confidence_interval",
+    "sequentiality_test",
+    "TSNE",
+]

@@ -1,0 +1,103 @@
+"""Spectral co-clustering (Dhillon 2001) — the Section 3.1 baseline.
+
+The paper reports that co-clustering the raw binary company-product matrix
+of a healthcare sample produced a single meaningful co-cluster containing
+"overall popular products", which motivated the move to LDA features.  This
+implementation lets that negative result be demonstrated: it bipartitions
+rows (companies) and columns (products) jointly via the SVD of the
+normalised matrix, exactly as in Dhillon's spectral co-clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_matrix, check_positive_int
+from repro.analysis.kmeans import KMeans
+
+__all__ = ["SpectralCoclustering"]
+
+
+class SpectralCoclustering:
+    """Joint row/column clustering of a non-negative matrix.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of co-clusters.
+    seed:
+        Randomness control for the k-means step.
+    """
+
+    def __init__(self, n_clusters: int = 3, *, seed: int | np.random.Generator | None = 0) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self._seed = seed
+        self.row_labels_: np.ndarray | None = None
+        self.column_labels_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "SpectralCoclustering":
+        """Co-cluster a non-negative ``(n_rows, n_cols)`` matrix."""
+        data = check_matrix(matrix, "matrix")
+        if np.any(data < 0):
+            raise ValueError("matrix must be non-negative")
+        row_sums = data.sum(axis=1)
+        col_sums = data.sum(axis=0)
+        if np.any(row_sums == 0) or np.any(col_sums == 0):
+            raise ValueError(
+                "matrix has empty rows or columns; drop them before co-clustering"
+            )
+        d1 = 1.0 / np.sqrt(row_sums)
+        d2 = 1.0 / np.sqrt(col_sums)
+        normalized = d1[:, None] * data * d2[None, :]
+        u, singular_values, vt = np.linalg.svd(normalized, full_matrices=False)
+        # Dhillon's prescription keeps log2(k) singular vectors after the
+        # leading pair.  We keep the leading pair as well: when the bipartite
+        # graph is connected it is a constant direction (harmless to
+        # k-means), and when it is disconnected the partition information is
+        # spread across the degenerate leading vectors, so dropping the
+        # first would discard the split.
+        n_vec = 2 + int(np.ceil(np.log2(self.n_clusters)))
+        n_vec = min(n_vec, u.shape[1])
+        # Numerical-rank cut: singular vectors past the effective rank are
+        # arbitrary directions that would dominate the k-means step.
+        effective_rank = int((singular_values > 1e-8 * singular_values[0]).sum())
+        n_vec = min(n_vec, max(effective_rank, 1))
+        if n_vec < 1:
+            raise ValueError("matrix rank too low for the requested clusters")
+        row_embed = d1[:, None] * u[:, :n_vec]
+        col_embed = d2[:, None] * vt[:n_vec].T
+        stacked = np.vstack([row_embed, col_embed])
+        labels = KMeans(self.n_clusters, seed=self._seed).fit_predict(stacked)
+        self.row_labels_ = labels[: data.shape[0]]
+        self.column_labels_ = labels[data.shape[0] :]
+        return self
+
+    def cocluster_summary(self, matrix: np.ndarray) -> list[dict[str, float]]:
+        """Per-co-cluster shape and density statistics.
+
+        Used by the co-clustering benchmark to show that the dominant
+        co-cluster is just the popular-products block.
+        """
+        if self.row_labels_ is None or self.column_labels_ is None:
+            raise RuntimeError("SpectralCoclustering must be fitted first")
+        data = check_matrix(matrix, "matrix")
+        summaries = []
+        for k in range(self.n_clusters):
+            rows = np.flatnonzero(self.row_labels_ == k)
+            cols = np.flatnonzero(self.column_labels_ == k)
+            if len(rows) == 0 or len(cols) == 0:
+                summaries.append(
+                    {"cluster": float(k), "n_rows": float(len(rows)),
+                     "n_cols": float(len(cols)), "density": 0.0}
+                )
+                continue
+            block = data[np.ix_(rows, cols)]
+            summaries.append(
+                {
+                    "cluster": float(k),
+                    "n_rows": float(len(rows)),
+                    "n_cols": float(len(cols)),
+                    "density": float(block.mean()),
+                }
+            )
+        return summaries

@@ -1,0 +1,141 @@
+"""K-means clustering with k-means++ initialisation (Lloyd's algorithm).
+
+Used to cluster company representations for the silhouette comparison of
+Figure 7.  The implementation is deterministic given a seed, restarts
+``n_init`` times, and returns the run with the lowest inertia.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import as_rng, check_matrix, check_positive_int
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters k.
+    n_init:
+        Independent restarts; best inertia wins.
+    max_iter:
+        Lloyd iterations per restart.
+    tol:
+        Relative centre-movement tolerance for early convergence.
+    seed:
+        Randomness control.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        n_init: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        if tol < 0:
+            raise ValueError(f"tol must be >= 0, got {tol}")
+        self.tol = float(tol)
+        self._seed = seed
+        self.centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+
+    # ------------------------------------------------------------------
+    def _init_centers(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centres by squared distance."""
+        n = data.shape[0]
+        centers = np.empty((self.n_clusters, data.shape[1]))
+        first = int(rng.integers(n))
+        centers[0] = data[first]
+        closest_sq = ((data - centers[0]) ** 2).sum(axis=1)
+        for k in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0.0:
+                # All remaining points coincide with a centre; fill randomly.
+                centers[k] = data[int(rng.integers(n))]
+                continue
+            probs = closest_sq / total
+            chosen = int(rng.choice(n, p=probs))
+            centers[k] = data[chosen]
+            dist_sq = ((data - centers[k]) ** 2).sum(axis=1)
+            np.minimum(closest_sq, dist_sq, out=closest_sq)
+        return centers
+
+    @staticmethod
+    def _assign(data: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Labels and squared distances to the nearest centre."""
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; the x term is constant
+        # per-row so it can be added after the argmin for the distances.
+        cross = data @ centers.T
+        c_sq = (centers**2).sum(axis=1)
+        scores = c_sq[None, :] - 2.0 * cross
+        labels = scores.argmin(axis=1)
+        x_sq = (data**2).sum(axis=1)
+        dist_sq = np.maximum(scores[np.arange(len(data)), labels] + x_sq, 0.0)
+        return labels, dist_sq
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        """Cluster ``data`` (``(n, d)``); stores centres, labels, inertia."""
+        matrix = check_matrix(data, "data")
+        if matrix.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"cannot form {self.n_clusters} clusters from {matrix.shape[0]} points"
+            )
+        rng = as_rng(self._seed)
+        best_inertia = np.inf
+        best_centers: np.ndarray | None = None
+        best_labels: np.ndarray | None = None
+        for __ in range(self.n_init):
+            centers = self._init_centers(matrix, rng)
+            labels, dist_sq = self._assign(matrix, centers)
+            for __iter in range(self.max_iter):
+                moved = 0.0
+                for k in range(self.n_clusters):
+                    members = matrix[labels == k]
+                    if len(members) == 0:
+                        # Re-seed an empty cluster at the worst-fit point.
+                        worst = int(dist_sq.argmax())
+                        centers[k] = matrix[worst]
+                        dist_sq[worst] = 0.0
+                        moved = np.inf
+                        continue
+                    fresh = members.mean(axis=0)
+                    moved += float(((fresh - centers[k]) ** 2).sum())
+                    centers[k] = fresh
+                labels, dist_sq = self._assign(matrix, centers)
+                if moved <= self.tol:
+                    break
+            inertia = float(dist_sq.sum())
+            if inertia < best_inertia:
+                best_inertia = inertia
+                best_centers = centers.copy()
+                best_labels = labels.copy()
+        self.centers_ = best_centers
+        self.labels_ = best_labels
+        self.inertia_ = best_inertia
+        return self
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        """Fit and return the labels."""
+        self.fit(data)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Nearest-centre labels for new points."""
+        if self.centers_ is None:
+            raise RuntimeError("KMeans must be fitted before predict")
+        matrix = check_matrix(data, "data")
+        labels, __ = self._assign(matrix, self.centers_)
+        return labels

@@ -1,0 +1,137 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008).
+
+Figures 8 and 9 of the paper are 2-D t-SNE projections of the LDA product
+embeddings.  Exact (non-Barnes-Hut) t-SNE is entirely adequate here — the
+projected set is the 38 product categories — and is implemented from
+scratch: per-point bandwidth calibration by binary search on perplexity,
+early exaggeration, and momentum gradient descent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    as_rng,
+    check_matrix,
+    check_positive_float,
+    check_positive_int,
+)
+
+__all__ = ["TSNE"]
+
+
+def _conditional_probabilities(
+    distances_sq: np.ndarray, perplexity: float, *, tol: float = 1e-5, max_iter: int = 64
+) -> np.ndarray:
+    """Row-stochastic conditional P with per-row bandwidth binary search."""
+    n = distances_sq.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta, beta_min, beta_max = 1.0, 0.0, np.inf
+        row = distances_sq[i].copy()
+        row[i] = np.inf
+        for __ in range(max_iter):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= 0.0:
+                beta /= 2.0
+                continue
+            probs = weights / total
+            positive = probs[probs > 0.0]
+            entropy = float(-(positive * np.log(positive)).sum())
+            diff = entropy - target_entropy
+            if abs(diff) < tol:
+                break
+            if diff > 0:  # entropy too high -> sharpen
+                beta_min = beta
+                beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2.0
+            else:
+                beta_max = beta
+                beta = (beta + beta_min) / 2.0
+        weights = np.exp(-row * beta)
+        weights[i] = 0.0
+        total = weights.sum()
+        p[i] = weights / total if total > 0 else 0.0
+    return p
+
+
+class TSNE:
+    """2-D (or k-D) t-SNE embedding of a small point set.
+
+    Parameters
+    ----------
+    n_components:
+        Output dimensionality (2 for the paper's figures).
+    perplexity:
+        Effective neighbourhood size; must be < (n_points - 1) / 3 by the
+        usual rule of thumb, enforced at fit time.
+    learning_rate, n_iter:
+        Gradient-descent schedule; the default rate suits small point sets
+        (tens of points) — large rates combined with early exaggeration
+        diverge there.
+    early_exaggeration:
+        P-matrix multiplier during the first quarter of the iterations.
+    seed:
+        Initialisation randomness.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        *,
+        perplexity: float = 8.0,
+        learning_rate: float = 20.0,
+        n_iter: int = 500,
+        early_exaggeration: float = 12.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.n_components = check_positive_int(n_components, "n_components")
+        self.perplexity = check_positive_float(perplexity, "perplexity")
+        self.learning_rate = check_positive_float(learning_rate, "learning_rate")
+        self.n_iter = check_positive_int(n_iter, "n_iter")
+        self.early_exaggeration = check_positive_float(early_exaggeration, "early_exaggeration")
+        self._seed = seed
+        self.embedding_: np.ndarray | None = None
+        self.kl_divergence_: float = np.nan
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Embed ``data`` (``(n, d)``) into ``(n, n_components)``."""
+        matrix = check_matrix(data, "data")
+        n = matrix.shape[0]
+        if n < 4:
+            raise ValueError(f"t-SNE needs at least 4 points, got {n}")
+        if self.perplexity >= (n - 1):
+            raise ValueError(
+                f"perplexity {self.perplexity} too large for {n} points"
+            )
+        rng = as_rng(self._seed)
+
+        sq = (matrix**2).sum(axis=1)
+        distances_sq = np.maximum(sq[:, None] + sq[None, :] - 2.0 * matrix @ matrix.T, 0.0)
+        conditional = _conditional_probabilities(distances_sq, self.perplexity)
+        p = (conditional + conditional.T) / (2.0 * n)
+        p = np.maximum(p, 1e-12)
+
+        y = rng.normal(0.0, 1e-4, size=(n, self.n_components))
+        velocity = np.zeros_like(y)
+        exaggeration_end = max(self.n_iter // 4, 1)
+        kl = np.nan
+        for it in range(self.n_iter):
+            p_eff = p * self.early_exaggeration if it < exaggeration_end else p
+            momentum = 0.5 if it < exaggeration_end else 0.8
+            y_sq = (y**2).sum(axis=1)
+            num = 1.0 / (1.0 + np.maximum(y_sq[:, None] + y_sq[None, :] - 2.0 * y @ y.T, 0.0))
+            np.fill_diagonal(num, 0.0)
+            q = np.maximum(num / num.sum(), 1e-12)
+            pq = (p_eff - q) * num
+            gradient = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+            velocity = momentum * velocity - self.learning_rate * gradient
+            y = y + velocity
+            y = y - y.mean(axis=0)
+            if it == self.n_iter - 1:
+                kl = float((p * np.log(p / q)).sum())
+        self.embedding_ = y
+        self.kl_divergence_ = kl
+        return y

@@ -1,0 +1,15 @@
+"""Sales application (Section 6): similarity search + whitespace analysis."""
+
+from repro.app.drift import DriftMonitor, DriftReport, jensen_shannon_divergence
+from repro.app.filters import FirmographicFilter
+from repro.app.tool import SalesRecommendation, SalesRecommendationTool, SimilarCompany
+
+__all__ = [
+    "DriftMonitor",
+    "DriftReport",
+    "jensen_shannon_divergence",
+    "FirmographicFilter",
+    "SalesRecommendation",
+    "SalesRecommendationTool",
+    "SimilarCompany",
+]

@@ -1,0 +1,59 @@
+"""Firmographic filters for the similar-company search.
+
+Section 6: "In addition to the global similarity search, the tool also
+provides the user with filtering capabilities based on industry, location,
+number of employees and revenue."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.internal import FirmographicRecord
+
+__all__ = ["FirmographicFilter"]
+
+
+@dataclass(frozen=True)
+class FirmographicFilter:
+    """Conjunctive filter over firmographic attributes.
+
+    ``None`` fields are unconstrained.  Ranges are inclusive.
+    """
+
+    sic2: int | None = None
+    country: str | None = None
+    min_employees: int | None = None
+    max_employees: int | None = None
+    min_revenue_musd: float | None = None
+    max_revenue_musd: float | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.min_employees is not None
+            and self.max_employees is not None
+            and self.min_employees > self.max_employees
+        ):
+            raise ValueError("min_employees exceeds max_employees")
+        if (
+            self.min_revenue_musd is not None
+            and self.max_revenue_musd is not None
+            and self.min_revenue_musd > self.max_revenue_musd
+        ):
+            raise ValueError("min_revenue_musd exceeds max_revenue_musd")
+
+    def matches(self, record: FirmographicRecord) -> bool:
+        """Whether a company's firmographics pass every set constraint."""
+        if self.sic2 is not None and record.sic2 != self.sic2:
+            return False
+        if self.country is not None and record.country != self.country:
+            return False
+        if self.min_employees is not None and record.employees < self.min_employees:
+            return False
+        if self.max_employees is not None and record.employees > self.max_employees:
+            return False
+        if self.min_revenue_musd is not None and record.revenue_musd < self.min_revenue_musd:
+            return False
+        if self.max_revenue_musd is not None and record.revenue_musd > self.max_revenue_musd:
+            return False
+        return True

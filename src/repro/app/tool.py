@@ -1,0 +1,221 @@
+"""The deployed recommendation tool of Section 6.
+
+The pipeline the paper ships: LDA company representations from the external
+(HG-Data-style) corpus drive a top-k similar-company search; the internal
+sales database then supplies the actual recommendations — products that
+similar companies own but the target does not, weighted by the similarity
+strength of the companies contributing the evidence ("the strength of the
+recommendation is ... measured via the strength of the company similarity",
+Section 4).  Firmographic filters restrict the candidate pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_matrix, check_positive_int
+from repro.analysis.similarity import top_k_similar
+from repro.app.filters import FirmographicFilter
+from repro.data.corpus import Corpus
+from repro.data.internal import InternalSalesDatabase
+
+__all__ = ["SimilarCompany", "SalesRecommendation", "SalesRecommendationTool"]
+
+
+@dataclass(frozen=True)
+class SimilarCompany:
+    """One similarity-search hit."""
+
+    duns: str
+    name: str
+    similarity: float
+
+
+@dataclass(frozen=True)
+class SalesRecommendation:
+    """One recommended product with its evidence strength."""
+
+    category: str
+    strength: float
+    n_supporters: int
+
+
+class SalesRecommendationTool:
+    """Similar-company search and whitespace recommendations.
+
+    Parameters
+    ----------
+    corpus:
+        The external universe the representations were learned on.
+    features:
+        Company representations aligned with ``corpus`` rows (typically LDA
+        topic mixtures; any ``(N, L)`` array works).
+    internal:
+        The provider's internal database (clients, sold products,
+        firmographics).
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        features: np.ndarray,
+        internal: InternalSalesDatabase,
+    ) -> None:
+        matrix = check_matrix(features, "features")
+        if matrix.shape[0] != corpus.n_companies:
+            raise ValueError(
+                f"features have {matrix.shape[0]} rows for {corpus.n_companies} companies"
+            )
+        missing = [
+            c.duns.value for c in corpus.companies if c.duns.value not in internal
+        ]
+        if missing:
+            raise ValueError(
+                f"{len(missing)} companies lack firmographics, e.g. {missing[:3]}"
+            )
+        self.corpus = corpus
+        self.features = matrix
+        self.internal = internal
+        self._index_by_duns = {
+            c.duns.value: i for i, c in enumerate(corpus.companies)
+        }
+
+    # ------------------------------------------------------------------
+    def company_index(self, duns: str) -> int:
+        """Corpus row of a company by its D-U-N-S value."""
+        try:
+            return self._index_by_duns[duns]
+        except KeyError:
+            raise KeyError(f"unknown company {duns}") from None
+
+    def similar_companies(
+        self,
+        duns: str,
+        *,
+        k: int = 10,
+        filters: FirmographicFilter | None = None,
+    ) -> list[SimilarCompany]:
+        """Top-k companies most similar to ``duns`` passing the filters."""
+        check_positive_int(k, "k")
+        query = self.company_index(duns)
+        if filters is None:
+            mask = None
+        else:
+            mask = np.array(
+                [
+                    filters.matches(self.internal.firmographics(c.duns.value))
+                    for c in self.corpus.companies
+                ],
+                dtype=bool,
+            )
+        hits = top_k_similar(self.features, query, k, candidate_mask=mask)
+        return [
+            SimilarCompany(
+                duns=self.corpus.companies[i].duns.value,
+                name=self.corpus.companies[i].name,
+                similarity=score,
+            )
+            for i, score in hits
+        ]
+
+    def recommend_products(
+        self,
+        duns: str,
+        *,
+        k_neighbors: int = 20,
+        top_n: int = 5,
+        filters: FirmographicFilter | None = None,
+        clients_only: bool = True,
+    ) -> list[SalesRecommendation]:
+        """Whitespace products for ``duns``, ranked by similarity evidence.
+
+        For each of the k most similar companies (optionally restricted to
+        existing clients, whose install bases we know from the internal
+        side), every product they own that the target lacks votes with the
+        neighbour's similarity.  The vote totals, normalised by the total
+        similarity mass, rank the recommendations.
+        """
+        check_positive_int(k_neighbors, "k_neighbors")
+        check_positive_int(top_n, "top_n")
+        target = self.corpus.companies[self.company_index(duns)]
+        target_owned = target.categories
+        neighbors = self.similar_companies(duns, k=k_neighbors, filters=filters)
+        votes: dict[str, float] = {}
+        supporters: dict[str, int] = {}
+        total_similarity = 0.0
+        for neighbor in neighbors:
+            if clients_only and not self.internal.is_client(neighbor.duns):
+                continue
+            weight = max(neighbor.similarity, 0.0)
+            if weight == 0.0:
+                continue
+            total_similarity += weight
+            other = self.corpus.companies[self.company_index(neighbor.duns)]
+            for category in other.categories - target_owned:
+                votes[category] = votes.get(category, 0.0) + weight
+                supporters[category] = supporters.get(category, 0) + 1
+        if total_similarity == 0.0:
+            return []
+        ranked = sorted(
+            votes.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [
+            SalesRecommendation(
+                category=category,
+                strength=strength / total_similarity,
+                n_supporters=supporters[category],
+            )
+            for category, strength in ranked[:top_n]
+        ]
+
+    def prospect_list(
+        self,
+        *,
+        k_neighbors: int = 15,
+        top_n: int = 3,
+        max_prospects: int | None = None,
+        filters: FirmographicFilter | None = None,
+    ) -> list[tuple[str, float, list[SalesRecommendation]]]:
+        """Prioritised non-client prospects by total whitespace strength.
+
+        For every company that is not yet a client, computes its top
+        recommendations and ranks prospects by the summed strength —
+        the batch view a sales team consumes.  Returns
+        ``(duns, total_strength, recommendations)`` triples, strongest
+        first.
+        """
+        check_positive_int(k_neighbors, "k_neighbors")
+        check_positive_int(top_n, "top_n")
+        if max_prospects is not None:
+            check_positive_int(max_prospects, "max_prospects")
+        prospects = []
+        for company in self.corpus.companies:
+            duns = company.duns.value
+            if self.internal.is_client(duns):
+                continue
+            if filters is not None and not filters.matches(
+                self.internal.firmographics(duns)
+            ):
+                continue
+            recommendations = self.recommend_products(
+                duns, k_neighbors=k_neighbors, top_n=top_n
+            )
+            if recommendations:
+                total = sum(r.strength for r in recommendations)
+                prospects.append((duns, total, recommendations))
+        prospects.sort(key=lambda item: (-item[1], item[0]))
+        if max_prospects is not None:
+            prospects = prospects[:max_prospects]
+        return prospects
+
+    def whitespace_report(self, duns: str) -> dict[str, frozenset[str]]:
+        """Owned / sold-by-us / opportunity breakdown for one company."""
+        company = self.corpus.companies[self.company_index(duns)]
+        sold = self.internal.sold_products(duns)
+        return {
+            "owned": frozenset(company.categories),
+            "sold_by_us": sold,
+            "competitor_owned": frozenset(company.categories) - sold,
+        }

@@ -1,0 +1,273 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Every paper artifact can be regenerated from the console::
+
+    repro table1 --companies 2000
+    repro lda-sweep
+    repro lstm-grid --epochs 14
+    repro recommend --windows 13
+    repro bpmf
+    repro silhouette
+    repro tsne --topics 3
+    repro sequentiality
+    repro cocluster
+    repro sales-demo
+
+All commands accept ``--companies`` and ``--seed`` to control the synthetic
+universe.  Output is plain fixed-width text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    make_experiment_data,
+    run_bpmf_analysis,
+    run_cocluster_baseline,
+    run_lda_sweep,
+    run_lstm_grid,
+    run_perplexity_table,
+    run_recommendation_accuracy,
+    run_sequentiality,
+    run_silhouette_curves,
+    run_tsne_projection,
+)
+from repro.experiments.fig34_recommendation import format_curves
+from repro.experiments.sequentiality import PAPER_FRACTIONS
+from repro.experiments.table1 import format_table
+from repro.recommend.windows import SlidingWindowSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for all experiment subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the EDBT 2019 hidden-layer-models experiments.",
+    )
+    parser.add_argument("--companies", type=int, default=2000, help="synthetic corpus size")
+    parser.add_argument("--seed", type=int, default=7, help="universe generation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: minimum perplexity per method")
+
+    lda = sub.add_parser("lda-sweep", help="Figure 2: LDA perplexity vs topics")
+    lda.add_argument("--iterations", type=int, default=100)
+
+    lstm = sub.add_parser("lstm-grid", help="Figure 1: LSTM architecture grid")
+    lstm.add_argument("--epochs", type=int, default=14)
+
+    rec = sub.add_parser("recommend", help="Figures 3/4: recommendation accuracy")
+    rec.add_argument("--windows", type=int, default=13)
+    rec.add_argument("--retrain", action="store_true", help="retrain per window (slow)")
+
+    sub.add_parser("bpmf", help="Figures 5/6: BPMF score degeneracy")
+    sub.add_parser("silhouette", help="Figure 7: silhouette curves")
+
+    tsne = sub.add_parser("tsne", help="Figures 8/9: t-SNE product projection")
+    tsne.add_argument("--topics", type=int, default=3)
+
+    sub.add_parser("sequentiality", help="In-text binomial sequentiality test")
+    sub.add_parser("cocluster", help="Section 3.1 co-clustering baseline")
+    sub.add_parser("sales-demo", help="Section 6 sales tool walk-through")
+
+    rank = sub.add_parser("ranking", help="Extension: top-k ranking metrics")
+    rank.add_argument("--k", type=int, default=5)
+
+    sub.add_parser("representations", help="Extension: representation families")
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    data = make_experiment_data(args.companies, seed=args.seed)
+    print(format_table(run_perplexity_table(data)))
+
+
+def _cmd_lda_sweep(args: argparse.Namespace) -> None:
+    data = make_experiment_data(args.companies, seed=args.seed)
+    rows = run_lda_sweep(data, n_iter=args.iterations)
+    print(f"{'input':<8} {'topics':>6} {'perplexity':>11} {'params':>7}")
+    for row in rows:
+        print(
+            f"{row['input']:<8} {row['n_topics']:>6.0f} "
+            f"{row['test_perplexity']:>11.2f} {row['n_parameters']:>7.0f}"
+        )
+
+
+def _cmd_lstm_grid(args: argparse.Namespace) -> None:
+    data = make_experiment_data(args.companies, seed=args.seed)
+    rows = run_lstm_grid(data, n_epochs=args.epochs)
+    print(f"{'layers':>6} {'nodes':>6} {'perplexity':>11} {'params':>9}")
+    for row in rows:
+        print(
+            f"{row['n_layers']:>6.0f} {row['nodes']:>6.0f} "
+            f"{row['test_perplexity']:>11.2f} {row['n_parameters']:>9.0f}"
+        )
+
+
+def _cmd_recommend(args: argparse.Namespace) -> None:
+    data = make_experiment_data(args.companies, seed=args.seed)
+    curves = run_recommendation_accuracy(
+        data,
+        spec=SlidingWindowSpec(n_windows=args.windows),
+        retrain_per_window=args.retrain,
+    )
+    print(format_curves(curves))
+
+
+def _cmd_bpmf(args: argparse.Namespace) -> None:
+    data = make_experiment_data(args.companies, seed=args.seed)
+    result = run_bpmf_analysis(data)
+    quantiles = result["score_quantiles"]
+    print("BPMF recommendation score distribution (Figure 5):")
+    for key, value in quantiles.items():
+        print(f"  {key:>12}: {value:.4f}")
+    print("\nThreshold sweep (Figure 6):")
+    print(f"{'threshold':>9} {'precision':>9} {'recall':>7} {'f1':>7} {'retrieved':>10}")
+    for row in result["threshold_rows"]:
+        print(
+            f"{row['threshold']:>9.2f} {row['precision']:>9.3f} "
+            f"{row['recall']:>7.3f} {row['f1']:>7.3f} {row['retrieved']:>10.0f}"
+        )
+
+
+def _cmd_silhouette(args: argparse.Namespace) -> None:
+    data = make_experiment_data(args.companies, seed=args.seed)
+    rows = run_silhouette_curves(data)
+    print(f"{'representation':<14} {'clusters':>8} {'silhouette':>11}")
+    for row in rows:
+        print(
+            f"{row['representation']:<14} {row['n_clusters']:>8.0f} "
+            f"{row['silhouette']:>11.3f}"
+        )
+
+
+def _cmd_tsne(args: argparse.Namespace) -> None:
+    data = make_experiment_data(args.companies, seed=args.seed)
+    result = run_tsne_projection(data, n_topics=args.topics)
+    print(f"t-SNE of LDA{args.topics} product embeddings (Figures 8/9):")
+    for category, (x, y) in sorted(result["coordinates"].items()):
+        print(f"  {category:<26} {x:>8.2f} {y:>8.2f}")
+    print(f"hardware group distance ratio: {result['hardware_ratio']:.3f} (<1 = co-located)")
+    print(f"software group distance ratio: {result['software_ratio']:.3f} (<1 = co-located)")
+    print(f"profile-core distance ratio:   {result['profile_core_ratio']:.3f} (<1 = co-located)")
+
+
+def _cmd_sequentiality(args: argparse.Namespace) -> None:
+    data = make_experiment_data(args.companies, seed=args.seed)
+    reports = run_sequentiality(data)
+    print(f"{'order':>5} {'significant':>11} {'distinct':>8} {'fraction':>8} {'paper':>6}")
+    for order, report in reports.items():
+        print(
+            f"{order:>5} {report.n_significant:>11} {report.n_distinct:>8} "
+            f"{report.significant_fraction:>8.2f} {PAPER_FRACTIONS[order]:>6.2f}"
+        )
+
+
+def _cmd_cocluster(args: argparse.Namespace) -> None:
+    data = make_experiment_data(args.companies, seed=args.seed)
+    result = run_cocluster_baseline(data)
+    print("co-cluster summaries (rows x cols, density):")
+    for summary in result["summaries"]:
+        print(
+            f"  cluster {summary['cluster']:.0f}: {summary['n_rows']:.0f} x "
+            f"{summary['n_cols']:.0f}, density {summary['density']:.3f}"
+        )
+    print(f"densest cluster products: {result['densest_cluster_products']}")
+    print(f"overlap with top-quartile popular products: {result['popular_overlap']:.2f}")
+    print(f"row-cluster purity vs true profiles: {result['profile_purity']:.2f}")
+    print(f"k-means-on-LDA-features purity:       {result['lda_feature_purity']:.2f}")
+
+
+def _cmd_sales_demo(args: argparse.Namespace) -> None:
+    from repro.app import FirmographicFilter, SalesRecommendationTool
+    from repro.data.internal import InternalSalesDatabase
+    from repro.models.lda import LatentDirichletAllocation
+
+    data = make_experiment_data(args.companies, seed=args.seed)
+    corpus = data.corpus
+    lda = LatentDirichletAllocation(
+        n_topics=3, inference="variational", n_iter=80, seed=0
+    ).fit(corpus)
+    internal = InternalSalesDatabase(corpus.companies, seed=args.seed)
+    tool = SalesRecommendationTool(corpus, lda.company_features(corpus), internal)
+    target = corpus.companies[0]
+    print(f"target: {target.name} ({target.duns}) — owns {sorted(target.categories)}")
+    print("\ntop similar companies:")
+    for hit in tool.similar_companies(target.duns.value, k=5):
+        print(f"  {hit.name:<32} similarity {hit.similarity:.3f}")
+    print("\nrecommendations (similar clients' whitespace):")
+    for rec in tool.recommend_products(target.duns.value):
+        print(
+            f"  {rec.category:<26} strength {rec.strength:.3f} "
+            f"({rec.n_supporters} supporters)"
+        )
+    industry_filter = FirmographicFilter(sic2=target.sic2)
+    same_industry = tool.similar_companies(target.duns.value, k=3, filters=industry_filter)
+    print(f"\nsame-industry matches (SIC2 {target.sic2}):")
+    for hit in same_industry:
+        print(f"  {hit.name:<32} similarity {hit.similarity:.3f}")
+
+
+def _cmd_ranking(args: argparse.Namespace) -> None:
+    from repro.models.chh import ConditionalHeavyHitters
+    from repro.models.lda import LatentDirichletAllocation
+    from repro.recommend.baselines import RandomRecommender
+    from repro.recommend.ranking import evaluate_ranking
+
+    data = make_experiment_data(args.companies, seed=args.seed)
+    factories = {
+        "LDA3": lambda: LatentDirichletAllocation(
+            n_topics=3, inference="variational", n_iter=80, seed=0
+        ),
+        "CHH": lambda: ConditionalHeavyHitters(depth=2),
+        "random": lambda: RandomRecommender(),
+    }
+    print(f"{'model':<8} {'P@'+str(args.k):>7} {'R@'+str(args.k):>7} {'MRR':>6} {'nDCG':>6}")
+    for name, factory in factories.items():
+        report = evaluate_ranking(data.corpus, factory, k=args.k)
+        print(
+            f"{name:<8} {report.precision:>7.3f} {report.recall:>7.3f} "
+            f"{report.mrr:>6.3f} {report.ndcg:>6.3f}"
+        )
+
+
+def _cmd_representations(args: argparse.Namespace) -> None:
+    from repro.experiments import run_representation_families
+
+    data = make_experiment_data(args.companies, seed=args.seed)
+    results = run_representation_families(data)
+    print(f"{'family':<8} {'silhouette':>11} {'purity':>7}")
+    for name, metrics in sorted(results.items(), key=lambda kv: -kv[1]["silhouette"]):
+        print(f"{name:<8} {metrics['silhouette']:>11.3f} {metrics['profile_purity']:>7.3f}")
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
+    "table1": _cmd_table1,
+    "lda-sweep": _cmd_lda_sweep,
+    "lstm-grid": _cmd_lstm_grid,
+    "recommend": _cmd_recommend,
+    "bpmf": _cmd_bpmf,
+    "silhouette": _cmd_silhouette,
+    "tsne": _cmd_tsne,
+    "sequentiality": _cmd_sequentiality,
+    "cocluster": _cmd_cocluster,
+    "sales-demo": _cmd_sales_demo,
+    "ranking": _cmd_ranking,
+    "representations": _cmd_representations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

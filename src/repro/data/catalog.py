@@ -1,0 +1,372 @@
+"""Product catalog: the 4-level HG-Data-style product hierarchy.
+
+The paper's data source (HG Data Company) organises product descriptions in
+four levels: vendor -> category parent -> category -> product type
+(Section 2).  Companies are modelled at the *category* layer; the paper's
+deployment has 91 distinct categories overall and restricts the study to the
+38 hardware and low-level-hardware-management-software categories.
+
+:data:`HARDWARE_CATEGORIES` reproduces exactly the 38 category names the
+paper displays in its t-SNE figures (Figures 8 and 9).  The remaining 53
+categories in :data:`FULL_CATEGORY_UNIVERSE` are plausible higher-level
+software/services categories; they exist so that the catalog-restriction
+code path (91 -> 38) is exercised the way the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HARDWARE_CATEGORIES",
+    "SOFTWARE_SERVICE_CATEGORIES",
+    "FULL_CATEGORY_UNIVERSE",
+    "CATEGORY_PARENTS",
+    "ProductType",
+    "Category",
+    "Vendor",
+    "ProductCatalog",
+    "build_default_catalog",
+]
+
+#: The 38 hardware / low-level-management categories the paper studies.
+#: Names match the labels shown in the paper's Figures 8 and 9.
+HARDWARE_CATEGORIES: tuple[str, ...] = (
+    "asset_performance",
+    "cloud_infrastructure",
+    "collaboration",
+    "commerce",
+    "communication_tech",
+    "contact_center",
+    "data_archiving",
+    "DBMS",
+    "disaster_recovery",
+    "document_management",
+    "electronics_PCs_SW",
+    "financial_apps",
+    "HR_human_management",
+    "HW_other",
+    "hypervisor",
+    "IT_infrastructure",
+    "mainframes",
+    "media",
+    "midrange",
+    "mobile_tech",
+    "network_HW",
+    "network_SW",
+    "OS",
+    "platform_as_a_service",
+    "printers",
+    "product_lifecycle",
+    "remote",
+    "retail",
+    "search_engine",
+    "security_management",
+    "server_HW",
+    "server_SW",
+    "storage_HW",
+    "system_security_services",
+    "telephony",
+    "virtualization_apps",
+    "virtualization_platform",
+    "virtualization_server",
+)
+
+#: The other 53 categories present in the 91-category universe but excluded
+#: from the study (higher-level software and services).
+SOFTWARE_SERVICE_CATEGORIES: tuple[str, ...] = (
+    "accounting_SW",
+    "ad_serving",
+    "analytics_BI",
+    "API_management",
+    "application_development",
+    "application_performance",
+    "authentication",
+    "backup_SaaS",
+    "big_data_processing",
+    "blogging_platform",
+    "business_process_management",
+    "call_tracking",
+    "campaign_management",
+    "chat_support",
+    "CMS",
+    "content_delivery_network",
+    "CRM",
+    "customer_experience",
+    "data_integration",
+    "data_quality",
+    "demand_generation",
+    "ecommerce_hosting",
+    "email_marketing",
+    "email_providers",
+    "enterprise_resource_planning",
+    "event_management",
+    "expense_management",
+    "fleet_management",
+    "fraud_detection",
+    "GIS_mapping",
+    "help_desk",
+    "identity_management",
+    "industry_vertical_SW",
+    "learning_management",
+    "load_balancing",
+    "loyalty_marketing",
+    "marketing_automation",
+    "master_data_management",
+    "payment_processing",
+    "payroll",
+    "project_management",
+    "recruiting_SW",
+    "SEO_tools",
+    "site_search",
+    "social_media_management",
+    "supply_chain_management",
+    "survey_tools",
+    "tag_management",
+    "tax_SW",
+    "translation_services",
+    "video_conferencing",
+    "web_analytics",
+    "web_hosting",
+)
+
+#: All 91 distinct categories (the paper's full deployment).
+FULL_CATEGORY_UNIVERSE: tuple[str, ...] = tuple(
+    sorted(HARDWARE_CATEGORIES + SOFTWARE_SERVICE_CATEGORIES)
+)
+
+#: Category-parent assignment for the 38 studied categories.  Parents are
+#: high-level groupings like "Data Center Solution" (Section 2's examples).
+CATEGORY_PARENTS: dict[str, str] = {
+    "server_HW": "Hardware (Basic)",
+    "storage_HW": "Hardware (Basic)",
+    "HW_other": "Hardware (Basic)",
+    "printers": "Hardware (Basic)",
+    "mainframes": "Hardware (Basic)",
+    "midrange": "Hardware (Basic)",
+    "network_HW": "Hardware (Basic)",
+    "electronics_PCs_SW": "Hardware (Basic)",
+    "cloud_infrastructure": "Data Center Solution",
+    "IT_infrastructure": "Data Center Solution",
+    "data_archiving": "Data Center Solution",
+    "disaster_recovery": "Data Center Solution",
+    "platform_as_a_service": "Data Center Solution",
+    "virtualization_apps": "Virtualization",
+    "virtualization_platform": "Virtualization",
+    "virtualization_server": "Virtualization",
+    "hypervisor": "Virtualization",
+    "OS": "System Software",
+    "DBMS": "System Software",
+    "server_SW": "System Software",
+    "network_SW": "System Software",
+    "asset_performance": "IT Management",
+    "product_lifecycle": "IT Management",
+    "document_management": "IT Management",
+    "remote": "IT Management",
+    "security_management": "Security",
+    "system_security_services": "Security",
+    "collaboration": "Enterprise Applications",
+    "commerce": "Enterprise Applications",
+    "financial_apps": "Enterprise Applications",
+    "HR_human_management": "Enterprise Applications",
+    "media": "Enterprise Applications",
+    "retail": "Enterprise Applications",
+    "search_engine": "Enterprise Applications",
+    "communication_tech": "Communications",
+    "contact_center": "Communications",
+    "telephony": "Communications",
+    "mobile_tech": "Communications",
+}
+
+#: Default vendor names used by :func:`build_default_catalog`.
+_DEFAULT_VENDORS: tuple[str, ...] = (
+    "NorthBridge Systems",
+    "Helios Computing",
+    "Atlant Software",
+    "Quorum Networks",
+    "VireoTech",
+    "Meridian Data",
+    "Castellan Security",
+    "BluePeak Cloud",
+)
+
+
+@dataclass(frozen=True)
+class ProductType:
+    """Leaf of the hierarchy: a concrete product type of one vendor.
+
+    The paper cannot use this level (its internal data does not link to it,
+    Section 2); it exists so the catalog mirrors the real database's shape.
+    """
+
+    name: str
+    category: str
+    vendor: str
+
+
+@dataclass(frozen=True)
+class Category:
+    """A product category, the modelling granularity of the paper."""
+
+    name: str
+    parent: str
+
+    def is_hardware(self) -> bool:
+        """Whether the category belongs to the 38 studied categories."""
+        return self.name in HARDWARE_CATEGORIES
+
+
+@dataclass
+class Vendor:
+    """Top level of the hierarchy: a vendor with its category parents."""
+
+    name: str
+    product_types: list[ProductType] = field(default_factory=list)
+
+    def categories(self) -> set[str]:
+        """Distinct categories this vendor sells into."""
+        return {pt.category for pt in self.product_types}
+
+    def category_parents(self) -> set[str]:
+        """Distinct category parents this vendor sells into."""
+        return {
+            CATEGORY_PARENTS.get(pt.category, "Software & Services")
+            for pt in self.product_types
+        }
+
+
+class ProductCatalog:
+    """The 4-level vendor -> parent -> category -> product-type hierarchy.
+
+    Provides the two operations the paper's pipeline needs:
+
+    * flattening to the *category* layer independently of vendors, and
+    * restricting the 91-category universe to the 38 hardware categories.
+
+    Category indices are stable and alphabetical within each view so corpora
+    built from the same catalog agree on vocabulary order.
+    """
+
+    def __init__(self, vendors: list[Vendor]) -> None:
+        if not vendors:
+            raise ValueError("catalog must contain at least one vendor")
+        self._vendors = {v.name: v for v in vendors}
+        if len(self._vendors) != len(vendors):
+            raise ValueError("duplicate vendor names in catalog")
+        categories = sorted({pt.category for v in vendors for pt in v.product_types})
+        if not categories:
+            raise ValueError("catalog must contain at least one category")
+        self._categories = tuple(categories)
+        self._category_index = {name: i for i, name in enumerate(self._categories)}
+
+    @property
+    def vendors(self) -> tuple[str, ...]:
+        """Vendor names in insertion order."""
+        return tuple(self._vendors)
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        """All distinct category names, sorted."""
+        return self._categories
+
+    @property
+    def n_categories(self) -> int:
+        """Number of distinct categories in this catalog."""
+        return len(self._categories)
+
+    def category_index(self, name: str) -> int:
+        """Stable index of a category name within this catalog."""
+        try:
+            return self._category_index[name]
+        except KeyError:
+            raise KeyError(f"unknown category {name!r}") from None
+
+    def category(self, name: str) -> Category:
+        """Return the :class:`Category` record for ``name``."""
+        if name not in self._category_index:
+            raise KeyError(f"unknown category {name!r}")
+        return Category(name=name, parent=CATEGORY_PARENTS.get(name, "Software & Services"))
+
+    def vendor(self, name: str) -> Vendor:
+        """Return the :class:`Vendor` record for ``name``."""
+        try:
+            return self._vendors[name]
+        except KeyError:
+            raise KeyError(f"unknown vendor {name!r}") from None
+
+    def product_types(self, category: str | None = None) -> list[ProductType]:
+        """All product types, optionally restricted to one category."""
+        result = [
+            pt
+            for vendor in self._vendors.values()
+            for pt in vendor.product_types
+            if category is None or pt.category == category
+        ]
+        if category is not None and category not in self._category_index:
+            raise KeyError(f"unknown category {category!r}")
+        return result
+
+    def product_type_names(self) -> tuple[str, ...]:
+        """All product-type names, sorted (the leaf-level vocabulary)."""
+        return tuple(sorted(pt.name for pt in self.product_types()))
+
+    def category_of_type(self, type_name: str) -> str:
+        """The category a product type belongs to (leaf -> category roll-up)."""
+        for pt in self.product_types():
+            if pt.name == type_name:
+                return pt.category
+        raise KeyError(f"unknown product type {type_name!r}")
+
+    def restrict_to_hardware(self) -> "ProductCatalog":
+        """The 91 -> 38 restriction step of Section 2.
+
+        Returns a new catalog containing only product types whose category is
+        one of the paper's 38 hardware / low-level-management categories.
+        Vendors left with no product types are dropped.
+        """
+        hardware = set(HARDWARE_CATEGORIES)
+        vendors = []
+        for vendor in self._vendors.values():
+            kept = [pt for pt in vendor.product_types if pt.category in hardware]
+            if kept:
+                vendors.append(Vendor(name=vendor.name, product_types=kept))
+        if not vendors:
+            raise ValueError("restriction removed every vendor from the catalog")
+        return ProductCatalog(vendors)
+
+    def __contains__(self, category: str) -> bool:
+        return category in self._category_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ProductCatalog(n_vendors={len(self._vendors)}, "
+            f"n_categories={self.n_categories})"
+        )
+
+
+def build_default_catalog(*, full_universe: bool = False) -> ProductCatalog:
+    """Build the default catalog used across the library.
+
+    With ``full_universe=False`` (the default) the catalog holds exactly the
+    paper's 38 hardware categories; with ``full_universe=True`` it holds all
+    91 categories so the restriction step can be demonstrated.
+
+    Each category is given one product type per default vendor, spreading
+    vendors round-robin so every vendor covers several category parents.
+    """
+    categories = FULL_CATEGORY_UNIVERSE if full_universe else HARDWARE_CATEGORIES
+    vendor_types: dict[str, list[ProductType]] = {name: [] for name in _DEFAULT_VENDORS}
+    for i, category in enumerate(sorted(categories)):
+        # Two vendors per category: realistic competition without blowing up
+        # the leaf count.
+        for offset in (0, 3):
+            vendor = _DEFAULT_VENDORS[(i + offset) % len(_DEFAULT_VENDORS)]
+            vendor_types[vendor].append(
+                ProductType(
+                    name=f"{category}_type_{offset // 3 + 1}",
+                    category=category,
+                    vendor=vendor,
+                )
+            )
+    vendors = [Vendor(name=name, product_types=types) for name, types in vendor_types.items()]
+    return ProductCatalog(vendors)

@@ -1,0 +1,190 @@
+"""Company and install-base entities, plus the domestic aggregation step.
+
+The HG-Data-style raw feed is a stream of per-site :class:`InstallRecord`
+rows: "for each company assessed ... the type of IT products available at
+each site ... some indication about the confidence of the information
+provided, and dates of the first as well as the most recent successful
+confirmation of product presence" (Section 2).
+
+Modelling happens on *aggregated companies*: all sites sharing a domestic
+ultimate D-U-N-S number are merged, products are unioned, and each product
+keeps the earliest first-seen date across sites (Section 5).  The result is
+the :class:`Company` entity consumed by :class:`repro.data.corpus.Corpus`.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.data.duns import DunsNumber, DunsRegistry
+from repro.data.industries import is_valid_sic2
+
+__all__ = ["InstallRecord", "CompanySite", "Company", "aggregate_domestic"]
+
+#: Confidence levels attached to raw install records by the data provider.
+CONFIDENCE_LEVELS: tuple[str, ...] = ("low", "medium", "high")
+
+
+@dataclass(frozen=True)
+class InstallRecord:
+    """One raw observation: a product category confirmed at a site."""
+
+    duns: DunsNumber
+    category: str
+    first_seen: dt.date
+    last_seen: dt.date
+    confidence: str = "high"
+
+    def __post_init__(self) -> None:
+        if self.confidence not in CONFIDENCE_LEVELS:
+            raise ValueError(
+                f"confidence must be one of {CONFIDENCE_LEVELS}, got {self.confidence!r}"
+            )
+        if self.last_seen < self.first_seen:
+            raise ValueError(
+                f"last_seen {self.last_seen} precedes first_seen {self.first_seen} "
+                f"for {self.category!r} at {self.duns}"
+            )
+
+
+@dataclass
+class CompanySite:
+    """A single business location with its raw install records."""
+
+    duns: DunsNumber
+    name: str
+    country: str
+    records: list[InstallRecord] = field(default_factory=list)
+
+    def categories(self) -> set[str]:
+        """Distinct categories observed at this site."""
+        return {r.category for r in self.records}
+
+
+@dataclass
+class Company:
+    """An aggregated (domestic-ultimate level) company.
+
+    ``first_seen`` maps each owned category to the earliest confirmation
+    date across the company's sites; iterating those pairs sorted by date
+    yields the time-ordered attribute sequence A^S of Section 2.
+    """
+
+    duns: DunsNumber
+    name: str
+    country: str
+    sic2: int
+    first_seen: dict[str, dt.date] = field(default_factory=dict)
+    n_sites: int = 1
+
+    def __post_init__(self) -> None:
+        if not is_valid_sic2(self.sic2):
+            raise ValueError(f"invalid SIC2 code {self.sic2} for company {self.name!r}")
+        if self.n_sites < 1:
+            raise ValueError(f"n_sites must be >= 1, got {self.n_sites}")
+
+    @property
+    def categories(self) -> frozenset[str]:
+        """The product set A_i of Section 2 (order-free view)."""
+        return frozenset(self.first_seen)
+
+    def sorted_categories(self) -> list[tuple[str, dt.date]]:
+        """The time-sorted attribute series A^S_i of Section 2.
+
+        Ties on the date are broken alphabetically so the ordering is
+        deterministic.
+        """
+        return sorted(self.first_seen.items(), key=lambda item: (item[1], item[0]))
+
+    def categories_before(self, cutoff: dt.date) -> list[tuple[str, dt.date]]:
+        """Time-sorted categories first seen strictly before ``cutoff``.
+
+        Used by the sliding-window recommendation harness: everything before
+        a window start is training history.
+        """
+        return [(c, d) for c, d in self.sorted_categories() if d < cutoff]
+
+    def categories_within(self, start: dt.date, end: dt.date) -> list[str]:
+        """Categories whose first appearance falls in ``[start, end)``.
+
+        These are the ground-truth "future products" of a recommendation
+        window.
+        """
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        return sorted(c for c, d in self.first_seen.items() if start <= d < end)
+
+    def __len__(self) -> int:
+        return len(self.first_seen)
+
+
+def aggregate_domestic(
+    sites: Iterable[CompanySite],
+    registry: DunsRegistry,
+    *,
+    sic2_by_ultimate: Mapping[str, int],
+    min_confidence: str = "low",
+) -> list[Company]:
+    """Merge sites into domestic-ultimate companies (Section 5 aggregation).
+
+    Parameters
+    ----------
+    sites:
+        Raw per-location data.
+    registry:
+        Hierarchy used to resolve each site to its domestic ultimate.
+    sic2_by_ultimate:
+        Industry code for each domestic-ultimate D-U-N-S value.
+    min_confidence:
+        Records below this confidence level are dropped before aggregation —
+        the cleaning step the provider's confidence field supports.
+
+    Returns
+    -------
+    list[Company]
+        One company per domestic ultimate, sorted by D-U-N-S value.  The
+        company's name and country come from its ultimate site when that
+        site is present, else from the first site encountered.
+    """
+    if min_confidence not in CONFIDENCE_LEVELS:
+        raise ValueError(
+            f"min_confidence must be one of {CONFIDENCE_LEVELS}, got {min_confidence!r}"
+        )
+    threshold = CONFIDENCE_LEVELS.index(min_confidence)
+
+    merged: dict[str, dict[str, dt.date]] = {}
+    names: dict[str, str] = {}
+    countries: dict[str, str] = {}
+    site_counts: dict[str, int] = {}
+
+    for site in sites:
+        ultimate = registry.domestic_ultimate(site.duns).value
+        site_counts[ultimate] = site_counts.get(ultimate, 0) + 1
+        if site.duns.value == ultimate or ultimate not in names:
+            names[ultimate] = site.name
+            countries[ultimate] = site.country
+        bucket = merged.setdefault(ultimate, {})
+        for record in site.records:
+            if CONFIDENCE_LEVELS.index(record.confidence) < threshold:
+                continue
+            current = bucket.get(record.category)
+            if current is None or record.first_seen < current:
+                bucket[record.category] = record.first_seen
+
+    companies = []
+    for ultimate in sorted(merged):
+        if ultimate not in sic2_by_ultimate:
+            raise KeyError(f"no SIC2 code supplied for domestic ultimate {ultimate}")
+        companies.append(
+            Company(
+                duns=DunsNumber(ultimate),
+                name=names[ultimate],
+                country=countries[ultimate],
+                sic2=sic2_by_ultimate[ultimate],
+                first_seen=merged[ultimate],
+                n_sites=site_counts[ultimate],
+            )
+        )
+    return companies

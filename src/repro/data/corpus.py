@@ -1,0 +1,257 @@
+"""Corpus: the modelling view of a set of aggregated companies.
+
+Section 2 of the paper defines two inputs for the models:
+
+* ``A`` — the binary company x product matrix (equations 2–3), used by the
+  non-sequential models (unigram, LDA, BPMF, TF-IDF transforms);
+* ``A^S`` — per-company product sequences sorted by first-appearance date,
+  used by the sequential models (n-gram, CHH, LSTM).
+
+:class:`Corpus` materialises both views over a shared vocabulary and knows
+how to split itself 70/10/20 into train/validation/test (Section 5) and how
+to truncate itself at a date for the sliding-window recommendation harness.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng, check_fraction_triple
+from repro.data.company import Company
+
+__all__ = ["Corpus", "CorpusSplit"]
+
+
+@dataclass(frozen=True)
+class CorpusSplit:
+    """Train/validation/test partition of a corpus."""
+
+    train: "Corpus"
+    validation: "Corpus"
+    test: "Corpus"
+
+    def __iter__(self):
+        return iter((self.train, self.validation, self.test))
+
+
+class Corpus:
+    """Vocabulary-indexed view over aggregated companies.
+
+    Parameters
+    ----------
+    companies:
+        Aggregated (domestic-ultimate) companies.
+    vocabulary:
+        Category order defining the columns of the binary matrix and the
+        token ids of the sequences.  Categories owned by a company but
+        missing from the vocabulary raise — silent vocabulary drift between
+        corpora is the classic source of irreproducible results.
+    """
+
+    def __init__(self, companies: list[Company], vocabulary: tuple[str, ...]) -> None:
+        if not companies:
+            raise ValueError("corpus must contain at least one company")
+        if len(set(vocabulary)) != len(vocabulary):
+            raise ValueError("vocabulary contains duplicate categories")
+        if not vocabulary:
+            raise ValueError("vocabulary must be non-empty")
+        self._companies = list(companies)
+        self._vocabulary = tuple(vocabulary)
+        self._token = {name: i for i, name in enumerate(self._vocabulary)}
+        for company in self._companies:
+            unknown = company.categories - self._token.keys()
+            if unknown:
+                raise ValueError(
+                    f"company {company.name!r} owns categories outside the "
+                    f"vocabulary: {sorted(unknown)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def companies(self) -> list[Company]:
+        """The underlying companies (shared, do not mutate)."""
+        return self._companies
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        """Category names in column/token order."""
+        return self._vocabulary
+
+    @property
+    def n_companies(self) -> int:
+        """Number of companies (matrix rows)."""
+        return len(self._companies)
+
+    @property
+    def n_products(self) -> int:
+        """Vocabulary size M (matrix columns)."""
+        return len(self._vocabulary)
+
+    def token(self, category: str) -> int:
+        """Token id of a category name."""
+        try:
+            return self._token[category]
+        except KeyError:
+            raise KeyError(f"category {category!r} not in vocabulary") from None
+
+    def category(self, token: int) -> str:
+        """Category name of a token id."""
+        if not 0 <= token < len(self._vocabulary):
+            raise IndexError(f"token {token} out of range")
+        return self._vocabulary[token]
+
+    def __len__(self) -> int:
+        return len(self._companies)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Corpus(n_companies={self.n_companies}, n_products={self.n_products})"
+
+    # ------------------------------------------------------------------
+    # Model inputs
+    # ------------------------------------------------------------------
+    def binary_matrix(self) -> np.ndarray:
+        """The matrix ``A`` of Section 2: shape (N, M), dtype float64, 0/1."""
+        matrix = np.zeros((self.n_companies, self.n_products))
+        for i, company in enumerate(self._companies):
+            for category in company.categories:
+                matrix[i, self._token[category]] = 1.0
+        return matrix
+
+    def sequences(self) -> list[list[int]]:
+        """The sequences ``A^S``: token ids sorted by first-seen date."""
+        return [
+            [self._token[category] for category, _ in company.sorted_categories()]
+            for company in self._companies
+        ]
+
+    def dated_sequences(self) -> list[list[tuple[int, dt.date]]]:
+        """Sequences with their first-seen dates, for windowed evaluation."""
+        return [
+            [
+                (self._token[category], date)
+                for category, date in company.sorted_categories()
+            ]
+            for company in self._companies
+        ]
+
+    def industries(self) -> np.ndarray:
+        """SIC2 code per company, aligned with matrix rows."""
+        return np.array([company.sic2 for company in self._companies], dtype=np.int64)
+
+    def total_products(self) -> int:
+        """Total number of (company, product) pairs — the ``n`` of perplexity."""
+        return sum(len(company) for company in self._companies)
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def split(
+        self,
+        fractions: tuple[float, float, float] = (0.7, 0.1, 0.2),
+        *,
+        seed: int | np.random.Generator | None = 0,
+    ) -> CorpusSplit:
+        """Random 70/10/20 company-level split (Section 5's protocol).
+
+        Every resulting part shares this corpus's vocabulary.  Fractions must
+        sum to one; the validation or test part may be empty only if its
+        fraction is zero and the company count rounds it away — an empty
+        *train* part is always an error.
+        """
+        train_frac, valid_frac, __ = check_fraction_triple(fractions)
+        rng = as_rng(seed)
+        order = rng.permutation(self.n_companies)
+        n_train = int(round(train_frac * self.n_companies))
+        n_valid = int(round(valid_frac * self.n_companies))
+        n_train = max(1, min(n_train, self.n_companies))
+        train_idx = order[:n_train]
+        valid_idx = order[n_train : n_train + n_valid]
+        test_idx = order[n_train + n_valid :]
+        if len(test_idx) == 0 and fractions[2] > 0:
+            raise ValueError(
+                f"test fraction {fractions[2]} yields no companies for corpus "
+                f"of size {self.n_companies}; use a larger corpus"
+            )
+        return CorpusSplit(
+            train=self.subset(train_idx),
+            validation=self.subset(valid_idx) if len(valid_idx) else self.subset(train_idx[:1]),
+            test=self.subset(test_idx) if len(test_idx) else self.subset(train_idx[:1]),
+        )
+
+    def subset(self, indices: np.ndarray | list[int]) -> "Corpus":
+        """Corpus over a subset of companies, preserving the vocabulary."""
+        index_list = [int(i) for i in np.asarray(indices).ravel()]
+        if not index_list:
+            raise ValueError("subset requires at least one index")
+        return Corpus([self._companies[i] for i in index_list], self._vocabulary)
+
+    def truncated_before(self, cutoff: dt.date) -> "Corpus":
+        """Corpus containing only products first seen strictly before ``cutoff``.
+
+        This is the training view of a sliding recommendation window: "all
+        the previous information that happened before the start of a sliding
+        window is used for model training" (Section 4.3).  Companies with no
+        products before the cutoff are dropped.
+        """
+        truncated = []
+        for company in self._companies:
+            kept = {c: d for c, d in company.first_seen.items() if d < cutoff}
+            if kept:
+                truncated.append(
+                    Company(
+                        duns=company.duns,
+                        name=company.name,
+                        country=company.country,
+                        sic2=company.sic2,
+                        first_seen=kept,
+                        n_sites=company.n_sites,
+                    )
+                )
+        if not truncated:
+            raise ValueError(f"no company has any product before {cutoff}")
+        return Corpus(truncated, self._vocabulary)
+
+    def restrict_vocabulary(self, vocabulary: tuple[str, ...]) -> "Corpus":
+        """Project the corpus onto a smaller vocabulary (Section 2's 91 -> 38).
+
+        Products outside ``vocabulary`` are dropped from every company;
+        companies left without any product are removed.  This is the
+        restriction step the paper applies to keep only the hardware and
+        low-level-management categories.
+        """
+        if len(set(vocabulary)) != len(vocabulary) or not vocabulary:
+            raise ValueError("vocabulary must be non-empty and duplicate-free")
+        keep = set(vocabulary)
+        unknown = keep - set(self._vocabulary)
+        if unknown:
+            raise ValueError(
+                f"restriction vocabulary contains unknown categories: {sorted(unknown)}"
+            )
+        restricted = []
+        for company in self._companies:
+            kept = {c: d for c, d in company.first_seen.items() if c in keep}
+            if kept:
+                restricted.append(
+                    Company(
+                        duns=company.duns,
+                        name=company.name,
+                        country=company.country,
+                        sic2=company.sic2,
+                        first_seen=kept,
+                        n_sites=company.n_sites,
+                    )
+                )
+        if not restricted:
+            raise ValueError("restriction removed every company from the corpus")
+        return Corpus(restricted, tuple(vocabulary))
+
+    @classmethod
+    def from_companies(cls, companies: list[Company]) -> "Corpus":
+        """Build a corpus whose vocabulary is the sorted union of categories."""
+        vocabulary = tuple(sorted({c for company in companies for c in company.categories}))
+        return cls(companies, vocabulary)

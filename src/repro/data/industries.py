@@ -1,0 +1,114 @@
+"""SIC2 industry taxonomy.
+
+The paper's companies "belong to 83 industries ... encoded with the SIC2
+codes" (Section 5).  The two-digit Standard Industrial Classification major
+groups contain exactly 83 codes, reproduced here; the simulator draws each
+company's industry from this table, and the sales application filters on it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SIC2_INDUSTRIES", "SIC2_CODES", "industry_name", "is_valid_sic2"]
+
+#: Mapping of two-digit SIC code -> major-group name (83 entries).
+SIC2_INDUSTRIES: dict[int, str] = {
+    1: "Agricultural Production Crops",
+    2: "Agricultural Production Livestock",
+    7: "Agricultural Services",
+    8: "Forestry",
+    9: "Fishing, Hunting and Trapping",
+    10: "Metal Mining",
+    12: "Coal Mining",
+    13: "Oil and Gas Extraction",
+    14: "Mining of Nonmetallic Minerals",
+    15: "Building Construction",
+    16: "Heavy Construction",
+    17: "Construction Special Trade Contractors",
+    20: "Food and Kindred Products",
+    21: "Tobacco Products",
+    22: "Textile Mill Products",
+    23: "Apparel and Other Finished Products",
+    24: "Lumber and Wood Products",
+    25: "Furniture and Fixtures",
+    26: "Paper and Allied Products",
+    27: "Printing, Publishing and Allied Industries",
+    28: "Chemicals and Allied Products",
+    29: "Petroleum Refining and Related Industries",
+    30: "Rubber and Miscellaneous Plastics Products",
+    31: "Leather and Leather Products",
+    32: "Stone, Clay, Glass and Concrete Products",
+    33: "Primary Metal Industries",
+    34: "Fabricated Metal Products",
+    35: "Industrial and Commercial Machinery",
+    36: "Electronic and Other Electrical Equipment",
+    37: "Transportation Equipment",
+    38: "Measuring and Analyzing Instruments",
+    39: "Miscellaneous Manufacturing Industries",
+    40: "Railroad Transportation",
+    41: "Local and Suburban Transit",
+    42: "Motor Freight Transportation and Warehousing",
+    43: "United States Postal Service",
+    44: "Water Transportation",
+    45: "Transportation by Air",
+    46: "Pipelines, Except Natural Gas",
+    47: "Transportation Services",
+    48: "Communications",
+    49: "Electric, Gas and Sanitary Services",
+    50: "Wholesale Trade - Durable Goods",
+    51: "Wholesale Trade - Nondurable Goods",
+    52: "Building Materials and Garden Supply",
+    53: "General Merchandise Stores",
+    54: "Food Stores",
+    55: "Automotive Dealers and Service Stations",
+    56: "Apparel and Accessory Stores",
+    57: "Home Furniture and Equipment Stores",
+    58: "Eating and Drinking Places",
+    59: "Miscellaneous Retail",
+    60: "Depository Institutions",
+    61: "Non-depository Credit Institutions",
+    62: "Security and Commodity Brokers",
+    63: "Insurance Carriers",
+    64: "Insurance Agents, Brokers and Service",
+    65: "Real Estate",
+    67: "Holding and Other Investment Offices",
+    70: "Hotels and Other Lodging Places",
+    72: "Personal Services",
+    73: "Business Services",
+    75: "Automotive Repair, Services and Parking",
+    76: "Miscellaneous Repair Services",
+    78: "Motion Pictures",
+    79: "Amusement and Recreation Services",
+    80: "Health Services",
+    81: "Legal Services",
+    82: "Educational Services",
+    83: "Social Services",
+    84: "Museums, Art Galleries and Gardens",
+    86: "Membership Organizations",
+    87: "Engineering and Management Services",
+    88: "Private Households",
+    89: "Miscellaneous Services",
+    91: "Executive, Legislative and General Government",
+    92: "Justice, Public Order and Safety",
+    93: "Public Finance, Taxation and Monetary Policy",
+    94: "Administration of Human Resource Programs",
+    95: "Administration of Environmental Quality Programs",
+    96: "Administration of Economic Programs",
+    97: "National Security and International Affairs",
+    99: "Nonclassifiable Establishments",
+}
+
+#: Sorted tuple of the 83 valid SIC2 codes.
+SIC2_CODES: tuple[int, ...] = tuple(sorted(SIC2_INDUSTRIES))
+
+
+def industry_name(sic2: int) -> str:
+    """Human-readable major-group name for a SIC2 code."""
+    try:
+        return SIC2_INDUSTRIES[sic2]
+    except KeyError:
+        raise KeyError(f"unknown SIC2 code {sic2}") from None
+
+
+def is_valid_sic2(sic2: int) -> bool:
+    """Whether ``sic2`` is one of the 83 valid two-digit codes."""
+    return sic2 in SIC2_INDUSTRIES

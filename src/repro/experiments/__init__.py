@@ -1,0 +1,55 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver builds on the public API and returns plain dicts/lists so the
+CLI can print them and the benchmark suite can both time and sanity-check
+them.  The experiment <-> module mapping lives in DESIGN.md Section 4.
+"""
+
+from repro.experiments.ablations import (
+    run_gru_ablation,
+    run_lda_inference_ablation,
+    run_lstm_training_ablation,
+    run_retrain_ablation,
+    run_window_size_ablation,
+)
+from repro.experiments.cocluster_baseline import run_cocluster_baseline
+from repro.experiments.common import ExperimentData, make_experiment_data
+from repro.experiments.extensions import (
+    run_representation_families,
+    run_streaming_chh_accuracy,
+)
+from repro.experiments.fig1_lstm_grid import run_lstm_grid
+from repro.experiments.future_work import (
+    rollup_types_to_categories,
+    run_type_granularity_study,
+)
+from repro.experiments.fig2_lda_sweep import run_lda_sweep
+from repro.experiments.fig34_recommendation import run_recommendation_accuracy
+from repro.experiments.fig56_bpmf import run_bpmf_analysis
+from repro.experiments.fig7_silhouette import run_silhouette_curves
+from repro.experiments.fig89_tsne import run_tsne_projection
+from repro.experiments.sequentiality import run_sequentiality
+from repro.experiments.table1 import run_perplexity_table
+
+__all__ = [
+    "ExperimentData",
+    "make_experiment_data",
+    "run_lstm_grid",
+    "run_lda_sweep",
+    "run_recommendation_accuracy",
+    "run_bpmf_analysis",
+    "run_silhouette_curves",
+    "run_tsne_projection",
+    "run_sequentiality",
+    "run_perplexity_table",
+    "run_cocluster_baseline",
+    "run_gru_ablation",
+    "run_lda_inference_ablation",
+    "run_lstm_training_ablation",
+    "run_retrain_ablation",
+    "run_window_size_ablation",
+    "run_representation_families",
+    "run_streaming_chh_accuracy",
+    "rollup_types_to_categories",
+    "run_type_granularity_study",
+]

@@ -1,0 +1,180 @@
+"""Ablation studies beyond the paper's figures.
+
+* Window size (the paper's declared future work): how the recommendation
+  accuracy changes with r in {6, 12, 18, 24} months.
+* GRU vs LSTM cells (the related-work discussion of Section 3.4).
+* LDA inference: collapsed Gibbs vs variational Bayes parity.
+* LSTM training regime: the paper-faithful PTB stream with the fixed
+  14-epoch SGD budget vs per-company batching with Adam (quantifying how
+  much of the LDA-vs-LSTM gap is a training-budget artifact).
+* Retraining per window vs training once before the first window.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentData
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.lstm import LSTMModel
+from repro.recommend.evaluation import RecommendationEvaluator
+from repro.recommend.windows import SlidingWindowSpec
+
+__all__ = [
+    "run_window_size_ablation",
+    "run_gru_ablation",
+    "run_lda_inference_ablation",
+    "run_lstm_training_ablation",
+    "run_retrain_ablation",
+]
+
+
+def run_window_size_ablation(
+    data: ExperimentData,
+    *,
+    window_sizes: Sequence[int] = (6, 12, 18, 24),
+    threshold: float = 0.1,
+    lda_topics: int = 3,
+    seed: int = 0,
+) -> list[dict[str, float]]:
+    """Recommendation accuracy of LDA as the window span r varies.
+
+    The number of windows shrinks as r grows so that the last window always
+    ends at the paper's horizon (January 2016).
+    """
+    rows = []
+    for months in window_sizes:
+        n_windows = max(1, (36 - months) // 2 + 1)
+        spec = SlidingWindowSpec(window_months=months, n_windows=n_windows)
+        evaluator = RecommendationEvaluator(
+            data.corpus,
+            spec=spec,
+            thresholds=[threshold],
+            retrain_per_window=False,
+        )
+        curves = evaluator.evaluate(
+            {
+                "lda": lambda: LatentDirichletAllocation(
+                    n_topics=lda_topics, inference="variational", n_iter=80, seed=seed
+                )
+            }
+        )
+        recall, __, __ = curves["lda"].recall(threshold)
+        f1, __, __ = curves["lda"].f1(threshold)
+        rows.append(
+            {
+                "window_months": float(months),
+                "n_windows": float(n_windows),
+                "recall": recall,
+                "f1": f1,
+            }
+        )
+    return rows
+
+
+def run_gru_ablation(
+    data: ExperimentData,
+    *,
+    hidden: int = 200,
+    n_epochs: int = 14,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Test perplexity of GRU vs LSTM cells at the same grid point."""
+    split = data.split
+    results = {}
+    for cell in ("lstm", "gru"):
+        model = LSTMModel(
+            hidden=hidden,
+            n_layers=1,
+            cell=cell,
+            n_epochs=n_epochs,
+            validation=split.validation,
+            seed=seed,
+        ).fit(split.train)
+        results[cell] = model.perplexity(split.test)
+    return results
+
+
+def run_lda_inference_ablation(
+    data: ExperimentData,
+    *,
+    n_topics: int = 4,
+    n_iter: int = 100,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Collapsed Gibbs vs variational Bayes test perplexity."""
+    split = data.split
+    results = {}
+    for inference in ("gibbs", "variational"):
+        model = LatentDirichletAllocation(
+            n_topics=n_topics, inference=inference, n_iter=n_iter, seed=seed
+        ).fit(split.train)
+        results[inference] = model.perplexity(split.test)
+    return results
+
+
+def run_lstm_training_ablation(
+    data: ExperimentData,
+    *,
+    hidden: int = 200,
+    n_epochs: int = 14,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Paper-faithful PTB budget vs modern per-company Adam training.
+
+    The second configuration shows that a converged, per-company-batched
+    LSTM closes (and can invert) the LDA gap — evidence that the paper's
+    Table 1 ordering partly reflects the 2016-era training recipe, which we
+    reproduce faithfully by default.
+    """
+    split = data.split
+    results = {}
+    paper = LSTMModel(
+        hidden=hidden,
+        n_layers=1,
+        n_epochs=n_epochs,
+        validation=split.validation,
+        seed=seed,
+    ).fit(split.train)
+    results["ptb_sgd_stream"] = paper.perplexity(split.test)
+    modern = LSTMModel(
+        hidden=hidden,
+        n_layers=1,
+        batching="company",
+        optimizer="adam",
+        n_epochs=n_epochs,
+        validation=split.validation,
+        seed=seed,
+    ).fit(split.train)
+    results["adam_per_company"] = modern.perplexity(split.test)
+    return results
+
+
+def run_retrain_ablation(
+    data: ExperimentData,
+    *,
+    threshold: float = 0.1,
+    lda_topics: int = 3,
+    n_windows: int = 5,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Recall at one threshold: retraining per window vs training once."""
+    spec = SlidingWindowSpec(n_windows=n_windows)
+    results = {}
+    for retrain in (True, False):
+        evaluator = RecommendationEvaluator(
+            data.corpus,
+            spec=spec,
+            thresholds=[threshold],
+            retrain_per_window=retrain,
+        )
+        curves = evaluator.evaluate(
+            {
+                "lda": lambda: LatentDirichletAllocation(
+                    n_topics=lda_topics, inference="variational", n_iter=80, seed=seed
+                )
+            }
+        )
+        key = "retrain_per_window" if retrain else "train_once"
+        results[key] = curves["lda"].recall(threshold)[0]
+    return results

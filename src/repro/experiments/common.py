@@ -1,0 +1,45 @@
+"""Shared setup for all experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.corpus import Corpus, CorpusSplit
+from repro.data.synthetic import InstallBaseSimulator, SimulatedUniverse, SimulatorConfig
+
+__all__ = ["ExperimentData", "make_experiment_data"]
+
+
+@dataclass
+class ExperimentData:
+    """A generated universe with its corpus and standard 70/10/20 split."""
+
+    universe: SimulatedUniverse
+    corpus: Corpus
+    split: CorpusSplit
+
+
+def make_experiment_data(
+    n_companies: int = 2000,
+    *,
+    seed: int = 7,
+    split_seed: int = 1,
+    config: SimulatorConfig | None = None,
+) -> ExperimentData:
+    """Generate the standard experiment corpus.
+
+    All benchmarks use this entry point so that the same ``(n_companies,
+    seed)`` pair always produces the identical universe, split 70/10/20 as
+    in Section 5.
+    """
+    if config is None:
+        config = SimulatorConfig(n_companies=n_companies)
+    elif config.n_companies != n_companies:
+        raise ValueError(
+            "n_companies argument disagrees with config.n_companies; set one"
+        )
+    simulator = InstallBaseSimulator(config)
+    universe = simulator.generate(seed=seed)
+    corpus = Corpus(universe.companies, simulator.catalog.categories)
+    split = corpus.split((0.7, 0.1, 0.2), seed=split_seed)
+    return ExperimentData(universe=universe, corpus=corpus, split=split)

@@ -1,0 +1,118 @@
+"""Extension experiments beyond the paper's figures.
+
+* **Representation families** — the paper's related work (Sections 3.4 and
+  3.5) discusses two alternatives to LDA features that it does not
+  evaluate: LSI projections and aggregated word2vec embeddings (via the
+  Fisher kernel).  This driver completes the comparison on the clustering
+  task of Figure 7.
+* **Streaming CHH accuracy** — the CHH line of work targets bounded-memory
+  streams; this driver measures how the SpaceSaving-based sketch degrades
+  relative to the exact table as the memory budget shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.kmeans import KMeans
+from repro.analysis.silhouette import silhouette_score
+from repro.experiments.common import ExperimentData
+from repro.models.chh import ConditionalHeavyHitters, StreamingCHH
+from repro.models.fisher import FisherVectorEncoder
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.lsi import LatentSemanticIndexing
+from repro.preprocessing.tfidf import TfidfTransform
+
+__all__ = ["run_representation_families", "run_streaming_chh_accuracy"]
+
+
+def run_representation_families(
+    data: ExperimentData,
+    *,
+    n_clusters: int = 25,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Cluster quality and profile purity for five representation families.
+
+    Returns ``{family: {"silhouette": ..., "profile_purity": ...}}`` for
+    raw binary, TF-IDF, LDA topic mixtures, LSI projections, and Fisher
+    vectors over skip-gram embeddings.
+    """
+    corpus = data.corpus
+    binary = corpus.binary_matrix()
+    true_profiles = data.universe.ground_truth.company_mixture.argmax(axis=1)
+    n_profiles = data.universe.config.n_profiles
+
+    representations: dict[str, np.ndarray] = {"raw": binary}
+    representations["tfidf"] = TfidfTransform().fit_transform(binary)
+    lda = LatentDirichletAllocation(
+        n_topics=n_profiles, inference="variational", n_iter=80, seed=seed
+    ).fit(corpus)
+    representations["lda"] = lda.company_features(corpus)
+    lsi = LatentSemanticIndexing(n_profiles).fit(corpus)
+    representations["lsi"] = lsi.company_features(corpus)
+    fisher = FisherVectorEncoder(
+        n_components=n_profiles, embedding_dim=12, n_epochs=6, seed=seed
+    ).fit(corpus)
+    representations["fisher"] = fisher.company_features(corpus)
+
+    results: dict[str, dict[str, float]] = {}
+    for name, features in representations.items():
+        labels = KMeans(n_clusters, seed=seed).fit_predict(features)
+        silhouette = silhouette_score(features, labels, sample_size=1500, seed=seed)
+        profile_labels = KMeans(n_profiles, seed=seed).fit_predict(features)
+        purity = 0
+        for k in np.unique(profile_labels):
+            members = true_profiles[profile_labels == k]
+            purity += int(np.bincount(members).max()) if len(members) else 0
+        results[name] = {
+            "silhouette": float(silhouette),
+            "profile_purity": purity / len(true_profiles),
+        }
+    return results
+
+
+def run_streaming_chh_accuracy(
+    data: ExperimentData,
+    *,
+    capacities: Sequence[int] = (8, 16, 64, 512),
+    depth: int = 1,
+    top_n: int = 30,
+) -> list[dict[str, float]]:
+    """Mean absolute error of streamed conditionals vs the exact table.
+
+    For each context capacity, the sketch replays the training sequences
+    and its conditional estimates for the ``top_n`` strongest exact rules
+    are compared with the exact conditionals.
+    """
+    corpus = data.corpus
+    sequences = corpus.sequences()
+    exact = ConditionalHeavyHitters(depth=depth, min_context_count=10).fit(corpus)
+    reference = exact.heavy_hitters(min_conditional=0.05)[:top_n]
+    if not reference:
+        raise ValueError("no exact rules to compare against; corpus too small")
+
+    rows = []
+    for capacity in capacities:
+        sketch = StreamingCHH(
+            depth=depth, context_capacity=capacity,
+            successor_capacity=min(capacity, corpus.n_products),
+        )
+        for seq in sequences:
+            sketch.update_sequence(seq)
+        errors = []
+        for context, item, conditional in reference:
+            padded = tuple([-1] * (depth - len(context)) + list(context))
+            estimate = sketch.conditional(padded, vocab_size=corpus.n_products)[item]
+            errors.append(abs(estimate - conditional))
+        rows.append(
+            {
+                "capacity": float(capacity),
+                "mean_abs_error": float(np.mean(errors)),
+                "max_abs_error": float(np.max(errors)),
+                "n_rules": float(len(reference)),
+            }
+        )
+    return rows

@@ -1,0 +1,58 @@
+"""Figure 1: LSTM test perplexity across the 12-architecture grid.
+
+The paper sweeps layers in {1, 2, 3} x nodes in {10, 100, 200, 300} for 14
+epochs and finds 1 layer / 200 nodes best (test perplexity 11.6), with
+deeper stacks strictly worse.  The driver reproduces the sweep; each grid
+point reports its test perplexity and parameter count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentData
+from repro.models.lstm import LSTMModel
+
+__all__ = ["run_lstm_grid"]
+
+
+def run_lstm_grid(
+    data: ExperimentData,
+    *,
+    layer_grid: Sequence[int] = (1, 2, 3),
+    node_grid: Sequence[int] = (10, 100, 200, 300),
+    n_epochs: int = 14,
+    seed: int = 0,
+) -> list[dict[str, float]]:
+    """Train every (layers, nodes) point; return per-point test results.
+
+    Rows are sorted by (layers, nodes) and include the trainable parameter
+    count the paper's "lessons learned" discussion compares against LDA's.
+    """
+    split = data.split
+    rows: list[dict[str, float]] = []
+    for n_layers in layer_grid:
+        for nodes in node_grid:
+            model = LSTMModel(
+                hidden=nodes,
+                n_layers=n_layers,
+                n_epochs=n_epochs,
+                validation=split.validation,
+                seed=seed,
+            ).fit(split.train)
+            rows.append(
+                {
+                    "n_layers": float(n_layers),
+                    "nodes": float(nodes),
+                    "test_perplexity": model.perplexity(split.test),
+                    "n_parameters": float(model.n_parameters),
+                }
+            )
+    return rows
+
+
+def best_point(rows: list[dict[str, float]]) -> dict[str, float]:
+    """The grid point with the lowest test perplexity."""
+    if not rows:
+        raise ValueError("no grid rows supplied")
+    return min(rows, key=lambda r: r["test_perplexity"])

@@ -1,0 +1,90 @@
+"""Figure 7: silhouette curves of eight company representations.
+
+The paper k-means-clusters companies under eight representations — raw
+binary, raw TF-IDF, LDA(2/3/4/7) on binary input, LDA(2/4) on TF-IDF input
+— for cluster counts from 5 to 400 and compares silhouette scores.  The
+finding: LDA-binary with 2-4 topics dominates; raw binary is worst; TF-IDF
+helps the raw representation but LDA on binary beats both.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.kmeans import KMeans
+from repro.analysis.silhouette import silhouette_score
+from repro.experiments.common import ExperimentData
+from repro.models.lda import LatentDirichletAllocation
+from repro.preprocessing.tfidf import TfidfTransform
+
+__all__ = ["run_silhouette_curves", "DEFAULT_CLUSTER_GRID"]
+
+#: Cluster counts matching the x-axis of Figure 7, scaled to corpus size.
+DEFAULT_CLUSTER_GRID: tuple[int, ...] = (5, 10, 25, 50, 100, 200)
+
+
+def build_representations(
+    data: ExperimentData, *, n_iter: int = 80, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """The eight company representations compared in Figure 7."""
+    corpus = data.corpus
+    binary = corpus.binary_matrix()
+    tfidf = TfidfTransform().fit_transform(binary)
+    representations: dict[str, np.ndarray] = {
+        "raw": binary,
+        "raw_tfidf": tfidf,
+    }
+    for k in (2, 3, 4, 7):
+        lda = LatentDirichletAllocation(
+            n_topics=k, inference="variational", n_iter=n_iter, seed=seed
+        ).fit(corpus)
+        representations[f"lda_{k}"] = lda.company_features(corpus)
+    for k in (2, 4):
+        lda = LatentDirichletAllocation(
+            n_topics=k,
+            inference="variational",
+            input_type="tfidf",
+            n_iter=n_iter,
+            seed=seed,
+        ).fit(corpus)
+        representations[f"tfidf_lda_{k}"] = lda.company_features(corpus)
+    return representations
+
+
+def run_silhouette_curves(
+    data: ExperimentData,
+    *,
+    cluster_grid: Sequence[int] = DEFAULT_CLUSTER_GRID,
+    sample_size: int | None = 1500,
+    seed: int = 0,
+) -> list[dict[str, float | str]]:
+    """Silhouette score for every (representation, cluster count) pair."""
+    representations = build_representations(data, seed=seed)
+    n = data.corpus.n_companies
+    rows: list[dict[str, float | str]] = []
+    for name, features in representations.items():
+        for k in cluster_grid:
+            if k >= n:
+                continue
+            labels = KMeans(k, seed=seed).fit_predict(features)
+            score = silhouette_score(
+                features, labels, sample_size=sample_size, seed=seed
+            )
+            rows.append(
+                {
+                    "representation": name,
+                    "n_clusters": float(k),
+                    "silhouette": score,
+                }
+            )
+    return rows
+
+
+def mean_by_representation(rows: list[dict[str, float | str]]) -> dict[str, float]:
+    """Average silhouette per representation across the cluster grid."""
+    sums: dict[str, list[float]] = {}
+    for row in rows:
+        sums.setdefault(str(row["representation"]), []).append(float(row["silhouette"]))
+    return {name: float(np.mean(values)) for name, values in sums.items()}

@@ -1,0 +1,43 @@
+"""Generative models of company-product data.
+
+All models implement the :class:`repro.models.base.GenerativeModel`
+interface so the perplexity comparison (Table 1) and the sliding-window
+recommendation harness (Figures 3-4) are model-agnostic:
+
+* :class:`UnigramModel` — the 'bag of words' baseline;
+* :class:`NGramModel` — bi-/tri-gram sequential association rules;
+* :class:`LatentDirichletAllocation` — the paper's winning model;
+* :class:`ConditionalHeavyHitters` — exact CHH recommender (depth <= 2);
+* :class:`LSTMModel` — the sequence neural model (LSTM or GRU cells);
+* :class:`BayesianPMF` — the matrix-factorization comparison;
+* :class:`ProductSkipGram` — word2vec-style product embeddings (extension).
+"""
+
+from repro.models.base import GenerativeModel, NotFittedError
+from repro.models.bpmf import BayesianPMF
+from repro.models.chh import ConditionalHeavyHitters, StreamingCHH
+from repro.models.embeddings import ProductSkipGram
+from repro.models.fisher import FisherVectorEncoder
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.lsi import LatentSemanticIndexing
+from repro.models.lstm import LSTMModel
+from repro.models.ngram import NGramModel
+from repro.models.selection import select_lda_topics, select_lstm_architecture
+from repro.models.unigram import UnigramModel
+
+__all__ = [
+    "GenerativeModel",
+    "NotFittedError",
+    "UnigramModel",
+    "NGramModel",
+    "LatentDirichletAllocation",
+    "ConditionalHeavyHitters",
+    "StreamingCHH",
+    "LSTMModel",
+    "BayesianPMF",
+    "ProductSkipGram",
+    "FisherVectorEncoder",
+    "LatentSemanticIndexing",
+    "select_lda_topics",
+    "select_lstm_architecture",
+]

@@ -1,0 +1,184 @@
+"""The model interface shared by every generative model in the library.
+
+Section 4.1 of the paper evaluates all models with a single yardstick — the
+average perplexity per product on a test set — and Section 4.3 turns any of
+them into a recommender by thresholding the conditional probability of a
+product given the company's history.  :class:`GenerativeModel` encodes that
+contract:
+
+* ``fit(corpus)`` — estimate parameters on a training corpus;
+* ``log_prob(corpus)`` — total log-probability of the corpus's products
+  (each model defines its own conditioning: marginal for the unigram,
+  teacher-forced for sequence models, fold-in for LDA);
+* ``perplexity(corpus)`` — ``exp(-log_prob / n_products)``, derived;
+* ``next_product_proba(history)`` — length-M vector of conditional product
+  probabilities given the time-ordered token history, the recommender
+  input;
+* ``company_features(corpus)`` — the learned representation B_i used for
+  clustering and similarity search (models without a natural representation
+  raise :class:`NotImplementedError`).
+
+Models are also persistable: ``save(path)`` / ``load(path)`` round-trip the
+fitted state through a single ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+
+__all__ = ["GenerativeModel", "NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when a model is used before :meth:`GenerativeModel.fit`."""
+
+
+class GenerativeModel(abc.ABC):
+    """Abstract base for generative company-product models."""
+
+    #: Short display name used in benchmark tables.
+    name: str = "model"
+
+    def __init__(self) -> None:
+        self._vocab_size: int | None = None
+
+    # ------------------------------------------------------------------
+    # Core contract
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, corpus: Corpus) -> "GenerativeModel":
+        """Estimate model parameters on a training corpus.
+
+        Implementations must set ``self._vocab_size`` and return ``self``.
+        """
+
+    @abc.abstractmethod
+    def log_prob(self, corpus: Corpus) -> float:
+        """Total natural-log probability of all products in ``corpus``."""
+
+    @abc.abstractmethod
+    def next_product_proba(self, history: list[int]) -> np.ndarray:
+        """Conditional probability of each product given a token history.
+
+        ``history`` is the time-ordered list of products the company has
+        acquired so far (possibly empty).  Returns a length-M vector of
+        values in [0, 1].  Entries need not sum to one for models whose
+        natural output is one probability per product (e.g. CHH backoff
+        scores); the recommender only thresholds them.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived functionality
+    # ------------------------------------------------------------------
+    def batch_next_product_proba(self, histories: list[list[int]]) -> np.ndarray:
+        """Vector form of :meth:`next_product_proba`, shape ``(n, M)``.
+
+        The default loops; models with a cheaper batched path (LDA's batch
+        fold-in, the LSTM's padded forward) override it.  The sliding-window
+        evaluator calls this once per window per model.
+        """
+        if not histories:
+            raise ValueError("histories must be non-empty")
+        return np.vstack([self.next_product_proba(h) for h in histories])
+
+    def perplexity(self, corpus: Corpus) -> float:
+        """Average perplexity per product (Section 4.1's measure)."""
+        n = corpus.total_products()
+        if n == 0:
+            raise ValueError("corpus has no products to evaluate")
+        return float(np.exp(-self.log_prob(corpus) / n))
+
+    def company_features(self, corpus: Corpus) -> np.ndarray:
+        """Learned company representations B (shape ``(N, L)``).
+
+        Models that do not produce a representation (pure count models)
+        raise :class:`NotImplementedError`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not learn company representations"
+        )
+
+    @property
+    def vocab_size(self) -> int:
+        """Vocabulary size captured at fit time."""
+        self._check_fitted()
+        assert self._vocab_size is not None
+        return self._vocab_size
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._vocab_size is not None
+
+    def _check_fitted(self) -> None:
+        if self._vocab_size is None:
+            raise NotFittedError(f"{type(self).__name__} must be fitted first")
+
+    def _check_history(self, history: list[int]) -> list[int]:
+        """Validate a recommender history against the fitted vocabulary."""
+        self._check_fitted()
+        assert self._vocab_size is not None
+        clean: list[int] = []
+        for token in history:
+            if isinstance(token, bool) or not isinstance(token, (int, np.integer)):
+                raise TypeError(f"history contains non-integer token {token!r}")
+            if not 0 <= int(token) < self._vocab_size:
+                raise ValueError(
+                    f"history token {token} outside vocabulary of size {self._vocab_size}"
+                )
+            clean.append(int(token))
+        return clean
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _get_state(self) -> dict[str, Any]:
+        """Serialisable state; subclasses extend the base dict.
+
+        Values must be numpy arrays or JSON-encodable scalars/containers.
+        """
+        return {"vocab_size": self._vocab_size}
+
+    def _set_state(self, state: dict[str, Any]) -> None:
+        """Restore from :meth:`_get_state` output; subclasses extend."""
+        self._vocab_size = (
+            int(state["vocab_size"]) if state["vocab_size"] is not None else None
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Persist the fitted model to a single ``.npz`` file."""
+        self._check_fitted()
+        state = self._get_state()
+        arrays = {k: v for k, v in state.items() if isinstance(v, np.ndarray)}
+        scalars = {k: v for k, v in state.items() if not isinstance(v, np.ndarray)}
+        meta = json.dumps({"class": type(self).__name__, "scalars": scalars})
+        np.savez(Path(path), __meta__=np.array(meta), **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GenerativeModel":
+        """Load a model saved by :meth:`save`.
+
+        Must be called on the concrete class that was saved; loading through
+        the wrong class raises :class:`ValueError`.
+        """
+        with np.load(Path(path), allow_pickle=False) as bundle:
+            meta = json.loads(str(bundle["__meta__"]))
+            if meta["class"] != cls.__name__:
+                raise ValueError(
+                    f"file contains a {meta['class']}, not a {cls.__name__}"
+                )
+            state: dict[str, Any] = dict(meta["scalars"])
+            for key in bundle.files:
+                if key != "__meta__":
+                    state[key] = bundle[key]
+        model = cls.__new__(cls)
+        GenerativeModel.__init__(model)
+        model._set_state(state)
+        return model

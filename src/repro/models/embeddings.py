@@ -1,0 +1,176 @@
+"""Skip-gram product embeddings (the word2vec route of Section 3.4).
+
+The paper's related work discusses Mikolov-style embeddings as an
+alternative representation: products are words, companies are contexts, and
+embeddings can be aggregated into company vectors.  The paper ultimately
+prefers LDA, but the option is implemented here as the natural extension —
+a skip-gram model with negative sampling trained on product co-occurrence
+within companies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    as_rng,
+    check_positive_float,
+    check_positive_int,
+)
+from repro.data.corpus import Corpus
+
+__all__ = ["ProductSkipGram"]
+
+
+class ProductSkipGram:
+    """Skip-gram with negative sampling over within-company co-occurrence.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    window:
+        Context window over the time-sorted product sequence; 0 means "all
+        products of the company are context" (pure set co-occurrence).
+    n_negative:
+        Negative samples per positive pair.
+    n_epochs, lr:
+        Training schedule (linearly decaying learning rate).
+    seed:
+        Randomness control.
+    """
+
+    def __init__(
+        self,
+        dim: int = 16,
+        *,
+        window: int = 0,
+        n_negative: int = 5,
+        n_epochs: int = 10,
+        lr: float = 0.05,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.dim = check_positive_int(dim, "dim")
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self.window = int(window)
+        self.n_negative = check_positive_int(n_negative, "n_negative")
+        self.n_epochs = check_positive_int(n_epochs, "n_epochs")
+        self.lr = check_positive_float(lr, "lr")
+        self._seed = seed
+        self._in: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+        self._vocab_size: int | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _pairs(self, sequences: list[list[int]]) -> np.ndarray:
+        """(center, context) pairs under the configured window."""
+        pairs = []
+        for seq in sequences:
+            for i, center in enumerate(seq):
+                if self.window == 0:
+                    contexts = [t for j, t in enumerate(seq) if j != i]
+                else:
+                    lo = max(0, i - self.window)
+                    hi = min(len(seq), i + self.window + 1)
+                    contexts = [seq[j] for j in range(lo, hi) if j != i]
+                pairs.extend((center, ctx) for ctx in contexts)
+        return np.array(pairs, dtype=np.int64).reshape(-1, 2)
+
+    def fit(self, corpus: Corpus) -> "ProductSkipGram":
+        rng = as_rng(self._seed)
+        vocab = corpus.n_products
+        sequences = [s for s in corpus.sequences() if len(s) >= 2]
+        pairs = self._pairs(sequences)
+        if len(pairs) == 0:
+            raise ValueError("no co-occurrence pairs; corpus too sparse")
+        counts = np.bincount(pairs[:, 1], minlength=vocab).astype(np.float64)
+        noise = counts**0.75
+        noise /= noise.sum()
+
+        w_in = rng.normal(0.0, 0.5 / self.dim, size=(vocab, self.dim))
+        w_out = np.zeros((vocab, self.dim))
+        n_total = self.n_epochs * len(pairs)
+        step = 0
+        for __ in range(self.n_epochs):
+            order = rng.permutation(len(pairs))
+            negatives = rng.choice(vocab, size=(len(pairs), self.n_negative), p=noise)
+            for pos, pair_idx in enumerate(order):
+                lr = self.lr * max(1e-4, 1.0 - step / n_total)
+                step += 1
+                center, context = pairs[pair_idx]
+                targets = np.concatenate([[context], negatives[pos]])
+                labels = np.zeros(len(targets))
+                labels[0] = 1.0
+                v_center = w_in[center]
+                v_targets = w_out[targets]
+                scores = 1.0 / (1.0 + np.exp(-np.clip(v_targets @ v_center, -30, 30)))
+                gradient = (scores - labels)[:, None]
+                grad_center = (gradient * v_targets).sum(axis=0)
+                w_out[targets] -= lr * gradient * v_center
+                w_in[center] -= lr * grad_center
+        self._in = w_in
+        self._out = w_out
+        self._vocab_size = vocab
+        return self
+
+    # ------------------------------------------------------------------
+    # Representations
+    # ------------------------------------------------------------------
+    @property
+    def product_embeddings(self) -> np.ndarray:
+        """Combined (input + output) embeddings, shape ``(M, dim)``.
+
+        Skip-gram input embeddings encode *paradigmatic* similarity (same
+        contexts); for install-base analysis we want *syntagmatic*
+        relatedness (appearing in the same companies), which the summed
+        input+output representation captures: if a co-occurs with b, a's
+        input vector aligns with b's output vector and vice versa, so the
+        sums align with each other.
+        """
+        if self._in is None or self._out is None:
+            raise RuntimeError("ProductSkipGram must be fitted first")
+        return self._in + self._out
+
+    @property
+    def input_embeddings(self) -> np.ndarray:
+        """Raw input-side embeddings, shape ``(M, dim)``."""
+        if self._in is None:
+            raise RuntimeError("ProductSkipGram must be fitted first")
+        return self._in
+
+    def similarity(self, a: int, b: int) -> float:
+        """Cosine similarity of two product embeddings."""
+        emb = self.product_embeddings
+        if not (0 <= a < len(emb) and 0 <= b < len(emb)):
+            raise IndexError("product token out of range")
+        va, vb = emb[a], emb[b]
+        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+        if denom == 0.0:
+            return 0.0
+        return float(va @ vb / denom)
+
+    def most_similar(self, token: int, *, topn: int = 5) -> list[tuple[int, float]]:
+        """Products nearest to ``token`` by cosine similarity."""
+        emb = self.product_embeddings
+        if not 0 <= token < len(emb):
+            raise IndexError("product token out of range")
+        check_positive_int(topn, "topn")
+        norms = np.linalg.norm(emb, axis=1)
+        norms[norms == 0.0] = 1.0
+        sims = (emb @ emb[token]) / (norms * max(norms[token], 1e-12))
+        order = np.argsort(-sims)
+        result = [(int(i), float(sims[i])) for i in order if i != token]
+        return result[:topn]
+
+    def company_embeddings(self, corpus: Corpus) -> np.ndarray:
+        """Mean-of-products company vectors (the aggregation of Section 3.4)."""
+        emb = self.product_embeddings
+        if corpus.n_products != emb.shape[0]:
+            raise ValueError("corpus vocabulary does not match the embeddings")
+        binary = corpus.binary_matrix()
+        lengths = binary.sum(axis=1, keepdims=True)
+        lengths[lengths == 0.0] = 1.0
+        return (binary @ emb) / lengths

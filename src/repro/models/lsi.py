@@ -1,0 +1,105 @@
+"""Latent Semantic Indexing — the topic-model baseline of Section 3.5.
+
+The paper contrasts LDA with "other topic modeling techniques such as
+Latent Semantic Indexing" (Hofmann's reference is PLSI; classic LSI is the
+truncated-SVD variant).  LSI lacks a generative story — its value here is
+as a *representation* baseline: company vectors are projections onto the
+top singular directions of the (optionally TF-IDF-weighted) company-product
+matrix, product embeddings the corresponding right singular vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_in_choices, check_matrix, check_positive_int
+from repro.data.corpus import Corpus
+from repro.preprocessing.tfidf import TfidfTransform
+
+__all__ = ["LatentSemanticIndexing"]
+
+
+class LatentSemanticIndexing:
+    """Truncated-SVD company and product representations.
+
+    Parameters
+    ----------
+    n_components:
+        Number of latent dimensions L.
+    input_type:
+        ``"binary"`` or ``"tfidf"`` (the classic IR setting).
+    """
+
+    def __init__(self, n_components: int = 3, *, input_type: str = "tfidf") -> None:
+        self.n_components = check_positive_int(n_components, "n_components")
+        self.input_type = check_in_choices(input_type, "input_type", ("binary", "tfidf"))
+        self._components: np.ndarray | None = None  # (L, M) right singular rows
+        self._singular_values: np.ndarray | None = None
+        self._tfidf: TfidfTransform | None = None
+
+    def _prepare(self, binary: np.ndarray, *, fit: bool) -> np.ndarray:
+        if self.input_type == "binary":
+            return binary
+        if fit:
+            self._tfidf = TfidfTransform()
+            return self._tfidf.fit_transform(binary)
+        assert self._tfidf is not None
+        return self._tfidf.transform(binary)
+
+    def fit(self, corpus: Corpus) -> "LatentSemanticIndexing":
+        """Compute the truncated SVD of the corpus matrix."""
+        binary = corpus.binary_matrix()
+        matrix = self._prepare(binary, fit=True)
+        if self.n_components > min(matrix.shape):
+            raise ValueError(
+                f"n_components {self.n_components} exceeds matrix rank bound "
+                f"{min(matrix.shape)}"
+            )
+        __, singular_values, vt = np.linalg.svd(matrix, full_matrices=False)
+        self._components = vt[: self.n_components]
+        self._singular_values = singular_values[: self.n_components]
+        return self
+
+    @property
+    def components(self) -> np.ndarray:
+        """Right singular rows, shape ``(L, M)`` — the 'topics' of LSI."""
+        if self._components is None:
+            raise RuntimeError("LatentSemanticIndexing must be fitted first")
+        return self._components
+
+    @property
+    def singular_values(self) -> np.ndarray:
+        """The top-L singular values."""
+        if self._singular_values is None:
+            raise RuntimeError("LatentSemanticIndexing must be fitted first")
+        return self._singular_values
+
+    @property
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Share of squared Frobenius mass captured per component.
+
+        Computed against the fitted singular spectrum's retained part only
+        when the full spectrum is unavailable; for the truncated fit this is
+        the retained values normalised by the stored total (callers wanting
+        exact global ratios should fit with ``n_components = min(N, M)``).
+        """
+        values = self.singular_values**2
+        return values / values.sum()
+
+    def company_features(self, corpus: Corpus) -> np.ndarray:
+        """Project companies onto the latent directions, shape ``(N, L)``."""
+        binary = corpus.binary_matrix()
+        if binary.shape[1] != self.components.shape[1]:
+            raise ValueError("corpus vocabulary does not match the fitted model")
+        matrix = self._prepare(binary, fit=False)
+        return matrix @ self.components.T
+
+    def product_embeddings(self) -> np.ndarray:
+        """Per-product latent coordinates, shape ``(M, L)``."""
+        return (self.components * self.singular_values[:, None]).T.copy()
+
+    def transform_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Project an arbitrary binary matrix (power-user entry point)."""
+        binary = check_matrix(matrix, "matrix", binary=True)
+        prepared = self._prepare(binary, fit=False)
+        return prepared @ self.components.T

@@ -1,0 +1,205 @@
+"""N-gram sequence models / sequential association rules.
+
+The paper's second baseline treats the time-sorted product series A^S as
+sentences and fits bi- and tri-gram models; it reports their perplexity as
+"not lower than 15.5" (Section 5).  N-gram conditionals are exactly
+sequential association rules of the corresponding depth, so the same object
+doubles as the rule-based recommender.
+
+Probabilities are Jelinek-Mercer interpolated down to the (additively
+smoothed) unigram so that unseen contexts and products stay finite:
+
+``p(a | h) = lam * ML(a | h) + (1 - lam) * p(a | shorter h)``
+
+A beginning-of-sequence token conditions the first products of a company.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any
+
+import numpy as np
+
+from repro._validation import check_positive_float, check_positive_int, check_probability
+from repro.data.corpus import Corpus
+from repro.models.base import GenerativeModel
+
+__all__ = ["NGramModel"]
+
+
+class NGramModel(GenerativeModel):
+    """Interpolated n-gram model over product sequences.
+
+    Parameters
+    ----------
+    order:
+        Context length + 1; ``order=2`` is the bigram, ``order=3`` the
+        trigram.  ``order=1`` degenerates to a (sequence-aware) unigram.
+    interpolation:
+        Jelinek-Mercer weight ``lam`` on the maximum-likelihood estimate of
+        each level; the remaining mass backs off to the next-shorter
+        context.
+    smoothing:
+        Additive pseudo-count of the level-0 (unigram) distribution.
+    """
+
+    name = "ngram"
+
+    #: Sentinel token id for the beginning of a sequence; stored in contexts
+    #: only, never predicted.
+    BOS = -1
+
+    def __init__(
+        self,
+        order: int = 2,
+        *,
+        interpolation: float = 0.75,
+        smoothing: float = 0.5,
+    ) -> None:
+        super().__init__()
+        self.order = check_positive_int(order, "order")
+        self.interpolation = check_probability(interpolation, "interpolation")
+        self.smoothing = check_positive_float(smoothing, "smoothing")
+        self._unigram: np.ndarray | None = None
+        #: level -> {context tuple -> Counter of next tokens}
+        self._counts: list[dict[tuple[int, ...], Counter]] = []
+        #: level -> {context tuple -> total count}
+        self._totals: list[dict[tuple[int, ...], int]] = []
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, corpus: Corpus) -> "NGramModel":
+        sequences = corpus.sequences()
+        vocab = corpus.n_products
+        unigram_counts = np.full(vocab, self.smoothing)
+        self._counts = [defaultdict(Counter) for __ in range(self.order - 1)]
+        self._totals = [defaultdict(int) for __ in range(self.order - 1)]
+        for seq in sequences:
+            padded = [self.BOS] * (self.order - 1) + seq
+            for t, token in enumerate(seq):
+                unigram_counts[token] += 1.0
+                position = t + self.order - 1
+                for level in range(1, self.order):
+                    context = tuple(padded[position - level : position])
+                    self._counts[level - 1][context][token] += 1
+                    self._totals[level - 1][context] += 1
+        self._unigram = unigram_counts / unigram_counts.sum()
+        # Freeze defaultdicts so lookups after fit never mutate state.
+        self._counts = [dict(level) for level in self._counts]
+        self._totals = [dict(level) for level in self._totals]
+        self._vocab_size = vocab
+        return self
+
+    # ------------------------------------------------------------------
+    # Probabilities
+    # ------------------------------------------------------------------
+    def _conditional(self, context: tuple[int, ...]) -> np.ndarray:
+        """Interpolated distribution over the next product given a context."""
+        assert self._unigram is not None
+        proba = self._unigram
+        for level in range(1, self.order):
+            sub_context = context[len(context) - level :]
+            total = self._totals[level - 1].get(sub_context, 0)
+            if total == 0:
+                continue
+            ml = np.zeros_like(proba)
+            for token, count in self._counts[level - 1][sub_context].items():
+                ml[token] = count / total
+            proba = self.interpolation * ml + (1.0 - self.interpolation) * proba
+        return proba
+
+    def sequence_log_prob(self, sequence: list[int]) -> float:
+        """Teacher-forced log-probability of one product sequence."""
+        self._check_fitted()
+        padded = [self.BOS] * (self.order - 1) + list(sequence)
+        total = 0.0
+        for t, token in enumerate(sequence):
+            position = t + self.order - 1
+            context = tuple(padded[position - (self.order - 1) : position])
+            total += float(np.log(self._conditional(context)[token]))
+        return total
+
+    def log_prob(self, corpus: Corpus) -> float:
+        self._check_fitted()
+        if corpus.n_products != self.vocab_size:
+            raise ValueError(
+                f"corpus has {corpus.n_products} products, model fitted on "
+                f"{self.vocab_size}"
+            )
+        return sum(self.sequence_log_prob(seq) for seq in corpus.sequences())
+
+    def next_product_proba(self, history: list[int]) -> np.ndarray:
+        clean = self._check_history(history)
+        padded = [self.BOS] * (self.order - 1) + clean
+        context = tuple(padded[len(padded) - (self.order - 1) :]) if self.order > 1 else ()
+        return self._conditional(context)
+
+    # ------------------------------------------------------------------
+    # Association-rule view
+    # ------------------------------------------------------------------
+    def rules(self, *, min_count: int = 5, min_confidence: float = 0.1) -> list[tuple[tuple[int, ...], int, float, int]]:
+        """Sequential association rules mined from the top-level counts.
+
+        Returns ``(context, consequent, confidence, support_count)`` tuples
+        sorted by confidence, for contexts of the model's full depth.
+        """
+        self._check_fitted()
+        check_positive_int(min_count, "min_count")
+        check_probability(min_confidence, "min_confidence")
+        if self.order < 2:
+            return []
+        level = self.order - 2
+        found = []
+        for context, counter in self._counts[level].items():
+            total = self._totals[level][context]
+            if total < min_count:
+                continue
+            for token, count in counter.items():
+                confidence = count / total
+                if confidence >= min_confidence:
+                    found.append((context, token, confidence, count))
+        found.sort(key=lambda rule: (-rule[2], -rule[3], rule[0], rule[1]))
+        return found
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _get_state(self) -> dict[str, Any]:
+        state = super()._get_state()
+        state["order"] = self.order
+        state["interpolation"] = self.interpolation
+        state["smoothing"] = self.smoothing
+        state["unigram"] = self._unigram
+        # Flatten count tables into parallel arrays per level.
+        for level in range(self.order - 1):
+            rows = []
+            for context, counter in self._counts[level].items():
+                for token, count in counter.items():
+                    rows.append(list(context) + [token, count])
+            state[f"level_{level}"] = (
+                np.array(rows, dtype=np.int64)
+                if rows
+                else np.empty((0, level + 3), dtype=np.int64)
+            )
+        return state
+
+    def _set_state(self, state: dict[str, Any]) -> None:
+        super()._set_state(state)
+        self.order = int(state["order"])
+        self.interpolation = float(state["interpolation"])
+        self.smoothing = float(state["smoothing"])
+        self._unigram = np.asarray(state["unigram"], dtype=np.float64)
+        self._counts = []
+        self._totals = []
+        for level in range(self.order - 1):
+            counts: dict[tuple[int, ...], Counter] = defaultdict(Counter)
+            totals: dict[tuple[int, ...], int] = defaultdict(int)
+            for row in np.asarray(state[f"level_{level}"]):
+                context = tuple(int(v) for v in row[: level + 1])
+                token, count = int(row[-2]), int(row[-1])
+                counts[context][token] = count
+                totals[context] += count
+            self._counts.append(dict(counts))
+            self._totals.append(dict(totals))

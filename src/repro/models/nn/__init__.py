@@ -1,0 +1,27 @@
+"""Minimal neural-network substrate for the sequence models.
+
+The paper trains its LSTMs with TensorFlow; this package is the from-scratch
+numpy equivalent: embedding and dense layers, LSTM and GRU cells with
+hand-derived backward passes, masked softmax cross-entropy, Adam/SGD
+optimisers, and a stacked recurrent language model that ties them together.
+Gradient correctness is enforced by finite-difference tests in the suite.
+"""
+
+from repro.models.nn.cells import GRUCell, LSTMCell
+from repro.models.nn.layers import Dense, Embedding
+from repro.models.nn.losses import masked_softmax_cross_entropy, softmax
+from repro.models.nn.network import RecurrentLM
+from repro.models.nn.optim import SGD, Adam, clip_gradients
+
+__all__ = [
+    "LSTMCell",
+    "GRUCell",
+    "Embedding",
+    "Dense",
+    "softmax",
+    "masked_softmax_cross_entropy",
+    "RecurrentLM",
+    "Adam",
+    "SGD",
+    "clip_gradients",
+]

@@ -1,0 +1,206 @@
+"""Recurrent cells (LSTM and GRU) with hand-derived backward passes.
+
+Both cells operate on one timestep of a batch: ``step`` maps
+``(x, state)`` to ``(h, state, cache)`` and ``backward_step`` consumes the
+upstream gradients plus the cache, accumulates parameter gradients, and
+returns the gradients flowing to the input and the previous state.
+
+Weight layout follows the fused convention: a single input matrix ``Wx``
+of shape ``(in_dim, G * hidden)`` and a recurrent matrix ``Wh`` of shape
+``(hidden, G * hidden)``, with ``G = 4`` gates for the LSTM (input, forget,
+candidate, output) and ``G = 3`` for the GRU (reset, update, candidate).
+The LSTM forget-gate bias is initialised to 1, the standard trick for
+gradient flow early in training.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro._validation import as_rng, check_positive_int
+
+__all__ = ["LSTMCell", "GRUCell"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() finite; sigmoid saturates far before +-40 anyway.
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -40.0, 40.0)))
+
+
+class LSTMCell:
+    """Long Short-Term Memory cell (Hochreiter & Schmidhuber).
+
+    State is the pair ``(h, c)``; gate order inside the fused matrices is
+    input, forget, candidate, output.
+    """
+
+    N_GATES = 4
+
+    def __init__(self, in_dim: int, hidden: int, *, seed=None) -> None:
+        check_positive_int(in_dim, "in_dim")
+        check_positive_int(hidden, "hidden")
+        rng = as_rng(seed)
+        scale = 1.0 / np.sqrt(hidden)
+        self.in_dim = in_dim
+        self.hidden = hidden
+        bias = np.zeros(self.N_GATES * hidden)
+        bias[hidden : 2 * hidden] = 1.0  # forget-gate bias
+        self.params = {
+            "Wx": rng.uniform(-scale, scale, size=(in_dim, self.N_GATES * hidden)),
+            "Wh": rng.uniform(-scale, scale, size=(hidden, self.N_GATES * hidden)),
+            "b": bias,
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+
+    def initial_state(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
+        """Zero hidden and cell state for a batch."""
+        return np.zeros((batch, self.hidden)), np.zeros((batch, self.hidden))
+
+    def step(
+        self, x: np.ndarray, state: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray], dict[str, Any]]:
+        """One timestep: returns ``(h, (h, c), cache)``."""
+        h_prev, c_prev = state
+        hid = self.hidden
+        z = x @ self.params["Wx"] + h_prev @ self.params["Wh"] + self.params["b"]
+        i = _sigmoid(z[:, :hid])
+        f = _sigmoid(z[:, hid : 2 * hid])
+        g = np.tanh(z[:, 2 * hid : 3 * hid])
+        o = _sigmoid(z[:, 3 * hid :])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        cache = {
+            "x": x,
+            "h_prev": h_prev,
+            "c_prev": c_prev,
+            "i": i,
+            "f": f,
+            "g": g,
+            "o": o,
+            "tanh_c": tanh_c,
+        }
+        return h, (h, c), cache
+
+    def backward_step(
+        self,
+        dh: np.ndarray,
+        dstate: tuple[np.ndarray, np.ndarray],
+        cache: dict[str, Any],
+    ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+        """Backward through one timestep.
+
+        ``dh`` is the gradient arriving at the step's output; ``dstate`` is
+        ``(dh_next, dc_next)`` flowing back from the following timestep
+        (``dh_next`` is added to ``dh`` by the caller's convention of
+        keeping them separate, so pass zeros when not applicable).
+        Returns ``(dx, (dh_prev, dc_prev))``.
+        """
+        dh_next, dc_next = dstate
+        i, f, g, o = cache["i"], cache["f"], cache["g"], cache["o"]
+        tanh_c = cache["tanh_c"]
+        total_dh = dh + dh_next
+        do = total_dh * tanh_c
+        dc = dc_next + total_dh * o * (1.0 - tanh_c**2)
+        df = dc * cache["c_prev"]
+        dc_prev = dc * f
+        di = dc * g
+        dg = dc * i
+        dz = np.concatenate(
+            [
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g**2),
+                do * o * (1.0 - o),
+            ],
+            axis=1,
+        )
+        self.grads["Wx"] += cache["x"].T @ dz
+        self.grads["Wh"] += cache["h_prev"].T @ dz
+        self.grads["b"] += dz.sum(axis=0)
+        dx = dz @ self.params["Wx"].T
+        dh_prev = dz @ self.params["Wh"].T
+        return dx, (dh_prev, dc_prev)
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for grad in self.grads.values():
+            grad.fill(0.0)
+
+
+class GRUCell:
+    """Gated Recurrent Unit cell (Cho et al.), the LSTM's lighter sibling.
+
+    State is ``(h,)``; gate order is reset, update, candidate.  Included for
+    the paper's related-work comparison (Section 3.4 cites the GRU-vs-LSTM
+    study) and benchmarked in the GRU ablation.
+    """
+
+    N_GATES = 3
+
+    def __init__(self, in_dim: int, hidden: int, *, seed=None) -> None:
+        check_positive_int(in_dim, "in_dim")
+        check_positive_int(hidden, "hidden")
+        rng = as_rng(seed)
+        scale = 1.0 / np.sqrt(hidden)
+        self.in_dim = in_dim
+        self.hidden = hidden
+        self.params = {
+            "Wx": rng.uniform(-scale, scale, size=(in_dim, self.N_GATES * hidden)),
+            "Wh": rng.uniform(-scale, scale, size=(hidden, self.N_GATES * hidden)),
+            "b": np.zeros(self.N_GATES * hidden),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+
+    def initial_state(self, batch: int) -> tuple[np.ndarray]:
+        """Zero hidden state for a batch."""
+        return (np.zeros((batch, self.hidden)),)
+
+    def step(
+        self, x: np.ndarray, state: tuple[np.ndarray]
+    ) -> tuple[np.ndarray, tuple[np.ndarray], dict[str, Any]]:
+        """One timestep: returns ``(h, (h,), cache)``."""
+        (h_prev,) = state
+        hid = self.hidden
+        zx = x @ self.params["Wx"] + self.params["b"]
+        zh = h_prev @ self.params["Wh"]
+        r = _sigmoid(zx[:, :hid] + zh[:, :hid])
+        u = _sigmoid(zx[:, hid : 2 * hid] + zh[:, hid : 2 * hid])
+        n = np.tanh(zx[:, 2 * hid :] + r * zh[:, 2 * hid :])
+        h = u * h_prev + (1.0 - u) * n
+        cache = {"x": x, "h_prev": h_prev, "r": r, "u": u, "n": n, "zh_n": zh[:, 2 * hid :]}
+        return h, (h,), cache
+
+    def backward_step(
+        self,
+        dh: np.ndarray,
+        dstate: tuple[np.ndarray],
+        cache: dict[str, Any],
+    ) -> tuple[np.ndarray, tuple[np.ndarray]]:
+        """Backward through one timestep; returns ``(dx, (dh_prev,))``."""
+        (dh_next,) = dstate
+        r, u, n = cache["r"], cache["u"], cache["n"]
+        h_prev, zh_n = cache["h_prev"], cache["zh_n"]
+        total_dh = dh + dh_next
+        du = total_dh * (h_prev - n)
+        dn = total_dh * (1.0 - u)
+        dh_prev = total_dh * u
+        dzn = dn * (1.0 - n**2)  # pre-activation of candidate
+        dr = dzn * zh_n
+        dzr = dr * r * (1.0 - r)
+        dzu = du * u * (1.0 - u)
+        dzx = np.concatenate([dzr, dzu, dzn], axis=1)
+        dzh = np.concatenate([dzr, dzu, dzn * r], axis=1)
+        self.grads["Wx"] += cache["x"].T @ dzx
+        self.grads["Wh"] += h_prev.T @ dzh
+        self.grads["b"] += dzx.sum(axis=0)
+        dx = dzx @ self.params["Wx"].T
+        dh_prev = dh_prev + dzh @ self.params["Wh"].T
+        return dx, (dh_prev,)
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for grad in self.grads.values():
+            grad.fill(0.0)

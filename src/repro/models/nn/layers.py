@@ -1,0 +1,95 @@
+"""Embedding and dense layers with explicit backward passes.
+
+Every layer follows the same convention: parameters live in a dict of numpy
+arrays (``layer.params``), gradients accumulate into a same-shaped dict
+(``layer.grads``), ``forward`` returns outputs plus whatever cache backward
+needs, and ``zero_grads`` resets accumulation between minibatches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import as_rng, check_positive_int
+
+__all__ = ["Embedding", "Dense"]
+
+
+class Embedding:
+    """Token-id -> vector lookup table.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of distinct token ids (including any sentinel tokens).
+    dim:
+        Embedding dimensionality.
+    seed:
+        Initialisation randomness; weights start at ``N(0, 0.1)``.
+    """
+
+    def __init__(self, vocab_size: int, dim: int, *, seed=None) -> None:
+        check_positive_int(vocab_size, "vocab_size")
+        check_positive_int(dim, "dim")
+        rng = as_rng(seed)
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.params = {"W": rng.normal(0.0, 0.1, size=(vocab_size, dim))}
+        self.grads = {"W": np.zeros_like(self.params["W"])}
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        """Look up ``tokens`` (any shape of ids) -> embeddings ``(*, dim)``.
+
+        Padded positions must be filled with a *valid* id (conventionally
+        the sentinel); the loss mask keeps them out of the gradient.
+        """
+        if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= self.vocab_size:
+            raise ValueError(
+                f"token ids must lie in [0, {self.vocab_size}), got range "
+                f"[{tokens.min()}, {tokens.max()}]"
+            )
+        return self.params["W"][tokens]
+
+    def backward(self, tokens: np.ndarray, grad_output: np.ndarray) -> None:
+        """Scatter-add ``grad_output`` into the embedding gradient."""
+        np.add.at(self.grads["W"], tokens.reshape(-1), grad_output.reshape(-1, self.dim))
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        self.grads["W"].fill(0.0)
+
+
+class Dense:
+    """Affine projection ``y = x W + b``."""
+
+    def __init__(self, in_dim: int, out_dim: int, *, seed=None) -> None:
+        check_positive_int(in_dim, "in_dim")
+        check_positive_int(out_dim, "out_dim")
+        rng = as_rng(seed)
+        scale = 1.0 / np.sqrt(in_dim)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.params = {
+            "W": rng.uniform(-scale, scale, size=(in_dim, out_dim)),
+            "b": np.zeros(out_dim),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Project the last axis of ``x`` from ``in_dim`` to ``out_dim``."""
+        if x.shape[-1] != self.in_dim:
+            raise ValueError(f"expected last dim {self.in_dim}, got {x.shape[-1]}")
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. ``x``."""
+        flat_x = x.reshape(-1, self.in_dim)
+        flat_g = grad_output.reshape(-1, self.out_dim)
+        self.grads["W"] += flat_x.T @ flat_g
+        self.grads["b"] += flat_g.sum(axis=0)
+        return (flat_g @ self.params["W"].T).reshape(x.shape)
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for grad in self.grads.values():
+            grad.fill(0.0)

@@ -1,0 +1,65 @@
+"""Masked softmax cross-entropy for sequence prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "masked_softmax_cross_entropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def masked_softmax_cross_entropy(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    mask: np.ndarray,
+) -> tuple[float, np.ndarray]:
+    """Mean NLL over unmasked positions, plus the logits gradient.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, time, vocab)`` unnormalised scores.
+    targets:
+        ``(batch, time)`` integer target ids; values at masked positions are
+        ignored (and may be any valid id).
+    mask:
+        ``(batch, time)`` boolean; True marks real (scored) positions.
+
+    Returns
+    -------
+    (loss, dlogits):
+        ``loss`` is the mean negative log-likelihood per unmasked token;
+        ``dlogits`` is the gradient of that mean w.r.t. ``logits`` (zero at
+        masked positions).
+    """
+    if logits.ndim != 3:
+        raise ValueError(f"logits must be 3-D, got shape {logits.shape}")
+    if targets.shape != logits.shape[:2] or mask.shape != logits.shape[:2]:
+        raise ValueError(
+            f"targets/mask shape {targets.shape}/{mask.shape} does not match "
+            f"logits {logits.shape[:2]}"
+        )
+    n_tokens = int(mask.sum())
+    if n_tokens == 0:
+        raise ValueError("mask selects no tokens")
+    probs = softmax(logits)
+    batch, time = targets.shape
+    rows = np.repeat(np.arange(batch), time)
+    cols = np.tile(np.arange(time), batch)
+    # Use a safe target everywhere; masked entries are zeroed afterwards.
+    safe_targets = np.where(mask, targets, 0)
+    picked = probs[rows, cols, safe_targets.reshape(-1)].reshape(batch, time)
+    log_likelihood = np.where(mask, np.log(picked + 1e-300), 0.0)
+    loss = float(-log_likelihood.sum() / n_tokens)
+
+    dlogits = probs.copy()
+    one_hot_rows = dlogits.reshape(-1, logits.shape[2])
+    one_hot_rows[np.arange(batch * time), safe_targets.reshape(-1)] -= 1.0
+    dlogits *= (mask[..., None] / n_tokens)
+    return loss, dlogits

@@ -1,0 +1,231 @@
+"""Stacked recurrent language model over product sequences.
+
+Mirrors the architecture of the paper's LSTM experiments (Section 5): an
+embedding layer whose dimensionality equals the number of nodes per layer,
+1-3 stacked LSTM (or GRU) layers, dropout on the non-recurrent connections
+(the Zaremba et al. regularisation the paper cites), and a softmax output
+over the product vocabulary.
+
+A dedicated beginning-of-sequence token (id ``vocab_size``) conditions the
+first prediction, so the model also yields a distribution over a company's
+*first* product.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro._validation import (
+    as_rng,
+    check_in_choices,
+    check_positive_int,
+    check_probability,
+)
+from repro.models.nn.cells import GRUCell, LSTMCell
+from repro.models.nn.layers import Dense, Embedding
+
+__all__ = ["RecurrentLM"]
+
+
+class RecurrentLM:
+    """Embedding -> stacked recurrent cells -> dropout -> softmax logits.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of real tokens (products); the BOS sentinel is added
+        internally as id ``vocab_size``.
+    hidden:
+        Nodes per layer == embedding size (the paper ties them).
+    n_layers:
+        Number of stacked recurrent layers (the paper sweeps 1-3).
+    cell:
+        ``"lstm"`` (default) or ``"gru"``.
+    dropout:
+        Drop probability on non-recurrent connections during training.
+    seed:
+        Initialisation randomness.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden: int,
+        n_layers: int = 1,
+        *,
+        cell: str = "lstm",
+        dropout: float = 0.3,
+        seed=None,
+    ) -> None:
+        check_positive_int(vocab_size, "vocab_size")
+        check_positive_int(hidden, "hidden")
+        check_positive_int(n_layers, "n_layers")
+        check_in_choices(cell, "cell", ("lstm", "gru"))
+        check_probability(dropout, "dropout")
+        if dropout >= 1.0:
+            raise ValueError("dropout must be < 1")
+        rng = as_rng(seed)
+        self.vocab_size = vocab_size
+        self.hidden = hidden
+        self.n_layers = n_layers
+        self.cell_type = cell
+        self.dropout = dropout
+        cell_cls = LSTMCell if cell == "lstm" else GRUCell
+        self.embedding = Embedding(vocab_size + 1, hidden, seed=rng)
+        self.cells = [cell_cls(hidden, hidden, seed=rng) for __ in range(n_layers)]
+        self.output = Dense(hidden, vocab_size, seed=rng)
+
+    @property
+    def bos_token(self) -> int:
+        """Sentinel id prepended to every sequence."""
+        return self.vocab_size
+
+    # ------------------------------------------------------------------
+    # Parameter plumbing
+    # ------------------------------------------------------------------
+    def params(self) -> dict[str, np.ndarray]:
+        """All parameters in a flat, prefixed dict (live views)."""
+        flat = {f"emb.{k}": v for k, v in self.embedding.params.items()}
+        for i, cell in enumerate(self.cells):
+            flat.update({f"l{i}.{k}": v for k, v in cell.params.items()})
+        flat.update({f"out.{k}": v for k, v in self.output.params.items()})
+        return flat
+
+    def grads(self) -> dict[str, np.ndarray]:
+        """All gradients, keyed identically to :meth:`params`."""
+        flat = {f"emb.{k}": v for k, v in self.embedding.grads.items()}
+        for i, cell in enumerate(self.cells):
+            flat.update({f"l{i}.{k}": v for k, v in cell.grads.items()})
+        flat.update({f"out.{k}": v for k, v in self.output.grads.items()})
+        return flat
+
+    def zero_grads(self) -> None:
+        """Reset all accumulated gradients."""
+        self.embedding.zero_grads()
+        for cell in self.cells:
+            cell.zero_grads()
+        self.output.zero_grads()
+
+    def n_parameters(self) -> int:
+        """Total trainable parameter count."""
+        return sum(int(np.prod(p.shape)) for p in self.params().values())
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def initial_states(self, batch: int) -> list[tuple[np.ndarray, ...]]:
+        """Zero state for every layer, for a batch of the given size."""
+        return [cell.initial_state(batch) for cell in self.cells]
+
+    def forward(
+        self,
+        tokens: np.ndarray,
+        *,
+        train: bool = False,
+        rng: np.random.Generator | None = None,
+        states: list[tuple[np.ndarray, ...]] | None = None,
+    ) -> tuple[np.ndarray, dict[str, Any]]:
+        """Run the network over a padded batch.
+
+        ``tokens`` is ``(batch, time)`` of token ids (pad positions must
+        hold a valid id, e.g. the BOS sentinel; masking happens in the
+        loss).  ``states`` optionally carries per-layer recurrent state from
+        a previous window (truncated-BPTT streaming); gradients do not flow
+        into carried state.  Returns ``(logits, cache)`` with logits
+        ``(batch, time, vocab_size)``; the final per-layer states are in
+        ``cache["final_states"]``.
+        """
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be 2-D, got shape {tokens.shape}")
+        if train and self.dropout > 0.0 and rng is None:
+            raise ValueError("training with dropout requires an rng")
+        batch, time = tokens.shape
+        if states is None:
+            states = self.initial_states(batch)
+        if len(states) != self.n_layers:
+            raise ValueError(f"expected {self.n_layers} layer states, got {len(states)}")
+        x = self.embedding.forward(tokens)
+        cache: dict[str, Any] = {
+            "tokens": tokens,
+            "layer_inputs": [],
+            "step_caches": [],
+            "dropout_masks": [],
+            "final_states": [],
+        }
+        h = x
+        for cell, state in zip(self.cells, states):
+            mask = self._dropout_mask(h.shape, train, rng)
+            if mask is not None:
+                h = h * mask
+            cache["dropout_masks"].append(mask)
+            cache["layer_inputs"].append(h)
+            outputs = np.empty((batch, time, self.hidden))
+            steps = []
+            for t in range(time):
+                out, state, step_cache = cell.step(h[:, t], state)
+                outputs[:, t] = out
+                steps.append(step_cache)
+            cache["step_caches"].append(steps)
+            cache["final_states"].append(state)
+            h = outputs
+        out_mask = self._dropout_mask(h.shape, train, rng)
+        if out_mask is not None:
+            h = h * out_mask
+        cache["out_mask"] = out_mask
+        cache["dense_input"] = h
+        logits = self.output.forward(h)
+        return logits, cache
+
+    def _dropout_mask(
+        self, shape: tuple[int, ...], train: bool, rng: np.random.Generator | None
+    ) -> np.ndarray | None:
+        if not train or self.dropout <= 0.0:
+            return None
+        assert rng is not None
+        keep = 1.0 - self.dropout
+        return (rng.random(shape) < keep) / keep
+
+    def backward(self, dlogits: np.ndarray, cache: dict[str, Any]) -> None:
+        """Accumulate gradients for a forward pass (call after zero_grads)."""
+        dh = self.output.backward(cache["dense_input"], dlogits)
+        if cache["out_mask"] is not None:
+            dh = dh * cache["out_mask"]
+        batch, time = cache["tokens"].shape
+        for layer in reversed(range(self.n_layers)):
+            cell = self.cells[layer]
+            steps = cache["step_caches"][layer]
+            dinput = np.empty((batch, time, self.hidden))
+            dstate = tuple(np.zeros((batch, self.hidden)) for __ in cell.initial_state(batch))
+            for t in reversed(range(time)):
+                dx, dstate = cell.backward_step(dh[:, t], dstate, steps[t])
+                dinput[:, t] = dx
+            mask = cache["dropout_masks"][layer]
+            if mask is not None:
+                dinput = dinput * mask
+            dh = dinput
+        self.embedding.backward(cache["tokens"], dh)
+
+    # ------------------------------------------------------------------
+    # Inference helpers
+    # ------------------------------------------------------------------
+    def final_hidden(self, tokens: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Top-layer hidden state at each sequence's last real position.
+
+        These are the company embeddings the paper's RNN representation
+        uses.  ``lengths`` counts real tokens per row (>= 1).
+        """
+        if np.any(lengths < 1) or np.any(lengths > tokens.shape[1]):
+            raise ValueError("lengths must be in [1, time]")
+        __, cache = self.forward(tokens, train=False)
+        steps = cache["step_caches"][-1]
+        batch = tokens.shape[0]
+        hidden = np.empty((batch, self.hidden))
+        for b in range(batch):
+            # step cache "tanh_c"*"o" is h for LSTM; recompute from the
+            # stored next-layer input instead: the step output equals the
+            # layer output at that time, which we saved as dense_input pre-
+            # dropout only in eval mode (no dropout), so dense_input works.
+            hidden[b] = cache["dense_input"][b, lengths[b] - 1]
+        return hidden

@@ -1,0 +1,93 @@
+"""Optimisers and gradient clipping for the numpy networks.
+
+Parameters are referenced through ``(params, grads)`` dict pairs gathered
+from all layers; each optimiser keeps per-slot state keyed by the slot name
+supplied at registration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_positive_float
+
+__all__ = ["clip_gradients", "SGD", "Adam"]
+
+
+def clip_gradients(grads: dict[str, np.ndarray], max_norm: float) -> float:
+    """Scale all gradients in place so the global L2 norm <= ``max_norm``.
+
+    Returns the pre-clip global norm (useful for monitoring).
+    """
+    check_positive_float(max_norm, "max_norm")
+    total = 0.0
+    for grad in grads.values():
+        total += float((grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for grad in grads.values():
+            grad *= scale
+    return norm
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, lr: float = 0.1, *, momentum: float = 0.0) -> None:
+        self.lr = check_positive_float(lr, "lr")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def update(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Apply one update step in place."""
+        for key, param in params.items():
+            grad = grads[key]
+            if self.momentum > 0.0:
+                velocity = self._velocity.setdefault(key, np.zeros_like(param))
+                velocity *= self.momentum
+                velocity -= self.lr * grad
+                param += velocity
+            else:
+                param -= self.lr * grad
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 0.002,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.lr = check_positive_float(lr, "lr")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = check_positive_float(eps, "eps")
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def update(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Apply one Adam step in place."""
+        self._t += 1
+        correct1 = 1.0 - self.beta1**self._t
+        correct2 = 1.0 - self.beta2**self._t
+        for key, param in params.items():
+            grad = grads[key]
+            m = self._m.setdefault(key, np.zeros_like(param))
+            v = self._v.setdefault(key, np.zeros_like(param))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / correct1
+            v_hat = v / correct2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

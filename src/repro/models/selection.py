@@ -1,0 +1,114 @@
+"""Model-selection utilities: the paper's parameter-search procedures.
+
+Section 4.1: "We select the parameters of LDA and LSTM by minimizing the
+perplexity level of a model" on a validation split.  These helpers wrap
+that procedure so applications do not re-implement the grids:
+
+* :func:`select_lda_topics` — sweep the topic count (and optionally the
+  input representation) and return the fitted winner;
+* :func:`select_lstm_architecture` — sweep the (layers, nodes) grid of
+  Figure 1 and return the fitted winner.
+
+Both return ``(best_model, leaderboard)`` where the leaderboard lists every
+candidate's validation perplexity for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.corpus import Corpus, CorpusSplit
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.lstm import LSTMModel
+
+__all__ = ["select_lda_topics", "select_lstm_architecture"]
+
+
+def _validation_pair(data: Corpus | CorpusSplit) -> tuple[Corpus, Corpus]:
+    """(train, validation) corpora from either a split or a raw corpus."""
+    if isinstance(data, CorpusSplit):
+        return data.train, data.validation
+    if isinstance(data, Corpus):
+        split = data.split((0.8, 0.2, 0.0), seed=0)
+        return split.train, split.validation
+    raise TypeError(f"expected Corpus or CorpusSplit, got {type(data).__name__}")
+
+
+def select_lda_topics(
+    data: Corpus | CorpusSplit,
+    *,
+    topic_grid: Sequence[int] = (2, 3, 4, 6, 8),
+    input_types: Sequence[str] = ("binary",),
+    n_iter: int = 80,
+    seed: int = 0,
+) -> tuple[LatentDirichletAllocation, list[dict[str, float | str]]]:
+    """Pick the LDA configuration with the lowest validation perplexity."""
+    if not topic_grid or not input_types:
+        raise ValueError("topic_grid and input_types must be non-empty")
+    train, validation = _validation_pair(data)
+    leaderboard: list[dict[str, float | str]] = []
+    best_model: LatentDirichletAllocation | None = None
+    best_score = float("inf")
+    for input_type in input_types:
+        for n_topics in topic_grid:
+            model = LatentDirichletAllocation(
+                n_topics=n_topics,
+                inference="variational",
+                input_type=input_type,
+                n_iter=n_iter,
+                seed=seed,
+            ).fit(train)
+            score = model.perplexity(validation)
+            leaderboard.append(
+                {
+                    "n_topics": float(n_topics),
+                    "input": input_type,
+                    "validation_perplexity": score,
+                }
+            )
+            if score < best_score:
+                best_score = score
+                best_model = model
+    leaderboard.sort(key=lambda row: row["validation_perplexity"])
+    assert best_model is not None
+    return best_model, leaderboard
+
+
+def select_lstm_architecture(
+    data: Corpus | CorpusSplit,
+    *,
+    layer_grid: Sequence[int] = (1, 2),
+    node_grid: Sequence[int] = (50, 100, 200),
+    n_epochs: int = 14,
+    seed: int = 0,
+) -> tuple[LSTMModel, list[dict[str, float]]]:
+    """Pick the LSTM architecture with the lowest validation perplexity."""
+    if not layer_grid or not node_grid:
+        raise ValueError("layer_grid and node_grid must be non-empty")
+    train, validation = _validation_pair(data)
+    leaderboard: list[dict[str, float]] = []
+    best_model: LSTMModel | None = None
+    best_score = float("inf")
+    for n_layers in layer_grid:
+        for nodes in node_grid:
+            model = LSTMModel(
+                hidden=nodes,
+                n_layers=n_layers,
+                n_epochs=n_epochs,
+                validation=validation,
+                seed=seed,
+            ).fit(train)
+            score = model.perplexity(validation)
+            leaderboard.append(
+                {
+                    "n_layers": float(n_layers),
+                    "nodes": float(nodes),
+                    "validation_perplexity": score,
+                }
+            )
+            if score < best_score:
+                best_score = score
+                best_model = model
+    leaderboard.sort(key=lambda row: row["validation_perplexity"])
+    assert best_model is not None
+    return best_model, leaderboard

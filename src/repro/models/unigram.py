@@ -1,0 +1,75 @@
+"""Unigram 'bag of words' model — the weakest baseline in Table 1.
+
+Products are modelled i.i.d. from the corpus-wide product frequency
+distribution.  The paper reports perplexity 19.5 for this model on its
+deployment; it is the reference everything else must beat.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro._validation import check_positive_float
+from repro.data.corpus import Corpus
+from repro.models.base import GenerativeModel
+
+__all__ = ["UnigramModel"]
+
+
+class UnigramModel(GenerativeModel):
+    """Additively smoothed product frequency model.
+
+    Parameters
+    ----------
+    smoothing:
+        Additive (Laplace/Lidstone) pseudo-count per product, keeping
+        held-out products with zero training frequency finite in log space.
+    """
+
+    name = "unigram"
+
+    def __init__(self, *, smoothing: float = 0.5) -> None:
+        super().__init__()
+        self.smoothing = check_positive_float(smoothing, "smoothing")
+        self._proba: np.ndarray | None = None
+
+    def fit(self, corpus: Corpus) -> "UnigramModel":
+        counts = corpus.binary_matrix().sum(axis=0)
+        smoothed = counts + self.smoothing
+        self._proba = smoothed / smoothed.sum()
+        self._vocab_size = corpus.n_products
+        return self
+
+    @property
+    def proba(self) -> np.ndarray:
+        """The fitted product distribution."""
+        self._check_fitted()
+        assert self._proba is not None
+        return self._proba
+
+    def log_prob(self, corpus: Corpus) -> float:
+        self._check_fitted()
+        if corpus.n_products != self.vocab_size:
+            raise ValueError(
+                f"corpus has {corpus.n_products} products, model fitted on "
+                f"{self.vocab_size}"
+            )
+        counts = corpus.binary_matrix().sum(axis=0)
+        return float(counts @ np.log(self.proba))
+
+    def next_product_proba(self, history: list[int]) -> np.ndarray:
+        self._check_history(history)
+        return self.proba.copy()
+
+    def _get_state(self) -> dict[str, Any]:
+        state = super()._get_state()
+        state["smoothing"] = self.smoothing
+        state["proba"] = self.proba
+        return state
+
+    def _set_state(self, state: dict[str, Any]) -> None:
+        super()._set_state(state)
+        self.smoothing = float(state["smoothing"])
+        self._proba = np.asarray(state["proba"], dtype=np.float64)

@@ -1,0 +1,29 @@
+"""Preprocessing: vectorization, TF-IDF, and calendar arithmetic."""
+
+from repro.preprocessing.tfidf import TfidfTransform
+from repro.preprocessing.timeutil import (
+    MONTHS_PER_YEAR,
+    add_months,
+    date_from_month_index,
+    month_index,
+    month_range,
+    months_between,
+)
+from repro.preprocessing.vectorize import (
+    binary_matrix,
+    sequence_lengths,
+    sequences_to_padded_array,
+)
+
+__all__ = [
+    "TfidfTransform",
+    "MONTHS_PER_YEAR",
+    "add_months",
+    "date_from_month_index",
+    "month_index",
+    "month_range",
+    "months_between",
+    "binary_matrix",
+    "sequence_lengths",
+    "sequences_to_padded_array",
+]

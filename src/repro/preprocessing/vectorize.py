@@ -1,0 +1,70 @@
+"""Vectorization helpers shared by the models.
+
+Sequences (the ``A^S`` view) need padding and masking before the LSTM can
+batch them; the binary matrix builder here mirrors
+:meth:`repro.data.corpus.Corpus.binary_matrix` for callers that hold raw
+token sequences rather than a corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_positive_int, check_sequences
+
+__all__ = ["binary_matrix", "sequences_to_padded_array", "sequence_lengths"]
+
+
+def binary_matrix(sequences: list[list[int]], vocab_size: int) -> np.ndarray:
+    """Binary presence matrix from token sequences.
+
+    Duplicate tokens within a sequence collapse to a single 1 — a company
+    owns a category or it does not.
+    """
+    check_positive_int(vocab_size, "vocab_size")
+    seqs = check_sequences(sequences, "sequences", vocab_size=vocab_size)
+    matrix = np.zeros((len(seqs), vocab_size))
+    for i, seq in enumerate(seqs):
+        matrix[i, seq] = 1.0
+    return matrix
+
+
+def sequence_lengths(sequences: list[list[int]]) -> np.ndarray:
+    """Length of each sequence as an int64 vector."""
+    seqs = check_sequences(sequences, "sequences")
+    return np.array([len(s) for s in seqs], dtype=np.int64)
+
+
+def sequences_to_padded_array(
+    sequences: list[list[int]],
+    *,
+    pad_value: int = -1,
+    max_len: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad sequences into a dense ``(n, max_len)`` array plus a boolean mask.
+
+    Sequences longer than ``max_len`` (when given) are truncated from the
+    *end* — the oldest acquisitions carry the profile signal, so history is
+    kept and the tail dropped.
+
+    Returns
+    -------
+    (padded, mask):
+        ``padded[i, t]`` is the t-th token of sequence i or ``pad_value``;
+        ``mask[i, t]`` is True where a real token is present.
+    """
+    seqs = check_sequences(sequences, "sequences")
+    if not seqs:
+        raise ValueError("sequences must be non-empty")
+    longest = max((len(s) for s in seqs), default=0)
+    if max_len is not None:
+        check_positive_int(max_len, "max_len")
+        longest = min(longest, max_len)
+    longest = max(longest, 1)
+    padded = np.full((len(seqs), longest), pad_value, dtype=np.int64)
+    mask = np.zeros((len(seqs), longest), dtype=bool)
+    for i, seq in enumerate(seqs):
+        clipped = seq[:longest]
+        padded[i, : len(clipped)] = clipped
+        mask[i, : len(clipped)] = True
+    return padded, mask

@@ -1,0 +1,40 @@
+"""Sliding-window recommendation harness (Sections 4.3 and 5.1).
+
+Any :class:`~repro.models.base.GenerativeModel` becomes a recommender by
+thresholding its conditional product probabilities; the evaluator slides a
+12-month window over the corpus timeline, retrains on everything before
+each window, and scores recommendations against the products that actually
+appeared inside the window.
+"""
+
+from repro.recommend.baselines import RandomRecommender
+from repro.recommend.evaluation import (
+    RecommendationEvaluator,
+    ThresholdCurve,
+    WindowObservation,
+)
+from repro.recommend.ranking import (
+    RankingReport,
+    evaluate_ranking,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.recommend.recommender import ThresholdRecommender
+from repro.recommend.windows import SlidingWindowSpec
+
+__all__ = [
+    "RandomRecommender",
+    "RecommendationEvaluator",
+    "ThresholdCurve",
+    "WindowObservation",
+    "ThresholdRecommender",
+    "SlidingWindowSpec",
+    "RankingReport",
+    "evaluate_ranking",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "ndcg_at_k",
+]

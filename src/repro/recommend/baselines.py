@@ -1,0 +1,45 @@
+"""Baseline recommenders for the accuracy figures.
+
+The paper sanity-checks the harness with "the random generator that
+produced a product recommendation with a uniform probability = 1/38": it
+retrieves everything for phi <= 1/38 and essentially nothing correct above
+(Section 5.1).  :class:`RandomRecommender` reproduces exactly that
+behaviour inside the shared harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.models.base import GenerativeModel
+
+__all__ = ["RandomRecommender"]
+
+
+class RandomRecommender(GenerativeModel):
+    """Uniform scorer: every product gets probability 1/M."""
+
+    name = "random"
+
+    def fit(self, corpus: Corpus) -> "RandomRecommender":
+        self._vocab_size = corpus.n_products
+        return self
+
+    def log_prob(self, corpus: Corpus) -> float:
+        self._check_fitted()
+        if corpus.n_products != self.vocab_size:
+            raise ValueError("product dimension mismatch")
+        return float(corpus.total_products() * -np.log(self.vocab_size))
+
+    def next_product_proba(self, history: list[int]) -> np.ndarray:
+        self._check_history(history)
+        return np.full(self.vocab_size, 1.0 / self.vocab_size)
+
+    def _get_state(self) -> dict[str, Any]:
+        return super()._get_state()
+
+    def _set_state(self, state: dict[str, Any]) -> None:
+        super()._set_state(state)

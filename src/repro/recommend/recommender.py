@@ -1,0 +1,62 @@
+"""Threshold recommender over any generative model.
+
+Section 4.3: "If for a product p_i the probability of the generative model
+M ... exceeds a threshold phi we assume that the product p_i should be
+recommended to a given company."  Products the company already owns are
+never recommended.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_probability
+from repro.models.base import GenerativeModel
+
+__all__ = ["ThresholdRecommender"]
+
+
+class ThresholdRecommender:
+    """Wraps a fitted model into a phi-thresholded recommender."""
+
+    def __init__(self, model: GenerativeModel, *, threshold: float = 0.1) -> None:
+        if not isinstance(model, GenerativeModel):
+            raise TypeError(
+                f"model must be a GenerativeModel, got {type(model).__name__}"
+            )
+        if not model.is_fitted:
+            raise ValueError("model must be fitted before building a recommender")
+        self.model = model
+        self.threshold = check_probability(threshold, "threshold")
+
+    def scores(self, history: list[int]) -> np.ndarray:
+        """Raw conditional product probabilities for a company history."""
+        return self.model.next_product_proba(history)
+
+    def recommend(
+        self, history: list[int], *, threshold: float | None = None
+    ) -> list[int]:
+        """Products scoring above the threshold, excluding those owned.
+
+        Returns token ids sorted by descending score.
+        """
+        phi = self.threshold if threshold is None else check_probability(threshold, "threshold")
+        scores = self.scores(history)
+        owned = set(history)
+        candidates = [
+            (float(scores[token]), token)
+            for token in range(len(scores))
+            if token not in owned and scores[token] >= phi
+        ]
+        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [token for __, token in candidates]
+
+    def top_k(self, history: list[int], k: int) -> list[int]:
+        """The k highest-scoring unowned products regardless of threshold."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        scores = self.scores(history)
+        owned = set(history)
+        order = np.argsort(-scores, kind="stable")
+        result = [int(t) for t in order if int(t) not in owned]
+        return result[:k]

@@ -1,0 +1,70 @@
+"""Sliding evaluation windows over the install-base timeline.
+
+The paper's protocol (Section 5.1): windows of r = 12 months, sliding by
+two months, starting January 1, 2013; 13 windows in total, the last one
+covering January 2015 - January 2016.  Everything strictly before a
+window's start is training data for that window.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+
+from repro._validation import check_positive_int
+from repro.preprocessing.timeutil import add_months
+
+__all__ = ["SlidingWindowSpec", "Window"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One evaluation window ``[start, end)``."""
+
+    start: dt.date
+    end: dt.date
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty window [{self.start}, {self.end})")
+
+
+@dataclass(frozen=True)
+class SlidingWindowSpec:
+    """Generator of the paper's sliding windows.
+
+    Parameters
+    ----------
+    first_start:
+        Start of the first window (paper: 2013-01-01).
+    window_months:
+        Window span r (paper: 12; the span of marketing interest is 6-24).
+    stride_months:
+        Slide granularity (paper: 2).
+    n_windows:
+        Number of windows l (paper: 13).
+    """
+
+    first_start: dt.date = dt.date(2013, 1, 1)
+    window_months: int = 12
+    stride_months: int = 2
+    n_windows: int = 13
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.window_months, "window_months")
+        check_positive_int(self.stride_months, "stride_months")
+        check_positive_int(self.n_windows, "n_windows")
+
+    def windows(self) -> list[Window]:
+        """All windows, earliest first."""
+        result = []
+        for i in range(self.n_windows):
+            start = add_months(self.first_start, i * self.stride_months)
+            end = add_months(start, self.window_months)
+            result.append(Window(start=start, end=end))
+        return result
+
+    @property
+    def last_end(self) -> dt.date:
+        """End date of the final window."""
+        return self.windows()[-1].end

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic universes and fitted models.
+
+Expensive artefacts (generated universes, fitted models) are session-scoped
+so the whole suite stays fast; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.data.synthetic import InstallBaseSimulator, SimulatorConfig
+from repro.models.lda import LatentDirichletAllocation
+
+
+@pytest.fixture(scope="session")
+def simulator() -> InstallBaseSimulator:
+    """Simulator over the default 38-category catalog, 300 companies."""
+    return InstallBaseSimulator(SimulatorConfig(n_companies=300))
+
+
+@pytest.fixture(scope="session")
+def universe(simulator):
+    """A generated 300-company universe (seed 7)."""
+    return simulator.generate(seed=7)
+
+
+@pytest.fixture(scope="session")
+def corpus(simulator, universe) -> Corpus:
+    """Corpus over the full 38-category vocabulary."""
+    return Corpus(universe.companies, simulator.catalog.categories)
+
+
+@pytest.fixture(scope="session")
+def split(corpus):
+    """The standard 70/10/20 split of the session corpus."""
+    return corpus.split((0.7, 0.1, 0.2), seed=1)
+
+
+@pytest.fixture(scope="session")
+def fitted_lda(split) -> LatentDirichletAllocation:
+    """A variational LDA(3) fitted on the session train split."""
+    return LatentDirichletAllocation(
+        n_topics=3, inference="variational", n_iter=60, seed=0
+    ).fit(split.train)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,129 @@
+"""Tests for the sales application (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.app.filters import FirmographicFilter
+from repro.app.tool import SalesRecommendationTool
+from repro.data.internal import InternalSalesDatabase
+
+
+@pytest.fixture(scope="module")
+def internal(universe):
+    return InternalSalesDatabase(universe.companies, client_rate=0.5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tool(corpus, fitted_lda, internal):
+    return SalesRecommendationTool(corpus, fitted_lda.company_features(corpus), internal)
+
+
+class TestFirmographicFilter:
+    def test_empty_filter_matches_everything(self, internal, universe):
+        empty = FirmographicFilter()
+        for company in universe.companies[:20]:
+            assert empty.matches(internal.firmographics(company.duns.value))
+
+    def test_industry_filter(self, internal, universe):
+        company = universe.companies[0]
+        record = internal.firmographics(company.duns.value)
+        assert FirmographicFilter(sic2=record.sic2).matches(record)
+        wrong = 80 if record.sic2 != 80 else 73
+        assert not FirmographicFilter(sic2=wrong).matches(record)
+
+    def test_employee_range(self, internal, universe):
+        record = internal.firmographics(universe.companies[0].duns.value)
+        assert FirmographicFilter(
+            min_employees=record.employees, max_employees=record.employees
+        ).matches(record)
+        assert not FirmographicFilter(min_employees=record.employees + 1).matches(record)
+
+    def test_revenue_range(self, internal, universe):
+        record = internal.firmographics(universe.companies[0].duns.value)
+        assert not FirmographicFilter(
+            max_revenue_musd=record.revenue_musd / 2
+        ).matches(record)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            FirmographicFilter(min_employees=100, max_employees=10)
+        with pytest.raises(ValueError):
+            FirmographicFilter(min_revenue_musd=5.0, max_revenue_musd=1.0)
+
+
+class TestSalesRecommendationTool:
+    def test_feature_row_count_validated(self, corpus, internal):
+        with pytest.raises(ValueError, match="rows"):
+            SalesRecommendationTool(corpus, np.zeros((3, 2)), internal)
+
+    def test_similar_companies_sorted_and_exclude_self(self, tool, corpus):
+        target = corpus.companies[0].duns.value
+        hits = tool.similar_companies(target, k=10)
+        assert len(hits) == 10
+        assert target not in [h.duns for h in hits]
+        similarities = [h.similarity for h in hits]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_similar_companies_actually_similar(self, tool, corpus, universe):
+        # The top match must share the query's dominant latent profile far
+        # more often than chance.
+        labels = universe.ground_truth.company_mixture.argmax(axis=1)
+        by_duns = {c.duns.value: i for i, c in enumerate(corpus.companies)}
+        agreements = 0
+        for company in corpus.companies[:40]:
+            hits = tool.similar_companies(company.duns.value, k=1)
+            if hits:
+                agreements += int(
+                    labels[by_duns[company.duns.value]] == labels[by_duns[hits[0].duns]]
+                )
+        assert agreements / 40 > 0.8
+
+    def test_industry_filter_respected(self, tool, corpus, internal):
+        target = corpus.companies[0]
+        filters = FirmographicFilter(sic2=target.sic2)
+        for hit in tool.similar_companies(target.duns.value, k=5, filters=filters):
+            assert internal.firmographics(hit.duns).sic2 == target.sic2
+
+    def test_unknown_company_raises(self, tool):
+        with pytest.raises(KeyError):
+            tool.similar_companies("999999999")
+
+    def test_recommendations_exclude_owned(self, tool, corpus):
+        target = corpus.companies[0]
+        for rec in tool.recommend_products(target.duns.value, top_n=10):
+            assert rec.category not in target.categories
+
+    def test_recommendation_strengths_normalised(self, tool, corpus):
+        target = corpus.companies[0]
+        recs = tool.recommend_products(target.duns.value, k_neighbors=30, top_n=38)
+        assert recs, "expected at least one recommendation"
+        strengths = [r.strength for r in recs]
+        assert strengths == sorted(strengths, reverse=True)
+        assert all(0.0 < s <= 1.0 for s in strengths)
+        assert all(r.n_supporters >= 1 for r in recs)
+
+    def test_clients_only_restricts_evidence(self, tool, corpus, internal):
+        target = corpus.companies[0]
+        all_evidence = tool.recommend_products(
+            target.duns.value, k_neighbors=30, top_n=38, clients_only=False
+        )
+        clients_only = tool.recommend_products(
+            target.duns.value, k_neighbors=30, top_n=38, clients_only=True
+        )
+        # Restricting to clients cannot increase the supporter counts.
+        support_all = {r.category: r.n_supporters for r in all_evidence}
+        for rec in clients_only:
+            assert rec.n_supporters <= support_all.get(rec.category, 0)
+
+    def test_whitespace_report_partitions(self, tool, corpus, internal):
+        target = corpus.companies[0]
+        report = tool.whitespace_report(target.duns.value)
+        assert report["sold_by_us"] | report["competitor_owned"] == report["owned"]
+        assert not report["sold_by_us"] & report["competitor_owned"]
+
+    def test_missing_firmographics_rejected(self, corpus, fitted_lda, universe):
+        partial = InternalSalesDatabase(universe.companies[:10], seed=0)
+        with pytest.raises(ValueError, match="lack firmographics"):
+            SalesRecommendationTool(
+                corpus, fitted_lda.company_features(corpus), partial
+            )

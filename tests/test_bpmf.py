@@ -1,0 +1,104 @@
+"""Model-specific tests for Bayesian Probabilistic Matrix Factorization."""
+
+import numpy as np
+import pytest
+
+from repro.models.bpmf import BayesianPMF
+
+
+class TestFitRatings:
+    def test_recovers_low_rank_structure(self, rng):
+        # A genuinely low-rank, partially observed matrix: BPMF must predict
+        # held-out cells far better than the global mean.
+        n_rows, n_cols, rank = 40, 15, 2
+        u = rng.normal(size=(n_rows, rank))
+        v = rng.normal(size=(n_cols, rank))
+        truth = 1.0 / (1.0 + np.exp(-(u @ v.T)))
+        mask = rng.random(truth.shape) < 0.6
+        rows, cols = np.nonzero(mask)
+        model = BayesianPMF(
+            n_factors=4, n_iter=60, rating_precision=16.0, seed=0
+        ).fit_ratings(rows, cols, truth[rows, cols], shape=truth.shape)
+        predicted = model.prediction_matrix
+        observed_error = np.abs(predicted[rows, cols] - truth[rows, cols]).mean()
+        baseline_error = np.abs(
+            truth[rows, cols].mean() - truth[rows, cols]
+        ).mean()
+        assert observed_error < baseline_error / 2.0
+
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            BayesianPMF().fit_ratings([0], [0, 1], [1.0], shape=(2, 2))
+
+    def test_validates_indices(self):
+        with pytest.raises(ValueError, match="exceed"):
+            BayesianPMF().fit_ratings([5], [0], [1.0], shape=(2, 2))
+
+    def test_requires_ratings(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BayesianPMF().fit_ratings([], [], [], shape=(2, 2))
+
+    def test_deterministic_given_seed(self, split):
+        a = BayesianPMF(n_factors=4, n_iter=10, seed=3).fit(split.train)
+        b = BayesianPMF(n_factors=4, n_iter=10, seed=3).fit(split.train)
+        assert np.allclose(a.prediction_matrix, b.prediction_matrix)
+
+
+class TestDegeneracyOnDenseBinary:
+    """The Figure 5/6 phenomenon: positives-only training degenerates."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, split):
+        return BayesianPMF(n_factors=8, n_iter=30, seed=0).fit(split.train)
+
+    def test_scores_concentrate_near_one(self, fitted):
+        scores = fitted.recommendation_scores()
+        # Paper Figure 5: virtually the whole boxplot sits in [0.9, 1.0].
+        assert np.median(scores) > 0.95
+        assert (scores >= 0.9).mean() > 0.9
+
+    def test_scores_clipped_to_unit_interval(self, fitted):
+        scores = fitted.recommendation_scores()
+        assert scores.min() >= 0.0
+        assert scores.max() <= 1.0
+
+    def test_low_thresholds_recommend_everything(self, fitted, split):
+        predictions = fitted.prediction_matrix
+        fraction_above = (predictions >= 0.9).mean()
+        assert fraction_above > 0.9
+
+    def test_observing_negatives_breaks_degeneracy(self, split):
+        model = BayesianPMF(
+            n_factors=8, n_iter=30, observe_negatives=True, seed=0
+        ).fit(split.train)
+        scores = model.recommendation_scores()
+        # With the zeros observed the score distribution spreads out.
+        assert np.median(scores) < 0.9
+        assert scores.std() > 0.15
+
+
+class TestAuxiliary:
+    def test_scores_for_company(self, split):
+        model = BayesianPMF(n_factors=4, n_iter=10, seed=0).fit(split.train)
+        row = split.train.binary_matrix()[0]
+        scores = model.scores_for_company(row)
+        assert scores.shape == (38,)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_scores_for_company_validates_length(self, split):
+        model = BayesianPMF(n_factors=4, n_iter=10, seed=0).fit(split.train)
+        with pytest.raises(ValueError):
+            model.scores_for_company(np.ones(10))
+
+    def test_scores_for_empty_company_is_mean_profile(self, split):
+        model = BayesianPMF(n_factors=4, n_iter=10, seed=0).fit(split.train)
+        assert np.allclose(
+            model.scores_for_company(np.zeros(38)),
+            model.prediction_matrix.mean(axis=0),
+        )
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises((ValueError, TypeError)):
+            BayesianPMF(n_factors=0)
+        with pytest.raises(ValueError):
+            BayesianPMF(rating_precision=-1.0)

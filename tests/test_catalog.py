@@ -1,0 +1,125 @@
+"""Tests for the product catalog hierarchy."""
+
+import pytest
+
+from repro.data.catalog import (
+    CATEGORY_PARENTS,
+    FULL_CATEGORY_UNIVERSE,
+    HARDWARE_CATEGORIES,
+    SOFTWARE_SERVICE_CATEGORIES,
+    Category,
+    ProductCatalog,
+    ProductType,
+    Vendor,
+    build_default_catalog,
+)
+
+
+class TestCategoryConstants:
+    def test_exactly_38_hardware_categories(self):
+        # The paper restricts its study to 38 hardware categories.
+        assert len(HARDWARE_CATEGORIES) == 38
+
+    def test_full_universe_has_91_categories(self):
+        # The paper's HG Data snapshot has 91 distinct categories.
+        assert len(FULL_CATEGORY_UNIVERSE) == 91
+
+    def test_no_duplicates(self):
+        assert len(set(HARDWARE_CATEGORIES)) == 38
+        assert len(set(FULL_CATEGORY_UNIVERSE)) == 91
+
+    def test_hardware_disjoint_from_software(self):
+        assert not set(HARDWARE_CATEGORIES) & set(SOFTWARE_SERVICE_CATEGORIES)
+
+    def test_every_hardware_category_has_parent(self):
+        for category in HARDWARE_CATEGORIES:
+            assert category in CATEGORY_PARENTS
+
+    def test_paper_figure_labels_present(self):
+        # Labels visible in Figures 8/9 of the paper.
+        for label in ("server_HW", "storage_HW", "DBMS", "OS", "printers",
+                      "virtualization_server", "platform_as_a_service"):
+            assert label in HARDWARE_CATEGORIES
+
+
+class TestDefaultCatalog:
+    def test_default_is_hardware_only(self):
+        catalog = build_default_catalog()
+        assert catalog.n_categories == 38
+        assert set(catalog.categories) == set(HARDWARE_CATEGORIES)
+
+    def test_full_universe_catalog(self):
+        catalog = build_default_catalog(full_universe=True)
+        assert catalog.n_categories == 91
+
+    def test_restriction_drops_to_38(self):
+        # The 91 -> 38 restriction step of Section 2.
+        full = build_default_catalog(full_universe=True)
+        restricted = full.restrict_to_hardware()
+        assert restricted.n_categories == 38
+        assert set(restricted.categories) == set(HARDWARE_CATEGORIES)
+
+    def test_category_indices_are_sorted_and_stable(self):
+        catalog = build_default_catalog()
+        names = catalog.categories
+        assert list(names) == sorted(names)
+        for i, name in enumerate(names):
+            assert catalog.category_index(name) == i
+
+    def test_unknown_category_raises(self):
+        catalog = build_default_catalog()
+        with pytest.raises(KeyError):
+            catalog.category_index("quantum_teleporters")
+
+    def test_category_record(self):
+        catalog = build_default_catalog()
+        record = catalog.category("server_HW")
+        assert record == Category(name="server_HW", parent="Hardware (Basic)")
+        assert record.is_hardware()
+
+    def test_each_category_has_two_product_types(self):
+        catalog = build_default_catalog()
+        for name in catalog.categories:
+            assert len(catalog.product_types(name)) == 2
+
+    def test_product_types_unknown_category_raises(self):
+        catalog = build_default_catalog()
+        with pytest.raises(KeyError):
+            catalog.product_types("nonexistent")
+
+    def test_vendor_lookup(self):
+        catalog = build_default_catalog()
+        vendor = catalog.vendor(catalog.vendors[0])
+        assert isinstance(vendor, Vendor)
+        assert vendor.categories()
+        assert vendor.category_parents()
+
+    def test_unknown_vendor_raises(self):
+        with pytest.raises(KeyError):
+            build_default_catalog().vendor("Acme Fake Vendor")
+
+    def test_contains(self):
+        catalog = build_default_catalog()
+        assert "OS" in catalog
+        assert "nonexistent" not in catalog
+
+
+class TestCatalogConstruction:
+    def test_requires_vendors(self):
+        with pytest.raises(ValueError, match="at least one vendor"):
+            ProductCatalog([])
+
+    def test_rejects_duplicate_vendor_names(self):
+        pt = ProductType(name="x", category="OS", vendor="V")
+        with pytest.raises(ValueError, match="duplicate vendor"):
+            ProductCatalog([Vendor("V", [pt]), Vendor("V", [pt])])
+
+    def test_requires_categories(self):
+        with pytest.raises(ValueError, match="at least one category"):
+            ProductCatalog([Vendor("V", [])])
+
+    def test_restriction_requires_surviving_vendor(self):
+        pt = ProductType(name="x", category="web_hosting", vendor="V")
+        catalog = ProductCatalog([Vendor("V", [pt])])
+        with pytest.raises(ValueError, match="removed every vendor"):
+            catalog.restrict_to_hardware()

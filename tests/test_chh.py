@@ -1,0 +1,120 @@
+"""Model-specific tests for Conditional Heavy Hitters."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.data.company import Company
+from repro.data.corpus import Corpus
+from repro.data.duns import DunsNumber
+from repro.models.chh import ConditionalHeavyHitters, StreamingCHH
+
+
+def _corpus_from_sequences(sequences, vocabulary):
+    companies = []
+    for i, seq in enumerate(sequences):
+        first_seen = {
+            vocabulary[token]: dt.date(2000, 1, 1) + dt.timedelta(days=30 * t)
+            for t, token in enumerate(seq)
+        }
+        companies.append(
+            Company(
+                duns=DunsNumber.from_sequence(i),
+                name=f"C{i}",
+                country="US",
+                sic2=80,
+                first_seen=first_seen,
+            )
+        )
+    return Corpus(companies, vocabulary)
+
+
+VOCAB = ("a", "b", "c", "d", "e")
+
+
+class TestExactCHH:
+    def test_heavy_context_predicts_successor(self):
+        corpus = _corpus_from_sequences([[0, 1, 2]] * 8, VOCAB)
+        model = ConditionalHeavyHitters(depth=2, min_context_count=5).fit(corpus)
+        proba = model.next_product_proba([0, 1])
+        assert proba.argmax() == 2
+        assert proba[2] > 0.9
+
+    def test_light_context_backs_off(self):
+        # Context (a, b) seen only twice -> below min_context_count; the
+        # depth-1 context (b,) is heavy and should be used instead.
+        sequences = [[0, 1, 2]] * 2 + [[3, 1, 4]] * 6
+        corpus = _corpus_from_sequences(sequences, VOCAB)
+        model = ConditionalHeavyHitters(depth=2, min_context_count=5).fit(corpus)
+        proba = model.next_product_proba([0, 1])
+        # Depth-1 context 'b' -> successor distribution dominated by 'e'.
+        assert proba.argmax() == 4
+
+    def test_unknown_context_falls_to_unigram(self):
+        corpus = _corpus_from_sequences([[0, 1]] * 6, VOCAB)
+        model = ConditionalHeavyHitters(depth=2, min_context_count=5).fit(corpus)
+        proba = model.next_product_proba([4, 3])
+        assert np.all(proba > 0.0)
+        assert proba.sum() == pytest.approx(1.0)
+
+    def test_heavy_hitters_listing(self):
+        corpus = _corpus_from_sequences([[0, 1, 2]] * 8, VOCAB)
+        model = ConditionalHeavyHitters(depth=2, min_context_count=5).fit(corpus)
+        triples = model.heavy_hitters(min_conditional=0.5)
+        pairs = {(context, item) for context, item, __ in triples}
+        assert ((0,), 1) in pairs
+        assert ((0, 1), 2) in pairs
+        confidences = [c for __, __, c in triples]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_invalid_parameters(self):
+        with pytest.raises((ValueError, TypeError)):
+            ConditionalHeavyHitters(depth=0)
+        with pytest.raises(ValueError):
+            ConditionalHeavyHitters(smoothing=0.0)
+
+    def test_matches_paper_depth_default(self):
+        # The paper chooses context depth 2 from its sequentiality tests.
+        assert ConditionalHeavyHitters().depth == 2
+
+
+class TestStreamingCHH:
+    def test_tracks_frequent_transitions(self):
+        stream = StreamingCHH(depth=1, context_capacity=16, successor_capacity=4)
+        for __ in range(50):
+            stream.update_sequence([0, 1, 2])
+        proba = stream.conditional((0,), vocab_size=5)
+        assert proba.argmax() == 1
+
+    def test_bounded_memory_under_many_contexts(self):
+        stream = StreamingCHH(depth=2, context_capacity=8, successor_capacity=4)
+        rng = np.random.default_rng(0)
+        for __ in range(200):
+            stream.update_sequence(list(rng.integers(0, 20, size=6)))
+        assert len(stream._successors) <= 8
+        assert stream.n_seen == 200 * 6
+
+    def test_unknown_context_uniform(self):
+        stream = StreamingCHH(depth=2)
+        stream.update_sequence([0, 1, 2])
+        proba = stream.conditional((9, 9), vocab_size=5)
+        assert np.allclose(proba, 0.2)
+
+    def test_agrees_with_exact_on_small_stream(self, split):
+        sequences = split.train.sequences()
+        exact = ConditionalHeavyHitters(depth=2, min_context_count=3).fit(split.train)
+        stream = StreamingCHH(depth=2, context_capacity=4096, successor_capacity=38)
+        for seq in sequences:
+            stream.update_sequence(seq)
+        # With ample capacity the streaming estimate matches exact counts on
+        # the heaviest contexts.
+        top = exact.heavy_hitters(min_conditional=0.3)[:10]
+        for context, item, conditional in top:
+            padded = tuple([-1] * (2 - len(context)) + list(context))
+            estimate = stream.conditional(padded, vocab_size=38)[item]
+            assert estimate == pytest.approx(conditional, abs=0.1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises((ValueError, TypeError)):
+            StreamingCHH(context_capacity=0)

@@ -1,0 +1,63 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--companies", "100", "--seed", "3", "table1"])
+        assert args.companies == 100
+        assert args.seed == 3
+        assert args.command == "table1"
+
+    def test_all_commands_parse(self):
+        for command in (
+            "table1", "lda-sweep", "lstm-grid", "recommend", "bpmf",
+            "silhouette", "tsne", "sequentiality", "cocluster", "sales-demo",
+            "ranking", "representations",
+        ):
+            args = build_parser().parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["make-coffee"])
+
+
+class TestExecution:
+    """Fast end-to-end runs on tiny corpora."""
+
+    def test_sequentiality_command(self, capsys):
+        assert main(["--companies", "120", "sequentiality"]) == 0
+        out = capsys.readouterr().out
+        assert "order" in out
+        assert "paper" in out
+
+    def test_sales_demo_command(self, capsys):
+        assert main(["--companies", "120", "sales-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "top similar companies" in out
+        assert "recommendations" in out
+
+    def test_cocluster_command(self, capsys):
+        assert main(["--companies", "120", "cocluster"]) == 0
+        out = capsys.readouterr().out
+        assert "purity" in out
+
+    def test_tsne_command(self, capsys):
+        assert main(["--companies", "120", "tsne"]) == 0
+        out = capsys.readouterr().out
+        assert "server_HW" in out
+        assert "distance ratio" in out
+
+    def test_ranking_command(self, capsys):
+        assert main(["--companies", "150", "ranking", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "P@3" in out
+        assert "LDA3" in out

@@ -1,0 +1,170 @@
+"""Tests for company entities and domestic aggregation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.data.company import Company, CompanySite, InstallRecord, aggregate_domestic
+from repro.data.duns import DunsNumber, DunsRegistry
+
+
+def _duns(i: int) -> DunsNumber:
+    return DunsNumber.from_sequence(i)
+
+
+def _record(duns, category, first, last=None, confidence="high"):
+    return InstallRecord(
+        duns=duns,
+        category=category,
+        first_seen=first,
+        last_seen=last if last is not None else first,
+        confidence=confidence,
+    )
+
+
+class TestInstallRecord:
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            _record(_duns(0), "OS", dt.date(2000, 1, 1), confidence="certain")
+
+    def test_rejects_last_before_first(self):
+        with pytest.raises(ValueError, match="precedes"):
+            _record(_duns(0), "OS", dt.date(2000, 1, 1), last=dt.date(1999, 1, 1))
+
+
+class TestCompany:
+    def _company(self):
+        return Company(
+            duns=_duns(0),
+            name="Acme",
+            country="US",
+            sic2=80,
+            first_seen={
+                "OS": dt.date(1995, 3, 1),
+                "DBMS": dt.date(1999, 6, 1),
+                "printers": dt.date(1995, 3, 1),
+                "retail": dt.date(2014, 2, 1),
+            },
+        )
+
+    def test_rejects_invalid_sic2(self):
+        with pytest.raises(ValueError, match="SIC2"):
+            Company(duns=_duns(0), name="X", country="US", sic2=3)
+
+    def test_rejects_zero_sites(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            Company(duns=_duns(0), name="X", country="US", sic2=80, n_sites=0)
+
+    def test_categories_set(self):
+        assert self._company().categories == {"OS", "DBMS", "printers", "retail"}
+
+    def test_sorted_categories_orders_by_date_then_name(self):
+        ordered = [c for c, __ in self._company().sorted_categories()]
+        # OS and printers tie on the date; alphabetical break puts OS first.
+        assert ordered == ["OS", "printers", "DBMS", "retail"]
+
+    def test_categories_before_cutoff(self):
+        before = self._company().categories_before(dt.date(2000, 1, 1))
+        assert [c for c, __ in before] == ["OS", "printers", "DBMS"]
+
+    def test_categories_within_window(self):
+        within = self._company().categories_within(dt.date(2014, 1, 1), dt.date(2015, 1, 1))
+        assert within == ["retail"]
+
+    def test_categories_within_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="empty window"):
+            self._company().categories_within(dt.date(2014, 1, 1), dt.date(2014, 1, 1))
+
+    def test_len(self):
+        assert len(self._company()) == 4
+
+
+class TestAggregateDomestic:
+    def _setup(self):
+        registry = DunsRegistry()
+        hq = _duns(0)
+        branch = _duns(1)
+        registry.register(hq, country="US")
+        registry.register(branch, country="US", parent=hq)
+        hq_site = CompanySite(
+            duns=hq,
+            name="Acme HQ",
+            country="US",
+            records=[
+                _record(hq, "OS", dt.date(1999, 1, 5)),
+                _record(branch := hq, "DBMS", dt.date(2005, 2, 1)),
+            ],
+        )
+        branch_site = CompanySite(
+            duns=_duns(1),
+            name="Acme Branch",
+            country="US",
+            records=[
+                # Earlier sighting of DBMS at the branch must win.
+                _record(_duns(1), "DBMS", dt.date(2003, 7, 1)),
+                _record(_duns(1), "retail", dt.date(2010, 1, 1), confidence="low"),
+            ],
+        )
+        return registry, hq_site, branch_site, hq
+
+    def test_merges_sites_with_earliest_first_seen(self):
+        registry, hq_site, branch_site, hq = self._setup()
+        companies = aggregate_domestic(
+            [hq_site, branch_site], registry, sic2_by_ultimate={hq.value: 80}
+        )
+        assert len(companies) == 1
+        company = companies[0]
+        assert company.n_sites == 2
+        assert company.first_seen["DBMS"] == dt.date(2003, 7, 1)
+        assert company.first_seen["OS"] == dt.date(1999, 1, 5)
+
+    def test_confidence_filter_drops_low_records(self):
+        registry, hq_site, branch_site, hq = self._setup()
+        companies = aggregate_domestic(
+            [hq_site, branch_site],
+            registry,
+            sic2_by_ultimate={hq.value: 80},
+            min_confidence="medium",
+        )
+        assert "retail" not in companies[0].categories
+
+    def test_invalid_min_confidence_rejected(self):
+        registry, hq_site, branch_site, hq = self._setup()
+        with pytest.raises(ValueError, match="min_confidence"):
+            aggregate_domestic(
+                [hq_site], registry, sic2_by_ultimate={hq.value: 80},
+                min_confidence="certain",
+            )
+
+    def test_missing_sic2_raises(self):
+        registry, hq_site, branch_site, __ = self._setup()
+        with pytest.raises(KeyError, match="SIC2"):
+            aggregate_domestic([hq_site, branch_site], registry, sic2_by_ultimate={})
+
+    def test_name_comes_from_ultimate_site(self):
+        registry, hq_site, branch_site, hq = self._setup()
+        companies = aggregate_domestic(
+            # Branch listed first: the HQ name must still win.
+            [branch_site, hq_site], registry, sic2_by_ultimate={hq.value: 80}
+        )
+        assert companies[0].name == "Acme HQ"
+
+    def test_foreign_site_becomes_separate_company(self):
+        registry = DunsRegistry()
+        hq = _duns(0)
+        foreign = _duns(1)
+        registry.register(hq, country="US")
+        registry.register(foreign, country="DE", parent=hq)
+        sites = [
+            CompanySite(duns=hq, name="Acme", country="US",
+                        records=[_record(hq, "OS", dt.date(2000, 1, 1))]),
+            CompanySite(duns=foreign, name="Acme GmbH", country="DE",
+                        records=[_record(foreign, "DBMS", dt.date(2001, 1, 1))]),
+        ]
+        companies = aggregate_domestic(
+            sites, registry,
+            sic2_by_ultimate={hq.value: 80, foreign.value: 80},
+        )
+        assert len(companies) == 2
+        countries = {c.country for c in companies}
+        assert countries == {"US", "DE"}

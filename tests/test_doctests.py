@@ -1,0 +1,11 @@
+"""Run the doctests embedded in docstrings."""
+
+import doctest
+
+import repro.data.synthetic
+
+
+def test_synthetic_doctests():
+    results = doctest.testmod(repro.data.synthetic, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1

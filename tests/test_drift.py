@@ -1,0 +1,110 @@
+"""Tests for the concept-shift monitor."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.app.drift import DriftMonitor, DriftReport, jensen_shannon_divergence
+from repro.data.corpus import Corpus
+from repro.data.synthetic import InstallBaseSimulator, SimulatorConfig
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.unigram import UnigramModel
+
+
+class TestJensenShannon:
+    def test_identical_distributions_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_distributions_ln2(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert jensen_shannon_divergence(p, q) == pytest.approx(np.log(2.0))
+
+    def test_symmetric(self, rng):
+        p = rng.random(10)
+        q = rng.random(10)
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p)
+        )
+
+    def test_unnormalised_inputs_accepted(self):
+        p = np.array([2.0, 3.0, 5.0])
+        q = np.array([20.0, 30.0, 50.0])
+        assert jensen_shannon_divergence(p, q) == pytest.approx(0.0, abs=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            jensen_shannon_divergence(np.ones(3), np.ones(4))
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            jensen_shannon_divergence(np.zeros(3), np.ones(3))
+
+
+class TestDriftMonitor:
+    @pytest.fixture(scope="class")
+    def monitor_setup(self, split):
+        model = LatentDirichletAllocation(
+            n_topics=3, inference="variational", n_iter=60, seed=0
+        ).fit(split.train)
+        monitor = DriftMonitor(model, split.validation)
+        return model, monitor
+
+    def test_same_distribution_no_drift(self, monitor_setup, split):
+        __, monitor = monitor_setup
+        report = monitor.check(split.test, checked_at=dt.date(2016, 2, 1))
+        assert isinstance(report, DriftReport)
+        assert not report.drifted
+        assert report.perplexity_ratio < 1.25
+        assert report.checked_at == dt.date(2016, 2, 1)
+
+    def test_shifted_universe_flags_drift(self, monitor_setup, corpus):
+        __, monitor = monitor_setup
+        # A universe with very different profile structure and popularity.
+        shifted_config = SimulatorConfig(
+            n_companies=150, n_profiles=5, shared_head=6, core_size=10.0,
+            mixture_concentration=0.5,
+        )
+        shifted = InstallBaseSimulator(shifted_config).generate_companies(seed=99)
+        batch = Corpus(shifted, corpus.vocabulary)
+        report = monitor.check(batch)
+        assert report.drifted
+        assert any("drift detected" in note for note in report.reasons())
+
+    def test_history_accumulates(self, split):
+        model = UnigramModel().fit(split.train)
+        monitor = DriftMonitor(model, split.validation)
+        monitor.check(split.test)
+        monitor.check(split.test)
+        assert len(monitor.history) == 2
+
+    def test_should_retrain_requires_consecutive_flags(self, split, corpus):
+        model = UnigramModel().fit(split.train)
+        monitor = DriftMonitor(model, split.validation)
+        shifted = InstallBaseSimulator(
+            SimulatorConfig(n_companies=120, n_profiles=5, shared_head=6,
+                            mixture_concentration=0.5)
+        ).generate_companies(seed=98)
+        batch = Corpus(shifted, corpus.vocabulary)
+        monitor.check(split.test)  # clean
+        monitor.check(batch)  # drifted
+        assert not monitor.should_retrain(consecutive=2)
+        monitor.check(batch)  # drifted again
+        assert monitor.should_retrain(consecutive=2)
+
+    def test_unfitted_model_rejected(self, split):
+        with pytest.raises(ValueError, match="fitted"):
+            DriftMonitor(UnigramModel(), split.validation)
+
+    def test_vocabulary_mismatch_rejected(self, monitor_setup, split):
+        __, monitor = monitor_setup
+        narrow = split.test.restrict_vocabulary(split.test.vocabulary[:10])
+        with pytest.raises(ValueError, match="vocabulary"):
+            monitor.check(narrow)
+
+    def test_invalid_tolerance(self, monitor_setup, split):
+        model, __ = monitor_setup
+        with pytest.raises(ValueError):
+            DriftMonitor(model, split.validation, perplexity_tolerance=0.5)

@@ -1,0 +1,102 @@
+"""Tests for the skip-gram product embeddings."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.data.company import Company
+from repro.data.corpus import Corpus
+from repro.data.duns import DunsNumber
+from repro.models.embeddings import ProductSkipGram
+
+
+def _corpus_from_sets(product_sets, vocabulary):
+    companies = []
+    for i, products in enumerate(product_sets):
+        first_seen = {
+            vocabulary[token]: dt.date(2000 + t, 1, 1)
+            for t, token in enumerate(products)
+        }
+        companies.append(
+            Company(
+                duns=DunsNumber.from_sequence(i),
+                name=f"C{i}",
+                country="US",
+                sic2=80,
+                first_seen=first_seen,
+            )
+        )
+    return Corpus(companies, vocabulary)
+
+
+VOCAB = ("a", "b", "c", "d", "e", "f")
+
+
+class TestTraining:
+    def test_cooccurring_products_are_similar(self):
+        # {a, b} always together, {c, d} always together, never mixed.
+        sets = [[0, 1]] * 20 + [[2, 3]] * 20
+        corpus = _corpus_from_sets(sets, VOCAB)
+        model = ProductSkipGram(dim=8, n_epochs=12, seed=0).fit(corpus)
+        assert model.similarity(0, 1) > model.similarity(0, 2)
+        assert model.similarity(2, 3) > model.similarity(2, 1)
+
+    def test_most_similar_ranks_partner_first(self):
+        sets = [[0, 1]] * 25 + [[2, 3]] * 25 + [[4, 5]] * 25
+        corpus = _corpus_from_sets(sets, VOCAB)
+        model = ProductSkipGram(dim=8, n_epochs=12, seed=0).fit(corpus)
+        assert model.most_similar(0, topn=1)[0][0] == 1
+        assert model.most_similar(2, topn=1)[0][0] == 3
+
+    def test_deterministic_given_seed(self, split):
+        a = ProductSkipGram(dim=4, n_epochs=2, seed=3).fit(split.train)
+        b = ProductSkipGram(dim=4, n_epochs=2, seed=3).fit(split.train)
+        assert np.allclose(a.product_embeddings, b.product_embeddings)
+
+    def test_windowed_mode(self, split):
+        model = ProductSkipGram(dim=4, window=2, n_epochs=2, seed=0).fit(split.train)
+        assert model.product_embeddings.shape == (38, 4)
+
+    def test_requires_cooccurrence(self):
+        corpus = _corpus_from_sets([[0]], VOCAB)
+        with pytest.raises(ValueError, match="pairs"):
+            ProductSkipGram(dim=4, n_epochs=1).fit(corpus)
+
+    def test_invalid_args(self):
+        with pytest.raises((ValueError, TypeError)):
+            ProductSkipGram(dim=0)
+        with pytest.raises(ValueError):
+            ProductSkipGram(window=-1)
+
+
+class TestRepresentations:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            __ = ProductSkipGram().product_embeddings
+
+    def test_similarity_bounds(self, split):
+        model = ProductSkipGram(dim=8, n_epochs=3, seed=0).fit(split.train)
+        for a, b in [(0, 1), (5, 20), (37, 0)]:
+            assert -1.0 - 1e-9 <= model.similarity(a, b) <= 1.0 + 1e-9
+
+    def test_similarity_out_of_range(self, split):
+        model = ProductSkipGram(dim=4, n_epochs=1, seed=0).fit(split.train)
+        with pytest.raises(IndexError):
+            model.similarity(0, 99)
+
+    def test_company_embeddings_are_means(self, split):
+        model = ProductSkipGram(dim=4, n_epochs=1, seed=0).fit(split.train)
+        features = model.company_embeddings(split.test)
+        assert features.shape == (split.test.n_companies, 4)
+        binary = split.test.binary_matrix()
+        row = 0
+        owned = np.flatnonzero(binary[row])
+        expected = model.product_embeddings[owned].mean(axis=0)
+        assert np.allclose(features[row], expected)
+
+    def test_company_embeddings_vocab_mismatch(self, split):
+        model = ProductSkipGram(dim=4, n_epochs=1, seed=0).fit(split.train)
+        corpus = _corpus_from_sets([[0, 1]], VOCAB)
+        with pytest.raises(ValueError):
+            model.company_embeddings(corpus)

@@ -1,0 +1,160 @@
+"""Smoke tests for the experiment drivers on tiny corpora.
+
+The benchmark suite runs the drivers at full scale with shape assertions;
+these tests check the drivers' structure and error handling quickly so a
+plain ``pytest tests/`` still covers the experiments package.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SimulatorConfig
+from repro.experiments import (
+    make_experiment_data,
+    run_bpmf_analysis,
+    run_cocluster_baseline,
+    run_gru_ablation,
+    run_lda_inference_ablation,
+    run_lda_sweep,
+    run_lstm_grid,
+    run_perplexity_table,
+    run_recommendation_accuracy,
+    run_representation_families,
+    run_sequentiality,
+    run_silhouette_curves,
+    run_streaming_chh_accuracy,
+    run_tsne_projection,
+)
+from repro.experiments.fig1_lstm_grid import best_point
+from repro.experiments.fig2_lda_sweep import best_binary_band
+from repro.experiments.table1 import PAPER_TABLE1, format_table
+from repro.recommend.windows import SlidingWindowSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    return make_experiment_data(200, seed=7)
+
+
+class TestCommon:
+    def test_make_experiment_data_shapes(self, tiny_data):
+        assert tiny_data.corpus.n_companies == 200
+        assert tiny_data.corpus.n_products == 38
+        assert tiny_data.split.train.n_companies == 140
+
+    def test_config_disagreement_rejected(self):
+        with pytest.raises(ValueError, match="n_companies"):
+            make_experiment_data(100, config=SimulatorConfig(n_companies=200))
+
+    def test_custom_config_accepted(self):
+        data = make_experiment_data(
+            120, config=SimulatorConfig(n_companies=120, n_profiles=2)
+        )
+        assert data.universe.config.n_profiles == 2
+
+
+class TestTable1Driver:
+    def test_returns_all_methods(self, tiny_data):
+        results = run_perplexity_table(
+            tiny_data, lstm_epochs=2, lda_iter=20, lstm_hidden=16
+        )
+        assert set(results) == set(PAPER_TABLE1)
+        assert all(np.isfinite(v) for v in results.values())
+
+    def test_format_table_renders(self, tiny_data):
+        results = {"lda": 10.0, "lstm": 12.0, "ngram": 14.0, "unigram": 19.0}
+        text = format_table(results)
+        assert "lda" in text and "paper" in text
+        assert text.splitlines()[1].strip().startswith("1")
+
+
+class TestGridDrivers:
+    def test_lstm_grid_rows(self, tiny_data):
+        rows = run_lstm_grid(
+            tiny_data, layer_grid=(1,), node_grid=(8, 16), n_epochs=2
+        )
+        assert len(rows) == 2
+        assert best_point(rows)["nodes"] in (8.0, 16.0)
+
+    def test_best_point_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_point([])
+
+    def test_lda_sweep_rows(self, tiny_data):
+        rows = run_lda_sweep(
+            tiny_data, topic_grid=(2, 3), inputs=("binary",), n_iter=15
+        )
+        assert len(rows) == 2
+        perplexity, topics = best_binary_band(rows)
+        assert topics in (2.0, 3.0)
+        assert perplexity > 1.0
+
+    def test_best_binary_band_requires_binary_rows(self):
+        with pytest.raises(ValueError):
+            best_binary_band([{"input": "tfidf", "n_topics": 2.0, "test_perplexity": 9.0}])
+
+
+class TestRecommendationDriver:
+    def test_curves_structure(self, tiny_data):
+        curves = run_recommendation_accuracy(
+            tiny_data,
+            thresholds=[0.05, 0.1],
+            spec=SlidingWindowSpec(n_windows=2),
+            lstm_hidden=16,
+            lstm_epochs=2,
+        )
+        assert set(curves) == {"LDA3", "LSTM", "CHH", "random"}
+        for curve in curves.values():
+            assert len(curve.observations[0.05]) == 2
+
+
+class TestAnalysisDrivers:
+    def test_bpmf_analysis_keys(self, tiny_data):
+        result = run_bpmf_analysis(tiny_data, n_iter=10, thresholds=(0.9, 0.95))
+        assert set(result) == {"score_quantiles", "threshold_rows"}
+        assert len(result["threshold_rows"]) == 2
+
+    def test_silhouette_rows(self, tiny_data):
+        rows = run_silhouette_curves(tiny_data, cluster_grid=(5,), sample_size=None)
+        names = {row["representation"] for row in rows}
+        assert names == {
+            "raw", "raw_tfidf", "lda_2", "lda_3", "lda_4", "lda_7",
+            "tfidf_lda_2", "tfidf_lda_4",
+        }
+
+    def test_tsne_projection_keys(self, tiny_data):
+        result = run_tsne_projection(tiny_data, n_iter=60)
+        assert len(result["coordinates"]) == 38
+        assert np.isfinite(result["profile_core_ratio"])
+
+    def test_sequentiality_reports(self, tiny_data):
+        reports = run_sequentiality(tiny_data)
+        assert set(reports) == {2, 3}
+
+    def test_cocluster_keys(self, tiny_data):
+        result = run_cocluster_baseline(tiny_data)
+        assert {"summaries", "profile_purity", "lda_feature_purity"} <= set(result)
+
+
+class TestAblationDrivers:
+    def test_gru_ablation(self, tiny_data):
+        results = run_gru_ablation(tiny_data, hidden=16, n_epochs=2)
+        assert set(results) == {"lstm", "gru"}
+
+    def test_lda_inference_ablation(self, tiny_data):
+        results = run_lda_inference_ablation(tiny_data, n_iter=20)
+        assert set(results) == {"gibbs", "variational"}
+
+
+class TestExtensionDrivers:
+    def test_representation_families(self, tiny_data):
+        results = run_representation_families(tiny_data, n_clusters=5)
+        assert set(results) == {"raw", "tfidf", "lda", "lsi", "fisher"}
+        for metrics in results.values():
+            assert -1.0 <= metrics["silhouette"] <= 1.0
+            assert 0.0 <= metrics["profile_purity"] <= 1.0
+
+    def test_streaming_chh_rows(self, tiny_data):
+        rows = run_streaming_chh_accuracy(tiny_data, capacities=(8, 512))
+        assert len(rows) == 2
+        assert rows[-1]["mean_abs_error"] <= rows[0]["mean_abs_error"] + 1e-12

@@ -1,0 +1,138 @@
+"""Failure-injection tests: corrupt inputs and degenerate corpora.
+
+Production feeds are messy; the library must fail loudly on corruption and
+behave sensibly on degenerate-but-legal data.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.data.company import Company
+from repro.data.corpus import Corpus
+from repro.data.duns import DunsNumber
+from repro.models.base import NotFittedError
+from repro.models.chh import ConditionalHeavyHitters
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.lstm import LSTMModel
+from repro.models.ngram import NGramModel
+from repro.models.unigram import UnigramModel
+from repro.recommend.evaluation import RecommendationEvaluator
+from repro.recommend.windows import SlidingWindowSpec
+
+VOCAB = ("a", "b", "c", "d")
+
+
+def _company(i, tokens, year=2000):
+    return Company(
+        duns=DunsNumber.from_sequence(i),
+        name=f"C{i}",
+        country="US",
+        sic2=80,
+        first_seen={VOCAB[t]: dt.date(year, 1 + t, 1) for t in tokens},
+    )
+
+
+class TestCorruptModelFiles:
+    def test_truncated_file_rejected(self, split, tmp_path):
+        model = UnigramModel().fit(split.train)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            UnigramModel.load(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"definitely not a numpy archive")
+        with pytest.raises(Exception):
+            UnigramModel.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            UnigramModel.load(tmp_path / "nope.npz")
+
+
+class TestDegenerateCorpora:
+    def test_identical_companies(self):
+        corpus = Corpus([_company(i, [0, 1]) for i in range(12)], VOCAB)
+        lda = LatentDirichletAllocation(
+            n_topics=2, inference="variational", n_iter=15, seed=0
+        ).fit(corpus)
+        assert np.isfinite(lda.perplexity(corpus))
+        # The predictive mass must concentrate on the two owned products.
+        proba = lda.next_product_proba([0])
+        assert proba[0] + proba[1] > 0.9
+
+    def test_single_product_companies(self):
+        corpus = Corpus([_company(i, [i % 4]) for i in range(8)], VOCAB)
+        for model in (
+            UnigramModel(),
+            NGramModel(order=2),
+            ConditionalHeavyHitters(depth=2),
+        ):
+            model.fit(corpus)
+            assert np.isfinite(model.perplexity(corpus))
+
+    def test_single_company_corpus(self):
+        corpus = Corpus([_company(0, [0, 1, 2])], VOCAB)
+        model = NGramModel(order=2).fit(corpus)
+        assert np.isfinite(model.log_prob(corpus))
+
+    def test_lstm_on_tiny_corpus(self):
+        corpus = Corpus([_company(i, [0, 1, 2]) for i in range(6)], VOCAB)
+        model = LSTMModel(
+            hidden=4, n_epochs=1, batch_size=2, num_steps=3, seed=0
+        ).fit(corpus)
+        assert np.isfinite(model.perplexity(corpus))
+
+    def test_lstm_rejects_stream_shorter_than_batch(self):
+        corpus = Corpus([_company(0, [0])], VOCAB)
+        with pytest.raises(ValueError, match="too short"):
+            LSTMModel(hidden=4, n_epochs=1, batch_size=64, seed=0).fit(corpus)
+
+
+class TestEvaluatorEdgeCases:
+    def test_no_history_before_windows(self):
+        # Every product appears after the only window's start: the harness
+        # must fail loudly instead of returning silently empty curves.
+        corpus = Corpus([_company(i, [0, 1], year=2015) for i in range(5)], VOCAB)
+        evaluator = RecommendationEvaluator(
+            corpus,
+            spec=SlidingWindowSpec(n_windows=1),
+            thresholds=[0.1],
+            retrain_per_window=False,
+        )
+        with pytest.raises(ValueError, match="no sliding window"):
+            evaluator.evaluate({"u": lambda: UnigramModel()})
+
+    def test_no_ground_truth_is_fine(self):
+        # History exists but nothing new appears inside the window: recall
+        # is zero-relevant, precision NaN-safe.
+        corpus = Corpus([_company(i, [0, 1], year=1999) for i in range(5)], VOCAB)
+        evaluator = RecommendationEvaluator(
+            corpus,
+            spec=SlidingWindowSpec(n_windows=1),
+            thresholds=[0.0],
+            retrain_per_window=False,
+        )
+        curves = evaluator.evaluate({"u": lambda: UnigramModel()})
+        assert curves["u"].recall(0.0)[0] == 0.0
+
+
+class TestNotFittedEverywhere:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: UnigramModel(),
+            lambda: NGramModel(order=2),
+            lambda: ConditionalHeavyHitters(),
+            lambda: LSTMModel(hidden=4),
+            lambda: LatentDirichletAllocation(n_topics=2),
+        ],
+    )
+    def test_perplexity_requires_fit(self, factory, corpus):
+        with pytest.raises(NotFittedError):
+            factory().perplexity(corpus)

@@ -1,0 +1,111 @@
+"""Tests for the product-type granularity mode and roll-up."""
+
+import pytest
+
+from repro.data.catalog import build_default_catalog
+from repro.data.corpus import Corpus
+from repro.data.synthetic import InstallBaseSimulator, SimulatorConfig
+from repro.experiments.future_work import (
+    rollup_types_to_categories,
+    run_type_granularity_study,
+)
+
+
+@pytest.fixture(scope="module")
+def type_universe():
+    catalog = build_default_catalog()
+    config = SimulatorConfig(n_companies=120, granularity="product_type")
+    simulator = InstallBaseSimulator(config, catalog=catalog)
+    return catalog, simulator.generate(seed=13)
+
+
+class TestCatalogLeafHelpers:
+    def test_product_type_names_count(self):
+        catalog = build_default_catalog()
+        names = catalog.product_type_names()
+        assert len(names) == 76  # two types per category
+        assert len(set(names)) == 76
+
+    def test_category_of_type(self):
+        catalog = build_default_catalog()
+        name = catalog.product_type_names()[0]
+        category = catalog.category_of_type(name)
+        assert category in catalog.categories
+        assert name.startswith(category)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            build_default_catalog().category_of_type("warp_drive_type_9")
+
+
+class TestTypeGranularity:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="granularity"):
+            SimulatorConfig(granularity="vendor")
+        with pytest.raises(ValueError):
+            SimulatorConfig(second_type_rate=1.5)
+
+    def test_companies_own_product_types(self, type_universe):
+        catalog, universe = type_universe
+        valid_types = set(catalog.product_type_names())
+        for company in universe.companies:
+            assert company.categories <= valid_types
+
+    def test_type_corpus_builds(self, type_universe):
+        catalog, universe = type_universe
+        corpus = Corpus(universe.companies, catalog.product_type_names())
+        assert corpus.n_products == 76
+        assert corpus.total_products() > 0
+
+    def test_second_types_appear(self, type_universe):
+        catalog, universe = type_universe
+        owned_types = {t for c in universe.companies for t in c.categories}
+        second_types = {t for t in owned_types if t.endswith("_type_2")}
+        assert second_types  # second_type_rate 0.4 must produce some
+
+    def test_second_type_never_earlier_than_first(self, type_universe):
+        catalog, universe = type_universe
+        for company in universe.companies:
+            for type_name, date in company.first_seen.items():
+                if type_name.endswith("_type_2"):
+                    first = type_name.replace("_type_2", "_type_1")
+                    if first in company.first_seen:
+                        assert company.first_seen[first] <= date
+
+
+class TestRollup:
+    def test_rollup_produces_category_corpus(self, type_universe):
+        catalog, universe = type_universe
+        corpus = Corpus(universe.companies, catalog.product_type_names())
+        rolled = rollup_types_to_categories(corpus, catalog)
+        assert rolled.n_products == 38
+        assert rolled.n_companies == corpus.n_companies
+
+    def test_rollup_takes_earliest_date(self, type_universe):
+        catalog, universe = type_universe
+        corpus = Corpus(universe.companies, catalog.product_type_names())
+        rolled = rollup_types_to_categories(corpus, catalog)
+        by_duns = {c.duns.value: c for c in corpus.companies}
+        for company in rolled.companies:
+            original = by_duns[company.duns.value]
+            for category, date in company.first_seen.items():
+                member_dates = [
+                    d
+                    for t, d in original.first_seen.items()
+                    if catalog.category_of_type(t) == category
+                ]
+                assert date == min(member_dates)
+
+    def test_rollup_rejects_category_corpus(self, corpus):
+        catalog = build_default_catalog()
+        with pytest.raises(ValueError, match="not product types"):
+            rollup_types_to_categories(corpus, catalog)
+
+
+class TestStudyDriver:
+    def test_study_keys_and_bounds(self):
+        results = run_type_granularity_study(n_companies=150, n_iter=20)
+        assert set(results) == {"product_type", "category"}
+        for metrics in results.values():
+            assert metrics["test_perplexity"] > 1.0
+            assert 0.0 <= metrics["profile_purity"] <= 1.0

@@ -1,0 +1,180 @@
+"""Tests for the extension representations: GMM, Fisher vectors, LSI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gmm import DiagonalGMM
+from repro.models.fisher import FisherVectorEncoder
+from repro.models.lsi import LatentSemanticIndexing
+
+
+class TestDiagonalGMM:
+    def _blobs(self, rng):
+        a = rng.normal((0, 0), 0.3, size=(60, 2))
+        b = rng.normal((5, 5), 0.5, size=(60, 2))
+        return np.vstack([a, b])
+
+    def test_recovers_two_blobs(self, rng):
+        data = self._blobs(rng)
+        gmm = DiagonalGMM(2, seed=0).fit(data)
+        means = gmm.means_[np.argsort(gmm.means_[:, 0])]
+        assert np.allclose(means[0], [0, 0], atol=0.3)
+        assert np.allclose(means[1], [5, 5], atol=0.3)
+        assert np.allclose(gmm.weights_, [0.5, 0.5], atol=0.1)
+
+    def test_responsibilities_are_distributions(self, rng):
+        data = self._blobs(rng)
+        gmm = DiagonalGMM(3, seed=0).fit(data)
+        resp = gmm.predict_proba(data)
+        assert resp.shape == (120, 3)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+        assert np.all(resp >= 0.0)
+
+    def test_score_improves_with_right_k(self, rng):
+        data = self._blobs(rng)
+        one = DiagonalGMM(1, seed=0).fit(data).score(data)
+        two = DiagonalGMM(2, seed=0).fit(data).score(data)
+        assert two > one + 0.5
+
+    def test_em_increases_likelihood(self, rng):
+        data = self._blobs(rng)
+        short = DiagonalGMM(2, n_iter=1, seed=0).fit(data).score(data)
+        long = DiagonalGMM(2, n_iter=50, seed=0).fit(data).score(data)
+        assert long >= short - 1e-6
+
+    def test_sampling_matches_moments(self, rng):
+        data = self._blobs(rng)
+        gmm = DiagonalGMM(2, seed=0).fit(data)
+        samples = gmm.sample(4000, seed=1)
+        assert np.allclose(samples.mean(axis=0), data.mean(axis=0), atol=0.3)
+
+    def test_variance_floor_prevents_collapse(self):
+        # Identical points would otherwise drive variances to zero.
+        data = np.ones((30, 3))
+        gmm = DiagonalGMM(2, seed=0).fit(data)
+        assert np.all(gmm.variances_ >= gmm.covariance_floor)
+        assert np.isfinite(gmm.score(data))
+
+    def test_requires_enough_points(self, rng):
+        with pytest.raises(ValueError):
+            DiagonalGMM(10, seed=0).fit(rng.normal(size=(4, 2)))
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            DiagonalGMM(2).predict_proba(rng.normal(size=(3, 2)))
+
+
+class TestFisherVectorEncoder:
+    @pytest.fixture(scope="class")
+    def encoder(self, corpus):
+        return FisherVectorEncoder(
+            n_components=3, embedding_dim=8, n_epochs=4, seed=0
+        ).fit(corpus)
+
+    def test_feature_shape(self, encoder, corpus):
+        features = encoder.company_features(corpus)
+        assert features.shape == (corpus.n_companies, 2 * 3 * 8)
+
+    def test_improved_vectors_unit_norm(self, encoder, corpus):
+        features = encoder.company_features(corpus)
+        norms = np.linalg.norm(features, axis=1)
+        nonzero = norms > 0
+        assert nonzero.any()
+        assert np.allclose(norms[nonzero], 1.0)
+
+    def test_features_separate_profiles(self, encoder, corpus, universe):
+        # Same-profile companies should be closer in Fisher space than
+        # different-profile companies.
+        labels = universe.ground_truth.company_mixture.argmax(axis=1)
+        features = encoder.company_features(corpus)
+        rng = np.random.default_rng(0)
+        same, diff = [], []
+        for __ in range(300):
+            i, j = rng.integers(len(features), size=2)
+            if i == j:
+                continue
+            distance = float(np.linalg.norm(features[i] - features[j]))
+            (same if labels[i] == labels[j] else diff).append(distance)
+        assert np.mean(same) < np.mean(diff)
+
+    def test_unfitted_raises(self, corpus):
+        with pytest.raises(RuntimeError):
+            FisherVectorEncoder().company_features(corpus)
+
+    def test_vocabulary_mismatch_rejected(self, encoder, split):
+        from repro.data.corpus import Corpus
+
+        narrow_vocab = tuple(split.test.vocabulary[:20])
+        companies = [
+            c for c in split.test.companies
+            if c.categories <= set(narrow_vocab)
+        ]
+        if not companies:
+            pytest.skip("no company fits the narrow vocabulary")
+        mini = Corpus(companies, narrow_vocab)
+        with pytest.raises(ValueError):
+            encoder.company_features(mini)
+
+
+class TestLatentSemanticIndexing:
+    def test_features_shape(self, corpus):
+        lsi = LatentSemanticIndexing(3).fit(corpus)
+        features = lsi.company_features(corpus)
+        assert features.shape == (corpus.n_companies, 3)
+
+    def test_components_orthonormal(self, corpus):
+        lsi = LatentSemanticIndexing(4).fit(corpus)
+        gram = lsi.components @ lsi.components.T
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_singular_values_sorted(self, corpus):
+        lsi = LatentSemanticIndexing(5).fit(corpus)
+        values = lsi.singular_values
+        assert np.all(values[:-1] >= values[1:])
+        assert np.all(values > 0)
+
+    def test_explained_variance_sums_to_one(self, corpus):
+        lsi = LatentSemanticIndexing(5).fit(corpus)
+        assert lsi.explained_variance_ratio.sum() == pytest.approx(1.0)
+
+    def test_binary_input_mode(self, corpus):
+        lsi = LatentSemanticIndexing(3, input_type="binary").fit(corpus)
+        features = lsi.company_features(corpus)
+        assert np.all(np.isfinite(features))
+
+    def test_reconstruction_improves_with_rank(self, corpus):
+        matrix = corpus.binary_matrix()
+        errors = []
+        for k in (1, 4, 12):
+            lsi = LatentSemanticIndexing(k, input_type="binary").fit(corpus)
+            projected = lsi.company_features(corpus) @ lsi.components
+            errors.append(float(((matrix - projected) ** 2).sum()))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_product_embeddings_shape(self, corpus):
+        lsi = LatentSemanticIndexing(3).fit(corpus)
+        assert lsi.product_embeddings().shape == (38, 3)
+
+    def test_too_many_components_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            LatentSemanticIndexing(50).fit(corpus)
+
+    def test_unfitted_raises(self, corpus):
+        with pytest.raises(RuntimeError):
+            LatentSemanticIndexing(3).company_features(corpus)
+
+    def test_lda_features_beat_lsi_for_clustering(self, corpus, fitted_lda):
+        # The paper prefers LDA over LSI-family models; on profile-generated
+        # data LDA's simplex features separate companies at least as well.
+        from repro.analysis.kmeans import KMeans
+        from repro.analysis.silhouette import silhouette_score
+
+        lsi = LatentSemanticIndexing(3).fit(corpus)
+        scores = {}
+        for name, features in (
+            ("lda", fitted_lda.company_features(corpus)),
+            ("lsi", lsi.company_features(corpus)),
+        ):
+            labels = KMeans(8, seed=0).fit_predict(features)
+            scores[name] = silhouette_score(features, labels, seed=0)
+        assert scores["lda"] >= scores["lsi"] - 0.05

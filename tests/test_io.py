@@ -1,0 +1,110 @@
+"""Tests for the CSV interchange format."""
+
+import datetime as dt
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.data.io import load_companies_csv, read_records_csv, write_records_csv
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def csv_path(self, universe, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "records.csv"
+        n_rows = write_records_csv(universe, path)
+        assert n_rows > 0
+        return path
+
+    def test_companies_round_trip_exactly(self, csv_path, universe):
+        loaded = load_companies_csv(csv_path)
+        original = {c.duns.value: c for c in universe.companies}
+        loaded_map = {c.duns.value: c for c in loaded}
+        assert set(loaded_map) == set(original)
+        for duns, company in original.items():
+            assert loaded_map[duns].first_seen == company.first_seen
+            assert loaded_map[duns].sic2 == company.sic2
+            assert loaded_map[duns].country == company.country
+            assert loaded_map[duns].n_sites == company.n_sites
+
+    def test_corpus_from_csv_matches_simulated(self, csv_path, universe, corpus):
+        loaded = load_companies_csv(csv_path)
+        loaded_corpus = Corpus(loaded, corpus.vocabulary)
+        assert (loaded_corpus.binary_matrix() == corpus.binary_matrix()).all()
+        assert loaded_corpus.sequences() == corpus.sequences()
+
+    def test_registry_round_trips(self, csv_path, universe):
+        sites, registry, sic2 = read_records_csv(csv_path)
+        assert len(registry) == len(universe.registry)
+        assert sic2 == universe.sic2_by_ultimate
+
+    def test_min_confidence_filter(self, csv_path):
+        permissive = load_companies_csv(csv_path, min_confidence="low")
+        strict = load_companies_csv(csv_path, min_confidence="high")
+        total = lambda cs: sum(len(c) for c in cs)
+        assert total(strict) < total(permissive)
+
+
+class TestMalformedInput:
+    HEADER = (
+        "duns,parent_duns,company_name,country,sic2,category,"
+        "first_seen,last_seen,confidence\n"
+    )
+
+    def _write(self, tmp_path, body):
+        path = tmp_path / "bad.csv"
+        path.write_text(self.HEADER + body)
+        return path
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("duns,category\n000000000,OS\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            read_records_csv(path)
+
+    def test_invalid_duns_rejected_with_line_number(self, tmp_path):
+        path = self._write(tmp_path, "123,,X,US,80,OS,2000-01-01,2000-01-01,high\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_records_csv(path)
+
+    def test_bad_date_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path, "000000000,,X,US,80,OS,01/02/2000,2000-01-01,high\n"
+        )
+        with pytest.raises(ValueError, match="ISO"):
+            read_records_csv(path)
+
+    def test_bad_sic2_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path, "000000000,,X,US,eighty,OS,2000-01-01,2000-01-01,high\n"
+        )
+        with pytest.raises(ValueError, match="sic2"):
+            read_records_csv(path)
+
+    def test_bad_confidence_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path, "000000000,,X,US,80,OS,2000-01-01,2000-01-01,certain\n"
+        )
+        with pytest.raises(ValueError, match="confidence"):
+            read_records_csv(path)
+
+    def test_dangling_parent_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "000000018,000000026,X,US,80,OS,2000-01-01,2000-01-01,high\n",
+        )
+        with pytest.raises(ValueError, match="unresolvable"):
+            read_records_csv(path)
+
+    def test_hand_written_feed_loads(self, tmp_path):
+        body = (
+            "000000000,,Acme Corp,US,80,server_HW,2004-06-15,2015-11-02,high\n"
+            "000000018,000000000,Acme Site,US,,DBMS,2006-01-20,2014-03-11,medium\n"
+        )
+        path = self._write(tmp_path, body)
+        companies = load_companies_csv(path)
+        assert len(companies) == 1
+        company = companies[0]
+        assert company.categories == {"server_HW", "DBMS"}
+        assert company.first_seen["server_HW"] == dt.date(2004, 6, 15)
+        assert company.n_sites == 2

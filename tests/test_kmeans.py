@@ -1,0 +1,100 @@
+"""Tests for k-means clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.kmeans import KMeans
+
+
+def _blobs(rng, centers, n_per, scale=0.05):
+    points = []
+    for center in centers:
+        points.append(rng.normal(center, scale, size=(n_per, len(center))))
+    return np.vstack(points)
+
+
+class TestClustering:
+    def test_recovers_well_separated_blobs(self, rng):
+        data = _blobs(rng, [(0, 0), (5, 5), (0, 5)], 30)
+        labels = KMeans(3, seed=0).fit_predict(data)
+        # Every blob must land in exactly one cluster.
+        for start in (0, 30, 60):
+            blob_labels = labels[start : start + 30]
+            assert len(set(blob_labels.tolist())) == 1
+        assert len(set(labels.tolist())) == 3
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        data = rng.normal(size=(80, 4))
+        inertias = [
+            KMeans(k, seed=0).fit(data).inertia_ for k in (1, 2, 4, 8)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_single_cluster_center_is_mean(self, rng):
+        data = rng.normal(size=(50, 3))
+        model = KMeans(1, seed=0).fit(data)
+        assert np.allclose(model.centers_[0], data.mean(axis=0))
+
+    def test_deterministic_given_seed(self, rng):
+        data = rng.normal(size=(60, 2))
+        a = KMeans(4, seed=2).fit_predict(data)
+        b = KMeans(4, seed=2).fit_predict(data)
+        assert np.array_equal(a, b)
+
+    def test_predict_assigns_nearest_center(self, rng):
+        data = _blobs(rng, [(0, 0), (10, 10)], 20)
+        model = KMeans(2, seed=0).fit(data)
+        label_origin = model.predict(np.array([[0.1, -0.1]]))[0]
+        label_far = model.predict(np.array([[9.9, 10.1]]))[0]
+        assert label_origin != label_far
+
+    def test_duplicate_points_handled(self):
+        data = np.ones((20, 3))
+        model = KMeans(2, seed=0).fit(data)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_k_equals_n_points(self, rng):
+        data = rng.normal(size=(5, 2))
+        model = KMeans(5, seed=0).fit(data)
+        assert model.inertia_ == pytest.approx(0.0, abs=1e-12)
+        assert len(set(model.labels_.tolist())) == 5
+
+
+class TestValidation:
+    def test_more_clusters_than_points_rejected(self, rng):
+        with pytest.raises(ValueError, match="cannot form"):
+            KMeans(10, seed=0).fit(rng.normal(size=(5, 2)))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises((ValueError, TypeError)):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(2, tol=-1.0)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=12, max_value=40),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_labels_valid_and_inertia_consistent(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 3))
+        model = KMeans(k, seed=0).fit(data)
+        labels = model.labels_
+        assert labels.shape == (n,)
+        assert labels.min() >= 0 and labels.max() < k
+        # Inertia equals the sum of squared distances to assigned centres.
+        recomputed = sum(
+            float(((data[labels == j] - model.centers_[j]) ** 2).sum())
+            for j in range(k)
+        )
+        assert model.inertia_ == pytest.approx(recomputed, rel=1e-9, abs=1e-9)

@@ -1,0 +1,143 @@
+"""Tests for record linkage: normalisation, Jaro-Winkler, blocked matching."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.linkage import (
+    CompanyNameMatcher,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    normalize_company_name,
+)
+
+
+class TestNormalizeCompanyName:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("Acme Corp.", "acme"),
+            ("ACME CORPORATION", "acme"),
+            ("Acme Holdings, LLC", "acme"),
+            ("  Acme   Inc  ", "acme"),
+            ("Johnson & Johnson", "johnson and johnson"),
+            ("Müller GmbH", "m ller"),  # non-ascii folds to separator
+            ("A.B.C. Ltd", "a b c"),
+        ],
+    )
+    def test_normalisation(self, raw, expected):
+        assert normalize_company_name(raw) == expected
+
+    def test_pure_suffix_normalises_to_empty(self):
+        assert normalize_company_name("Inc.") == ""
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            normalize_company_name(42)
+
+    def test_idempotent(self):
+        once = normalize_company_name("Acme Widget Co.")
+        assert normalize_company_name(once) == once
+
+
+class TestJaroSimilarity:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        # Classic textbook pair.
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_symmetric_and_bounded(self, a, b):
+        s = jaro_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(jaro_similarity(b, a))
+
+    @given(st.text(min_size=1, max_size=12))
+    def test_identity(self, a):
+        assert jaro_similarity(a, a) == 1.0
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        plain = jaro_similarity("acme labs", "acme labz")
+        boosted = jaro_winkler_similarity("acme labs", "acme labz")
+        assert boosted > plain
+
+    def test_known_value(self):
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_invalid_prefix_scale(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.3)
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_dominates_jaro(self, a, b):
+        assert jaro_winkler_similarity(a, b) >= jaro_similarity(a, b) - 1e-12
+
+
+class TestCompanyNameMatcher:
+    REFERENCE = [
+        "Acme Manufacturing Inc.",
+        "Acme Fabrication LLC",
+        "Northwind Traders",
+        "Contoso Ltd.",
+        "Blue Ridge Logistics Corp.",
+    ]
+
+    def test_exact_normalised_match(self):
+        matcher = CompanyNameMatcher(self.REFERENCE)
+        result = matcher.match("ACME MANUFACTURING CORPORATION")
+        # 'corporation' strips away but 'inc' on the reference side too.
+        assert result is not None
+        index, score = result
+        assert self.REFERENCE[index].startswith("Acme Manufacturing")
+        assert score == 1.0
+
+    def test_fuzzy_match_within_block(self):
+        matcher = CompanyNameMatcher(self.REFERENCE)
+        result = matcher.match("Acme Manufactuing")  # typo
+        assert result is not None
+        assert self.REFERENCE[result[0]] == "Acme Manufacturing Inc."
+
+    def test_below_threshold_returns_none(self):
+        matcher = CompanyNameMatcher(self.REFERENCE, threshold=0.97)
+        assert matcher.match("Acme Manufactuing Grp") is None
+
+    def test_different_block_not_searched(self):
+        matcher = CompanyNameMatcher(self.REFERENCE)
+        # 'Akme' blocks under 'akme', no candidates there.
+        assert matcher.match("Akme Manufacturing") is None
+
+    def test_empty_query(self):
+        matcher = CompanyNameMatcher(self.REFERENCE)
+        assert matcher.match("LLC") is None
+
+    def test_match_all(self):
+        matcher = CompanyNameMatcher(self.REFERENCE)
+        results = matcher.match_all(["Contoso", "Unknown Company"])
+        assert results[0] is not None and self.REFERENCE[results[0][0]] == "Contoso Ltd."
+        assert results[1] is None
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CompanyNameMatcher(self.REFERENCE, threshold=0.0)
+
+    def test_len(self):
+        assert len(CompanyNameMatcher(self.REFERENCE)) == 5
+
+    def test_simulator_names_link_to_themselves(self, universe):
+        names = [c.name for c in universe.companies[:50]]
+        matcher = CompanyNameMatcher(names)
+        for i, name in enumerate(names):
+            result = matcher.match(name.upper())
+            assert result is not None
+            # Generated names may repeat; the match must normalise equally.
+            assert normalize_company_name(names[result[0]]) == normalize_company_name(name)

@@ -1,0 +1,120 @@
+"""Model-specific tests for the LSTM language model."""
+
+import numpy as np
+import pytest
+
+from repro.models.lstm import LSTMModel
+from repro.models.unigram import UnigramModel
+
+
+class TestConstruction:
+    def test_default_lr_depends_on_optimizer(self):
+        assert LSTMModel(optimizer="sgd").lr == pytest.approx(2.0)
+        assert LSTMModel(optimizer="adam").lr == pytest.approx(0.002)
+
+    def test_explicit_lr_wins(self):
+        assert LSTMModel(optimizer="sgd", lr=0.5).lr == 0.5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LSTMModel(cell="rnn")
+        with pytest.raises(ValueError):
+            LSTMModel(batching="document")
+        with pytest.raises(ValueError):
+            LSTMModel(lr_decay=1.5)
+        with pytest.raises(ValueError):
+            LSTMModel(dropout=1.0)
+
+
+class TestTraining:
+    def test_training_reduces_train_perplexity(self, split):
+        model = LSTMModel(hidden=32, n_layers=1, n_epochs=6, seed=0).fit(split.train)
+        history = model.training_history
+        assert len(history) == 6
+        assert history[-1]["train_perplexity"] < history[0]["train_perplexity"]
+
+    def test_beats_unigram(self, split):
+        # Adam with small batches converges within the epoch budget even on
+        # the 210-company fixture (the stream is only ~1.6k tokens).
+        lstm = LSTMModel(
+            hidden=64, n_layers=1, n_epochs=20, optimizer="adam",
+            batch_size=8, num_steps=10, seed=0,
+        ).fit(split.train)
+        unigram = UnigramModel().fit(split.train)
+        assert lstm.perplexity(split.test) < unigram.perplexity(split.test)
+
+    def test_validation_selects_best_epoch(self, split):
+        model = LSTMModel(
+            hidden=32, n_epochs=6, validation=split.validation, seed=0
+        ).fit(split.train)
+        recorded = [h["valid_perplexity"] for h in model.training_history]
+        final = model.perplexity(split.validation)
+        assert final == pytest.approx(min(recorded), rel=1e-6)
+
+    def test_deterministic_given_seed(self, split):
+        a = LSTMModel(hidden=16, n_epochs=2, seed=5).fit(split.train)
+        b = LSTMModel(hidden=16, n_epochs=2, seed=5).fit(split.train)
+        assert a.perplexity(split.test) == pytest.approx(b.perplexity(split.test))
+
+    def test_company_batching_mode(self, split):
+        model = LSTMModel(
+            hidden=16, n_epochs=2, batching="company", optimizer="adam", seed=0
+        ).fit(split.train)
+        assert np.isfinite(model.perplexity(split.test))
+
+    def test_gru_cell_trains(self, split):
+        model = LSTMModel(hidden=16, cell="gru", n_epochs=2, seed=0).fit(split.train)
+        assert np.isfinite(model.perplexity(split.test))
+
+    def test_n_parameters_dominated_by_recurrent_term(self, split):
+        # Section 5 cites nc * (4 nc + no) as the dominating LSTM term.
+        model = LSTMModel(hidden=100, n_layers=1, n_epochs=1, seed=0).fit(split.train)
+        dominating = 100 * (4 * 100 + 38)
+        assert model.n_parameters > dominating
+
+
+class TestPrediction:
+    @pytest.fixture(scope="class")
+    def fitted(self, split):
+        return LSTMModel(hidden=32, n_epochs=4, seed=0).fit(split.train)
+
+    def test_next_product_proba_is_distribution(self, fitted, split):
+        proba = fitted.next_product_proba(split.test.sequences()[0][:3])
+        assert proba.sum() == pytest.approx(1.0)
+
+    def test_prediction_depends_on_history(self, fitted, split):
+        sequences = [s for s in split.test.sequences() if len(s) >= 3]
+        a = fitted.next_product_proba(sequences[0][:3])
+        b = fitted.next_product_proba([])
+        assert not np.allclose(a, b)
+
+    def test_company_features_shape(self, fitted, split):
+        features = fitted.company_features(split.test)
+        assert features.shape == (split.test.n_companies, 32)
+        # Non-empty companies must have non-zero embeddings.
+        lengths = [len(s) for s in split.test.sequences()]
+        for row, length in zip(features, lengths):
+            if length > 0:
+                assert np.any(row != 0.0)
+
+    def test_stream_scoring_counts_all_products(self, fitted, split):
+        # A corpus duplicated twice must score (almost exactly) twice the
+        # log-prob; stream scoring carries state across company boundaries,
+        # so the agreement is near-exact rather than bitwise.
+        doubled = split.test.subset(
+            list(range(split.test.n_companies)) + list(range(split.test.n_companies))
+        )
+        assert fitted.log_prob(doubled) == pytest.approx(
+            2.0 * fitted.log_prob(split.test), rel=1e-3
+        )
+
+    def test_company_scoring_is_exactly_additive(self, split):
+        model = LSTMModel(
+            hidden=16, n_epochs=1, batching="company", optimizer="adam", seed=0
+        ).fit(split.train)
+        doubled = split.test.subset(
+            list(range(split.test.n_companies)) + list(range(split.test.n_companies))
+        )
+        assert model.log_prob(doubled) == pytest.approx(
+            2.0 * model.log_prob(split.test), rel=1e-12
+        )

@@ -1,0 +1,123 @@
+"""Contract tests every GenerativeModel implementation must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BayesianPMF,
+    ConditionalHeavyHitters,
+    LatentDirichletAllocation,
+    LSTMModel,
+    NGramModel,
+    UnigramModel,
+)
+from repro.models.base import NotFittedError
+from repro.recommend.baselines import RandomRecommender
+
+MODEL_FACTORIES = {
+    "unigram": lambda: UnigramModel(),
+    "bigram": lambda: NGramModel(order=2),
+    "trigram": lambda: NGramModel(order=3),
+    "lda_gibbs": lambda: LatentDirichletAllocation(n_topics=3, n_iter=30, seed=0),
+    "lda_vb": lambda: LatentDirichletAllocation(
+        n_topics=3, inference="variational", n_iter=30, seed=0
+    ),
+    "chh": lambda: ConditionalHeavyHitters(depth=2),
+    "lstm": lambda: LSTMModel(hidden=16, n_layers=1, n_epochs=2, seed=0),
+    "bpmf": lambda: BayesianPMF(n_factors=4, n_iter=10, seed=0),
+    "random": lambda: RandomRecommender(),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(MODEL_FACTORIES))
+def fitted_model(request, split):
+    """Each model fitted once on the session train split."""
+    model = MODEL_FACTORIES[request.param]()
+    return model.fit(split.train)
+
+
+class TestContract:
+    def test_fit_returns_self_and_sets_vocab(self, fitted_model, split):
+        assert fitted_model.is_fitted
+        assert fitted_model.vocab_size == split.train.n_products
+
+    def test_perplexity_positive_and_finite(self, fitted_model, split):
+        perplexity = fitted_model.perplexity(split.test)
+        assert np.isfinite(perplexity)
+        assert 1.0 <= perplexity
+
+    def test_log_prob_negative(self, fitted_model, split):
+        assert fitted_model.log_prob(split.test) < 0.0
+
+    def test_next_product_proba_shape_and_range(self, fitted_model, split):
+        history = split.test.sequences()[0][:3]
+        proba = fitted_model.next_product_proba(history)
+        assert proba.shape == (split.train.n_products,)
+        assert np.all(proba >= 0.0)
+        assert np.all(proba <= 1.0)
+
+    def test_next_product_proba_empty_history(self, fitted_model):
+        proba = fitted_model.next_product_proba([])
+        assert np.all(np.isfinite(proba))
+
+    def test_next_product_proba_rejects_bad_tokens(self, fitted_model):
+        with pytest.raises((ValueError, TypeError)):
+            fitted_model.next_product_proba([9999])
+        with pytest.raises((ValueError, TypeError)):
+            fitted_model.next_product_proba(["OS"])
+
+    def test_batch_matches_single(self, fitted_model, split):
+        histories = [s[:4] for s in split.test.sequences()[:5]]
+        batch = fitted_model.batch_next_product_proba(histories)
+        for row, history in zip(batch, histories):
+            single = fitted_model.next_product_proba(history)
+            assert np.allclose(row, single, atol=1e-8)
+
+    def test_batch_rejects_empty(self, fitted_model):
+        with pytest.raises(ValueError):
+            fitted_model.batch_next_product_proba([])
+
+    def test_save_load_roundtrip(self, fitted_model, split, tmp_path):
+        path = tmp_path / "model.npz"
+        fitted_model.save(path)
+        loaded = type(fitted_model).load(path)
+        history = split.test.sequences()[0][:3]
+        assert np.allclose(
+            loaded.next_product_proba(history),
+            fitted_model.next_product_proba(history),
+        )
+        assert loaded.log_prob(split.test) == pytest.approx(
+            fitted_model.log_prob(split.test), rel=1e-9
+        )
+
+    def test_mismatched_corpus_rejected(self, fitted_model, split):
+        narrow = split.test.subset(range(min(5, split.test.n_companies)))
+        # Build a corpus with a smaller vocabulary to trigger the mismatch.
+        from repro.data.corpus import Corpus
+
+        used = sorted({c for comp in narrow.companies for c in comp.categories})
+        mini = Corpus(narrow.companies, tuple(used))
+        if mini.n_products != fitted_model.vocab_size:
+            with pytest.raises(ValueError):
+                fitted_model.log_prob(mini)
+
+
+class TestNotFitted:
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_unfitted_usage_raises(self, name):
+        model = MODEL_FACTORIES[name]()
+        with pytest.raises(NotFittedError):
+            model.next_product_proba([0])
+        with pytest.raises(NotFittedError):
+            __ = model.vocab_size
+        with pytest.raises(NotFittedError):
+            model.save("/tmp/should_not_exist.npz")
+
+
+class TestLoadSafety:
+    def test_wrong_class_rejected(self, split, tmp_path):
+        model = UnigramModel().fit(split.train)
+        path = tmp_path / "unigram.npz"
+        model.save(path)
+        with pytest.raises(ValueError, match="UnigramModel"):
+            NGramModel.load(path)

@@ -1,0 +1,294 @@
+"""Unit tests for the neural-network substrate: layers, cells, losses, optim.
+
+Gradient correctness is verified by central finite differences on every
+parameter matrix of both cell types, through a full multi-layer network.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.nn.cells import GRUCell, LSTMCell
+from repro.models.nn.layers import Dense, Embedding
+from repro.models.nn.losses import masked_softmax_cross_entropy, softmax
+from repro.models.nn.network import RecurrentLM
+from repro.models.nn.optim import SGD, Adam, clip_gradients
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(4, 7))
+        out = softmax(logits)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        out = softmax(np.array([[1000.0, 1000.0, -1000.0]]))
+        assert np.allclose(out[0, :2], 0.5)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 5))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+
+class TestMaskedCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.zeros((1, 2, 3))
+        logits[0, 0, 1] = 50.0
+        logits[0, 1, 2] = 50.0
+        targets = np.array([[1, 2]])
+        mask = np.ones((1, 2), dtype=bool)
+        loss, __ = masked_softmax_cross_entropy(logits, targets, mask)
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_vocab(self):
+        logits = np.zeros((1, 1, 8))
+        loss, __ = masked_softmax_cross_entropy(
+            logits, np.array([[3]]), np.ones((1, 1), dtype=bool)
+        )
+        assert loss == pytest.approx(np.log(8))
+
+    def test_masked_positions_ignored(self, rng):
+        logits = rng.normal(size=(2, 3, 5))
+        targets = rng.integers(0, 5, size=(2, 3))
+        mask = np.array([[True, True, False], [True, False, False]])
+        loss_a, grad_a = masked_softmax_cross_entropy(logits, targets, mask)
+        # Perturb masked logits; nothing may change.
+        perturbed = logits.copy()
+        perturbed[0, 2] += 10.0
+        perturbed[1, 1:] -= 5.0
+        loss_b, grad_b = masked_softmax_cross_entropy(perturbed, targets, mask)
+        assert loss_a == pytest.approx(loss_b)
+        assert np.allclose(grad_a[mask], grad_b[mask])
+        assert np.all(grad_b[~mask] == 0.0)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        logits = rng.normal(size=(2, 2, 4))
+        targets = rng.integers(0, 4, size=(2, 2))
+        mask = np.array([[True, True], [True, False]])
+        __, grad = masked_softmax_cross_entropy(logits, targets, mask)
+        eps = 1e-6
+        for idx in [(0, 0, 1), (1, 0, 3), (0, 1, 2)]:
+            plus = logits.copy()
+            plus[idx] += eps
+            minus = logits.copy()
+            minus[idx] -= eps
+            fd = (
+                masked_softmax_cross_entropy(plus, targets, mask)[0]
+                - masked_softmax_cross_entropy(minus, targets, mask)[0]
+            ) / (2 * eps)
+            assert grad[idx] == pytest.approx(fd, abs=1e-6)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError, match="no tokens"):
+            masked_softmax_cross_entropy(
+                np.zeros((1, 1, 2)), np.zeros((1, 1), dtype=int),
+                np.zeros((1, 1), dtype=bool),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            masked_softmax_cross_entropy(
+                np.zeros((1, 2, 3)), np.zeros((1, 3), dtype=int),
+                np.ones((1, 2), dtype=bool),
+            )
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        layer = Embedding(5, 3, seed=0)
+        out = layer.forward(np.array([[0, 4], [2, 2]]))
+        assert out.shape == (2, 2, 3)
+        assert np.allclose(out[0, 0], layer.params["W"][0])
+
+    def test_out_of_range_rejected(self):
+        layer = Embedding(5, 3, seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.array([[5]]))
+
+    def test_backward_accumulates_per_token(self):
+        layer = Embedding(4, 2, seed=0)
+        tokens = np.array([[1, 1]])
+        grad_out = np.ones((1, 2, 2))
+        layer.backward(tokens, grad_out)
+        # Token 1 appears twice: its gradient accumulates both.
+        assert np.allclose(layer.grads["W"][1], 2.0)
+        assert np.allclose(layer.grads["W"][0], 0.0)
+
+    def test_zero_grads(self):
+        layer = Embedding(4, 2, seed=0)
+        layer.backward(np.array([[0]]), np.ones((1, 1, 2)))
+        layer.zero_grads()
+        assert np.all(layer.grads["W"] == 0.0)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 6, seed=0)
+        assert layer.forward(rng.normal(size=(3, 2, 4))).shape == (3, 2, 6)
+
+    def test_wrong_input_dim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dense(4, 6, seed=0).forward(rng.normal(size=(3, 5)))
+
+    def test_backward_gradients_match_fd(self, rng):
+        layer = Dense(3, 2, seed=0)
+        x = rng.normal(size=(4, 3))
+
+        def loss(weights, bias):
+            return float(((x @ weights + bias) ** 2).sum())
+
+        out = layer.forward(x)
+        dx = layer.backward(x, 2.0 * out)
+        eps = 1e-6
+        w = layer.params["W"]
+        idx = (1, 0)
+        w_plus, w_minus = w.copy(), w.copy()
+        w_plus[idx] += eps
+        w_minus[idx] -= eps
+        fd = (loss(w_plus, layer.params["b"]) - loss(w_minus, layer.params["b"])) / (2 * eps)
+        assert layer.grads["W"][idx] == pytest.approx(fd, rel=1e-5)
+        # dx check
+        x_plus, x_minus = x.copy(), x.copy()
+        x_plus[0, 0] += eps
+        x_minus[0, 0] -= eps
+        fd_x = (
+            float(((x_plus @ w + layer.params["b"]) ** 2).sum())
+            - float(((x_minus @ w + layer.params["b"]) ** 2).sum())
+        ) / (2 * eps)
+        assert dx[0, 0] == pytest.approx(fd_x, rel=1e-5)
+
+
+@pytest.mark.parametrize("cell_cls", [LSTMCell, GRUCell])
+class TestCells:
+    def test_step_shapes(self, cell_cls, rng):
+        cell = cell_cls(3, 5, seed=0)
+        state = cell.initial_state(2)
+        x = rng.normal(size=(2, 3))
+        h, new_state, cache = cell.step(x, state)
+        assert h.shape == (2, 5)
+        assert all(s.shape == (2, 5) for s in new_state)
+
+    def test_state_evolves(self, cell_cls, rng):
+        cell = cell_cls(3, 5, seed=0)
+        state = cell.initial_state(1)
+        x = rng.normal(size=(1, 3))
+        h1, state, __ = cell.step(x, state)
+        h2, __, __ = cell.step(x, state)
+        assert not np.allclose(h1, h2)
+
+    def test_saturation_is_finite(self, cell_cls):
+        cell = cell_cls(2, 3, seed=0)
+        state = cell.initial_state(1)
+        h, state, __ = cell.step(np.full((1, 2), 1e6), state)
+        assert np.all(np.isfinite(h))
+
+
+class TestFullNetworkGradients:
+    @pytest.mark.parametrize("cell", ["lstm", "gru"])
+    def test_every_parameter_matches_finite_difference(self, cell):
+        net = RecurrentLM(vocab_size=5, hidden=4, n_layers=2, cell=cell, dropout=0.0, seed=1)
+        tokens = np.array([[5, 0, 1, 2], [5, 3, 5, 5]])
+        targets = np.array([[0, 1, 2, 4], [3, 0, 0, 0]])
+        mask = np.array([[True, True, True, True], [True, False, False, False]])
+
+        def total_loss():
+            logits, __ = net.forward(tokens, train=False)
+            return masked_softmax_cross_entropy(logits, targets, mask)[0]
+
+        net.zero_grads()
+        logits, cache = net.forward(tokens, train=False)
+        __, dlogits = masked_softmax_cross_entropy(logits, targets, mask)
+        net.backward(dlogits, cache)
+        grads = {k: v.copy() for k, v in net.grads().items()}
+        params = net.params()
+        rng = np.random.default_rng(0)
+        eps = 1e-6
+        for key, param in params.items():
+            for __i in range(3):
+                idx = tuple(rng.integers(s) for s in param.shape)
+                original = param[idx]
+                param[idx] = original + eps
+                loss_plus = total_loss()
+                param[idx] = original - eps
+                loss_minus = total_loss()
+                param[idx] = original
+                fd = (loss_plus - loss_minus) / (2 * eps)
+                assert grads[key][idx] == pytest.approx(fd, abs=2e-7), key
+
+    def test_carried_state_changes_predictions(self):
+        net = RecurrentLM(vocab_size=4, hidden=3, n_layers=1, dropout=0.0, seed=0)
+        tokens = np.array([[0, 1]])
+        fresh, cache = net.forward(tokens, train=False)
+        carried, __ = net.forward(tokens, train=False, states=cache["final_states"])
+        assert not np.allclose(fresh, carried)
+
+    def test_dropout_requires_rng_in_training(self):
+        net = RecurrentLM(vocab_size=4, hidden=3, dropout=0.5, seed=0)
+        with pytest.raises(ValueError, match="rng"):
+            net.forward(np.array([[0]]), train=True)
+
+    def test_eval_mode_deterministic_despite_dropout(self):
+        net = RecurrentLM(vocab_size=4, hidden=3, dropout=0.5, seed=0)
+        tokens = np.array([[0, 1, 2]])
+        a, __ = net.forward(tokens, train=False)
+        b, __ = net.forward(tokens, train=False)
+        assert np.allclose(a, b)
+
+    def test_n_parameters_counts_everything(self):
+        net = RecurrentLM(vocab_size=5, hidden=4, n_layers=1, cell="lstm", seed=0)
+        expected = (5 + 1) * 4 + (4 * 16 + 4 * 16 + 16) + (4 * 5 + 5)
+        assert net.n_parameters() == expected
+
+    def test_final_hidden_uses_sequence_lengths(self):
+        net = RecurrentLM(vocab_size=4, hidden=3, dropout=0.0, seed=0)
+        tokens = np.array([[4, 0, 1], [4, 2, 4]])
+        lengths = np.array([3, 2])
+        hidden = net.final_hidden(tokens, lengths)
+        # Row 1's final state must match running its 2-token prefix alone.
+        solo = net.final_hidden(np.array([[4, 2]]), np.array([2]))
+        assert np.allclose(hidden[1], solo[0])
+
+    def test_final_hidden_validates_lengths(self):
+        net = RecurrentLM(vocab_size=4, hidden=3, seed=0)
+        with pytest.raises(ValueError):
+            net.final_hidden(np.array([[0, 1]]), np.array([3]))
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self):
+        params = {"w": np.array([1.0, 2.0])}
+        grads = {"w": np.array([0.5, -0.5])}
+        SGD(lr=0.1).update(params, grads)
+        assert np.allclose(params["w"], [0.95, 2.05])
+
+    def test_sgd_momentum_accumulates(self):
+        params = {"w": np.array([0.0])}
+        grads = {"w": np.array([1.0])}
+        opt = SGD(lr=0.1, momentum=0.9)
+        opt.update(params, grads)
+        first = params["w"].copy()
+        opt.update(params, grads)
+        second_step = params["w"] - first
+        assert abs(second_step[0]) > 0.1  # momentum term adds up
+
+    def test_adam_converges_on_quadratic(self):
+        params = {"w": np.array([5.0])}
+        opt = Adam(lr=0.1)
+        for __ in range(300):
+            grads = {"w": 2.0 * params["w"]}
+            opt.update(params, grads)
+        assert abs(params["w"][0]) < 1e-2
+
+    def test_adam_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+    def test_clip_gradients_scales_in_place(self):
+        grads = {"a": np.array([3.0, 4.0])}
+        norm = clip_gradients(grads, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(grads["a"]) == pytest.approx(1.0)
+
+    def test_clip_noop_below_threshold(self):
+        grads = {"a": np.array([0.3, 0.4])}
+        clip_gradients(grads, max_norm=1.0)
+        assert np.allclose(grads["a"], [0.3, 0.4])

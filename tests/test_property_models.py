@@ -1,0 +1,154 @@
+"""Property-based tests: model invariants over randomised corpora.
+
+A hypothesis strategy generates small random universes (random ownership
+sets with random dates over a small vocabulary); every model must uphold
+its contract on whatever comes out: finite perplexities >= 1, probability
+outputs inside the simplex bounds, representation rows in the right space.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.company import Company
+from repro.data.corpus import Corpus
+from repro.data.duns import DunsNumber
+from repro.models.chh import ConditionalHeavyHitters
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.ngram import NGramModel
+from repro.models.unigram import UnigramModel
+
+VOCAB = tuple(f"cat_{i}" for i in range(8))
+
+
+@st.composite
+def corpora(draw, min_companies=4, max_companies=12):
+    """Random small corpora over an 8-category vocabulary."""
+    n_companies = draw(st.integers(min_companies, max_companies))
+    companies = []
+    for i in range(n_companies):
+        owned = draw(
+            st.sets(st.integers(0, len(VOCAB) - 1), min_size=1, max_size=len(VOCAB))
+        )
+        first_seen = {}
+        for token in owned:
+            day_offset = draw(st.integers(0, 5000))
+            first_seen[VOCAB[token]] = dt.date(2000, 1, 1) + dt.timedelta(
+                days=day_offset
+            )
+        companies.append(
+            Company(
+                duns=DunsNumber.from_sequence(i),
+                name=f"C{i}",
+                country="US",
+                sic2=80,
+                first_seen=first_seen,
+            )
+        )
+    return Corpus(companies, VOCAB)
+
+
+class TestCorpusInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(corpora())
+    def test_matrix_and_sequences_agree(self, corpus):
+        matrix = corpus.binary_matrix()
+        for row, seq in zip(matrix, corpus.sequences()):
+            assert set(np.flatnonzero(row)) == set(seq)
+            assert len(seq) == len(set(seq))  # categories never repeat
+
+    @settings(max_examples=30, deadline=None)
+    @given(corpora())
+    def test_sequences_time_sorted(self, corpus):
+        for dated in corpus.dated_sequences():
+            dates = [d for __, d in dated]
+            assert dates == sorted(dates)
+
+    @settings(max_examples=30, deadline=None)
+    @given(corpora())
+    def test_total_products_matches_matrix(self, corpus):
+        assert corpus.total_products() == int(corpus.binary_matrix().sum())
+
+
+class TestUnigramProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(corpora())
+    def test_fit_produces_distribution(self, corpus):
+        model = UnigramModel().fit(corpus)
+        assert model.proba.sum() == pytest.approx(1.0)
+        assert np.all(model.proba > 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(corpora())
+    def test_self_perplexity_bounded_by_vocab(self, corpus):
+        model = UnigramModel().fit(corpus)
+        perplexity = model.perplexity(corpus)
+        assert 1.0 <= perplexity <= len(VOCAB) + 1e-9
+
+
+class TestNGramProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(corpora(), st.integers(1, 3))
+    def test_conditionals_are_distributions(self, corpus, order):
+        model = NGramModel(order=order).fit(corpus)
+        for history in ([], [0], [1, 2], [3, 4, 5]):
+            proba = model.next_product_proba(history)
+            assert proba.sum() == pytest.approx(1.0)
+            assert np.all(proba >= 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(corpora())
+    def test_log_prob_finite_on_unseen_corpus(self, corpus):
+        # Train on half the companies, score the rest: smoothing must keep
+        # every sequence finite.
+        half = corpus.n_companies // 2
+        if half == 0 or half == corpus.n_companies:
+            return
+        train = corpus.subset(range(half))
+        test = corpus.subset(range(half, corpus.n_companies))
+        model = NGramModel(order=2).fit(train)
+        assert np.isfinite(model.log_prob(test))
+
+
+class TestLDAProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(corpora(min_companies=6), st.integers(2, 4))
+    def test_fitted_parameters_live_on_simplices(self, corpus, n_topics):
+        model = LatentDirichletAllocation(
+            n_topics=n_topics, inference="variational", n_iter=15, seed=0
+        ).fit(corpus)
+        assert np.allclose(model.phi.sum(axis=1), 1.0)
+        assert np.all(model.phi >= 0.0)
+        theta = model.company_features(corpus)
+        assert np.allclose(theta.sum(axis=1), 1.0)
+        assert np.all(theta >= 0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(corpora(min_companies=6))
+    def test_recommender_scores_are_probabilities(self, corpus):
+        model = LatentDirichletAllocation(
+            n_topics=2, inference="variational", n_iter=15, seed=0
+        ).fit(corpus)
+        scores = model.batch_next_product_proba(corpus.sequences())
+        assert np.all(scores >= 0.0)
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+
+class TestCHHProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(corpora())
+    def test_conditionals_normalised(self, corpus):
+        model = ConditionalHeavyHitters(depth=2).fit(corpus)
+        for history in ([], [0], [1, 2]):
+            proba = model.next_product_proba(history)
+            assert proba.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(corpora())
+    def test_heavy_hitters_thresholds_respected(self, corpus):
+        model = ConditionalHeavyHitters(depth=2, min_context_count=2).fit(corpus)
+        for __, __, conditional in model.heavy_hitters(min_conditional=0.3):
+            assert conditional >= 0.3

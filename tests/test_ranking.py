@@ -1,0 +1,118 @@
+"""Tests for the top-k ranking metrics and evaluator."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.lda import LatentDirichletAllocation
+from repro.recommend.baselines import RandomRecommender
+from repro.recommend.ranking import (
+    RankingReport,
+    evaluate_ranking,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+
+class TestPointMetrics:
+    def test_precision_at_k(self):
+        assert precision_at_k([1, 2, 3, 4], {1, 3}, 2) == 0.5
+        assert precision_at_k([1, 2, 3, 4], {1, 3}, 4) == 0.5
+        assert precision_at_k([9, 8], {1}, 5) == 0.0
+
+    def test_precision_with_short_list(self):
+        # Fewer than k items: precision is over what was actually shown.
+        assert precision_at_k([1], {1}, 5) == 1.0
+
+    def test_precision_empty_ranking(self):
+        assert precision_at_k([], {1}, 3) == 0.0
+
+    def test_recall_at_k(self):
+        assert recall_at_k([1, 2, 3], {1, 9}, 2) == 0.5
+        assert recall_at_k([1, 9, 3], {1, 9}, 2) == 1.0
+        assert recall_at_k([1, 2], set(), 2) == 0.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank([5, 1, 2], {1}) == pytest.approx(0.5)
+        assert reciprocal_rank([1, 2], {1}) == 1.0
+        assert reciprocal_rank([5, 6], {1}) == 0.0
+
+    def test_ndcg_perfect_ranking(self):
+        assert ndcg_at_k([1, 2, 9, 8], {1, 2}, 4) == pytest.approx(1.0)
+
+    def test_ndcg_order_sensitivity(self):
+        early = ndcg_at_k([1, 9, 8], {1}, 3)
+        late = ndcg_at_k([9, 8, 1], {1}, 3)
+        assert early > late > 0.0
+
+    def test_ndcg_empty_truth(self):
+        assert ndcg_at_k([1, 2], set(), 2) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises((ValueError, TypeError)):
+            precision_at_k([1], {1}, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 20), unique=True, max_size=15),
+        st.sets(st.integers(0, 20), max_size=8),
+        st.integers(1, 10),
+    )
+    def test_property_metrics_bounded(self, ranked, truth, k):
+        for value in (
+            precision_at_k(ranked, truth, k),
+            recall_at_k(ranked, truth, k),
+            reciprocal_rank(ranked, truth),
+            ndcg_at_k(ranked, truth, k),
+        ):
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 20), unique=True, min_size=1, max_size=15),
+        st.sets(st.integers(0, 20), min_size=1, max_size=8),
+    )
+    def test_property_recall_monotone_in_k(self, ranked, truth):
+        values = [recall_at_k(ranked, truth, k) for k in range(1, len(ranked) + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestEvaluateRanking:
+    def test_lda_beats_random(self, corpus):
+        lda_report = evaluate_ranking(
+            corpus,
+            lambda: LatentDirichletAllocation(
+                n_topics=3, inference="variational", n_iter=60, seed=0
+            ),
+            k=5,
+        )
+        random_report = evaluate_ranking(corpus, lambda: RandomRecommender(), k=5)
+        assert isinstance(lda_report, RankingReport)
+        assert lda_report.n_companies == random_report.n_companies
+        assert lda_report.precision > random_report.precision
+        assert lda_report.ndcg > random_report.ndcg
+
+    def test_report_values_bounded(self, corpus):
+        report = evaluate_ranking(corpus, lambda: RandomRecommender(), k=3)
+        for value in (report.precision, report.recall, report.mrr, report.ndcg):
+            assert 0.0 <= value <= 1.0
+
+    def test_invalid_horizon(self, corpus):
+        with pytest.raises(ValueError, match="horizon"):
+            evaluate_ranking(
+                corpus,
+                lambda: RandomRecommender(),
+                cutoff=dt.date(2014, 1, 1),
+                horizon=dt.date(2013, 1, 1),
+            )
+
+    def test_random_mrr_near_uniform_expectation(self, corpus):
+        # With uniform scores the ranking is arbitrary-but-fixed; MRR should
+        # be far below a perfect recommender's.
+        report = evaluate_ranking(corpus, lambda: RandomRecommender(), k=5)
+        assert report.mrr < 0.6

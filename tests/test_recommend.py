@@ -1,0 +1,202 @@
+"""Tests for the recommendation harness: windows, recommender, evaluation."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.unigram import UnigramModel
+from repro.recommend.baselines import RandomRecommender
+from repro.recommend.evaluation import (
+    RecommendationEvaluator,
+    ThresholdCurve,
+    WindowObservation,
+)
+from repro.recommend.recommender import ThresholdRecommender
+from repro.recommend.windows import SlidingWindowSpec, Window
+
+
+class TestWindows:
+    def test_paper_layout(self):
+        spec = SlidingWindowSpec()
+        windows = spec.windows()
+        assert len(windows) == 13
+        assert windows[0].start == dt.date(2013, 1, 1)
+        assert windows[0].end == dt.date(2014, 1, 1)
+        assert windows[-1].start == dt.date(2015, 1, 1)
+        assert windows[-1].end == dt.date(2016, 1, 1)
+
+    def test_stride(self):
+        spec = SlidingWindowSpec(stride_months=2)
+        windows = spec.windows()
+        assert windows[1].start == dt.date(2013, 3, 1)
+
+    def test_last_end(self):
+        assert SlidingWindowSpec().last_end == dt.date(2016, 1, 1)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            Window(start=dt.date(2013, 1, 1), end=dt.date(2013, 1, 1))
+
+    def test_invalid_spec(self):
+        with pytest.raises((ValueError, TypeError)):
+            SlidingWindowSpec(window_months=0)
+
+
+class TestWindowObservation:
+    def test_metrics(self):
+        obs = WindowObservation(
+            window_start=dt.date(2013, 1, 1), threshold=0.1,
+            n_retrieved=10, n_correct=4, n_relevant=8,
+        )
+        assert obs.precision == pytest.approx(0.4)
+        assert obs.recall == pytest.approx(0.5)
+        assert obs.f1 == pytest.approx(2 * 0.4 * 0.5 / 0.9)
+
+    def test_zero_retrieved_precision_nan(self):
+        obs = WindowObservation(
+            window_start=dt.date(2013, 1, 1), threshold=0.9,
+            n_retrieved=0, n_correct=0, n_relevant=5,
+        )
+        assert np.isnan(obs.precision)
+        assert obs.recall == 0.0
+        assert np.isnan(obs.f1)
+
+    def test_zero_relevant_recall_zero(self):
+        obs = WindowObservation(
+            window_start=dt.date(2013, 1, 1), threshold=0.1,
+            n_retrieved=3, n_correct=0, n_relevant=0,
+        )
+        assert obs.recall == 0.0
+
+
+class TestThresholdRecommender:
+    @pytest.fixture(scope="class")
+    def recommender(self, fitted_lda):
+        return ThresholdRecommender(fitted_lda, threshold=0.05)
+
+    def test_requires_fitted_model(self):
+        with pytest.raises(ValueError, match="fitted"):
+            ThresholdRecommender(UnigramModel())
+
+    def test_requires_generative_model(self):
+        with pytest.raises(TypeError):
+            ThresholdRecommender(object())
+
+    def test_never_recommends_owned(self, recommender, split):
+        history = split.test.sequences()[0]
+        recommendations = recommender.recommend(history)
+        assert not set(recommendations) & set(history)
+
+    def test_respects_threshold(self, recommender, split):
+        history = split.test.sequences()[0][:4]
+        scores = recommender.scores(history)
+        for token in recommender.recommend(history, threshold=0.1):
+            assert scores[token] >= 0.1
+
+    def test_higher_threshold_fewer_recommendations(self, recommender, split):
+        history = split.test.sequences()[0][:4]
+        low = recommender.recommend(history, threshold=0.02)
+        high = recommender.recommend(history, threshold=0.2)
+        assert set(high) <= set(low)
+
+    def test_recommendations_sorted_by_score(self, recommender, split):
+        history = split.test.sequences()[0][:4]
+        recs = recommender.recommend(history, threshold=0.01)
+        scores = recommender.scores(history)
+        values = [scores[t] for t in recs]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_k(self, recommender, split):
+        history = split.test.sequences()[0][:4]
+        top = recommender.top_k(history, 5)
+        assert len(top) == 5
+        assert not set(top) & set(history)
+
+    def test_top_k_rejects_nonpositive(self, recommender):
+        with pytest.raises(ValueError):
+            recommender.top_k([], 0)
+
+
+class TestRandomRecommender:
+    def test_uniform_scores(self, split):
+        model = RandomRecommender().fit(split.train)
+        proba = model.next_product_proba([0, 1])
+        assert np.allclose(proba, 1.0 / 38.0)
+
+    def test_perplexity_equals_vocab_size(self, split):
+        model = RandomRecommender().fit(split.train)
+        assert model.perplexity(split.test) == pytest.approx(38.0)
+
+
+class TestEvaluator:
+    @pytest.fixture(scope="class")
+    def curves(self, corpus):
+        evaluator = RecommendationEvaluator(
+            corpus,
+            spec=SlidingWindowSpec(n_windows=3),
+            thresholds=[0.0, 0.05, 0.1, 0.3],
+            retrain_per_window=False,
+        )
+        return evaluator.evaluate(
+            {
+                "lda": lambda: LatentDirichletAllocation(
+                    n_topics=3, inference="variational", n_iter=40, seed=0
+                ),
+                "random": lambda: RandomRecommender(),
+            }
+        )
+
+    def test_one_observation_per_window(self, curves):
+        for curve in curves.values():
+            for threshold in curve.thresholds:
+                assert len(curve.observations[threshold]) == 3
+
+    def test_threshold_zero_has_full_recall(self, curves):
+        recall, __, __ = curves["lda"].recall(0.0)
+        assert recall == pytest.approx(1.0)
+
+    def test_recall_monotone_in_threshold(self, curves):
+        recalls = [curves["lda"].recall(t)[0] for t in [0.0, 0.05, 0.1, 0.3]]
+        assert all(a >= b - 1e-12 for a, b in zip(recalls, recalls[1:]))
+
+    def test_random_baseline_cliff_at_uniform_probability(self, curves):
+        # 1/38 ~ 0.026: everything retrieved below, nothing above.
+        assert curves["random"].recall(0.0)[0] == pytest.approx(1.0)
+        assert curves["random"].retrieved(0.05)[0] == 0.0
+
+    def test_confidence_interval_brackets_mean(self, curves):
+        mean, low, high = curves["lda"].recall(0.05)
+        assert low <= mean <= high
+
+    def test_lda_beats_random_at_real_thresholds(self, curves):
+        assert curves["lda"].recall(0.05)[0] > 0.2
+
+    def test_as_rows_structure(self, curves):
+        rows = curves["lda"].as_rows()
+        assert len(rows) == 4
+        assert {"threshold", "recall", "precision", "f1", "retrieved",
+                "correct", "relevant"} <= set(rows[0])
+
+    def test_requires_factories(self, corpus):
+        evaluator = RecommendationEvaluator(corpus, thresholds=[0.1])
+        with pytest.raises(ValueError):
+            evaluator.evaluate({})
+
+    def test_requires_thresholds(self, corpus):
+        with pytest.raises(ValueError):
+            RecommendationEvaluator(corpus, thresholds=[])
+
+    def test_retrain_and_train_once_agree_roughly(self, corpus):
+        spec = SlidingWindowSpec(n_windows=2)
+        results = {}
+        for retrain in (True, False):
+            evaluator = RecommendationEvaluator(
+                corpus, spec=spec, thresholds=[0.05], retrain_per_window=retrain
+            )
+            curves = evaluator.evaluate(
+                {"u": lambda: UnigramModel()}
+            )
+            results[retrain] = curves["u"].recall(0.05)[0]
+        assert results[True] == pytest.approx(results[False], abs=0.1)

@@ -1,0 +1,127 @@
+"""Tests for model selection utilities and vocabulary restriction."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import HARDWARE_CATEGORIES, build_default_catalog
+from repro.data.corpus import Corpus
+from repro.data.synthetic import InstallBaseSimulator, SimulatorConfig
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.selection import select_lda_topics, select_lstm_architecture
+
+
+class TestSelectLdaTopics:
+    def test_returns_fitted_winner_and_sorted_leaderboard(self, split):
+        model, leaderboard = select_lda_topics(
+            split, topic_grid=(2, 4), n_iter=40, seed=0
+        )
+        assert model.is_fitted
+        scores = [row["validation_perplexity"] for row in leaderboard]
+        assert scores == sorted(scores)
+        assert len(leaderboard) == 2
+
+    def test_winner_matches_leaderboard_head(self, split):
+        model, leaderboard = select_lda_topics(
+            split, topic_grid=(2, 4, 8), n_iter=40, seed=0
+        )
+        assert model.n_topics == int(leaderboard[0]["n_topics"])
+
+    def test_accepts_raw_corpus(self, corpus):
+        model, leaderboard = select_lda_topics(
+            corpus, topic_grid=(2, 4), n_iter=30, seed=0
+        )
+        assert model.is_fitted
+
+    def test_input_type_grid(self, split):
+        __, leaderboard = select_lda_topics(
+            split, topic_grid=(3,), input_types=("binary", "tfidf"),
+            n_iter=30, seed=0,
+        )
+        inputs = {row["input"] for row in leaderboard}
+        assert inputs == {"binary", "tfidf"}
+
+    def test_empty_grid_rejected(self, split):
+        with pytest.raises(ValueError):
+            select_lda_topics(split, topic_grid=())
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            select_lda_topics([1, 2, 3])
+
+
+class TestSelectLstmArchitecture:
+    def test_small_grid(self, split):
+        model, leaderboard = select_lstm_architecture(
+            split, layer_grid=(1,), node_grid=(16, 32), n_epochs=3, seed=0
+        )
+        assert model.is_fitted
+        assert len(leaderboard) == 2
+        assert model.hidden == int(leaderboard[0]["nodes"])
+
+    def test_empty_grid_rejected(self, split):
+        with pytest.raises(ValueError):
+            select_lstm_architecture(split, node_grid=())
+
+
+class TestVocabularyRestriction:
+    @pytest.fixture(scope="class")
+    def full_universe_corpus(self):
+        # Generate over the full 91-category universe (Section 2's setting
+        # before the restriction step).
+        catalog = build_default_catalog(full_universe=True)
+        simulator = InstallBaseSimulator(
+            SimulatorConfig(n_companies=150), catalog=catalog
+        )
+        companies = simulator.generate_companies(seed=9)
+        return Corpus(companies, catalog.categories)
+
+    def test_restricts_91_to_38(self, full_universe_corpus):
+        restricted = full_universe_corpus.restrict_vocabulary(HARDWARE_CATEGORIES)
+        assert restricted.n_products == 38
+        for company in restricted.companies:
+            assert company.categories <= set(HARDWARE_CATEGORIES)
+
+    def test_restriction_preserves_dates(self, full_universe_corpus):
+        restricted = full_universe_corpus.restrict_vocabulary(HARDWARE_CATEGORIES)
+        by_duns = {c.duns.value: c for c in full_universe_corpus.companies}
+        for company in restricted.companies:
+            original = by_duns[company.duns.value]
+            for category, date in company.first_seen.items():
+                assert original.first_seen[category] == date
+
+    def test_restricted_corpus_is_modelable(self, full_universe_corpus):
+        restricted = full_universe_corpus.restrict_vocabulary(HARDWARE_CATEGORIES)
+        model = LatentDirichletAllocation(
+            n_topics=2, inference="variational", n_iter=20, seed=0
+        ).fit(restricted)
+        assert np.isfinite(model.perplexity(restricted))
+
+    def test_unknown_category_rejected(self, corpus):
+        with pytest.raises(ValueError, match="unknown"):
+            corpus.restrict_vocabulary(("OS", "flying_cars"))
+
+    def test_empty_vocabulary_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.restrict_vocabulary(())
+
+    def test_restriction_to_everything_is_identity(self, corpus):
+        same = corpus.restrict_vocabulary(corpus.vocabulary)
+        assert (same.binary_matrix() == corpus.binary_matrix()).all()
+
+
+class TestProspectList:
+    def test_prospect_list_sorted_and_client_free(self, corpus, fitted_lda, universe):
+        from repro.app import SalesRecommendationTool
+        from repro.data.internal import InternalSalesDatabase
+
+        internal = InternalSalesDatabase(universe.companies, client_rate=0.5, seed=0)
+        tool = SalesRecommendationTool(
+            corpus, fitted_lda.company_features(corpus), internal
+        )
+        prospects = tool.prospect_list(max_prospects=10)
+        assert 0 < len(prospects) <= 10
+        strengths = [total for __, total, __r in prospects]
+        assert strengths == sorted(strengths, reverse=True)
+        for duns, __, recommendations in prospects:
+            assert not internal.is_client(duns)
+            assert recommendations

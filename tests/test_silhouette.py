@@ -1,0 +1,112 @@
+"""Tests for silhouette scores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.silhouette import silhouette_samples, silhouette_score
+
+
+class TestSilhouetteSamples:
+    def test_well_separated_clusters_near_one(self, rng):
+        data = np.vstack(
+            [rng.normal(0, 0.01, size=(20, 2)), rng.normal(100, 0.01, size=(20, 2))]
+        )
+        labels = np.array([0] * 20 + [1] * 20)
+        values = silhouette_samples(data, labels)
+        assert values.min() > 0.99
+
+    def test_random_labels_near_zero(self, rng):
+        data = rng.normal(size=(100, 2))
+        labels = rng.integers(0, 2, size=100)
+        score = silhouette_samples(data, labels).mean()
+        assert abs(score) < 0.15
+
+    def test_misassigned_point_negative(self):
+        data = np.array([[0.0], [0.1], [10.0], [10.1], [0.05]])
+        labels = np.array([0, 0, 1, 1, 1])  # last point wrongly in cluster 1
+        values = silhouette_samples(data, labels)
+        assert values[-1] < 0.0
+
+    def test_known_two_point_clusters(self):
+        # Two tight pairs distance 1 apart internally 0.2.
+        data = np.array([[0.0], [0.2], [1.0], [1.2]])
+        labels = np.array([0, 0, 1, 1])
+        values = silhouette_samples(data, labels)
+        # First point: a = 0.2, b = mean(1.0, 1.2) = 1.1.
+        assert values[0] == pytest.approx((1.1 - 0.2) / 1.1)
+        # Second point: a = 0.2, b = mean(0.8, 1.0) = 0.9.
+        assert values[1] == pytest.approx((0.9 - 0.2) / 0.9)
+
+    def test_singleton_cluster_scores_zero(self):
+        data = np.array([[0.0], [0.1], [5.0]])
+        labels = np.array([0, 0, 1])
+        values = silhouette_samples(data, labels)
+        assert values[2] == 0.0
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(ValueError, match="two clusters"):
+            silhouette_samples(np.zeros((3, 2)), np.zeros(3, dtype=int))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            silhouette_samples(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+    def test_cosine_metric(self, rng):
+        directions = np.vstack(
+            [
+                rng.normal(0, 0.01, size=(10, 2)) + [1.0, 0.0],
+                rng.normal(0, 0.01, size=(10, 2)) + [0.0, 1.0],
+            ]
+        )
+        labels = np.array([0] * 10 + [1] * 10)
+        score = silhouette_samples(directions, labels, metric="cosine").mean()
+        assert score > 0.8
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            silhouette_samples(np.zeros((4, 2)), np.array([0, 0, 1, 1]), metric="manhattan")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_property_values_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(30, 3))
+        labels = rng.integers(0, 3, size=30)
+        if len(np.unique(labels)) < 2:
+            return
+        values = silhouette_samples(data, labels)
+        assert np.all(values >= -1.0 - 1e-9)
+        assert np.all(values <= 1.0 + 1e-9)
+
+
+class TestSilhouetteScore:
+    def test_matches_sample_mean(self, rng):
+        data = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 3, size=40)
+        full = silhouette_score(data, labels)
+        assert full == pytest.approx(silhouette_samples(data, labels).mean())
+
+    def test_sampled_score_close_to_full(self, rng):
+        data = np.vstack(
+            [rng.normal(0, 0.1, size=(200, 2)), rng.normal(5, 0.1, size=(200, 2))]
+        )
+        labels = np.array([0] * 200 + [1] * 200)
+        full = silhouette_score(data, labels)
+        sampled = silhouette_score(data, labels, sample_size=100, seed=0)
+        assert sampled == pytest.approx(full, abs=0.05)
+
+    def test_sample_size_too_small_rejected(self, rng):
+        data = rng.normal(size=(50, 2))
+        labels = rng.integers(0, 2, size=50)
+        with pytest.raises(ValueError):
+            silhouette_score(data, labels, sample_size=1)
+
+    def test_better_clustering_scores_higher(self, rng):
+        data = np.vstack(
+            [rng.normal(0, 0.2, size=(30, 2)), rng.normal(4, 0.2, size=(30, 2))]
+        )
+        good = np.array([0] * 30 + [1] * 30)
+        bad = np.tile([0, 1], 30)
+        assert silhouette_score(data, good) > silhouette_score(data, bad) + 0.5

@@ -1,0 +1,188 @@
+"""Tests for the install-base simulator."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import HARDWARE_CATEGORIES
+from repro.data.corpus import Corpus
+from repro.data.synthetic import InstallBaseSimulator, SimulatorConfig
+
+
+class TestSimulatorConfig:
+    def test_defaults_valid(self):
+        SimulatorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_companies": 0},
+            {"n_profiles": 0},
+            {"mixture_concentration": 0.0},
+            {"core_size": 0.0},
+            {"core_softness": 0.0},
+            {"ownership_cap": 1.5},
+            {"background_rate": -0.1},
+            {"size_jitter_sd": -1.0},
+            {"shared_head": -1},
+            {"temporal_coherence": 1.5},
+            {"min_products": 0},
+            {"max_sites": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            SimulatorConfig(**kwargs)
+
+    def test_date_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(
+                earliest_start=dt.date(2010, 1, 1), latest_start=dt.date(2000, 1, 1)
+            )
+
+
+class TestGeneration:
+    def test_company_count(self, universe):
+        assert len(universe.companies) == 300
+
+    def test_deterministic_given_seed(self, simulator):
+        a = simulator.generate(seed=3)
+        b = simulator.generate(seed=3)
+        assert [c.duns.value for c in a.companies] == [c.duns.value for c in b.companies]
+        assert all(
+            x.first_seen == y.first_seen
+            for x, y in zip(a.companies, b.companies)
+        )
+
+    def test_different_seeds_differ(self, simulator):
+        a = simulator.generate(seed=3)
+        b = simulator.generate(seed=4)
+        assert any(
+            x.first_seen != y.first_seen for x, y in zip(a.companies, b.companies)
+        )
+
+    def test_every_company_has_min_products(self, universe):
+        for company in universe.companies:
+            assert len(company) >= universe.config.min_products
+
+    def test_categories_are_hardware(self, universe):
+        valid = set(HARDWARE_CATEGORIES)
+        for company in universe.companies:
+            assert company.categories <= valid
+
+    def test_dates_within_observation_period(self, universe):
+        config = universe.config
+        for company in universe.companies:
+            for date in company.first_seen.values():
+                assert config.earliest_start <= date <= config.observation_end
+
+    def test_some_products_in_evaluation_period(self, universe):
+        # The sliding-window harness needs ground truth after 2013.
+        eval_start = dt.date(2013, 1, 1)
+        count = sum(
+            1
+            for company in universe.companies
+            for date in company.first_seen.values()
+            if date >= eval_start
+        )
+        assert count > 50
+
+    def test_sites_resolve_to_companies(self, universe):
+        ultimates = {c.duns.value for c in universe.companies}
+        for site in universe.sites:
+            resolved = universe.registry.domestic_ultimate(site.duns).value
+            assert resolved in ultimates
+
+    def test_sic2_assignments_cover_companies(self, universe):
+        for company in universe.companies:
+            assert company.duns.value in universe.sic2_by_ultimate
+
+    def test_ground_truth_shapes(self, universe):
+        truth = universe.ground_truth
+        n_profiles = universe.config.n_profiles
+        assert truth.profile_product.shape == (n_profiles, 38)
+        assert truth.company_mixture.shape == (universe.config.n_companies, n_profiles)
+        assert np.allclose(truth.profile_product.sum(axis=1), 1.0)
+        assert np.allclose(truth.company_mixture.sum(axis=1), 1.0)
+        assert truth.stages.shape == (38,)
+
+    def test_generate_companies_shortcut(self, simulator):
+        companies = simulator.generate_companies(seed=5)
+        assert len(companies) == 300
+
+
+class TestStatisticalShape:
+    """The calibration targets that make the paper's results reproducible."""
+
+    @pytest.fixture(scope="class")
+    def big_corpus(self):
+        simulator = InstallBaseSimulator(SimulatorConfig(n_companies=800))
+        universe = simulator.generate(seed=42)
+        return Corpus(universe.companies, simulator.catalog.categories), universe
+
+    def test_density_is_moderate(self, big_corpus):
+        corpus, __ = big_corpus
+        density = corpus.binary_matrix().mean()
+        # "The data in our deployment is relatively dense" — a fifth-ish of
+        # the 38 categories owned on average.
+        assert 0.1 < density < 0.35
+
+    def test_unigram_entropy_near_paper(self, big_corpus):
+        corpus, __ = big_corpus
+        matrix = corpus.binary_matrix()
+        counts = matrix.sum(axis=0)
+        proba = counts / counts.sum()
+        perplexity = np.exp(-(proba[proba > 0] * np.log(proba[proba > 0])).sum())
+        # Paper: unigram perplexity 19.5.  Allow a generous band.
+        assert 15.0 < perplexity < 25.0
+
+    def test_popular_categories_are_popular(self, big_corpus):
+        corpus, __ = big_corpus
+        matrix = corpus.binary_matrix()
+        popularity = matrix.mean(axis=0)
+        universal = max(
+            popularity[corpus.token(c)]
+            for c in ("OS", "network_HW", "server_HW", "printers")
+        )
+        median_rate = float(np.median(popularity))
+        assert universal > 1.5 * median_rate
+
+    def test_profiles_drive_ownership(self, big_corpus):
+        # Companies with the same dominant profile share far more products
+        # than companies with different profiles.
+        corpus, universe = big_corpus
+        labels = universe.ground_truth.company_mixture.argmax(axis=1)
+        matrix = corpus.binary_matrix()
+        same, diff = [], []
+        rng = np.random.default_rng(0)
+        for __ in range(400):
+            i, j = rng.integers(len(matrix), size=2)
+            if i == j:
+                continue
+            overlap = (matrix[i] * matrix[j]).sum() / max(
+                min(matrix[i].sum(), matrix[j].sum()), 1
+            )
+            (same if labels[i] == labels[j] else diff).append(overlap)
+        assert np.mean(same) > np.mean(diff) + 0.2
+
+    def test_foreign_sites_create_extra_companies(self):
+        config = SimulatorConfig(n_companies=60, foreign_site_rate=0.5)
+        universe = InstallBaseSimulator(config).generate(seed=1)
+        assert len(universe.companies) > 60
+        assert any(c.country != "US" for c in universe.companies)
+
+    def test_stage_ordering_biases_sequences(self):
+        # With full temporal coherence, early-stage categories come first.
+        config = SimulatorConfig(n_companies=100, temporal_coherence=1.0)
+        simulator = InstallBaseSimulator(config)
+        universe = simulator.generate(seed=0)
+        stages = universe.ground_truth.stages
+        corpus = Corpus(universe.companies, simulator.catalog.categories)
+        violations = total = 0
+        for seq in corpus.sequences():
+            for a, b in zip(seq, seq[1:]):
+                total += 1
+                if stages[a] > stages[b]:
+                    violations += 1
+        assert violations / max(total, 1) < 0.25

@@ -1,0 +1,108 @@
+"""Tests for the TF-IDF transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.preprocessing.tfidf import TfidfTransform
+
+binary_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 12), st.integers(2, 10)),
+    elements=st.sampled_from([0.0, 1.0]),
+)
+
+
+class TestFit:
+    def test_requires_fit_before_transform(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            TfidfTransform().transform(np.eye(3))
+
+    def test_idf_property_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            __ = TfidfTransform().idf
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            TfidfTransform().fit(np.array([[0.5, 1.0]]))
+
+    def test_rare_products_weigh_more(self):
+        matrix = np.array(
+            [[1, 1], [1, 0], [1, 0], [1, 0]], dtype=float
+        )  # column 0 universal, column 1 rare
+        transform = TfidfTransform().fit(matrix)
+        assert transform.idf[1] > transform.idf[0]
+
+    def test_unsmoothed_universal_column_zeroed(self):
+        matrix = np.array([[1, 1], [1, 0]], dtype=float)
+        transform = TfidfTransform(smooth=False).fit(matrix)
+        assert transform.idf[0] == 0.0
+        assert transform.idf[1] > 0.0
+
+    def test_unsmoothed_absent_column_zero(self):
+        matrix = np.array([[1, 0], [1, 0]], dtype=float)
+        transform = TfidfTransform(smooth=False).fit(matrix)
+        assert transform.idf[1] == 0.0
+
+
+class TestTransform:
+    def test_shape_preserved(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1]], dtype=float)
+        out = TfidfTransform().fit_transform(matrix)
+        assert out.shape == matrix.shape
+
+    def test_zeros_stay_zero(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1]], dtype=float)
+        out = TfidfTransform().fit_transform(matrix)
+        assert np.all(out[matrix == 0.0] == 0.0)
+
+    def test_l2_rows_have_unit_norm(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1]], dtype=float)
+        out = TfidfTransform(norm="l2").fit_transform(matrix)
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_l1_rows_sum_to_one(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1]], dtype=float)
+        out = TfidfTransform(norm="l1").fit_transform(matrix)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_norm_none_returns_raw_weights(self):
+        matrix = np.array([[1, 1], [1, 0]], dtype=float)
+        transform = TfidfTransform(norm="none").fit(matrix)
+        out = transform.transform(matrix)
+        assert np.allclose(out, matrix * transform.idf)
+
+    def test_dimension_mismatch_rejected(self):
+        transform = TfidfTransform().fit(np.eye(3))
+        with pytest.raises(ValueError, match="columns"):
+            transform.transform(np.eye(4))
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError):
+            TfidfTransform(norm="l3")
+
+    def test_transform_applies_train_idf_to_new_data(self):
+        train = np.array([[1, 1], [1, 0], [1, 0]], dtype=float)
+        transform = TfidfTransform(norm="none").fit(train)
+        held_out = np.array([[1, 1]], dtype=float)
+        out = transform.transform(held_out)
+        assert out[0, 1] > out[0, 0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(binary_matrices)
+    def test_property_output_finite_and_nonnegative(self, matrix):
+        out = TfidfTransform().fit_transform(matrix)
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= 0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(binary_matrices)
+    def test_property_l2_norms_at_most_one(self, matrix):
+        out = TfidfTransform(norm="l2").fit_transform(matrix)
+        norms = np.linalg.norm(out, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+        # Rows with at least one product have exactly unit norm.
+        has_products = matrix.sum(axis=1) > 0
+        assert np.allclose(norms[has_products], 1.0)

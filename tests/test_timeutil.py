@@ -1,0 +1,86 @@
+"""Tests for month-granularity calendar arithmetic."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.preprocessing.timeutil import (
+    add_months,
+    date_from_month_index,
+    month_index,
+    month_range,
+    months_between,
+)
+
+dates = st.dates(min_value=dt.date(1980, 1, 1), max_value=dt.date(2030, 12, 31))
+
+
+class TestMonthIndex:
+    def test_january_year_2000(self):
+        assert month_index(dt.date(2000, 1, 15)) == 2000 * 12
+
+    def test_day_is_ignored(self):
+        assert month_index(dt.date(2013, 5, 1)) == month_index(dt.date(2013, 5, 31))
+
+    @given(dates)
+    def test_roundtrip_first_of_month(self, date):
+        first = date.replace(day=1)
+        assert date_from_month_index(month_index(first)) == first
+
+    def test_date_from_index_rejects_year_zero(self):
+        with pytest.raises(ValueError):
+            date_from_month_index(5)
+
+
+class TestAddMonths:
+    def test_simple(self):
+        assert add_months(dt.date(2013, 1, 1), 12) == dt.date(2014, 1, 1)
+
+    def test_clamps_day(self):
+        assert add_months(dt.date(2013, 1, 31), 1) == dt.date(2013, 2, 28)
+
+    def test_leap_year_clamp(self):
+        assert add_months(dt.date(2016, 1, 31), 1) == dt.date(2016, 2, 29)
+
+    def test_december_rollover(self):
+        assert add_months(dt.date(2015, 12, 15), 1) == dt.date(2016, 1, 15)
+
+    def test_negative_months(self):
+        assert add_months(dt.date(2013, 3, 15), -2) == dt.date(2013, 1, 15)
+
+    @given(dates, st.integers(min_value=-240, max_value=240))
+    def test_month_index_advances_exactly(self, date, months):
+        shifted = add_months(date, months)
+        assert month_index(shifted) == month_index(date) + months
+
+    @given(dates, st.integers(min_value=-240, max_value=240))
+    def test_day_never_exceeds_original(self, date, months):
+        assert add_months(date, months).day <= date.day
+
+
+class TestMonthsBetween:
+    def test_paper_window(self):
+        # January 2013 to January 2016 spans 36 months.
+        assert months_between(dt.date(2013, 1, 1), dt.date(2016, 1, 31)) == 36
+
+    def test_negative_when_reversed(self):
+        assert months_between(dt.date(2016, 1, 1), dt.date(2013, 1, 1)) == -36
+
+
+class TestMonthRange:
+    def test_stride_two_matches_paper_windows(self):
+        starts = list(
+            month_range(dt.date(2013, 1, 1), dt.date(2015, 2, 1), stride=2)
+        )
+        assert len(starts) == 13
+        assert starts[0] == dt.date(2013, 1, 1)
+        assert starts[-1] == dt.date(2015, 1, 1)
+
+    def test_empty_range(self):
+        assert list(month_range(dt.date(2015, 1, 1), dt.date(2015, 1, 1))) == []
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            list(month_range(dt.date(2013, 1, 1), dt.date(2014, 1, 1), stride=0))

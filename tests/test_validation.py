@@ -1,0 +1,187 @@
+"""Unit tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_rng,
+    check_fraction_triple,
+    check_in_choices,
+    check_matrix,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_rng,
+    check_sequences,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(1.5, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="my_arg"):
+            check_positive_int(0, "my_arg")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-2, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 7])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_probability("half", "p")
+
+
+class TestCheckPositiveFloat:
+    def test_accepts_int_input(self):
+        assert check_positive_float(2, "x") == 2.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive_float(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive_float(float("inf"), "x")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_float(0.0, "x")
+
+
+class TestCheckFractionTriple:
+    def test_standard_split(self):
+        assert check_fraction_triple((0.7, 0.1, 0.2)) == (0.7, 0.1, 0.2)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="exactly 3"):
+            check_fraction_triple((0.5, 0.5))
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_fraction_triple((0.5, 0.2, 0.2))
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(ValueError):
+            check_fraction_triple((1.2, -0.1, -0.1))
+
+    def test_rejects_zero_train(self):
+        with pytest.raises(ValueError, match="train"):
+            check_fraction_triple((0.0, 0.5, 0.5))
+
+
+class TestCheckInChoices:
+    def test_accepts_member(self):
+        assert check_in_choices("a", "x", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            check_in_choices("c", "x", ("a", "b"))
+
+
+class TestRngHelpers:
+    def test_as_rng_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_as_rng_int_is_deterministic(self):
+        a = as_rng(42).random(3)
+        b = as_rng(42).random(3)
+        assert np.allclose(a, b)
+
+    def test_as_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+    def test_check_rng_rejects_legacy_state(self):
+        with pytest.raises(TypeError):
+            check_rng(np.random.RandomState(0))
+
+
+class TestCheckMatrix:
+    def test_accepts_lists(self):
+        out = check_matrix([[1, 0], [0, 1]], "m")
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_matrix([1, 2, 3], "m")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.empty((0, 3)), "m")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_matrix([[np.nan, 1.0]], "m")
+
+    def test_binary_flag_rejects_other_values(self):
+        with pytest.raises(ValueError, match="binary"):
+            check_matrix([[0.5, 1.0]], "m", binary=True)
+
+    def test_binary_flag_accepts_zeros_and_ones(self):
+        check_matrix([[0.0, 1.0], [1.0, 1.0]], "m", binary=True)
+
+
+class TestCheckSequences:
+    def test_roundtrip(self):
+        assert check_sequences([[1, 2], []], "s") == [[1, 2], []]
+
+    def test_rejects_non_list(self):
+        with pytest.raises(TypeError):
+            check_sequences("abc", "s")
+
+    def test_rejects_negative_token(self):
+        with pytest.raises(ValueError):
+            check_sequences([[-1]], "s")
+
+    def test_rejects_token_beyond_vocab(self):
+        with pytest.raises(ValueError, match="vocab_size"):
+            check_sequences([[5]], "s", vocab_size=5)
+
+    def test_rejects_float_tokens(self):
+        with pytest.raises(TypeError):
+            check_sequences([[1.5]], "s")
+
+    def test_accepts_numpy_arrays(self):
+        assert check_sequences([np.array([0, 1])], "s") == [[0, 1]]

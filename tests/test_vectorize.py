@@ -1,0 +1,82 @@
+"""Tests for sequence vectorization helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocessing.vectorize import (
+    binary_matrix,
+    sequence_lengths,
+    sequences_to_padded_array,
+)
+
+token_sequences = st.lists(
+    st.lists(st.integers(0, 9), max_size=12), min_size=1, max_size=8
+)
+
+
+class TestBinaryMatrix:
+    def test_basic(self):
+        out = binary_matrix([[0, 2], [1]], vocab_size=3)
+        assert np.array_equal(out, [[1, 0, 1], [0, 1, 0]])
+
+    def test_duplicates_collapse(self):
+        out = binary_matrix([[1, 1, 1]], vocab_size=2)
+        assert np.array_equal(out, [[0, 1]])
+
+    def test_rejects_out_of_vocab(self):
+        with pytest.raises(ValueError):
+            binary_matrix([[5]], vocab_size=3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(token_sequences)
+    def test_property_row_sums_equal_distinct_tokens(self, sequences):
+        out = binary_matrix(sequences, vocab_size=10)
+        for row, seq in zip(out, sequences):
+            assert row.sum() == len(set(seq))
+
+
+class TestSequenceLengths:
+    def test_lengths(self):
+        assert np.array_equal(sequence_lengths([[1, 2], [], [3]]), [2, 0, 1])
+
+
+class TestPaddedArray:
+    def test_basic_padding(self):
+        padded, mask = sequences_to_padded_array([[1, 2, 3], [4]])
+        assert padded.shape == (2, 3)
+        assert np.array_equal(padded[1], [4, -1, -1])
+        assert np.array_equal(mask, [[True, True, True], [True, False, False]])
+
+    def test_custom_pad_value(self):
+        padded, __ = sequences_to_padded_array([[1], [2, 3]], pad_value=99)
+        assert padded[0, 1] == 99
+
+    def test_truncation_keeps_prefix(self):
+        padded, mask = sequences_to_padded_array([[1, 2, 3, 4]], max_len=2)
+        assert np.array_equal(padded, [[1, 2]])
+        assert mask.all()
+
+    def test_all_empty_sequences(self):
+        padded, mask = sequences_to_padded_array([[], []])
+        assert padded.shape == (2, 1)
+        assert not mask.any()
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            sequences_to_padded_array([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(token_sequences)
+    def test_property_mask_matches_lengths(self, sequences):
+        padded, mask = sequences_to_padded_array(sequences)
+        lengths = sequence_lengths(sequences)
+        assert np.array_equal(mask.sum(axis=1), lengths)
+
+    @settings(max_examples=30, deadline=None)
+    @given(token_sequences)
+    def test_property_roundtrip_tokens(self, sequences):
+        padded, mask = sequences_to_padded_array(sequences)
+        for row, row_mask, seq in zip(padded, mask, sequences):
+            assert list(row[row_mask]) == seq

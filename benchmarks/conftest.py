@@ -5,13 +5,28 @@ standard synthetic corpus (DESIGN.md Section 4 maps benchmarks to paper
 artifacts).  The corpus is generated once per session; individual
 benchmarks time the experiment drivers and print the reproduced rows next
 to the paper's reported values.
+
+The suite runs with ``repro.obs`` tracing and metrics enabled: every
+benchmark executes inside a ``bench.<test-name>`` span, and the session
+writes a JSON artifact (span trees + metrics snapshot) so ``BENCH_*.json``
+result files can carry stage-level breakdowns, not just totals.  Set
+``REPRO_OBS_BENCH_ARTIFACT`` to choose the output path (default
+``BENCH_METRICS.json`` in the invocation directory); set it to an empty
+string to skip the artifact.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
+from repro import obs
 from repro.experiments import make_experiment_data
+from repro.obs import report as obs_report
+from repro.obs import trace as obs_trace
 
 #: Corpus size used by the benchmark suite.  The paper uses 860k companies;
 #: the experiments here are calibrated so their qualitative results hold at
@@ -30,6 +45,31 @@ BENCH_SEED = 7
 def bench_data():
     """The standard benchmark universe, corpus and 70/10/20 split."""
     return make_experiment_data(BENCH_COMPANIES, seed=BENCH_SEED)
+
+
+def pytest_configure(config):
+    """Enable tracing + metrics for the whole benchmark session."""
+    obs.reset_all()
+    obs.enable_all()
+
+
+@pytest.fixture(autouse=True)
+def _bench_span(request):
+    """Run every benchmark inside its own ``bench.<name>`` root span."""
+    with obs_trace.span(f"bench.{request.node.name}"):
+        yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the span/metrics artifact and restore the disabled default."""
+    target = os.environ.get("REPRO_OBS_BENCH_ARTIFACT", "BENCH_METRICS.json")
+    if target:
+        payload = obs_report.render_json()
+        payload["companies"] = BENCH_COMPANIES
+        payload["seed"] = BENCH_SEED
+        payload["exit_status"] = int(exitstatus)
+        Path(target).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    obs.disable_all()
 
 
 @pytest.fixture(scope="session")

@@ -14,14 +14,22 @@ Every paper artifact can be regenerated from the console::
     repro sales-demo
 
 All commands accept ``--companies`` and ``--seed`` to control the synthetic
-universe.  Output is plain fixed-width text.
+universe, plus the observability flags ``--log-level``, ``--log-json PATH``,
+``--trace`` and ``--profile``.  Output is plain fixed-width text; ``--trace``
+appends a span-tree timing report covering every stage and model.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable
+
+from repro import obs
+from repro.obs import profile as obs_profile
+from repro.obs import report as obs_report
+from repro.obs import trace as obs_trace
 
 from repro.experiments import (
     make_experiment_data,
@@ -43,42 +51,108 @@ from repro.recommend.windows import SlidingWindowSpec
 __all__ = ["main", "build_parser"]
 
 
+def _add_global_options(parser: argparse.ArgumentParser, *, suppress: bool) -> None:
+    """Attach the shared corpus + observability flags to ``parser``.
+
+    The same options are registered on the main parser (with real
+    defaults) and, defaults-suppressed, on every subparser — so
+    ``repro --trace table1`` and ``repro table1 --trace`` both work.
+    """
+
+    def default(value: object) -> object:
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument(
+        "--companies", type=int, default=default(2000), help="synthetic corpus size"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=default(7), help="universe generation seed"
+    )
+    parser.add_argument(
+        "--log-level",
+        default=default("warning"),
+        choices=("debug", "info", "warning", "error"),
+        help="console log threshold",
+    )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=default(None),
+        help="also append structured JSON-lines logs to PATH",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        default=default(False),
+        help="record stage/model spans and print a timing report",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        default=default(False),
+        help="capture the cProfile top hot functions (implies a report)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for all experiment subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the EDBT 2019 hidden-layer-models experiments.",
     )
-    parser.add_argument("--companies", type=int, default=2000, help="synthetic corpus size")
-    parser.add_argument("--seed", type=int, default=7, help="universe generation seed")
+    _add_global_options(parser, suppress=False)
+    shared = argparse.ArgumentParser(add_help=False)
+    _add_global_options(shared, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="Table 1: minimum perplexity per method")
+    sub.add_parser(
+        "table1", help="Table 1: minimum perplexity per method", parents=[shared]
+    )
 
-    lda = sub.add_parser("lda-sweep", help="Figure 2: LDA perplexity vs topics")
+    lda = sub.add_parser(
+        "lda-sweep", help="Figure 2: LDA perplexity vs topics", parents=[shared]
+    )
     lda.add_argument("--iterations", type=int, default=100)
 
-    lstm = sub.add_parser("lstm-grid", help="Figure 1: LSTM architecture grid")
+    lstm = sub.add_parser(
+        "lstm-grid", help="Figure 1: LSTM architecture grid", parents=[shared]
+    )
     lstm.add_argument("--epochs", type=int, default=14)
 
-    rec = sub.add_parser("recommend", help="Figures 3/4: recommendation accuracy")
+    rec = sub.add_parser(
+        "recommend", help="Figures 3/4: recommendation accuracy", parents=[shared]
+    )
     rec.add_argument("--windows", type=int, default=13)
     rec.add_argument("--retrain", action="store_true", help="retrain per window (slow)")
 
-    sub.add_parser("bpmf", help="Figures 5/6: BPMF score degeneracy")
-    sub.add_parser("silhouette", help="Figure 7: silhouette curves")
+    sub.add_parser(
+        "bpmf", help="Figures 5/6: BPMF score degeneracy", parents=[shared]
+    )
+    sub.add_parser("silhouette", help="Figure 7: silhouette curves", parents=[shared])
 
-    tsne = sub.add_parser("tsne", help="Figures 8/9: t-SNE product projection")
+    tsne = sub.add_parser(
+        "tsne", help="Figures 8/9: t-SNE product projection", parents=[shared]
+    )
     tsne.add_argument("--topics", type=int, default=3)
 
-    sub.add_parser("sequentiality", help="In-text binomial sequentiality test")
-    sub.add_parser("cocluster", help="Section 3.1 co-clustering baseline")
-    sub.add_parser("sales-demo", help="Section 6 sales tool walk-through")
+    sub.add_parser(
+        "sequentiality", help="In-text binomial sequentiality test", parents=[shared]
+    )
+    sub.add_parser(
+        "cocluster", help="Section 3.1 co-clustering baseline", parents=[shared]
+    )
+    sub.add_parser(
+        "sales-demo", help="Section 6 sales tool walk-through", parents=[shared]
+    )
 
-    rank = sub.add_parser("ranking", help="Extension: top-k ranking metrics")
+    rank = sub.add_parser(
+        "ranking", help="Extension: top-k ranking metrics", parents=[shared]
+    )
     rank.add_argument("--k", type=int, default=5)
 
-    sub.add_parser("representations", help="Extension: representation families")
+    sub.add_parser(
+        "representations", help="Extension: representation families", parents=[shared]
+    )
     return parser
 
 
@@ -263,9 +337,49 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for the ``repro`` console script."""
-    args = build_parser().parse_args(argv)
-    _COMMANDS[args.command](args)
+    """Entry point for the ``repro`` console script.
+
+    Observability flags: ``--trace`` records stage/model spans and prints a
+    timing report after the command's normal output; ``--profile`` adds the
+    cProfile top hot functions; ``--log-level`` / ``--log-json`` configure
+    the structured logger.  With all flags off the instrumented paths stay
+    dormant (single flag checks).
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        obs.configure_logging(args.log_level.upper(), json_path=args.log_json)
+    except OSError as exc:
+        parser.error(f"--log-json: cannot open {args.log_json!r} ({exc.strerror})")
+    if args.trace or args.profile:
+        obs.enable_all()
+    if args.profile:
+        obs_profile.enable()
+    log = obs.get_logger("cli")
+    log.info(
+        "command started",
+        extra={"obs": {"command": args.command, "companies": args.companies,
+                       "seed": args.seed}},
+    )
+    started = time.perf_counter()
+    try:
+        with obs_trace.span(f"cmd.{args.command}"), obs_profile.capture(
+            f"cmd.{args.command}"
+        ):
+            _COMMANDS[args.command](args)
+    except Exception:
+        log.error("command failed", exc_info=True,
+                  extra={"obs": {"command": args.command}})
+        raise
+    log.info(
+        "command finished",
+        extra={"obs": {"command": args.command,
+                       "wall_s": round(time.perf_counter() - started, 3)}},
+    )
+    if args.trace or args.profile:
+        log.info("run report", extra={"obs": obs_report.render_json()})
+        print()
+        print(obs_report.render_text())
     return 0
 
 

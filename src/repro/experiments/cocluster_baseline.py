@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.analysis.cocluster import SpectralCoclustering
 from repro.experiments.common import ExperimentData
+from repro.obs import trace
 
 __all__ = ["run_cocluster_baseline"]
 
@@ -45,7 +46,8 @@ def run_cocluster_baseline(
     kept_products = [
         data.corpus.vocabulary[i] for i in np.flatnonzero(col_keep)
     ]
-    model = SpectralCoclustering(n_clusters=n_clusters, seed=seed).fit(trimmed)
+    with trace.span("exp.cocluster.fit"):
+        model = SpectralCoclustering(n_clusters=n_clusters, seed=seed).fit(trimmed)
     summaries = model.cocluster_summary(trimmed)
 
     # The densest co-cluster with at least two products and two companies;
@@ -87,18 +89,19 @@ def run_cocluster_baseline(
                     total += int(np.bincount(members).max())
             return total / len(true_profiles)
 
-        purity = _purity(model.row_labels_)
-        # The paper's resolution: clustering on LDA features recovers the
-        # structure better than raw-matrix co-clustering.
-        from repro.analysis.kmeans import KMeans
-        from repro.models.lda import LatentDirichletAllocation
+        with trace.span("exp.cocluster.evaluate"):
+            purity = _purity(model.row_labels_)
+            # The paper's resolution: clustering on LDA features recovers the
+            # structure better than raw-matrix co-clustering.
+            from repro.analysis.kmeans import KMeans
+            from repro.models.lda import LatentDirichletAllocation
 
-        n_profiles = data.universe.config.n_profiles
-        lda = LatentDirichletAllocation(
-            n_topics=n_profiles, inference="variational", n_iter=80, seed=seed
-        ).fit(data.corpus)
-        theta = lda.company_features(data.corpus)[row_keep]
-        lda_purity = _purity(KMeans(n_profiles, seed=seed).fit_predict(theta))
+            n_profiles = data.universe.config.n_profiles
+            lda = LatentDirichletAllocation(
+                n_topics=n_profiles, inference="variational", n_iter=80, seed=seed
+            ).fit(data.corpus)
+            theta = lda.company_features(data.corpus)[row_keep]
+            lda_purity = _purity(KMeans(n_profiles, seed=seed).fit_predict(theta))
     return {
         "summaries": summaries,
         "densest_cluster_products": dense_products,

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.data.corpus import Corpus, CorpusSplit
 from repro.data.synthetic import InstallBaseSimulator, SimulatedUniverse, SimulatorConfig
+from repro.obs import trace
 
 __all__ = ["ExperimentData", "make_experiment_data"]
 
@@ -38,8 +39,12 @@ def make_experiment_data(
         raise ValueError(
             "n_companies argument disagrees with config.n_companies; set one"
         )
-    simulator = InstallBaseSimulator(config)
-    universe = simulator.generate(seed=seed)
-    corpus = Corpus(universe.companies, simulator.catalog.categories)
-    split = corpus.split((0.7, 0.1, 0.2), seed=split_seed)
+    with trace.span("exp.data.simulate"):
+        simulator = InstallBaseSimulator(config)
+        universe = simulator.generate(seed=seed)
+        corpus = Corpus(universe.companies, simulator.catalog.categories)
+        trace.add_counter("n_companies", corpus.n_companies)
+        trace.add_counter("n_products", corpus.n_products)
+    with trace.span("exp.data.split"):
+        split = corpus.split((0.7, 0.1, 0.2), seed=split_seed)
     return ExperimentData(universe=universe, corpus=corpus, split=split)

@@ -12,6 +12,7 @@ from typing import Sequence
 
 from repro.experiments.common import ExperimentData
 from repro.models.lstm import LSTMModel
+from repro.obs import trace
 
 __all__ = ["run_lstm_grid"]
 
@@ -33,21 +34,23 @@ def run_lstm_grid(
     rows: list[dict[str, float]] = []
     for n_layers in layer_grid:
         for nodes in node_grid:
-            model = LSTMModel(
-                hidden=nodes,
-                n_layers=n_layers,
-                n_epochs=n_epochs,
-                validation=split.validation,
-                seed=seed,
-            ).fit(split.train)
-            rows.append(
-                {
-                    "n_layers": float(n_layers),
-                    "nodes": float(nodes),
-                    "test_perplexity": model.perplexity(split.test),
-                    "n_parameters": float(model.n_parameters),
-                }
-            )
+            with trace.span("exp.fig1.fit"):
+                model = LSTMModel(
+                    hidden=nodes,
+                    n_layers=n_layers,
+                    n_epochs=n_epochs,
+                    validation=split.validation,
+                    seed=seed,
+                ).fit(split.train)
+            with trace.span("exp.fig1.evaluate"):
+                rows.append(
+                    {
+                        "n_layers": float(n_layers),
+                        "nodes": float(nodes),
+                        "test_perplexity": model.perplexity(split.test),
+                        "n_parameters": float(model.n_parameters),
+                    }
+                )
     return rows
 
 

@@ -13,6 +13,7 @@ from typing import Sequence
 
 from repro.experiments.common import ExperimentData
 from repro.models.lda import LatentDirichletAllocation
+from repro.obs import trace
 
 __all__ = ["run_lda_sweep"]
 
@@ -30,21 +31,23 @@ def run_lda_sweep(
     rows: list[dict[str, float | str]] = []
     for input_type in inputs:
         for n_topics in topic_grid:
-            model = LatentDirichletAllocation(
-                n_topics=n_topics,
-                inference="variational",
-                input_type=input_type,
-                n_iter=n_iter,
-                seed=seed,
-            ).fit(split.train)
-            rows.append(
-                {
-                    "input": input_type,
-                    "n_topics": float(n_topics),
-                    "test_perplexity": model.perplexity(split.test),
-                    "n_parameters": float(model.n_parameters),
-                }
-            )
+            with trace.span("exp.fig2.fit"):
+                model = LatentDirichletAllocation(
+                    n_topics=n_topics,
+                    inference="variational",
+                    input_type=input_type,
+                    n_iter=n_iter,
+                    seed=seed,
+                ).fit(split.train)
+            with trace.span("exp.fig2.evaluate"):
+                rows.append(
+                    {
+                        "input": input_type,
+                        "n_topics": float(n_topics),
+                        "test_perplexity": model.perplexity(split.test),
+                        "n_parameters": float(model.n_parameters),
+                    }
+                )
     return rows
 
 

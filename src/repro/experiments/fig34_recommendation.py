@@ -24,6 +24,7 @@ from repro.experiments.common import ExperimentData
 from repro.models.chh import ConditionalHeavyHitters
 from repro.models.lda import LatentDirichletAllocation
 from repro.models.lstm import LSTMModel
+from repro.obs import trace
 from repro.recommend.baselines import RandomRecommender
 from repro.recommend.evaluation import RecommendationEvaluator, ThresholdCurve
 from repro.recommend.windows import SlidingWindowSpec
@@ -72,7 +73,8 @@ def run_recommendation_accuracy(
         thresholds=thresholds,
         retrain_per_window=retrain_per_window,
     )
-    return evaluator.evaluate(factories)
+    with trace.span("exp.fig34.evaluate"):
+        return evaluator.evaluate(factories)
 
 
 def format_curves(curves: dict[str, ThresholdCurve]) -> str:

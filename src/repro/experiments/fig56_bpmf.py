@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentData
 from repro.models.bpmf import BayesianPMF
+from repro.obs import trace
 
 __all__ = ["run_bpmf_analysis"]
 
@@ -44,8 +45,9 @@ def run_bpmf_analysis(
     import datetime as dt
 
     cutoff = dt.date(2013, 1, 1)
-    train = corpus.truncated_before(cutoff)
-    model = BayesianPMF(n_factors=n_factors, n_iter=n_iter, seed=seed).fit(train)
+    with trace.span("exp.fig56.fit"):
+        train = corpus.truncated_before(cutoff)
+        model = BayesianPMF(n_factors=n_factors, n_iter=n_iter, seed=seed).fit(train)
     scores = model.recommendation_scores()
     quantiles = {
         "min": float(scores.min()),
@@ -58,47 +60,48 @@ def run_bpmf_analysis(
 
     # One evaluation pass: recommend unowned products above each threshold,
     # judged against what appeared after the cutoff.
-    train_index = {c.duns.value: i for i, c in enumerate(train.companies)}
-    rows = []
-    predictions = model.prediction_matrix
-    per_company: list[tuple[np.ndarray, set[int], set[int]]] = []
-    for company in corpus.companies:
-        idx = train_index.get(company.duns.value)
-        if idx is None:
-            continue
-        owned = {
-            corpus.token(c) for c, d in company.first_seen.items() if d < cutoff
-        }
-        truth = {
-            corpus.token(c) for c, d in company.first_seen.items() if d >= cutoff
-        }
-        per_company.append((predictions[idx], owned, truth))
-    n_relevant = sum(len(t) for __, __, t in per_company)
-    for threshold in thresholds:
-        n_retrieved = 0
-        n_correct = 0
-        for score_row, owned, truth in per_company:
-            hits = {
-                token
-                for token in np.flatnonzero(score_row >= threshold)
-                if token not in owned
+    with trace.span("exp.fig56.evaluate"):
+        train_index = {c.duns.value: i for i, c in enumerate(train.companies)}
+        rows = []
+        predictions = model.prediction_matrix
+        per_company: list[tuple[np.ndarray, set[int], set[int]]] = []
+        for company in corpus.companies:
+            idx = train_index.get(company.duns.value)
+            if idx is None:
+                continue
+            owned = {
+                corpus.token(c) for c, d in company.first_seen.items() if d < cutoff
             }
-            n_retrieved += len(hits)
-            n_correct += len(hits & truth)
-        precision = n_correct / n_retrieved if n_retrieved else float("nan")
-        recall = n_correct / n_relevant if n_relevant else 0.0
-        if np.isnan(precision) or precision + recall == 0.0:
-            f1 = float("nan")
-        else:
-            f1 = 2 * precision * recall / (precision + recall)
-        rows.append(
-            {
-                "threshold": float(threshold),
-                "precision": precision,
-                "recall": recall,
-                "f1": f1,
-                "retrieved": float(n_retrieved),
-                "correct": float(n_correct),
+            truth = {
+                corpus.token(c) for c, d in company.first_seen.items() if d >= cutoff
             }
-        )
+            per_company.append((predictions[idx], owned, truth))
+        n_relevant = sum(len(t) for __, __, t in per_company)
+        for threshold in thresholds:
+            n_retrieved = 0
+            n_correct = 0
+            for score_row, owned, truth in per_company:
+                hits = {
+                    token
+                    for token in np.flatnonzero(score_row >= threshold)
+                    if token not in owned
+                }
+                n_retrieved += len(hits)
+                n_correct += len(hits & truth)
+            precision = n_correct / n_retrieved if n_retrieved else float("nan")
+            recall = n_correct / n_relevant if n_relevant else 0.0
+            if np.isnan(precision) or precision + recall == 0.0:
+                f1 = float("nan")
+            else:
+                f1 = 2 * precision * recall / (precision + recall)
+            rows.append(
+                {
+                    "threshold": float(threshold),
+                    "precision": precision,
+                    "recall": recall,
+                    "f1": f1,
+                    "retrieved": float(n_retrieved),
+                    "correct": float(n_correct),
+                }
+            )
     return {"score_quantiles": quantiles, "threshold_rows": rows}

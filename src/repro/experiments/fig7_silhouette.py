@@ -17,6 +17,7 @@ from repro.analysis.kmeans import KMeans
 from repro.analysis.silhouette import silhouette_score
 from repro.experiments.common import ExperimentData
 from repro.models.lda import LatentDirichletAllocation
+from repro.obs import trace
 from repro.preprocessing.tfidf import TfidfTransform
 
 __all__ = ["run_silhouette_curves", "DEFAULT_CLUSTER_GRID"]
@@ -61,24 +62,26 @@ def run_silhouette_curves(
     seed: int = 0,
 ) -> list[dict[str, float | str]]:
     """Silhouette score for every (representation, cluster count) pair."""
-    representations = build_representations(data, seed=seed)
+    with trace.span("exp.fig7.fit"):
+        representations = build_representations(data, seed=seed)
     n = data.corpus.n_companies
     rows: list[dict[str, float | str]] = []
-    for name, features in representations.items():
-        for k in cluster_grid:
-            if k >= n:
-                continue
-            labels = KMeans(k, seed=seed).fit_predict(features)
-            score = silhouette_score(
-                features, labels, sample_size=sample_size, seed=seed
-            )
-            rows.append(
-                {
-                    "representation": name,
-                    "n_clusters": float(k),
-                    "silhouette": score,
-                }
-            )
+    with trace.span("exp.fig7.evaluate"):
+        for name, features in representations.items():
+            for k in cluster_grid:
+                if k >= n:
+                    continue
+                labels = KMeans(k, seed=seed).fit_predict(features)
+                score = silhouette_score(
+                    features, labels, sample_size=sample_size, seed=seed
+                )
+                rows.append(
+                    {
+                        "representation": name,
+                        "n_clusters": float(k),
+                        "silhouette": score,
+                    }
+                )
     return rows
 
 

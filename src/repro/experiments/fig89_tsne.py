@@ -17,6 +17,7 @@ import numpy as np
 from repro.analysis.tsne import TSNE
 from repro.experiments.common import ExperimentData
 from repro.models.lda import LatentDirichletAllocation
+from repro.obs import trace
 
 __all__ = ["run_tsne_projection", "HARDWARE_GROUP", "SOFTWARE_GROUP"]
 
@@ -63,13 +64,15 @@ def run_tsne_projection(
       topic produce clusters of products".
     """
     corpus = data.corpus
-    lda = LatentDirichletAllocation(
-        n_topics=n_topics, inference="variational", n_iter=100, seed=seed
-    ).fit(corpus)
-    embeddings = lda.product_embeddings()
-    projection = TSNE(
-        2, perplexity=perplexity, n_iter=n_iter, seed=seed
-    ).fit_transform(embeddings)
+    with trace.span("exp.fig89.fit"):
+        lda = LatentDirichletAllocation(
+            n_topics=n_topics, inference="variational", n_iter=100, seed=seed
+        ).fit(corpus)
+        embeddings = lda.product_embeddings()
+    with trace.span("exp.fig89.project"):
+        projection = TSNE(
+            2, perplexity=perplexity, n_iter=n_iter, seed=seed
+        ).fit_transform(embeddings)
     coordinates = {
         category: (float(projection[i, 0]), float(projection[i, 1]))
         for i, category in enumerate(corpus.vocabulary)

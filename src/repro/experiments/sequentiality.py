@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.stats import SequentialityReport, sequentiality_test
 from repro.experiments.common import ExperimentData
+from repro.obs import trace
 
 __all__ = ["run_sequentiality", "PAPER_FRACTIONS"]
 
@@ -21,7 +22,8 @@ def run_sequentiality(
     data: ExperimentData, *, alpha: float = 0.05
 ) -> dict[int, SequentialityReport]:
     """Bigram and trigram sequentiality reports for the corpus."""
-    return {
-        order: sequentiality_test(data.corpus, order=order, alpha=alpha)
-        for order in (2, 3)
-    }
+    with trace.span("exp.sequentiality.evaluate"):
+        return {
+            order: sequentiality_test(data.corpus, order=order, alpha=alpha)
+            for order in (2, 3)
+        }

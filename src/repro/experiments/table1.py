@@ -13,6 +13,7 @@ from repro.models.lda import LatentDirichletAllocation
 from repro.models.lstm import LSTMModel
 from repro.models.ngram import NGramModel
 from repro.models.unigram import UnigramModel
+from repro.obs import trace
 
 __all__ = ["run_perplexity_table", "PAPER_TABLE1"]
 
@@ -41,34 +42,34 @@ def run_perplexity_table(
     the better of bigram/trigram, and the unigram baseline.
     """
     split = data.split
-    results: dict[str, float] = {}
 
-    unigram = UnigramModel().fit(split.train)
-    results["unigram"] = unigram.perplexity(split.test)
+    with trace.span("exp.table1.fit"):
+        unigram = UnigramModel().fit(split.train)
+        bigram = NGramModel(order=2).fit(split.train)
+        trigram = NGramModel(order=3).fit(split.train)
+        lstm = LSTMModel(
+            hidden=lstm_hidden,
+            n_layers=1,
+            n_epochs=lstm_epochs,
+            validation=split.validation,
+            seed=seed,
+        ).fit(split.train)
+        lda = LatentDirichletAllocation(
+            n_topics=lda_topics,
+            inference="variational",
+            n_iter=lda_iter,
+            seed=seed,
+        ).fit(split.train)
 
-    bigram = NGramModel(order=2).fit(split.train)
-    trigram = NGramModel(order=3).fit(split.train)
-    results["ngram"] = min(
-        bigram.perplexity(split.test), trigram.perplexity(split.test)
-    )
-
-    lstm = LSTMModel(
-        hidden=lstm_hidden,
-        n_layers=1,
-        n_epochs=lstm_epochs,
-        validation=split.validation,
-        seed=seed,
-    ).fit(split.train)
-    results["lstm"] = lstm.perplexity(split.test)
-
-    lda = LatentDirichletAllocation(
-        n_topics=lda_topics,
-        inference="variational",
-        n_iter=lda_iter,
-        seed=seed,
-    ).fit(split.train)
-    results["lda"] = lda.perplexity(split.test)
-
+    with trace.span("exp.table1.evaluate"):
+        results: dict[str, float] = {
+            "unigram": unigram.perplexity(split.test),
+            "ngram": min(
+                bigram.perplexity(split.test), trigram.perplexity(split.test)
+            ),
+            "lstm": lstm.perplexity(split.test),
+            "lda": lda.perplexity(split.test),
+        }
     return results
 
 

@@ -32,6 +32,7 @@ from typing import Any
 import numpy as np
 
 from repro.data.corpus import Corpus
+from repro.obs.instrument import InstrumentedModel
 
 __all__ = ["GenerativeModel", "NotFittedError"]
 
@@ -40,8 +41,14 @@ class NotFittedError(RuntimeError):
     """Raised when a model is used before :meth:`GenerativeModel.fit`."""
 
 
-class GenerativeModel(abc.ABC):
-    """Abstract base for generative company-product models."""
+class GenerativeModel(InstrumentedModel, abc.ABC):
+    """Abstract base for generative company-product models.
+
+    Through :class:`~repro.obs.instrument.InstrumentedModel`, every
+    concrete subclass's ``fit`` / ``log_prob`` / ``next_product_proba`` /
+    ``batch_next_product_proba`` is wrapped in a ``model.<name>.<method>``
+    span and call counter — active only while tracing is enabled.
+    """
 
     #: Short display name used in benchmark tables.
     name: str = "model"
@@ -82,10 +89,13 @@ class GenerativeModel(abc.ABC):
 
         The default loops; models with a cheaper batched path (LDA's batch
         fold-in, the LSTM's padded forward) override it.  The sliding-window
-        evaluator calls this once per window per model.
+        evaluator calls this once per window per model.  An empty history
+        list yields an empty ``(0, M)`` array so evaluation loops over
+        empty windows need no special case.
         """
         if not histories:
-            raise ValueError("histories must be non-empty")
+            self._check_fitted()
+            return np.zeros((0, self.vocab_size), dtype=np.float64)
         return np.vstack([self.next_product_proba(h) for h in histories])
 
     def perplexity(self, corpus: Corpus) -> float:
@@ -152,14 +162,30 @@ class GenerativeModel(abc.ABC):
             int(state["vocab_size"]) if state["vocab_size"] is not None else None
         )
 
+    @staticmethod
+    def _storage_path(path: str | Path) -> Path:
+        """The on-disk ``.npz`` path for a user-supplied path.
+
+        ``np.savez`` silently appends ``.npz`` to paths lacking it, which
+        used to break ``save("model.bin")`` / ``load("model.bin")``
+        round-trips; both endpoints normalise through this helper instead.
+        """
+        p = Path(path)
+        return p if p.suffix == ".npz" else p.with_name(p.name + ".npz")
+
     def save(self, path: str | Path) -> None:
-        """Persist the fitted model to a single ``.npz`` file."""
+        """Persist the fitted model to a single ``.npz`` file.
+
+        Paths without a ``.npz`` suffix have it appended (matching what
+        ``np.savez`` writes), and :meth:`load` applies the same rule, so
+        any path round-trips.
+        """
         self._check_fitted()
         state = self._get_state()
         arrays = {k: v for k, v in state.items() if isinstance(v, np.ndarray)}
         scalars = {k: v for k, v in state.items() if not isinstance(v, np.ndarray)}
         meta = json.dumps({"class": type(self).__name__, "scalars": scalars})
-        np.savez(Path(path), __meta__=np.array(meta), **arrays)
+        np.savez(self._storage_path(path), __meta__=np.array(meta), **arrays)
 
     @classmethod
     def load(cls, path: str | Path) -> "GenerativeModel":
@@ -168,7 +194,7 @@ class GenerativeModel(abc.ABC):
         Must be called on the concrete class that was saved; loading through
         the wrong class raises :class:`ValueError`.
         """
-        with np.load(Path(path), allow_pickle=False) as bundle:
+        with np.load(cls._storage_path(path), allow_pickle=False) as bundle:
             meta = json.loads(str(bundle["__meta__"]))
             if meta["class"] != cls.__name__:
                 raise ValueError(

@@ -384,7 +384,8 @@ class LatentDirichletAllocation(GenerativeModel):
     def batch_next_product_proba(self, histories: list[list[int]]) -> np.ndarray:
         """Batched recommender scores: one fold-in over all histories."""
         if not histories:
-            raise ValueError("histories must be non-empty")
+            self._check_fitted()
+            return np.zeros((0, self.vocab_size), dtype=np.float64)
         counts = np.zeros((len(histories), self.vocab_size))
         for i, history in enumerate(histories):
             for token in self._check_history(history):

@@ -342,7 +342,8 @@ class LSTMModel(GenerativeModel):
     def batch_next_product_proba(self, histories: list[list[int]]) -> np.ndarray:
         """Batched recommender scores via one padded forward per chunk."""
         if not histories:
-            raise ValueError("histories must be non-empty")
+            self._check_fitted()
+            return np.zeros((0, self.vocab_size), dtype=np.float64)
         network = self.network
         result = np.empty((len(histories), self.vocab_size))
         for start in range(0, len(histories), self.batch_size):

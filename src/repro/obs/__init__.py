@@ -1,0 +1,81 @@
+"""Observability spine: tracing, metrics, logging, profiling, reporting.
+
+``repro.obs`` is the shared instrumentation layer the model, experiment,
+recommender, CLI and benchmark code all report through:
+
+* :mod:`repro.obs.trace` — hierarchical spans with wall/CPU time and
+  counters (``exp.<figure>.<stage>``, ``model.<name>.<method>``);
+* :mod:`repro.obs.metrics` — named counter/gauge/histogram registry with
+  snapshot/reset and JSON export;
+* :mod:`repro.obs.logging` — structured logging (plain text + JSON lines);
+* :mod:`repro.obs.instrument` — decorators and the ``GenerativeModel``
+  mixin that auto-spans every model's core methods;
+* :mod:`repro.obs.profile` — opt-in cProfile top-N hot-function capture;
+* :mod:`repro.obs.report` — the span-tree/metrics/profile timing report.
+
+Everything is **off by default** and the disabled paths cost a single flag
+check, so production code keeps its instrumentation permanently in place.
+Turn it on with :func:`enable_all` (the CLI's ``--trace`` does this) and
+collect with :func:`repro.obs.report.timing_report`.
+"""
+
+from __future__ import annotations
+
+from repro.obs import instrument, metrics, profile, report, trace
+from repro.obs.instrument import InstrumentedModel, traced
+from repro.obs.logging import JsonLinesFormatter, configure as configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.report import render_json, render_text, timing_report
+from repro.obs.trace import Span, add_counter, current_span, span
+
+__all__ = [
+    # submodules
+    "trace",
+    "metrics",
+    "instrument",
+    "profile",
+    "report",
+    # tracing
+    "Span",
+    "span",
+    "current_span",
+    "add_counter",
+    # metrics
+    "MetricsRegistry",
+    "get_registry",
+    # logging
+    "JsonLinesFormatter",
+    "configure_logging",
+    "get_logger",
+    # instrumentation
+    "InstrumentedModel",
+    "traced",
+    # reporting
+    "render_text",
+    "render_json",
+    "timing_report",
+    # lifecycle
+    "enable_all",
+    "disable_all",
+    "reset_all",
+]
+
+
+def enable_all() -> None:
+    """Enable tracing and metrics together (profiling stays opt-in)."""
+    trace.enable()
+    metrics.enable()
+
+
+def disable_all() -> None:
+    """Disable tracing, metrics and profiling."""
+    trace.disable()
+    metrics.disable()
+    profile.disable()
+
+
+def reset_all() -> None:
+    """Drop all recorded spans, metrics and profile captures."""
+    trace.reset()
+    metrics.reset()
+    profile.reset()

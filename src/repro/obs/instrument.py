@@ -1,0 +1,100 @@
+"""Instrumentation hooks: decorators plus the :class:`GenerativeModel` mixin.
+
+The mixin is how the model layer gets observability without every model
+author writing any plumbing: :class:`InstrumentedModel` wraps the core
+contract methods (``fit``, ``log_prob``, ``next_product_proba``,
+``batch_next_product_proba``) of every concrete subclass in a merged span
+named ``model.<name>.<method>`` plus a call counter.
+
+The wrappers are engineered for the disabled case: one attribute load and
+a branch before delegating, so leaving instrumentation off adds no
+measurable overhead to the evaluation loops that call
+``next_product_proba`` thousands of times.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from repro.obs import metrics, trace
+from repro.obs.trace import _state as _trace_state
+
+__all__ = ["traced", "instrument_method", "InstrumentedModel"]
+
+#: GenerativeModel contract methods wrapped on every concrete subclass.
+_MODEL_METHODS = (
+    "fit",
+    "log_prob",
+    "next_product_proba",
+    "batch_next_product_proba",
+)
+
+
+def traced(
+    name: str, *, counter: str | None = None
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: run the function inside a span (and optional counter).
+
+    ``name`` is the span name; ``counter`` (when given) is incremented on
+    the default metrics registry per call.  Both are no-ops while tracing
+    and metrics are disabled.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _trace_state.enabled and not metrics.is_enabled():
+                return fn(*args, **kwargs)
+            if counter is not None:
+                metrics.inc(counter)
+            with trace.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def instrument_method(fn: Callable[..., Any], method_name: str) -> Callable[..., Any]:
+    """Wrap a model method in a ``model.<name>.<method>`` span + counter.
+
+    The span name is computed per call from ``self.name`` so subclasses
+    sharing an implementation still report under their own display name.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        if not _trace_state.enabled:
+            return fn(self, *args, **kwargs)
+        stage = f"model.{self.name}.{method_name}"
+        metrics.inc(f"{stage}.calls")
+        with trace.span(stage):
+            return fn(self, *args, **kwargs)
+
+    wrapper.__obs_wrapped__ = True  # type: ignore[attr-defined]
+    return wrapper
+
+
+class InstrumentedModel:
+    """Mixin that auto-instruments the generative-model contract.
+
+    Any class inheriting from this mixin (directly or through
+    :class:`repro.models.base.GenerativeModel`) has the contract methods it
+    *defines* wrapped at class-creation time.  Inherited methods are left
+    alone — they were already wrapped where they were defined — and
+    abstract declarations are skipped so ABC enforcement is preserved.
+    """
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        for method_name in _MODEL_METHODS:
+            fn = cls.__dict__.get(method_name)
+            if (
+                fn is None
+                or not callable(fn)
+                or getattr(fn, "__isabstractmethod__", False)
+                or getattr(fn, "__obs_wrapped__", False)
+            ):
+                continue
+            setattr(cls, method_name, instrument_method(fn, method_name))

@@ -1,0 +1,241 @@
+"""Named counter/gauge/histogram registry with snapshot, reset and JSON export.
+
+The registry is the *aggregate* side of observability: while spans
+(:mod:`repro.obs.trace`) record where time goes, metrics record how much
+work was done — windows evaluated, candidates scored, products retrieved.
+
+Two usage styles:
+
+* explicit — ``get_registry().counter("recommend.hits").inc(3)`` always
+  records, for code that owns its registry (the benchmark harness);
+* guarded module helpers — :func:`inc`, :func:`observe`, :func:`set_gauge`
+  check a global enable flag first and are safe to leave in hot paths;
+  they are **disabled by default** and cost one flag check when off.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "enable",
+    "disable",
+    "is_enabled",
+    "inc",
+    "observe",
+    "set_gauge",
+    "snapshot",
+    "reset",
+]
+
+#: Maximum raw observations a histogram retains for quantile estimates.
+_HISTOGRAM_SAMPLE_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge instead")
+        self.value += float(amount)
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge by ``amount`` (may be negative)."""
+        self.value += float(amount)
+
+
+class Histogram:
+    """Streaming summary of observed values.
+
+    Count, sum, min and max are exact; quantiles are computed from the
+    first :data:`_HISTOGRAM_SAMPLE_CAP` retained observations.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_sample")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._sample: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._sample) < _HISTOGRAM_SAMPLE_CAP:
+            self._sample.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the retained sample (NaN if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._sample:
+            return float("nan")
+        ordered = sorted(self._sample)
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    def summary(self) -> dict[str, float]:
+        """Count/sum/mean/min/max/median snapshot of the histogram."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "mean": float("nan"),
+                    "min": float("nan"), "max": float("nan"), "p50": float("nan")}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+        }
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges and histograms.
+
+    Names are free-form dotted strings; the convention mirrors span names
+    (``model.<name>.<method>.calls``, ``recommend.retrieved``).  A name is
+    bound to the kind of instrument that first claimed it; asking for the
+    same name as a different kind raises :class:`TypeError`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_unclaimed(self, name: str, kind: dict[str, Any]) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not kind and name in family:
+                raise TypeError(f"metric {name!r} already registered as another kind")
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._counters)
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._gauges)
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name``, created on first use."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._histograms)
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view of every registered instrument."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every registered instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """The snapshot serialised as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+_default = MetricsRegistry()
+_enabled = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default
+
+
+def enable() -> None:
+    """Turn the guarded module-level helpers on."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the guarded module-level helpers off (the default)."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether the guarded helpers currently record."""
+    return _enabled
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Guarded counter increment on the default registry."""
+    if _enabled:
+        _default.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Guarded histogram observation on the default registry."""
+    if _enabled:
+        _default.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Guarded gauge update on the default registry."""
+    if _enabled:
+        _default.gauge(name).set(value)
+
+
+def snapshot() -> dict[str, Any]:
+    """Snapshot of the default registry."""
+    return _default.snapshot()
+
+
+def reset() -> None:
+    """Reset the default registry (helpers stay in their current state)."""
+    _default.reset()

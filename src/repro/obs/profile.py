@@ -1,0 +1,138 @@
+"""Opt-in cProfile capture of the top-N hot functions per labelled region.
+
+CPython allows only one active profiler at a time, so :func:`capture` is
+re-entrancy guarded: the outermost enabled capture profiles, any nested
+capture silently no-ops.  Like tracing, profiling is disabled by default
+and :func:`capture` costs a flag check when off.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "HotFunction",
+    "ProfileCapture",
+    "enable",
+    "disable",
+    "is_enabled",
+    "capture",
+    "captures",
+    "reset",
+]
+
+
+@dataclass(frozen=True)
+class HotFunction:
+    """One row of a profile: a function and its aggregate costs."""
+
+    location: str
+    n_calls: int
+    total_s: float
+    cumulative_s: float
+
+
+@dataclass
+class ProfileCapture:
+    """The top-N hot functions recorded under one label."""
+
+    label: str
+    top: list[HotFunction] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-encodable representation."""
+        return {
+            "label": self.label,
+            "top": [
+                {
+                    "location": row.location,
+                    "n_calls": row.n_calls,
+                    "total_s": round(row.total_s, 6),
+                    "cumulative_s": round(row.cumulative_s, 6),
+                }
+                for row in self.top
+            ],
+        }
+
+
+class _ProfileState:
+    """Module-global profiler state."""
+
+    __slots__ = ("enabled", "top_n", "active", "captures")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.top_n = 10
+        self.active = False
+        self.captures: list[ProfileCapture] = []
+
+
+_state = _ProfileState()
+
+
+def enable(top_n: int = 10) -> None:
+    """Turn profiling on, keeping the ``top_n`` hottest functions per capture."""
+    if top_n < 1:
+        raise ValueError("top_n must be >= 1")
+    _state.enabled = True
+    _state.top_n = int(top_n)
+
+
+def disable() -> None:
+    """Turn profiling off (the default)."""
+    _state.enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether :func:`capture` currently profiles."""
+    return _state.enabled
+
+
+@contextmanager
+def capture(label: str) -> Iterator[ProfileCapture | None]:
+    """Profile the enclosed block under ``label``.
+
+    Yields the in-progress :class:`ProfileCapture` (populated on exit), or
+    None when profiling is disabled or another capture is already active.
+    """
+    if not _state.enabled or _state.active:
+        yield None
+        return
+    _state.active = True
+    result = ProfileCapture(label=label)
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        yield result
+    finally:
+        profiler.disable()
+        _state.active = False
+        result.top = _top_functions(profiler, _state.top_n)
+        _state.captures.append(result)
+
+
+def _top_functions(profiler: cProfile.Profile, top_n: int) -> list[HotFunction]:
+    """Extract the ``top_n`` functions by cumulative time from a profiler."""
+    stats = pstats.Stats(profiler)
+    rows: list[HotFunction] = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        location = f"{filename}:{lineno}({func})" if lineno else func
+        rows.append(
+            HotFunction(location=location, n_calls=nc, total_s=tt, cumulative_s=ct)
+        )
+    rows.sort(key=lambda r: -r.cumulative_s)
+    return rows[:top_n]
+
+
+def captures() -> list[ProfileCapture]:
+    """All completed captures since the last :func:`reset`."""
+    return list(_state.captures)
+
+
+def reset() -> None:
+    """Drop recorded captures (the enabled flag is untouched)."""
+    _state.captures = []

@@ -1,0 +1,141 @@
+"""Render the recorded trace, metrics and profiles as text or JSON.
+
+The text renderer produces the fixed-width "timing report" the CLI prints
+after a ``--trace`` run: an indented span tree with call counts and
+wall/CPU seconds, a metrics table, and (with ``--profile``) the hottest
+functions per capture.  The JSON renderer produces the same content as a
+plain dict for machine consumers (the benchmark harness's artifact files).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
+from repro.obs import trace as _trace
+from repro.obs.profile import ProfileCapture
+from repro.obs.trace import Span
+
+__all__ = [
+    "format_span_tree",
+    "format_metrics",
+    "format_profiles",
+    "render_text",
+    "render_json",
+    "timing_report",
+]
+
+
+def format_span_tree(spans: list[Span], *, indent: int = 2) -> str:
+    """Fixed-width rendering of a span forest.
+
+    One line per span: indented name, merged call count, accumulated wall
+    and CPU seconds, followed by any span counters in brackets.
+    """
+    lines = [f"{'span':<52} {'calls':>7} {'wall s':>10} {'cpu s':>10}"]
+
+    def emit(node: Span, depth: int) -> None:
+        label = " " * (indent * depth) + node.name
+        line = f"{label:<52} {node.n_calls:>7} {node.wall:>10.3f} {node.cpu:>10.3f}"
+        if node.counters:
+            extras = " ".join(
+                f"{key}={value:g}" for key, value in sorted(node.counters.items())
+            )
+            line += f"  [{extras}]"
+        lines.append(line)
+        for child in node.children:
+            emit(child, depth + 1)
+
+    for root in spans:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def format_metrics(snapshot: dict[str, Any]) -> str:
+    """Fixed-width rendering of a metrics snapshot (empty string if bare)."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters or gauges:
+        lines.append(f"{'metric':<52} {'value':>14}")
+        for name, value in counters.items():
+            lines.append(f"{name:<52} {value:>14g}")
+        for name, value in gauges.items():
+            lines.append(f"{name:<52} {value:>14g}")
+    if histograms:
+        lines.append(
+            f"{'histogram':<40} {'count':>7} {'mean':>10} {'min':>10} "
+            f"{'p50':>10} {'max':>10}"
+        )
+        for name, stats in histograms.items():
+            lines.append(
+                f"{name:<40} {stats['count']:>7} {stats['mean']:>10.4g} "
+                f"{stats['min']:>10.4g} {stats['p50']:>10.4g} {stats['max']:>10.4g}"
+            )
+    return "\n".join(lines)
+
+
+def format_profiles(profiles: list[ProfileCapture]) -> str:
+    """Fixed-width rendering of profile captures (hottest first)."""
+    lines: list[str] = []
+    for capture in profiles:
+        lines.append(f"profile [{capture.label}] — top {len(capture.top)} by cumulative time")
+        lines.append(f"  {'cum s':>9} {'tot s':>9} {'calls':>9}  location")
+        for row in capture.top:
+            lines.append(
+                f"  {row.cumulative_s:>9.3f} {row.total_s:>9.3f} "
+                f"{row.n_calls:>9}  {row.location}"
+            )
+    return "\n".join(lines)
+
+
+def render_text(
+    spans: list[Span] | None = None,
+    metrics_snapshot: dict[str, Any] | None = None,
+    profiles: list[ProfileCapture] | None = None,
+) -> str:
+    """The full timing report as fixed-width text.
+
+    Arguments default to the global trace roots, default-registry snapshot
+    and recorded profile captures; pass explicit values to render other
+    sources.  Sections with nothing to show are omitted.
+    """
+    spans = _trace.roots() if spans is None else spans
+    if metrics_snapshot is None:
+        metrics_snapshot = _metrics.snapshot()
+    profiles = _profile.captures() if profiles is None else profiles
+    sections: list[str] = []
+    if spans:
+        sections.append("== timing report ==\n" + format_span_tree(spans))
+    metrics_text = format_metrics(metrics_snapshot)
+    if metrics_text:
+        sections.append("== metrics ==\n" + metrics_text)
+    if profiles:
+        sections.append("== profiles ==\n" + format_profiles(profiles))
+    if not sections:
+        return "== timing report ==\n(no spans recorded; run with tracing enabled)"
+    return "\n\n".join(sections)
+
+
+def render_json(
+    spans: list[Span] | None = None,
+    metrics_snapshot: dict[str, Any] | None = None,
+    profiles: list[ProfileCapture] | None = None,
+) -> dict[str, Any]:
+    """The same report content as a JSON-encodable dict."""
+    spans = _trace.roots() if spans is None else spans
+    if metrics_snapshot is None:
+        metrics_snapshot = _metrics.snapshot()
+    profiles = _profile.captures() if profiles is None else profiles
+    return {
+        "trace": [root.as_dict() for root in spans],
+        "metrics": metrics_snapshot,
+        "profiles": [capture.as_dict() for capture in profiles],
+    }
+
+
+def timing_report() -> str:
+    """Convenience: :func:`render_text` over the global observability state."""
+    return render_text()

@@ -1,0 +1,219 @@
+"""Hierarchical tracing spans with wall/CPU timings and counters.
+
+A *span* is one named stage of a run — ``exp.table1.fit``,
+``model.lda.fit`` — arranged in a tree that mirrors the call structure.
+Spans with the same name under the same parent are **merged**: entering
+``model.lda.next_product_proba`` five hundred times inside one evaluation
+window produces a single node with ``n_calls == 500`` and accumulated
+wall/CPU totals, so traces of tight loops stay small.
+
+Tracing is **disabled by default** and the disabled path is engineered to
+be near-free: :func:`span` returns a shared no-op context manager without
+allocating anything, and :func:`add_counter` is a single flag check.  The
+CLI's ``--trace`` flag (or :func:`enable`) turns it on.
+
+The current span is tracked with a :class:`contextvars.ContextVar`, so the
+span stack is correct across threads and async tasks.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from time import perf_counter, process_time
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "span",
+    "current_span",
+    "add_counter",
+    "roots",
+    "reset",
+]
+
+
+class Span:
+    """One node of the trace tree: a named stage with accumulated timings.
+
+    Attributes
+    ----------
+    name:
+        Dotted stage name (``exp.<figure>.<stage>`` or ``model.<name>.<method>``).
+    n_calls:
+        How many times this (merged) span was entered.
+    wall / cpu:
+        Accumulated wall-clock and CPU seconds across all entries.
+    counters:
+        Named totals attached with :func:`add_counter` while this span was
+        current.
+    children:
+        Child spans in first-entry order.
+    """
+
+    __slots__ = ("name", "n_calls", "wall", "cpu", "counters", "children", "_index")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.n_calls = 0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.counters: dict[str, float] = {}
+        self.children: list["Span"] = []
+        self._index: dict[str, "Span"] = {}
+
+    def child(self, name: str) -> "Span":
+        """The merged child span with ``name``, created on first use."""
+        node = self._index.get(name)
+        if node is None:
+            node = Span(name)
+            self._index[name] = node
+            self.children.append(node)
+        return node
+
+    def add_counter(self, name: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` into this span's named counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-encodable representation of the subtree."""
+        node: dict[str, Any] = {
+            "name": self.name,
+            "n_calls": self.n_calls,
+            "wall_s": round(self.wall, 6),
+            "cpu_s": round(self.cpu, 6),
+        }
+        if self.counters:
+            node["counters"] = dict(self.counters)
+        if self.children:
+            node["children"] = [c.as_dict() for c in self.children]
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, n_calls={self.n_calls}, wall={self.wall:.4f})"
+
+
+class _TraceState:
+    """Module-global tracing state; a single object so the hot-path check
+    is one attribute load."""
+
+    __slots__ = ("enabled", "roots", "root_index")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.roots: list[Span] = []
+        self.root_index: dict[str, Span] = {}
+
+
+_state = _TraceState()
+_current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens (or re-enters) a merged span."""
+
+    __slots__ = ("_name", "_span", "_token", "_wall0", "_cpu0")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __enter__(self) -> Span:
+        parent = _current.get()
+        if parent is None:
+            node = _state.root_index.get(self._name)
+            if node is None:
+                node = Span(self._name)
+                _state.root_index[self._name] = node
+                _state.roots.append(node)
+        else:
+            node = parent.child(self._name)
+        self._span = node
+        self._token = _current.set(node)
+        self._wall0 = perf_counter()
+        self._cpu0 = process_time()
+        return node
+
+    def __exit__(self, *exc: object) -> bool:
+        node = self._span
+        node.wall += perf_counter() - self._wall0
+        node.cpu += process_time() - self._cpu0
+        node.n_calls += 1
+        _current.reset(self._token)
+        return False
+
+
+def enable() -> None:
+    """Turn tracing on (spans start recording)."""
+    _state.enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off; already-recorded spans are kept until :func:`reset`."""
+    _state.enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _state.enabled
+
+
+def span(name: str) -> _SpanContext | _NullSpan:
+    """Context manager for one named stage.
+
+    While tracing is disabled this returns a shared no-op object, so
+    wrapping code in ``with span("stage"):`` costs one flag check.
+    """
+    if not _state.enabled:
+        return _NULL
+    return _SpanContext(name)
+
+
+def current_span() -> Span | None:
+    """The innermost open span, or None outside any span / when disabled."""
+    return _current.get()
+
+
+def add_counter(name: str, value: float = 1.0) -> None:
+    """Accumulate a counter on the current span (no-op when disabled)."""
+    if not _state.enabled:
+        return
+    node = _current.get()
+    if node is not None:
+        node.add_counter(name, value)
+
+
+def roots() -> list[Span]:
+    """The recorded root spans, in first-entry order."""
+    return list(_state.roots)
+
+
+def reset() -> None:
+    """Drop all recorded spans and clear the current-span stack."""
+    _state.roots = []
+    _state.root_index = {}
+    _current.set(None)

@@ -26,6 +26,7 @@ from repro._validation import check_probability
 from repro.analysis.stats import mean_confidence_interval
 from repro.data.corpus import Corpus
 from repro.models.base import GenerativeModel
+from repro.obs import metrics, trace
 from repro.recommend.windows import SlidingWindowSpec, Window
 
 __all__ = ["WindowObservation", "ThresholdCurve", "RecommendationEvaluator"]
@@ -215,9 +216,12 @@ class RecommendationEvaluator:
         }
         trained: dict[str, GenerativeModel] = {}
         for w_index, window in enumerate(windows):
-            histories, owned_sets, truths = self._window_tasks(window)
+            with trace.span("recommend.window"):
+                histories, owned_sets, truths = self._window_tasks(window)
             if not histories:
                 continue
+            metrics.inc("recommend.windows")
+            metrics.inc("recommend.companies", len(histories))
             train_corpus = self.corpus.truncated_before(window.start)
             for name, factory in model_factories.items():
                 if self.retrain_per_window or name not in trained:
@@ -226,6 +230,7 @@ class RecommendationEvaluator:
                 else:
                     model = trained[name]
                 scores = model.batch_next_product_proba(histories)
+                metrics.inc("recommend.candidates", scores.size)
                 self._score_window(
                     curves[name], window, scores, owned_sets, truths
                 )
@@ -252,6 +257,7 @@ class RecommendationEvaluator:
     ) -> None:
         """Threshold the score matrix and append one observation per phi."""
         relevant = sum(len(t) for t in truths)
+        metrics.inc("recommend.relevant", relevant)
         # Owned products can never be recommended: mask them out once.
         masked = scores.copy()
         for i, owned in enumerate(owned_sets):
@@ -263,6 +269,8 @@ class RecommendationEvaluator:
             for i, truth in enumerate(truths):
                 if truth:
                     n_correct += sum(1 for t in truth if hits[i, t])
+            metrics.inc("recommend.retrieved", n_retrieved)
+            metrics.inc("recommend.hits", n_correct)
             curve.observations[phi].append(
                 WindowObservation(
                     window_start=window.start,

@@ -1,7 +1,10 @@
 """Tests for the CLI experiment runner."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 
 
@@ -28,6 +31,21 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["make-coffee"])
+
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "--log-json", "/tmp/x.jsonl",
+             "--trace", "--profile", "table1"]
+        )
+        assert args.log_level == "debug"
+        assert args.log_json == "/tmp/x.jsonl"
+        assert args.trace and args.profile
+
+    def test_observability_flags_default_off(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.log_level == "warning"
+        assert args.log_json is None
+        assert not args.trace and not args.profile
 
 
 class TestExecution:
@@ -61,3 +79,51 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "P@3" in out
         assert "LDA3" in out
+
+
+class TestObservabilityFlags:
+    """End-to-end runs of the instrumented CLI paths."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_obs_state(self):
+        obs.disable_all()
+        obs.reset_all()
+        yield
+        obs.disable_all()
+        obs.reset_all()
+
+    def test_trace_prints_timing_report(self, capsys, tmp_path):
+        log_path = tmp_path / "run.jsonl"
+        assert main(
+            ["--companies", "120", "--trace", "--log-json", str(log_path),
+             "sequentiality"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== timing report ==" in out
+        assert "cmd.sequentiality" in out
+        assert "exp.data.simulate" in out
+        assert "exp.sequentiality.evaluate" in out
+        records = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line.strip()
+        ]
+        messages = {r["message"] for r in records}
+        assert {"command started", "command finished", "run report"} <= messages
+        report_record = next(r for r in records if r["message"] == "run report")
+        assert report_record["trace"][0]["name"] == "cmd.sequentiality"
+
+    def test_profile_prints_hot_functions(self, capsys):
+        assert main(["--companies", "120", "--profile", "sequentiality"]) == 0
+        out = capsys.readouterr().out
+        assert "== profiles ==" in out
+        assert "cmd.sequentiality" in out
+
+    def test_flags_off_leave_observability_dormant(self, capsys):
+        from repro.obs import metrics, trace
+
+        assert main(["--companies", "120", "sequentiality"]) == 0
+        assert not trace.is_enabled()
+        assert trace.roots() == []
+        assert metrics.snapshot()["counters"] == {}
+        assert "timing report" not in capsys.readouterr().out

@@ -73,9 +73,9 @@ class TestContract:
             single = fitted_model.next_product_proba(history)
             assert np.allclose(row, single, atol=1e-8)
 
-    def test_batch_rejects_empty(self, fitted_model):
-        with pytest.raises(ValueError):
-            fitted_model.batch_next_product_proba([])
+    def test_batch_empty_returns_empty_matrix(self, fitted_model):
+        batch = fitted_model.batch_next_product_proba([])
+        assert batch.shape == (0, fitted_model.vocab_size)
 
     def test_save_load_roundtrip(self, fitted_model, split, tmp_path):
         path = tmp_path / "model.npz"
@@ -88,6 +88,19 @@ class TestContract:
         )
         assert loaded.log_prob(split.test) == pytest.approx(
             fitted_model.log_prob(split.test), rel=1e-9
+        )
+
+    def test_save_load_roundtrip_without_npz_suffix(self, fitted_model, split, tmp_path):
+        # Regression: np.savez silently appends ".npz", so save("model.bin")
+        # wrote model.bin.npz and load("model.bin") raised FileNotFoundError.
+        path = tmp_path / "model.bin"
+        fitted_model.save(path)
+        loaded = type(fitted_model).load(path)
+        assert loaded.vocab_size == fitted_model.vocab_size
+        history = split.test.sequences()[0][:3]
+        assert np.allclose(
+            loaded.next_product_proba(history),
+            fitted_model.next_product_proba(history),
         )
 
     def test_mismatched_corpus_rejected(self, fitted_model, split):

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.recommend",
     "repro.app",
     "repro.experiments",
+    "repro.obs",
 ]
 
 

@@ -1,0 +1,101 @@
+"""Runtime layer — process-pool fan-out, fit cache, vectorized Gibbs.
+
+Three perf claims from the runtime PR, measured on the bench corpus:
+
+* the blocked (vectorized) Gibbs sampler reproduces the token sampler's
+  perplexity within tolerance at a fraction of the wall time;
+* `--jobs N` produces **identical** recommendation curves to a serial run
+  (wall-clock gain depends on the machine's core count, so the ratio is
+  recorded, not asserted);
+* a warm fit cache skips every refit of the sliding-window protocol.
+
+All timings land in the ``BENCH_METRICS.json`` artifact as gauges
+(``bench.runtime.*``) next to the session's ``cache.hit`` / ``cache.miss``
+counters, so perf regressions show up in the committed baseline.
+"""
+
+import time
+
+from repro.experiments.fig34_recommendation import run_recommendation_accuracy
+from repro.models.lda import LatentDirichletAllocation
+from repro.obs import metrics
+from repro.recommend.windows import SlidingWindowSpec
+from repro.runtime import FitCache
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_gibbs_blocked_vs_token(benchmark, bench_data):
+    split = bench_data.split
+
+    def fit(sampler):
+        return LatentDirichletAllocation(
+            n_topics=4, n_iter=100, seed=0, gibbs_sampler=sampler
+        ).fit(split.train)
+
+    blocked, blocked_s = _timed(lambda: benchmark.pedantic(
+        fit, kwargs={"sampler": "blocked"}, rounds=1, iterations=1
+    ))
+    token, token_s = _timed(lambda: fit("token"))
+    blocked_ppl = blocked.perplexity(split.test)
+    token_ppl = token.perplexity(split.test)
+    speedup = token_s / blocked_s
+    metrics.set_gauge("bench.runtime.gibbs_blocked_s", blocked_s)
+    metrics.set_gauge("bench.runtime.gibbs_token_s", token_s)
+    metrics.set_gauge("bench.runtime.gibbs_speedup", speedup)
+    print("\nGibbs sampler — token (reference) vs blocked (vectorized)")
+    print(f"  token:   {token_s:7.2f} s  perplexity {token_ppl:.3f}")
+    print(f"  blocked: {blocked_s:7.2f} s  perplexity {blocked_ppl:.3f}")
+    print(f"  speedup: {speedup:.1f}x")
+
+    # Acceptance: >= 3x at n_iter=100 with equivalent perplexity.
+    assert speedup >= 3.0
+    assert abs(blocked_ppl - token_ppl) / min(blocked_ppl, token_ppl) < 0.05
+
+
+def test_fig34_parallel_and_cache(benchmark, bench_data, tmp_path):
+    """Serial vs --jobs 4 vs cold/warm cache on the retrain protocol."""
+    kwargs = {
+        "data": bench_data,
+        "spec": SlidingWindowSpec(n_windows=3),
+        "retrain_per_window": True,
+    }
+    serial, serial_s = _timed(lambda: benchmark.pedantic(
+        run_recommendation_accuracy, kwargs=kwargs, rounds=1, iterations=1
+    ))
+    parallel, parallel_s = _timed(
+        lambda: run_recommendation_accuracy(n_jobs=4, **kwargs)
+    )
+    cache = FitCache(tmp_path / "fits")
+    cold, cold_s = _timed(
+        lambda: run_recommendation_accuracy(fit_cache=cache, **kwargs)
+    )
+    warm, warm_s = _timed(
+        lambda: run_recommendation_accuracy(fit_cache=cache, **kwargs)
+    )
+    metrics.set_gauge("bench.runtime.fig34_serial_s", serial_s)
+    metrics.set_gauge("bench.runtime.fig34_jobs4_s", parallel_s)
+    metrics.set_gauge("bench.runtime.fig34_cold_cache_s", cold_s)
+    metrics.set_gauge("bench.runtime.fig34_warm_cache_s", warm_s)
+    metrics.set_gauge("bench.runtime.fig34_warm_speedup", serial_s / warm_s)
+    print("\nFigure 3/4 retrain protocol — runtime configurations")
+    print(f"  serial (n_jobs=1):   {serial_s:7.2f} s")
+    print(f"  process pool (4):    {parallel_s:7.2f} s")
+    print(f"  cold fit cache:      {cold_s:7.2f} s")
+    print(f"  warm fit cache:      {warm_s:7.2f} s")
+    print(f"  warm-cache speedup:  {serial_s / warm_s:.1f}x")
+    print(f"  cache hits/misses:   {cache.hits}/{cache.misses}")
+
+    # Determinism: every configuration yields identical curves.
+    for name in serial:
+        assert serial[name].observations == parallel[name].observations
+        assert serial[name].observations == cold[name].observations
+        assert serial[name].observations == warm[name].observations
+    # A warm cache skips every (window x model) refit...
+    assert cache.hits > 0
+    # ...and must dominate the serial wall time (acceptance: >= 5x).
+    assert serial_s / warm_s >= 5.0

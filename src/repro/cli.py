@@ -17,19 +17,28 @@ All commands accept ``--companies`` and ``--seed`` to control the synthetic
 universe, plus the observability flags ``--log-level``, ``--log-json PATH``,
 ``--trace`` and ``--profile``.  Output is plain fixed-width text; ``--trace``
 appends a span-tree timing report covering every stage and model.
+
+Runtime flags: ``--jobs N`` fans independent fits out over N worker
+processes (results identical to ``--jobs 1``), ``--cache-dir PATH`` reuses
+fitted models across runs via the content-addressed fit cache, and
+``--metrics-json PATH`` dumps the run's counters (including ``cache.hit`` /
+``cache.miss``) for scripted inspection.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable
 
 from repro import obs
+from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.obs import report as obs_report
 from repro.obs import trace as obs_trace
+from repro.runtime import FitCache
 
 from repro.experiments import (
     make_experiment_data,
@@ -92,6 +101,28 @@ def _add_global_options(parser: argparse.ArgumentParser, *, suppress: bool) -> N
         default=default(False),
         help="capture the cProfile top hot functions (implies a report)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=default(1),
+        metavar="N",
+        help="worker processes for fit fan-out (1 = serial, -1 = all CPUs); "
+        "results are identical for any value",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=default(None),
+        help="content-addressed fit cache directory; reruns with the same "
+        "corpus and hyperparameters reuse fitted models",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=default(None),
+        help="write the run's metric counters (cache.hit/miss, runtime.tasks, "
+        "recommend.*) as JSON to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,7 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
         "recommend", help="Figures 3/4: recommendation accuracy", parents=[shared]
     )
     rec.add_argument("--windows", type=int, default=13)
-    rec.add_argument("--retrain", action="store_true", help="retrain per window (slow)")
+    rec.add_argument(
+        "--retrain",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="--retrain (default) follows the paper exactly: refit every "
+        "model on the data before each window; --no-retrain trains once "
+        "before the first window — much faster, approximate numbers",
+    )
 
     sub.add_parser(
         "bpmf", help="Figures 5/6: BPMF score degeneracy", parents=[shared]
@@ -156,14 +194,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _runtime_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    """The ``--jobs`` / ``--cache-dir`` flags as driver keyword arguments."""
+    cache = FitCache(args.cache_dir) if args.cache_dir else None
+    return {"n_jobs": args.jobs, "fit_cache": cache}
+
+
 def _cmd_table1(args: argparse.Namespace) -> None:
     data = make_experiment_data(args.companies, seed=args.seed)
-    print(format_table(run_perplexity_table(data)))
+    print(format_table(run_perplexity_table(data, **_runtime_kwargs(args))))
 
 
 def _cmd_lda_sweep(args: argparse.Namespace) -> None:
     data = make_experiment_data(args.companies, seed=args.seed)
-    rows = run_lda_sweep(data, n_iter=args.iterations)
+    rows = run_lda_sweep(data, n_iter=args.iterations, **_runtime_kwargs(args))
     print(f"{'input':<8} {'topics':>6} {'perplexity':>11} {'params':>7}")
     for row in rows:
         print(
@@ -174,7 +218,7 @@ def _cmd_lda_sweep(args: argparse.Namespace) -> None:
 
 def _cmd_lstm_grid(args: argparse.Namespace) -> None:
     data = make_experiment_data(args.companies, seed=args.seed)
-    rows = run_lstm_grid(data, n_epochs=args.epochs)
+    rows = run_lstm_grid(data, n_epochs=args.epochs, **_runtime_kwargs(args))
     print(f"{'layers':>6} {'nodes':>6} {'perplexity':>11} {'params':>9}")
     for row in rows:
         print(
@@ -189,13 +233,16 @@ def _cmd_recommend(args: argparse.Namespace) -> None:
         data,
         spec=SlidingWindowSpec(n_windows=args.windows),
         retrain_per_window=args.retrain,
+        **_runtime_kwargs(args),
     )
     print(format_curves(curves))
 
 
 def _cmd_bpmf(args: argparse.Namespace) -> None:
     data = make_experiment_data(args.companies, seed=args.seed)
-    result = run_bpmf_analysis(data)
+    result = run_bpmf_analysis(
+        data, fit_cache=FitCache(args.cache_dir) if args.cache_dir else None
+    )
     quantiles = result["score_quantiles"]
     print("BPMF recommendation score distribution (Figure 5):")
     for key, value in quantiles.items():
@@ -353,6 +400,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--log-json: cannot open {args.log_json!r} ({exc.strerror})")
     if args.trace or args.profile:
         obs.enable_all()
+    if args.metrics_json:
+        obs_metrics.enable()
     if args.profile:
         obs_profile.enable()
     log = obs.get_logger("cli")
@@ -376,6 +425,10 @@ def main(argv: list[str] | None = None) -> int:
         extra={"obs": {"command": args.command,
                        "wall_s": round(time.perf_counter() - started, 3)}},
     )
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(obs_metrics.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if args.trace or args.profile:
         log.info("run report", extra={"obs": obs_report.render_json()})
         print()

@@ -9,13 +9,33 @@ slowly afterwards.
 
 from __future__ import annotations
 
-from typing import Sequence
+import functools
+from typing import Any, Sequence
 
 from repro.experiments.common import ExperimentData
 from repro.models.lda import LatentDirichletAllocation
 from repro.obs import trace
+from repro.runtime import FitCache, ParallelMap, fingerprint_corpus, fit_model
 
 __all__ = ["run_lda_sweep"]
+
+
+def _sweep_task(payload: dict[str, Any]) -> dict[str, float | str]:
+    """Worker task: fit one (input, topics) cell, return its row."""
+    with trace.span("exp.fig2.fit"):
+        model = fit_model(
+            payload["factory"],
+            payload["train"],
+            payload["cache"],
+            payload["fingerprint"],
+        )
+    with trace.span("exp.fig2.evaluate"):
+        return {
+            "input": payload["input"],
+            "n_topics": float(payload["n_topics"]),
+            "test_perplexity": model.perplexity(payload["test"]),
+            "n_parameters": float(model.n_parameters),
+        }
 
 
 def run_lda_sweep(
@@ -25,30 +45,38 @@ def run_lda_sweep(
     inputs: Sequence[str] = ("binary", "tfidf"),
     n_iter: int = 100,
     seed: int = 0,
+    n_jobs: int = 1,
+    fit_cache: FitCache | None = None,
 ) -> list[dict[str, float | str]]:
-    """Fit LDA across the (topics, input) grid; return test perplexities."""
+    """Fit LDA across the (topics, input) grid; return test perplexities.
+
+    Cells are independent and fan out over a process pool when
+    ``n_jobs > 1``; rows come back in (input, topics) grid order either
+    way, so parallel sweeps match serial ones exactly.
+    """
     split = data.split
-    rows: list[dict[str, float | str]] = []
-    for input_type in inputs:
-        for n_topics in topic_grid:
-            with trace.span("exp.fig2.fit"):
-                model = LatentDirichletAllocation(
-                    n_topics=n_topics,
-                    inference="variational",
-                    input_type=input_type,
-                    n_iter=n_iter,
-                    seed=seed,
-                ).fit(split.train)
-            with trace.span("exp.fig2.evaluate"):
-                rows.append(
-                    {
-                        "input": input_type,
-                        "n_topics": float(n_topics),
-                        "test_perplexity": model.perplexity(split.test),
-                        "n_parameters": float(model.n_parameters),
-                    }
-                )
-    return rows
+    fingerprint = fingerprint_corpus(split.train) if fit_cache is not None else None
+    payloads = [
+        {
+            "factory": functools.partial(
+                LatentDirichletAllocation,
+                n_topics=n_topics,
+                inference="variational",
+                input_type=input_type,
+                n_iter=n_iter,
+                seed=seed,
+            ),
+            "input": input_type,
+            "n_topics": n_topics,
+            "train": split.train,
+            "test": split.test,
+            "cache": fit_cache,
+            "fingerprint": fingerprint,
+        }
+        for input_type in inputs
+        for n_topics in topic_grid
+    ]
+    return ParallelMap(n_jobs).map(_sweep_task, payloads)
 
 
 def best_binary_band(rows: list[dict[str, float | str]]) -> tuple[float, float]:

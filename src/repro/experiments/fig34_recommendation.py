@@ -16,6 +16,7 @@ product counts.  The paper's qualitative findings:
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.obs import trace
 from repro.recommend.baselines import RandomRecommender
 from repro.recommend.evaluation import RecommendationEvaluator, ThresholdCurve
 from repro.recommend.windows import SlidingWindowSpec
+from repro.runtime import FitCache
 
 __all__ = ["run_recommendation_accuracy", "DEFAULT_THRESHOLDS"]
 
@@ -48,6 +50,8 @@ def run_recommendation_accuracy(
     retrain_per_window: bool = False,
     include_random: bool = True,
     seed: int = 0,
+    n_jobs: int = 1,
+    fit_cache: FitCache | None = None,
 ) -> dict[str, ThresholdCurve]:
     """Run the Figure 3/4 protocol; returns one ThresholdCurve per method.
 
@@ -55,23 +59,33 @@ def run_recommendation_accuracy(
     trains once before the first window, which changes the numbers by far
     less than the window-to-window variance and is an order of magnitude
     cheaper (the ablation benchmark quantifies the difference).
+
+    ``n_jobs > 1`` fans the (window x model) fit+score cells out over a
+    process pool — results are identical to a serial run for any fixed
+    seed — and ``fit_cache`` memoizes the per-window refits across runs.
     """
     factories = {
-        f"LDA{lda_topics}": lambda: LatentDirichletAllocation(
-            n_topics=lda_topics, inference="variational", n_iter=80, seed=seed
+        f"LDA{lda_topics}": functools.partial(
+            LatentDirichletAllocation,
+            n_topics=lda_topics,
+            inference="variational",
+            n_iter=80,
+            seed=seed,
         ),
-        "LSTM": lambda: LSTMModel(
-            hidden=lstm_hidden, n_layers=1, n_epochs=lstm_epochs, seed=seed
+        "LSTM": functools.partial(
+            LSTMModel, hidden=lstm_hidden, n_layers=1, n_epochs=lstm_epochs, seed=seed
         ),
-        "CHH": lambda: ConditionalHeavyHitters(depth=2),
+        "CHH": functools.partial(ConditionalHeavyHitters, depth=2),
     }
     if include_random:
-        factories["random"] = lambda: RandomRecommender()
+        factories["random"] = functools.partial(RandomRecommender)
     evaluator = RecommendationEvaluator(
         data.corpus,
         spec=spec if spec is not None else SlidingWindowSpec(),
         thresholds=thresholds,
         retrain_per_window=retrain_per_window,
+        n_jobs=n_jobs,
+        fit_cache=fit_cache,
     )
     with trace.span("exp.fig34.evaluate"):
         return evaluator.evaluate(factories)

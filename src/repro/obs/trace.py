@@ -30,6 +30,7 @@ __all__ = [
     "span",
     "current_span",
     "add_counter",
+    "merge_subtree",
     "roots",
     "reset",
 ]
@@ -76,6 +77,21 @@ class Span:
     def add_counter(self, name: str, value: float = 1.0) -> None:
         """Accumulate ``value`` into this span's named counter."""
         self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def absorb(self, node: dict[str, Any]) -> None:
+        """Merge a :meth:`as_dict` subtree into this span, recursively.
+
+        Call counts, timings and counters accumulate; children are matched
+        by name (created when absent).  This is how spans recorded inside a
+        worker process are folded back into the parent's trace.
+        """
+        self.n_calls += int(node.get("n_calls", 0))
+        self.wall += float(node.get("wall_s", 0.0))
+        self.cpu += float(node.get("cpu_s", 0.0))
+        for name, value in node.get("counters", {}).items():
+            self.add_counter(name, value)
+        for child_node in node.get("children", ()):
+            self.child(str(child_node["name"])).absorb(child_node)
 
     def walk(self) -> Iterator["Span"]:
         """Yield this span and every descendant, depth-first."""
@@ -205,6 +221,30 @@ def add_counter(name: str, value: float = 1.0) -> None:
     node = _current.get()
     if node is not None:
         node.add_counter(name, value)
+
+
+def merge_subtree(node: dict[str, Any]) -> None:
+    """Merge a :meth:`Span.as_dict` subtree into the live trace.
+
+    The subtree is attached under the current span (or as a root when none
+    is open), merging with an existing same-named span.  No-op while
+    tracing is disabled.  This is the parent-side half of cross-process
+    span capture: workers ship ``as_dict()`` trees home, the parent absorbs
+    them at the point of the fan-out.
+    """
+    if not _state.enabled:
+        return
+    name = str(node["name"])
+    parent = _current.get()
+    if parent is None:
+        target = _state.root_index.get(name)
+        if target is None:
+            target = Span(name)
+            _state.root_index[name] = target
+            _state.roots.append(target)
+    else:
+        target = parent.child(name)
+    target.absorb(node)
 
 
 def roots() -> list[Span]:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import datetime as dt
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -28,6 +28,13 @@ from repro.data.corpus import Corpus
 from repro.models.base import GenerativeModel
 from repro.obs import metrics, trace
 from repro.recommend.windows import SlidingWindowSpec, Window
+from repro.runtime import (
+    FitCache,
+    ParallelMap,
+    fingerprint_corpus,
+    fit_model,
+    resolve_n_jobs,
+)
 
 __all__ = ["WindowObservation", "ThresholdCurve", "RecommendationEvaluator"]
 
@@ -155,6 +162,18 @@ class RecommendationEvaluator:
         protocol).  With False, models are trained once on the data before
         the first window — cheaper, and a good approximation when windows
         are close together.
+    n_jobs:
+        Worker processes for the (window x model) fit+score fan-out.  The
+        default ``1`` runs everything in-process and is bit-identical to
+        the historical serial implementation; ``-1`` uses every CPU.
+        Results are deterministic for any fixed seed regardless of the
+        job count.
+    fit_cache:
+        Optional :class:`repro.runtime.FitCache`; fitted models are then
+        keyed by (model class, hyperparameters, training-prefix
+        fingerprint), so re-running a sweep — or two models sharing a
+        training prefix across overlapping windows — never refits the
+        same model twice.
     """
 
     def __init__(
@@ -164,6 +183,8 @@ class RecommendationEvaluator:
         spec: SlidingWindowSpec | None = None,
         thresholds: Sequence[float] = tuple(np.round(np.arange(0.0, 0.55, 0.05), 2)),
         retrain_per_window: bool = True,
+        n_jobs: int = 1,
+        fit_cache: FitCache | None = None,
     ) -> None:
         self.corpus = corpus
         self.spec = spec if spec is not None else SlidingWindowSpec()
@@ -171,6 +192,8 @@ class RecommendationEvaluator:
         if not self.thresholds:
             raise ValueError("at least one threshold is required")
         self.retrain_per_window = bool(retrain_per_window)
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.fit_cache = fit_cache
 
     # ------------------------------------------------------------------
     def _window_tasks(
@@ -199,13 +222,28 @@ class RecommendationEvaluator:
             truths.append(truth)
         return histories, owned_sets, truths
 
+    def _fit_model(
+        self,
+        factory: Callable[[], GenerativeModel],
+        train_corpus: Corpus,
+        fingerprint: str | None = None,
+    ) -> GenerativeModel:
+        """Fit through the cache when one is configured, directly otherwise."""
+        return fit_model(factory, train_corpus, self.fit_cache, fingerprint)
+
     def evaluate(
         self,
         model_factories: dict[str, Callable[[], GenerativeModel]],
         *,
         verbose: bool = False,
     ) -> dict[str, ThresholdCurve]:
-        """Run the full protocol; returns one curve per model name."""
+        """Run the full protocol; returns one curve per model name.
+
+        With ``n_jobs > 1`` the (window x model) fit+score cells run on a
+        process pool; observations are gathered back in (window, model)
+        order, so the resulting curves are identical to a serial run of
+        the same seed.
+        """
         if not model_factories:
             raise ValueError("at least one model factory is required")
         windows = self.spec.windows()
@@ -214,28 +252,10 @@ class RecommendationEvaluator:
                                  observations={t: [] for t in self.thresholds})
             for name in model_factories
         }
-        trained: dict[str, GenerativeModel] = {}
-        for w_index, window in enumerate(windows):
-            with trace.span("recommend.window"):
-                histories, owned_sets, truths = self._window_tasks(window)
-            if not histories:
-                continue
-            metrics.inc("recommend.windows")
-            metrics.inc("recommend.companies", len(histories))
-            train_corpus = self.corpus.truncated_before(window.start)
-            for name, factory in model_factories.items():
-                if self.retrain_per_window or name not in trained:
-                    model = factory().fit(train_corpus)
-                    trained[name] = model
-                else:
-                    model = trained[name]
-                scores = model.batch_next_product_proba(histories)
-                metrics.inc("recommend.candidates", scores.size)
-                self._score_window(
-                    curves[name], window, scores, owned_sets, truths
-                )
-                if verbose:  # pragma: no cover - console convenience
-                    print(f"window {w_index + 1}/{len(windows)} [{window.start}] {name} done")
+        if self.n_jobs > 1:
+            self._evaluate_parallel(model_factories, windows, curves, verbose=verbose)
+        else:
+            self._evaluate_serial(model_factories, windows, curves, verbose=verbose)
         if all(
             not observations
             for curve in curves.values()
@@ -247,6 +267,128 @@ class RecommendationEvaluator:
             )
         return curves
 
+    def _evaluate_serial(
+        self,
+        model_factories: dict[str, Callable[[], GenerativeModel]],
+        windows: list[Window],
+        curves: dict[str, ThresholdCurve],
+        *,
+        verbose: bool,
+    ) -> None:
+        """The historical in-process loop (the ``n_jobs=1`` reference path)."""
+        trained: dict[str, GenerativeModel] = {}
+        for w_index, window in enumerate(windows):
+            with trace.span("recommend.window"):
+                histories, owned_sets, truths = self._window_tasks(window)
+            if not histories:
+                continue
+            metrics.inc("recommend.windows")
+            metrics.inc("recommend.companies", len(histories))
+            train_corpus = self.corpus.truncated_before(window.start)
+            fingerprint = (
+                fingerprint_corpus(train_corpus)
+                if self.fit_cache is not None
+                else None
+            )
+            for name, factory in model_factories.items():
+                if self.retrain_per_window or name not in trained:
+                    model = self._fit_model(factory, train_corpus, fingerprint)
+                    trained[name] = model
+                else:
+                    model = trained[name]
+                scores = model.batch_next_product_proba(histories)
+                metrics.inc("recommend.candidates", scores.size)
+                self._score_window(
+                    curves[name], window, scores, owned_sets, truths
+                )
+                if verbose:  # pragma: no cover - console convenience
+                    print(f"window {w_index + 1}/{len(windows)} [{window.start}] {name} done")
+
+    def _evaluate_parallel(
+        self,
+        model_factories: dict[str, Callable[[], GenerativeModel]],
+        windows: list[Window],
+        curves: dict[str, ThresholdCurve],
+        *,
+        verbose: bool,
+    ) -> None:
+        """Fan the fit+score cells out over a process pool.
+
+        With ``retrain_per_window`` every (window, model) cell is one task;
+        otherwise the one-off fits are parallelized across models and the
+        cheap scoring pass stays in-process.  Results merge in submission
+        order, so curves match the serial path exactly.
+        """
+        prepared: list[tuple[Window, list[list[int]], list[set[int]], list[set[int]]]] = []
+        for window in windows:
+            with trace.span("recommend.window"):
+                histories, owned_sets, truths = self._window_tasks(window)
+            if not histories:
+                continue
+            metrics.inc("recommend.windows")
+            metrics.inc("recommend.companies", len(histories))
+            prepared.append((window, histories, owned_sets, truths))
+        if not prepared:
+            return
+        executor = ParallelMap(self.n_jobs)
+        if self.retrain_per_window:
+            payloads = []
+            for window, histories, owned_sets, truths in prepared:
+                train_corpus = self.corpus.truncated_before(window.start)
+                fingerprint = (
+                    fingerprint_corpus(train_corpus)
+                    if self.fit_cache is not None
+                    else None
+                )
+                for name, factory in model_factories.items():
+                    payloads.append(
+                        {
+                            "name": name,
+                            "factory": factory,
+                            "train": train_corpus,
+                            "fingerprint": fingerprint,
+                            "cache": self.fit_cache,
+                            "histories": histories,
+                            "owned_sets": owned_sets,
+                            "truths": truths,
+                            "thresholds": self.thresholds,
+                            "window_start": window.start,
+                        }
+                    )
+            results = executor.map(_fit_score_task, payloads)
+            for payload, observations in zip(payloads, results):
+                curve = curves[payload["name"]]
+                for observation in observations:
+                    curve.observations[observation.threshold].append(observation)
+                if verbose:  # pragma: no cover - console convenience
+                    print(f"[{payload['window_start']}] {payload['name']} done")
+        else:
+            first_window = prepared[0][0]
+            train_corpus = self.corpus.truncated_before(first_window.start)
+            fingerprint = (
+                fingerprint_corpus(train_corpus)
+                if self.fit_cache is not None
+                else None
+            )
+            fit_payloads = [
+                {
+                    "factory": factory,
+                    "train": train_corpus,
+                    "fingerprint": fingerprint,
+                    "cache": self.fit_cache,
+                }
+                for factory in model_factories.values()
+            ]
+            fitted = executor.map(_fit_task, fit_payloads)
+            models = dict(zip(model_factories, fitted))
+            for window, histories, owned_sets, truths in prepared:
+                for name in model_factories:
+                    scores = models[name].batch_next_product_proba(histories)
+                    metrics.inc("recommend.candidates", scores.size)
+                    self._score_window(
+                        curves[name], window, scores, owned_sets, truths
+                    )
+
     def _score_window(
         self,
         curve: ThresholdCurve,
@@ -256,27 +398,98 @@ class RecommendationEvaluator:
         truths: list[set[int]],
     ) -> None:
         """Threshold the score matrix and append one observation per phi."""
-        relevant = sum(len(t) for t in truths)
-        metrics.inc("recommend.relevant", relevant)
-        # Owned products can never be recommended: mask them out once.
-        masked = scores.copy()
-        for i, owned in enumerate(owned_sets):
-            masked[i, list(owned)] = -np.inf
-        for phi in self.thresholds:
-            hits = masked >= phi
-            n_retrieved = int(hits.sum())
-            n_correct = 0
-            for i, truth in enumerate(truths):
-                if truth:
-                    n_correct += sum(1 for t in truth if hits[i, t])
-            metrics.inc("recommend.retrieved", n_retrieved)
-            metrics.inc("recommend.hits", n_correct)
-            curve.observations[phi].append(
-                WindowObservation(
-                    window_start=window.start,
-                    threshold=phi,
-                    n_retrieved=n_retrieved,
-                    n_correct=n_correct,
-                    n_relevant=relevant,
-                )
+        observations = _count_observations(
+            scores, owned_sets, truths, self.thresholds, window.start
+        )
+        _record_observation_metrics(observations)
+        for observation in observations:
+            curve.observations[observation.threshold].append(observation)
+
+
+def _boolean_masks(
+    shape: tuple[int, int],
+    owned_sets: list[set[int]],
+    truths: list[set[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-company owned / ground-truth indicator matrices for one window."""
+    owned = np.zeros(shape, dtype=bool)
+    truth = np.zeros(shape, dtype=bool)
+    for i, tokens in enumerate(owned_sets):
+        if tokens:
+            owned[i, list(tokens)] = True
+    for i, tokens in enumerate(truths):
+        if tokens:
+            truth[i, list(tokens)] = True
+    return owned, truth
+
+
+def _count_observations(
+    scores: np.ndarray,
+    owned_sets: list[set[int]],
+    truths: list[set[int]],
+    thresholds: Sequence[float],
+    window_start: dt.date,
+) -> list[WindowObservation]:
+    """One vectorized threshold pass over a window's score matrix.
+
+    Owned products can never be recommended (their scores are excluded
+    from every threshold), and hits are counted where a retrieved product
+    appears in the company's ground truth — both via precomputed boolean
+    matrices, one comparison per threshold.
+    """
+    owned, truth = _boolean_masks(scores.shape, owned_sets, truths)
+    eligible = ~owned
+    relevant = int(truth.sum())
+    observations = []
+    for phi in thresholds:
+        hits = (scores >= phi) & eligible
+        observations.append(
+            WindowObservation(
+                window_start=window_start,
+                threshold=phi,
+                n_retrieved=int(hits.sum()),
+                n_correct=int((hits & truth).sum()),
+                n_relevant=relevant,
             )
+        )
+    return observations
+
+
+def _record_observation_metrics(observations: list[WindowObservation]) -> None:
+    """Mirror the per-window metric increments of the historical loop."""
+    if not observations:
+        return
+    metrics.inc("recommend.relevant", observations[0].n_relevant)
+    for observation in observations:
+        metrics.inc("recommend.retrieved", observation.n_retrieved)
+        metrics.inc("recommend.hits", observation.n_correct)
+
+
+def _fit_task(payload: dict[str, Any]) -> GenerativeModel:
+    """Worker task: fit one model (optionally through the cache)."""
+    return fit_model(
+        payload["factory"],
+        payload["train"],
+        payload["cache"],
+        payload["fingerprint"],
+    )
+
+
+def _fit_score_task(payload: dict[str, Any]) -> list[WindowObservation]:
+    """Worker task: fit + score one (window, model) cell.
+
+    Emits the same metric increments as the serial loop; the executor
+    merges worker counters back into the parent registry.
+    """
+    model = _fit_task(payload)
+    scores = model.batch_next_product_proba(payload["histories"])
+    metrics.inc("recommend.candidates", scores.size)
+    observations = _count_observations(
+        scores,
+        payload["owned_sets"],
+        payload["truths"],
+        payload["thresholds"],
+        payload["window_start"],
+    )
+    _record_observation_metrics(observations)
+    return observations

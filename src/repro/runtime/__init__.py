@@ -1,0 +1,42 @@
+"""Parallel experiment runtime: process-pool fan-out and the fit cache.
+
+``repro.runtime`` is the execution layer under every expensive experiment
+path:
+
+* :class:`~repro.runtime.executor.ParallelMap` — deterministic process-pool
+  map with an inline ``n_jobs=1`` fallback, ordered results and worker-side
+  observability capture merged back into the parent trace;
+* :func:`~repro.runtime.executor.derive_seed` — stable per-task seed
+  derivation from a base seed plus task identity keys;
+* :class:`~repro.runtime.cache.FitCache` — content-addressed store of
+  fitted models keyed by (model class, canonical hyperparameters, corpus
+  fingerprint), replayed through each model's ``save``/``load`` round-trip;
+* :mod:`~repro.runtime.fingerprint` — the digests behind the cache keys.
+
+The sliding-window recommendation evaluator and every grid-sweep driver
+accept ``n_jobs`` / ``fit_cache`` and route their hot loops through this
+module; the CLI exposes the same knobs as ``--jobs`` and ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cache import FitCache, fit_model
+from repro.runtime.executor import ParallelMap, derive_seed, resolve_n_jobs
+from repro.runtime.fingerprint import (
+    Uncacheable,
+    cache_key,
+    canonical_params,
+    fingerprint_corpus,
+)
+
+__all__ = [
+    "ParallelMap",
+    "FitCache",
+    "derive_seed",
+    "fit_model",
+    "resolve_n_jobs",
+    "Uncacheable",
+    "cache_key",
+    "canonical_params",
+    "fingerprint_corpus",
+]

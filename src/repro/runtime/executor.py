@@ -1,0 +1,159 @@
+"""Deterministic process-pool fan-out for experiment workloads.
+
+:class:`ParallelMap` is the one execution primitive the experiment stack
+shares: drivers hand it a module-level task function plus a list of
+picklable payloads and get results back **in payload order**, independent
+of which worker finished first.  ``n_jobs=1`` (the default) runs every
+task inline in the calling process — no pool, no pickling, no reordering —
+so the serial path is bit-identical to a plain ``for`` loop.
+
+Observability crosses the process boundary: when tracing or metrics are
+enabled in the parent, each worker records its own spans and counters in a
+clean slate, ships them home with the task result, and the parent merges
+them under the span that issued the fan-out (``trace.merge_subtree``).  A
+``--trace`` report therefore shows worker fit/score spans exactly where
+they belong, just with wall times that may overlap.
+
+Determinism rules:
+
+* results are gathered in submission order, always;
+* tasks that need randomness derive their seed from the task identity via
+  :func:`derive_seed` (or carry an explicit seed in the payload), never
+  from worker-local state;
+* payloads that cannot be pickled degrade to the inline path with a
+  logged warning instead of failing — the caller observes the same
+  results, just without the fan-out.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro._validation import check_positive_int
+from repro.obs import disable_all, enable_all, get_logger, metrics, reset_all, trace
+
+__all__ = ["ParallelMap", "derive_seed", "resolve_n_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def derive_seed(base: int | None, *keys: int | str) -> int:
+    """Stable per-task seed from a base seed and the task's identity keys.
+
+    Built on :class:`numpy.random.SeedSequence` spawn keys, so sibling
+    tasks get statistically independent streams and the mapping never
+    depends on execution order or process identity::
+
+        seed = derive_seed(7, "fig1", n_layers, nodes)
+    """
+    entropy = 0 if base is None else int(base)
+    spawn_key = tuple(
+        int.from_bytes(str(key).encode(), "little") % (2**63) for key in keys
+    )
+    sequence = np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+    return int(sequence.generate_state(1, dtype=np.uint64)[0] % (2**63))
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """Normalise an ``n_jobs`` request: ``-1`` means all CPUs, else >= 1."""
+    if n_jobs == -1:
+        return max(os.cpu_count() or 1, 1)
+    return check_positive_int(n_jobs, "n_jobs")
+
+
+def _run_captured(
+    fn: Callable[[Any], Any], payload: Any, capture_obs: bool
+) -> tuple[Any, list[dict[str, Any]], dict[str, float]]:
+    """Worker-side task wrapper: run ``fn`` with a clean obs slate.
+
+    Returns ``(result, span_trees, counter_totals)``; the obs payloads are
+    empty when capture is off.  Runs in the worker process — the reset only
+    touches worker-local state.
+    """
+    if not capture_obs:
+        return fn(payload), [], {}
+    reset_all()
+    enable_all()
+    try:
+        result = fn(payload)
+        spans = [root.as_dict() for root in trace.roots()]
+        counters = dict(metrics.snapshot()["counters"])
+    finally:
+        disable_all()
+        reset_all()
+    return result, spans, counters
+
+
+class ParallelMap:
+    """Ordered, observable map over a process pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes; ``1`` (default) executes inline and is
+        bit-identical to a serial loop, ``-1`` uses every CPU.
+    """
+
+    def __init__(self, n_jobs: int = 1) -> None:
+        self.n_jobs = resolve_n_jobs(n_jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ParallelMap(n_jobs={self.n_jobs})"
+
+    def map(self, fn: Callable[[T], R], payloads: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every payload; results in payload order.
+
+        With more than one job, ``fn`` must be a module-level function and
+        the payloads picklable; anything unpicklable falls back to the
+        inline path (same results, logged at warning level).
+        """
+        payloads = list(payloads)
+        if self.n_jobs == 1 or len(payloads) <= 1:
+            return [fn(payload) for payload in payloads]
+        try:
+            pickle.dumps(fn)
+        except Exception:
+            get_logger("runtime").warning(
+                "task function %r is not picklable; running inline", fn
+            )
+            return [fn(payload) for payload in payloads]
+        capture = trace.is_enabled() or metrics.is_enabled()
+        try:
+            return self._map_pool(fn, payloads, capture)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            get_logger("runtime").warning(
+                "parallel map degraded to inline execution: %s", exc
+            )
+            return [fn(payload) for payload in payloads]
+
+    def _map_pool(
+        self, fn: Callable[[T], R], payloads: list[T], capture: bool
+    ) -> list[R]:
+        workers = min(self.n_jobs, len(payloads))
+        with trace.span("runtime.parallel_map") as node:
+            if node is not None:
+                node.add_counter("tasks", len(payloads))
+                node.add_counter("workers", workers)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_captured, fn, payload, capture)
+                    for payload in payloads
+                ]
+                # Gather strictly in submission order: completion order
+                # never leaks into results.
+                outcomes = [future.result() for future in futures]
+            results: list[R] = []
+            for result, span_trees, counters in outcomes:
+                results.append(result)
+                for tree in span_trees:
+                    trace.merge_subtree(tree)
+                for name, value in counters.items():
+                    metrics.inc(name, value)
+            metrics.inc("runtime.tasks", len(payloads))
+        return results

@@ -47,6 +47,33 @@ class TestParser:
         assert args.log_json is None
         assert not args.trace and not args.profile
 
+    def test_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["--jobs", "4", "--cache-dir", "/tmp/cache",
+             "--metrics-json", "/tmp/m.json", "table1"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/cache"
+        assert args.metrics_json == "/tmp/m.json"
+
+    def test_runtime_flags_accepted_after_subcommand(self):
+        args = build_parser().parse_args(["table1", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_runtime_flags_default_serial_uncached(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.metrics_json is None
+
+    def test_recommend_defaults_to_paper_protocol(self):
+        args = build_parser().parse_args(["recommend"])
+        assert args.retrain is True
+
+    def test_recommend_no_retrain_fast_path(self):
+        args = build_parser().parse_args(["recommend", "--no-retrain"])
+        assert args.retrain is False
+
 
 class TestExecution:
     """Fast end-to-end runs on tiny corpora."""
@@ -127,3 +154,25 @@ class TestObservabilityFlags:
         assert trace.roots() == []
         assert metrics.snapshot()["counters"] == {}
         assert "timing report" not in capsys.readouterr().out
+
+    def test_cache_and_metrics_json_round_trip(self, capsys, tmp_path):
+        cache_dir = tmp_path / "fits"
+        argv = [
+            "--companies", "100", "--cache-dir", str(cache_dir),
+            "recommend", "--windows", "2", "--no-retrain",
+        ]
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        assert main(argv + ["--metrics-json", str(cold_json)]) == 0
+        cold_out = capsys.readouterr().out
+        obs.disable_all()
+        obs.reset_all()
+        assert main(argv + ["--metrics-json", str(warm_json)]) == 0
+        warm_out = capsys.readouterr().out
+        assert cold_out == warm_out
+        cold = json.loads(cold_json.read_text())["counters"]
+        warm = json.loads(warm_json.read_text())["counters"]
+        assert cold.get("cache.hit", 0) == 0
+        assert cold["cache.miss"] > 0
+        assert warm["cache.hit"] > 0
+        assert warm.get("cache.miss", 0) == 0

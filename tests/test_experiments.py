@@ -67,6 +67,22 @@ class TestTable1Driver:
         assert "lda" in text and "paper" in text
         assert text.splitlines()[1].strip().startswith("1")
 
+    def test_parallel_perplexities_identical_to_serial(self, tiny_data):
+        kwargs = dict(lstm_epochs=2, lda_iter=20, lstm_hidden=16)
+        serial = run_perplexity_table(tiny_data, n_jobs=1, **kwargs)
+        parallel = run_perplexity_table(tiny_data, n_jobs=4, **kwargs)
+        assert serial == parallel
+
+    def test_fit_cache_warm_run_identical(self, tiny_data, tmp_path):
+        from repro.runtime import FitCache
+
+        cache = FitCache(tmp_path)
+        kwargs = dict(lstm_epochs=2, lda_iter=20, lstm_hidden=16)
+        cold = run_perplexity_table(tiny_data, fit_cache=cache, **kwargs)
+        warm = run_perplexity_table(tiny_data, fit_cache=cache, **kwargs)
+        assert cache.hits > 0
+        assert cold == warm
+
 
 class TestGridDrivers:
     def test_lstm_grid_rows(self, tiny_data):

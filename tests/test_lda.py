@@ -150,6 +150,42 @@ class TestRecovery:
         b = variational.perplexity(split.test)
         assert abs(a - b) / min(a, b) < 0.15
 
+    def test_blocked_and_token_samplers_agree(self, split):
+        """The vectorized blocked sampler matches the reference token
+        sampler within the documented tolerance, across seeds."""
+        for seed in (0, 1):
+            blocked = LatentDirichletAllocation(
+                n_topics=4, n_iter=80, seed=seed, gibbs_sampler="blocked"
+            ).fit(split.train)
+            token = LatentDirichletAllocation(
+                n_topics=4, n_iter=80, seed=seed, gibbs_sampler="token"
+            ).fit(split.train)
+            a = blocked.perplexity(split.test)
+            b = token.perplexity(split.test)
+            assert abs(a - b) / min(a, b) < 0.05
+
+    def test_blocked_sampler_deterministic_given_seed(self, split):
+        a = LatentDirichletAllocation(
+            n_topics=3, n_iter=30, seed=4, gibbs_sampler="blocked"
+        ).fit(split.train)
+        b = LatentDirichletAllocation(
+            n_topics=3, n_iter=30, seed=4, gibbs_sampler="blocked"
+        ).fit(split.train)
+        assert np.array_equal(a.phi, b.phi)
+
+    def test_gibbs_sampler_choice_validated(self):
+        with pytest.raises(ValueError, match="gibbs_sampler"):
+            LatentDirichletAllocation(n_topics=2, gibbs_sampler="quantum")
+
+    def test_gibbs_sampler_survives_save_load(self, split, tmp_path):
+        model = LatentDirichletAllocation(
+            n_topics=2, n_iter=10, seed=0, gibbs_sampler="token"
+        ).fit(split.train)
+        model.save(tmp_path / "lda.npz")
+        restored = LatentDirichletAllocation.load(tmp_path / "lda.npz")
+        assert restored.gibbs_sampler == "token"
+        assert np.array_equal(restored.phi, model.phi)
+
 
 class TestScoring:
     def test_fold_in_scores_lower_perplexity_than_completion(self, split):

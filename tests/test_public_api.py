@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.app",
     "repro.experiments",
     "repro.obs",
+    "repro.runtime",
 ]
 
 

@@ -1,6 +1,7 @@
 """Tests for the recommendation harness: windows, recommender, evaluation."""
 
 import datetime as dt
+import functools
 
 import numpy as np
 import pytest
@@ -200,3 +201,94 @@ class TestEvaluator:
             )
             results[retrain] = curves["u"].recall(0.05)[0]
         assert results[True] == pytest.approx(results[False], abs=0.1)
+
+
+def _cheap_factories():
+    return {
+        "lda": functools.partial(
+            LatentDirichletAllocation,
+            n_topics=3,
+            inference="variational",
+            n_iter=20,
+            seed=0,
+        ),
+        "unigram": functools.partial(UnigramModel),
+    }
+
+
+class TestParallelDeterminism:
+    """Same seed, any job count: identical observations (the tentpole claim)."""
+
+    @pytest.mark.parametrize("retrain", [True, False])
+    def test_parallel_matches_serial_exactly(self, corpus, retrain):
+        spec = SlidingWindowSpec(n_windows=3)
+        curves = {}
+        for n_jobs in (1, 4):
+            evaluator = RecommendationEvaluator(
+                corpus,
+                spec=spec,
+                thresholds=[0.0, 0.05, 0.1],
+                retrain_per_window=retrain,
+                n_jobs=n_jobs,
+            )
+            curves[n_jobs] = evaluator.evaluate(_cheap_factories())
+        for name in curves[1]:
+            assert curves[1][name].observations == curves[4][name].observations
+
+    def test_parallel_counters_match_serial(self, corpus):
+        from repro import obs
+        from repro.obs import metrics
+
+        spec = SlidingWindowSpec(n_windows=2)
+        totals = {}
+        try:
+            for n_jobs in (1, 2):
+                obs.reset_all()
+                metrics.enable()
+                RecommendationEvaluator(
+                    corpus,
+                    spec=spec,
+                    thresholds=[0.05],
+                    retrain_per_window=True,
+                    n_jobs=n_jobs,
+                ).evaluate(_cheap_factories())
+                counters = metrics.snapshot()["counters"]
+                totals[n_jobs] = {
+                    key: counters.get(key, 0)
+                    for key in (
+                        "recommend.windows",
+                        "recommend.companies",
+                        "recommend.candidates",
+                        "recommend.relevant",
+                        "recommend.retrieved",
+                        "recommend.hits",
+                    )
+                }
+        finally:
+            obs.disable_all()
+            obs.reset_all()
+        assert totals[1] == totals[2]
+
+    def test_cached_fit_matches_fresh_fit(self, corpus, tmp_path):
+        from repro.runtime import FitCache
+
+        spec = SlidingWindowSpec(n_windows=2)
+
+        def run(cache):
+            evaluator = RecommendationEvaluator(
+                corpus,
+                spec=spec,
+                thresholds=[0.05],
+                retrain_per_window=True,
+                fit_cache=cache,
+            )
+            return evaluator.evaluate(_cheap_factories())
+
+        fresh = run(None)
+        cache = FitCache(tmp_path)
+        cold = run(cache)
+        warm = run(cache)
+        assert cache.hits > 0
+        for name in fresh:
+            assert fresh[name].observations == cold[name].observations
+            assert fresh[name].observations == warm[name].observations

@@ -1,0 +1,117 @@
+"""Tests for the parallel runtime: executor, seeds, observability merge."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import metrics, trace
+from repro.runtime import ParallelMap, derive_seed, resolve_n_jobs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset_all()
+    yield
+    obs.disable_all()
+    obs.reset_all()
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(seed):
+    return float(np.random.default_rng(seed).random())
+
+
+def _instrumented(x):
+    with trace.span("task.work"):
+        metrics.inc("task.count")
+    return x
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(7, "fig1", 2, 200) == derive_seed(7, "fig1", 2, 200)
+
+    def test_sensitive_to_keys(self):
+        assert derive_seed(7, "fig1", 1) != derive_seed(7, "fig1", 2)
+        assert derive_seed(7, "fig1") != derive_seed(7, "fig2")
+
+    def test_sensitive_to_base(self):
+        assert derive_seed(0, "x") != derive_seed(1, "x")
+
+    def test_none_base_is_zero(self):
+        assert derive_seed(None, "x") == derive_seed(0, "x")
+
+    def test_in_valid_seed_range(self):
+        seed = derive_seed(123, "anything", 42)
+        assert 0 <= seed < 2**63
+
+
+class TestResolveNJobs:
+    def test_passthrough(self):
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(4) == 4
+
+    def test_minus_one_uses_all_cpus(self):
+        assert resolve_n_jobs(-1) >= 1
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_n_jobs(-2)
+
+
+class TestParallelMap:
+    def test_inline_preserves_order(self):
+        assert ParallelMap(1).map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_pool_preserves_order(self):
+        assert ParallelMap(2).map(_square, range(8)) == ParallelMap(1).map(
+            _square, range(8)
+        )
+
+    def test_empty_payloads(self):
+        assert ParallelMap(2).map(_square, []) == []
+
+    def test_single_payload_runs_inline(self):
+        assert ParallelMap(2).map(_square, [3]) == [9]
+
+    def test_unpicklable_fn_falls_back_inline(self):
+        result = ParallelMap(2).map(lambda x: x + 1, [1, 2, 3])
+        assert result == [2, 3, 4]
+
+    def test_seeded_tasks_deterministic_across_job_counts(self):
+        seeds = [derive_seed(7, "task", i) for i in range(6)]
+        serial = ParallelMap(1).map(_draw, seeds)
+        pooled = ParallelMap(3).map(_draw, seeds)
+        assert serial == pooled
+
+    def test_worker_counters_merge_into_parent(self):
+        metrics.enable()
+        ParallelMap(2).map(_instrumented, range(5))
+        counters = metrics.snapshot()["counters"]
+        assert counters["task.count"] == 5
+        assert counters["runtime.tasks"] == 5
+
+    def test_worker_spans_merge_into_parent_trace(self):
+        obs.enable_all()
+        with trace.span("parent"):
+            ParallelMap(2).map(_instrumented, range(4))
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node.get("children", ()):
+                collect(child)
+
+        for root in trace.roots():
+            collect(root.as_dict())
+        assert "runtime.parallel_map" in names
+        assert "task.work" in names
+
+    def test_serial_path_leaves_metrics_untouched(self):
+        ParallelMap(1).map(_instrumented, range(3))
+        assert metrics.snapshot()["counters"] == {}

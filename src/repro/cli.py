@@ -4,7 +4,7 @@ Every paper artifact can be regenerated from the console::
 
     repro table1 --companies 2000
     repro lda-sweep
-    repro lstm-grid --epochs 14
+    repro lstm-grid --epochs 14      # alias: repro fig1 --dtype float32
     repro recommend --windows 13
     repro bpmf
     repro silhouette
@@ -146,9 +146,20 @@ def build_parser() -> argparse.ArgumentParser:
     lda.add_argument("--iterations", type=int, default=100)
 
     lstm = sub.add_parser(
-        "lstm-grid", help="Figure 1: LSTM architecture grid", parents=[shared]
+        "lstm-grid",
+        aliases=["fig1"],
+        help="Figure 1: LSTM architecture grid (alias: fig1)",
+        parents=[shared],
     )
     lstm.add_argument("--epochs", type=int, default=14)
+    lstm.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default="float32",
+        help="training precision: float32 uses the fast fused kernels "
+        "(default), float64 replays the original double-precision "
+        "arithmetic bit-for-bit",
+    )
 
     rec = sub.add_parser(
         "recommend", help="Figures 3/4: recommendation accuracy", parents=[shared]
@@ -218,7 +229,9 @@ def _cmd_lda_sweep(args: argparse.Namespace) -> None:
 
 def _cmd_lstm_grid(args: argparse.Namespace) -> None:
     data = make_experiment_data(args.companies, seed=args.seed)
-    rows = run_lstm_grid(data, n_epochs=args.epochs, **_runtime_kwargs(args))
+    rows = run_lstm_grid(
+        data, n_epochs=args.epochs, dtype=args.dtype, **_runtime_kwargs(args)
+    )
     print(f"{'layers':>6} {'nodes':>6} {'perplexity':>11} {'params':>9}")
     for row in rows:
         print(
@@ -371,6 +384,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": _cmd_table1,
     "lda-sweep": _cmd_lda_sweep,
     "lstm-grid": _cmd_lstm_grid,
+    "fig1": _cmd_lstm_grid,
     "recommend": _cmd_recommend,
     "bpmf": _cmd_bpmf,
     "silhouette": _cmd_silhouette,

@@ -167,7 +167,8 @@ def aggregate_domestic(
             countries[ultimate] = site.country
         bucket = merged.setdefault(ultimate, {})
         for record in site.records:
-            if CONFIDENCE_LEVELS.index(record.confidence) < threshold:
+            # threshold 0 accepts every confidence level: skip the lookup.
+            if threshold and CONFIDENCE_LEVELS.index(record.confidence) < threshold:
                 continue
             current = bucket.get(record.category)
             if current is None or record.first_seen < current:
@@ -179,7 +180,8 @@ def aggregate_domestic(
             raise KeyError(f"no SIC2 code supplied for domestic ultimate {ultimate}")
         companies.append(
             Company(
-                duns=DunsNumber(ultimate),
+                # Keys come from registry walks over validated registrations.
+                duns=DunsNumber._trusted(ultimate),
                 name=names[ultimate],
                 country=countries[ultimate],
                 sic2=sic2_by_ultimate[ultimate],

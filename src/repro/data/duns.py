@@ -17,10 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 __all__ = [
     "DunsNumber",
     "DunsRegistry",
     "duns_check_digit",
+    "duns_values_from_sequences",
     "is_valid_duns",
 ]
 
@@ -46,6 +49,28 @@ def duns_check_digit(first_eight: str) -> int:
     return (10 - total % 10) % 10
 
 
+def duns_values_from_sequences(sequences) -> list[str]:
+    """Vectorised :meth:`DunsNumber.from_sequence` for an array of counters.
+
+    Computes every Luhn check digit with array arithmetic instead of the
+    per-string digit loop; the batch simulator derives all site identifiers
+    of a universe in one call.  Returns the 9-digit string values in input
+    order (identical to calling ``from_sequence`` per element).
+    """
+    seq = np.asarray(sequences, dtype=np.int64)
+    if seq.size and (int(seq.min()) < 0 or int(seq.max()) > 99_999_999):
+        raise ValueError("sequence out of range for 8-digit payload")
+    # (n, 8) digit matrix, most significant first.
+    digits = (seq[:, None] // 10 ** np.arange(7, -1, -1)) % 10
+    # Luhn doubles every second digit from the right of the payload, i.e.
+    # columns 1, 3, 5, 7 of the MSB-first matrix.
+    doubled = digits[:, 1::2] * 2
+    doubled = np.where(doubled > 9, doubled - 9, doubled)
+    total = digits[:, 0::2].sum(axis=1) + doubled.sum(axis=1)
+    check = (10 - total % 10) % 10
+    return [f"{s:08d}{c}" for s, c in zip(seq.tolist(), check.tolist())]
+
+
 def is_valid_duns(number: str) -> bool:
     """Whether ``number`` is a well-formed 9-digit identifier with valid check digit."""
     if not isinstance(number, str) or len(number) != 9 or not number.isdigit():
@@ -64,6 +89,19 @@ class DunsNumber:
             raise ValueError(f"invalid D-U-N-S number {self.value!r}")
 
     @classmethod
+    def _trusted(cls, value: str) -> "DunsNumber":
+        """Wrap a value known to be valid, skipping re-validation.
+
+        Internal fast path for call sites that only handle identifiers
+        which already passed validation (generated payloads, registry
+        keys).  Hot loops over registered sites spend a measurable share
+        of their time re-running the Luhn check otherwise.
+        """
+        number = cls.__new__(cls)
+        object.__setattr__(number, "value", value)
+        return number
+
+    @classmethod
     def from_sequence(cls, sequence: int) -> "DunsNumber":
         """Deterministically derive a valid identifier from a counter.
 
@@ -73,7 +111,7 @@ class DunsNumber:
         if sequence < 0 or sequence > 99_999_999:
             raise ValueError(f"sequence {sequence} out of range for 8-digit payload")
         payload = f"{sequence:08d}"
-        return cls(payload + str(duns_check_digit(payload)))
+        return cls._trusted(payload + str(duns_check_digit(payload)))
 
     def __str__(self) -> str:
         return self.value
@@ -126,7 +164,8 @@ class DunsRegistry:
         while True:
             parent = self._parent[key]
             if parent is None or self._country[parent] != country:
-                return DunsNumber(key)
+                # Registered keys were validated at registration time.
+                return DunsNumber._trusted(key)
             if parent in seen:
                 raise ValueError(f"cycle detected in D-U-N-S hierarchy at {parent}")
             seen.add(parent)

@@ -32,17 +32,33 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro._validation import as_rng, check_positive_int, check_probability
+from repro._validation import (
+    as_rng,
+    check_in_choices,
+    check_positive_int,
+    check_probability,
+)
 from repro.data.catalog import (
     CATEGORY_PARENTS,
     HARDWARE_CATEGORIES,
     ProductCatalog,
     build_default_catalog,
 )
-from repro.data.company import Company, CompanySite, InstallRecord, aggregate_domestic
-from repro.data.duns import DunsNumber, DunsRegistry
+from repro.data.company import (
+    CONFIDENCE_LEVELS,
+    Company,
+    CompanySite,
+    InstallRecord,
+    aggregate_domestic,
+)
+from repro.data.duns import DunsNumber, DunsRegistry, duns_values_from_sequences
 from repro.data.industries import SIC2_CODES
-from repro.preprocessing.timeutil import add_months, months_between
+from repro.preprocessing.timeutil import (
+    add_months,
+    date_from_month_index,
+    month_index,
+    months_between,
+)
 
 __all__ = ["SimulatorConfig", "SimulatorGroundTruth", "SimulatedUniverse", "InstallBaseSimulator"]
 
@@ -420,9 +436,39 @@ class InstallBaseSimulator:
             observations.append((types[1], later))
         return observations
 
-    def generate(self, seed: int | np.random.Generator | None = None) -> SimulatedUniverse:
-        """Generate a full universe: sites, registry, and aggregated companies."""
+    #: ``method="auto"`` switches from the per-company loop to the batch
+    #: generator at this universe size.  Below it (which covers every test
+    #: corpus) the loop path keeps historical bit-for-bit reproducibility.
+    _BATCH_THRESHOLD = 4096
+
+    def generate(
+        self,
+        seed: int | np.random.Generator | None = None,
+        *,
+        method: str = "auto",
+    ) -> SimulatedUniverse:
+        """Generate a full universe: sites, registry, and aggregated companies.
+
+        ``method`` selects the generation kernel: ``"loop"`` is the
+        historical per-company implementation, ``"batch"`` draws every
+        random quantity array-wise and only loops to build the output
+        objects (an order of magnitude faster at 100k companies), and
+        ``"auto"`` (default) picks ``"batch"`` at or above
+        ``_BATCH_THRESHOLD`` companies.  Both kernels sample the same
+        generative process, but they consume the random stream in
+        different orders, so for a given seed they produce *different,
+        distributionally equivalent* universes.
+        """
+        check_in_choices(method, "method", ("auto", "loop", "batch"))
+        if method == "auto":
+            method = "batch" if self.config.n_companies >= self._BATCH_THRESHOLD else "loop"
         rng = as_rng(seed)
+        if method == "batch":
+            return self._generate_batch(rng)
+        return self._generate_loop(rng)
+
+    def _generate_loop(self, rng: np.random.Generator) -> SimulatedUniverse:
+        """Reference per-company generation (bit-stable across releases)."""
         cfg = self.config
         rankings = self._build_rankings()
         profiles = self._build_profiles()
@@ -530,8 +576,241 @@ class InstallBaseSimulator:
             config=cfg,
         )
 
+    def _generate_batch(self, rng: np.random.Generator) -> SimulatedUniverse:
+        """Array-wise generation: same process as the loop, drawn in bulk.
+
+        Every random quantity (ownership, dates, site echoes, confidences)
+        is sampled as a flat array over the exploded company x category x
+        site incidence structure; Python loops only construct the output
+        objects.  Dates are handled as month indices against a precomputed
+        date table and clamping to ``observation_end`` replays the loop
+        kernel's ``min(add_months(...), observation_end)`` semantics.
+        """
+        cfg = self.config
+        n = cfg.n_companies
+        n_cat = len(self._categories)
+        rankings = self._build_rankings()
+        profiles = self._build_profiles()
+        industry_groups = self._industry_groups(rng)
+        start_span = months_between(cfg.earliest_start, cfg.latest_start)
+        base_idx = month_index(cfg.earliest_start)
+        end_idx = month_index(cfg.observation_end)
+
+        mixtures = rng.dirichlet(
+            np.full(cfg.n_profiles, cfg.mixture_concentration), size=n
+        )
+
+        # --- ownership -------------------------------------------------
+        jitter = rng.normal(0.0, cfg.size_jitter_sd, size=n)
+        probs = np.empty((n, n_cat))
+        chunk = 4096  # keeps the (chunk, profiles, categories) logits in cache
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            logits = (
+                cfg.core_size + jitter[lo:hi, None, None] - rankings[None, :, :]
+            ) / cfg.core_softness
+            curves = np.clip(
+                cfg.ownership_cap / (1.0 + np.exp(-logits)) + cfg.background_rate,
+                0.0,
+                1.0,
+            )
+            probs[lo:hi] = np.einsum("cp,cpm->cm", mixtures[lo:hi], curves)
+        owned = rng.random((n, n_cat)) < probs
+        counts = owned.sum(axis=1)
+        for i in np.flatnonzero(counts < cfg.min_products):
+            have = np.flatnonzero(owned[i])
+            missing = np.setdiff1d(np.argsort(-probs[i]), have, assume_unique=False)
+            owned[i, missing[: cfg.min_products - len(have)]] = True
+
+        # --- acquisition months (company x category, then exploded) ----
+        start_off = rng.integers(start_span + 1, size=n)
+        horizon_factor = np.maximum(end_idx - (base_idx + start_off) - 1, 1)
+        noise = rng.random((n, n_cat))
+        position = (
+            cfg.temporal_coherence * self._stages[None, :]
+            + (1.0 - cfg.temporal_coherence) * noise
+        )
+        month_off = np.floor(position * horizon_factor[:, None]).astype(np.int64)
+
+        pair_comp, pair_cat = np.nonzero(owned)
+        n_pairs = len(pair_comp)
+        pair_midx = base_idx + start_off[pair_comp] + month_off[pair_comp, pair_cat]
+        pair_day = rng.integers(1, 28, size=n_pairs)
+
+        # --- industries, names, site counts ----------------------------
+        dominant = np.argmax(mixtures, axis=1)
+        aligned = rng.random(n) < cfg.industry_alignment
+        all_codes = np.asarray(SIC2_CODES, dtype=np.int64)
+        group_lens = np.array([len(g) for g in industry_groups], dtype=np.int64)
+        group_mat = np.zeros((cfg.n_profiles, int(group_lens.max())), dtype=np.int64)
+        for k, group in enumerate(industry_groups):
+            group_mat[k, : len(group)] = group
+        pool_len = np.where(aligned, group_lens[dominant], len(all_codes))
+        pick = (rng.random(n) * pool_len).astype(np.int64)
+        sic2_arr = np.where(
+            aligned,
+            group_mat[dominant, np.minimum(pick, group_lens[dominant] - 1)],
+            all_codes[np.minimum(pick, len(all_codes) - 1)],
+        )
+        adj_idx = rng.integers(len(_NAME_ADJECTIVES), size=n)
+        noun_idx = rng.integers(len(_NAME_NOUNS), size=n)
+        n_sites_arr = np.minimum(rng.geometric(0.6, size=n), cfg.max_sites)
+        max_extra = cfg.max_sites - 1
+        foreign_mask = (
+            rng.random((n, max_extra)) < cfg.foreign_site_rate
+            if max_extra
+            else np.zeros((n, 0), dtype=bool)
+        )
+
+        # --- observations (category or product-type granularity) -------
+        if cfg.granularity == "category":
+            obs_comp = pair_comp
+            obs_label = list(self._categories)
+            obs_label_idx = pair_cat
+            obs_midx = pair_midx
+            obs_day = pair_day
+        else:
+            types_sorted = [
+                sorted(pt.name for pt in self.catalog.product_types(c))
+                for c in self._categories
+            ]
+            has_second = np.array([len(t) > 1 for t in types_sorted])
+            second = (rng.random(n_pairs) < cfg.second_type_rate) & has_second[pair_cat]
+            lag2 = rng.integers(1, 30, size=n_pairs)
+            obs_comp = np.concatenate([pair_comp, pair_comp[second]])
+            # Labels indexed as first types then second types of the catalog.
+            obs_label = [t[0] for t in types_sorted] + [
+                (t[1] if len(t) > 1 else t[0]) for t in types_sorted
+            ]
+            obs_label_idx = np.concatenate([pair_cat, pair_cat[second] + n_cat])
+            obs_midx = np.concatenate(
+                [pair_midx, np.minimum(pair_midx[second] + lag2[second], end_idx + 1)]
+            )
+            obs_day = np.concatenate([pair_day, pair_day[second]])
+        n_obs = len(obs_comp)
+
+        # --- records: HQ always reports, other sites echo at p = 1/2 ---
+        extra_sites = np.maximum(n_sites_arr - 1, 0)
+        echo = rng.random((n_obs, max_extra)) < 0.5 if max_extra else np.zeros((n_obs, 0), bool)
+        echo &= np.arange(max_extra)[None, :] < extra_sites[obs_comp, None]
+        echo_obs, echo_slot = np.nonzero(echo)
+        lag = rng.integers(0, 18, size=len(echo_obs))
+
+        rec_obs = np.concatenate([np.arange(n_obs), echo_obs])
+        rec_slot = np.concatenate(
+            [np.zeros(n_obs, dtype=np.int64), echo_slot + 1]
+        )
+        rec_midx = np.concatenate([obs_midx, obs_midx[echo_obs] + lag])
+        n_rec = len(rec_obs)
+        confirm = rng.exponential(24.0, size=n_rec).astype(np.int64) + 1
+        conf_u = rng.random(n_rec)
+        conf_code = np.where(conf_u < 0.8, 2, np.where(conf_u < 0.95, 1, 0)).astype(
+            np.int64
+        )
+
+        # --- date table: month index x day -> datetime.date ------------
+        obs_end = cfg.observation_end
+        month_firsts = [
+            date_from_month_index(m) for m in range(base_idx, end_idx + 1)
+        ]
+        date_table = [
+            [first.replace(day=d) for d in range(1, 28)] for first in month_firsts
+        ]
+
+        # resolve(midx, day): clamp past observation_end, else table lookup.
+        # Inlined in the record loop below; kept here as the reference
+        # spelling of the loop kernel's min(add_months(...), obs_end).
+
+        # --- object construction ---------------------------------------
+        total_sites = int(n_sites_arr.sum())
+        duns_values = duns_values_from_sequences(np.arange(total_sites))
+        site_offsets = np.concatenate([[0], np.cumsum(n_sites_arr)])
+
+        registry = DunsRegistry()
+        sites: list[CompanySite] = []
+        sic2_by_ultimate: dict[str, int] = {}
+        for i in range(n):
+            name = (
+                f"{_NAME_ADJECTIVES[adj_idx[i]]} {_NAME_NOUNS[noun_idx[i]]} "
+                f"{_NAME_SUFFIXES[i % len(_NAME_SUFFIXES)]}"
+            )
+            base = int(site_offsets[i])
+            hq = DunsNumber._trusted(duns_values[base])
+            registry.register(hq, country="US")
+            sic2_by_ultimate[hq.value] = int(sic2_arr[i])
+            sites.append(CompanySite(duns=hq, name=name, country="US"))
+            for s in range(1, int(n_sites_arr[i])):
+                child = DunsNumber._trusted(duns_values[base + s])
+                if foreign_mask[i, s - 1]:
+                    country = "DE" if s % 2 else "GB"
+                    registry.register(child, country=country, parent=hq)
+                    sic2_by_ultimate[child.value] = int(sic2_arr[i])
+                else:
+                    country = "US"
+                    registry.register(child, country=country, parent=hq)
+                sites.append(
+                    CompanySite(duns=child, name=f"{name} Site {s}", country=country)
+                )
+
+        conf_names = CONFIDENCE_LEVELS  # ("low", "medium", "high")
+        obs_day_list = obs_day.tolist()
+        obs_site_base = site_offsets[obs_comp].tolist()
+        obs_labels = [obs_label[j] for j in obs_label_idx.tolist()]
+        for o, slot, midx, conf, code in zip(
+            rec_obs.tolist(),
+            rec_slot.tolist(),
+            rec_midx.tolist(),
+            confirm.tolist(),
+            conf_code.tolist(),
+        ):
+            site = sites[obs_site_base[o] + slot]
+            day = obs_day_list[o]
+            if midx > end_idx:
+                first = obs_end
+            else:
+                first = date_table[midx - base_idx][day - 1]
+            last_midx = midx + conf
+            if last_midx > end_idx:
+                last = obs_end
+            else:
+                last = date_table[last_midx - base_idx][day - 1]
+            # confirm >= 1 puts last in a later month (or at the clamp), so
+            # last >= first always holds; no max() needed.
+            site.records.append(
+                InstallRecord(
+                    duns=site.duns,
+                    category=obs_labels[o],
+                    first_seen=first,
+                    last_seen=last,
+                    confidence=conf_names[code],
+                )
+            )
+
+        companies = aggregate_domestic(
+            sites, registry, sic2_by_ultimate=sic2_by_ultimate
+        )
+        companies = [c for c in companies if len(c) > 0]
+
+        ground_truth = SimulatorGroundTruth(
+            profile_product=profiles,
+            company_mixture=mixtures,
+            categories=self._categories,
+            stages=self._stages.copy(),
+        )
+        return SimulatedUniverse(
+            sites=sites,
+            registry=registry,
+            sic2_by_ultimate=sic2_by_ultimate,
+            companies=companies,
+            ground_truth=ground_truth,
+            config=cfg,
+        )
+
     def generate_companies(
-        self, seed: int | np.random.Generator | None = None
+        self,
+        seed: int | np.random.Generator | None = None,
+        *,
+        method: str = "auto",
     ) -> list[Company]:
         """Convenience wrapper returning only the aggregated companies."""
-        return self.generate(seed).companies
+        return self.generate(seed, method=method).companies

@@ -44,6 +44,7 @@ def run_lstm_grid(
     node_grid: Sequence[int] = (10, 100, 200, 300),
     n_epochs: int = 14,
     seed: int = 0,
+    dtype: str = "float32",
     n_jobs: int = 1,
     fit_cache: FitCache | None = None,
 ) -> list[dict[str, float]]:
@@ -53,7 +54,9 @@ def run_lstm_grid(
     count the paper's "lessons learned" discussion compares against LDA's.
     Grid cells are independent; ``n_jobs > 1`` fans them out over a process
     pool with results gathered back in grid order, so the rows are
-    identical to a serial run.
+    identical to a serial run.  ``dtype`` selects the training precision of
+    every grid point (``float32`` default; ``float64`` replays the original
+    double-precision arithmetic bit-for-bit).
     """
     split = data.split
     fingerprint = fingerprint_corpus(split.train) if fit_cache is not None else None
@@ -66,6 +69,7 @@ def run_lstm_grid(
                 n_epochs=n_epochs,
                 validation=split.validation,
                 seed=seed,
+                dtype=dtype,
             ),
             "n_layers": n_layers,
             "nodes": nodes,

@@ -183,22 +183,55 @@ class BayesianPMF(GenerativeModel):
         hyper: tuple[np.ndarray, np.ndarray],
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Draw each factor row from its Gaussian conditional."""
+        """Draw each factor row from its Gaussian conditional.
+
+        The data-dependent contributions ``(alpha * V_i.T) @ V_i`` and
+        ``(alpha * V_i.T) @ r_i`` are pre-assembled with one *stacked*
+        matmul per distinct rating count instead of two small GEMMs per
+        row.  Batched matmul over equal-shaped slices reproduces the
+        per-row products bit-for-bit (each output slice is an independent
+        GEMM), and the Gibbs draws stay in original row order, so the
+        sampled chain is bit-identical to the historical per-row loop.
+        """
         mu, precision = hyper
         alpha = self.rating_precision
         fresh = np.empty_like(factors)
         prior_term = precision @ mu
-        for i in range(factors.shape[0]):
+        n_rows = factors.shape[0]
+
+        grams: list[np.ndarray | None] = [None] * n_rows
+        rhs: list[np.ndarray | None] = [None] * n_rows
+        by_count: dict[int, list[int]] = {}
+        for i in range(n_rows):
             entry = index.get(i)
-            if entry is None:
-                cov = np.linalg.inv(precision)
-                fresh[i] = rng.multivariate_normal(mu, (cov + cov.T) / 2.0)
+            if entry is not None:
+                by_count.setdefault(len(entry[0]), []).append(i)
+        for members in by_count.values():
+            v_stack = np.stack([other[index[i][0]] for i in members])  # (g, k, d)
+            r_stack = np.stack([index[i][1] for i in members])  # (g, k)
+            # Replays the reference expression `alpha * v.T @ v`, which by
+            # left associativity scales v.T before the product.
+            scaled_t = alpha * v_stack.transpose(0, 2, 1)  # (g, d, k)
+            gram_stack = np.matmul(scaled_t, v_stack)  # (g, d, d)
+            rhs_stack = np.matmul(scaled_t, r_stack[..., None])[..., 0]  # (g, d)
+            for pos, i in enumerate(members):
+                grams[i] = gram_stack[pos]
+                rhs[i] = rhs_stack[pos]
+
+        # Rows with no observed ratings share one prior covariance; the
+        # historical loop recomputed the same inverse for each of them.
+        prior_cov: np.ndarray | None = None
+        for i in range(n_rows):
+            gram = grams[i]
+            if gram is None:
+                if prior_cov is None:
+                    cov = np.linalg.inv(precision)
+                    prior_cov = (cov + cov.T) / 2.0
+                fresh[i] = rng.multivariate_normal(mu, prior_cov)
                 continue
-            idx, ratings = entry
-            v = other[idx]
-            post_precision = precision + alpha * v.T @ v
+            post_precision = precision + gram
             post_cov = np.linalg.inv(post_precision)
-            post_mean = post_cov @ (prior_term + alpha * v.T @ ratings)
+            post_mean = post_cov @ (prior_term + rhs[i])
             fresh[i] = rng.multivariate_normal(post_mean, (post_cov + post_cov.T) / 2.0)
         return fresh
 

@@ -20,10 +20,19 @@ Two batching regimes are provided:
 
 Perplexity is teacher-forced next-product perplexity, scored on product
 tokens only (separators are never scored).
+
+Performance knobs (see ``models/nn/``): ``dtype`` selects the working
+precision (float32 default; float64 is the bit-exact reference), ``kernel``
+selects the fused whole-window BPTT kernels or the per-step reference
+recurrence, and ``bucketed`` sorts ragged company batches by length so
+padded positions stop dominating the FLOP count in ``batching="company"``
+training and in all batch scoring entry points.  Log-probabilities are
+always accumulated in float64 regardless of ``dtype``.
 """
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any
 
 import numpy as np
@@ -40,6 +49,7 @@ from repro.models.base import GenerativeModel
 from repro.models.nn.losses import masked_softmax_cross_entropy, softmax
 from repro.models.nn.network import RecurrentLM
 from repro.models.nn.optim import SGD, Adam, clip_gradients
+from repro.obs import metrics, trace
 
 __all__ = ["LSTMModel"]
 
@@ -79,6 +89,16 @@ class LSTMModel(GenerativeModel):
         validation split).
     seed:
         Controls initialisation, shuffling and dropout.
+    dtype:
+        Working precision: ``"float32"`` (default, the fast training and
+        scoring dtype) or ``"float64"`` (bit-exact reference precision).
+    kernel:
+        ``"fused"`` (default, time-fused GEMM kernels with preallocated
+        workspaces) or ``"reference"`` (per-timestep recurrence).
+    bucketed:
+        Sort ragged company batches by sequence length before chunking
+        (training in ``batching="company"`` mode and all batch scoring);
+        results are returned in the caller's order either way.
     """
 
     name = "lstm"
@@ -101,6 +121,9 @@ class LSTMModel(GenerativeModel):
         clip_norm: float = 5.0,
         validation: Corpus | None = None,
         seed: int | np.random.Generator | None = 0,
+        dtype: str = "float32",
+        kernel: str = "fused",
+        bucketed: bool = True,
     ) -> None:
         super().__init__()
         self.hidden = check_positive_int(hidden, "hidden")
@@ -123,6 +146,9 @@ class LSTMModel(GenerativeModel):
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.clip_norm = check_positive_float(clip_norm, "clip_norm")
         self.validation = validation
+        self.dtype = check_in_choices(str(dtype), "dtype", ("float32", "float64"))
+        self.kernel = check_in_choices(kernel, "kernel", ("fused", "reference"))
+        self.bucketed = bool(bucketed)
         self._seed = seed
         self._network: RecurrentLM | None = None
         self.training_history: list[dict[str, float]] = []
@@ -161,6 +187,16 @@ class LSTMModel(GenerativeModel):
             mask[b, : len(seq)] = True
         return inputs, targets, mask
 
+    def _scoring_order(self, lengths: list[int]) -> np.ndarray:
+        """Chunking order for ragged batches: by length when bucketed.
+
+        The stable sort keeps equal-length sequences in caller order, so
+        bucketed scoring is deterministic.
+        """
+        if self.bucketed:
+            return np.argsort(np.asarray(lengths), kind="stable")
+        return np.arange(len(lengths))
+
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
@@ -176,6 +212,8 @@ class LSTMModel(GenerativeModel):
             cell=self.cell,
             dropout=self.dropout,
             seed=rng,
+            dtype=self.dtype,
+            kernel=self.kernel,
         )
         optimizer = Adam(self.lr) if self.optimizer == "adam" else SGD(self.lr)
         self._vocab_size = corpus.n_products
@@ -183,16 +221,34 @@ class LSTMModel(GenerativeModel):
         self.training_history = []
         best_valid = np.inf
         best_params: dict[str, np.ndarray] | None = None
+        fit_tokens, fit_wall = 0.0, 0.0
 
         for epoch in range(self.n_epochs):
             if self.optimizer == "sgd":
                 # TF PTB schedule: hold lr for the first decay_start epochs,
                 # then decay geometrically.
                 optimizer.lr = self.lr * self.lr_decay ** max(0, epoch - self.decay_start + 1)
-            if self.batching == "stream":
-                train_ppl = self._train_epoch_stream(sequences, network, optimizer, rng)
-            else:
-                train_ppl = self._train_epoch_company(sequences, network, optimizer, rng)
+            with trace.span("model.lstm.epoch") as span:
+                start = _time.perf_counter()
+                if self.batching == "stream":
+                    train_ppl, n_tokens = self._train_epoch_stream(
+                        sequences, network, optimizer, rng
+                    )
+                else:
+                    train_ppl, n_tokens = self._train_epoch_company(
+                        sequences, network, optimizer, rng
+                    )
+                elapsed = _time.perf_counter() - start
+            fit_tokens += n_tokens
+            fit_wall += elapsed
+            rate = fit_tokens / max(fit_wall, 1e-9)
+            if span is not None:
+                span.add_counter("tokens", n_tokens)
+                # Cumulative training throughput; overwritten every epoch so
+                # the merged span reports the fit-level rate, not a sum.
+                span.counters["tokens_per_s"] = round(rate, 1)
+            if metrics.is_enabled():
+                metrics.set_gauge("model.lstm.tokens_per_s", rate)
             record = {"epoch": float(epoch), "train_perplexity": train_ppl}
             if self.validation is not None:
                 valid_ppl = self.perplexity(self.validation)
@@ -212,7 +268,7 @@ class LSTMModel(GenerativeModel):
         network: RecurrentLM,
         optimizer: Adam | SGD,
         rng: np.random.Generator,
-    ) -> float:
+    ) -> tuple[float, int]:
         """One PTB-style epoch: shuffled concatenated stream, carried state."""
         order = rng.permutation(len(sequences))
         stream = self._build_stream([sequences[i] for i in order], network.bos_token)
@@ -243,7 +299,7 @@ class LSTMModel(GenerativeModel):
             n_tokens = int(mask.sum())
             epoch_loss += loss * n_tokens
             epoch_tokens += n_tokens
-        return float(np.exp(epoch_loss / max(epoch_tokens, 1)))
+        return float(np.exp(epoch_loss / max(epoch_tokens, 1))), epoch_tokens
 
     def _train_epoch_company(
         self,
@@ -251,11 +307,24 @@ class LSTMModel(GenerativeModel):
         network: RecurrentLM,
         optimizer: Adam | SGD,
         rng: np.random.Generator,
-    ) -> float:
-        """One epoch of per-company padded minibatches (state reset per row)."""
+    ) -> tuple[float, int]:
+        """One epoch of per-company padded minibatches (state reset per row).
+
+        With ``bucketed=True`` the shuffled epoch order is re-sorted by
+        sequence length (stable, so the shuffle still randomises within
+        equal lengths) and the resulting minibatches are visited in random
+        order: each batch pads to its own bucket's maximum instead of the
+        epoch-wide maximum.
+        """
         order = rng.permutation(len(sequences))
+        if self.bucketed:
+            lengths = np.array([len(sequences[i]) for i in order])
+            order = order[np.argsort(lengths, kind="stable")]
+        starts = np.arange(0, len(order), self.batch_size)
+        if self.bucketed:
+            starts = starts[rng.permutation(len(starts))]
         epoch_loss, epoch_tokens = 0.0, 0
-        for start in range(0, len(order), self.batch_size):
+        for start in starts:
             chosen = [sequences[i] for i in order[start : start + self.batch_size]]
             inputs, targets, mask = self._make_padded_batch(chosen, network.bos_token)
             network.zero_grads()
@@ -268,7 +337,7 @@ class LSTMModel(GenerativeModel):
             n_tokens = int(mask.sum())
             epoch_loss += loss * n_tokens
             epoch_tokens += n_tokens
-        return float(np.exp(epoch_loss / epoch_tokens))
+        return float(np.exp(epoch_loss / epoch_tokens)), epoch_tokens
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -310,7 +379,9 @@ class LSTMModel(GenerativeModel):
             inputs = inputs[:, : len(targets)]
             logits, cache = network.forward(inputs, train=False, states=states)
             states = cache["final_states"]
-            probs = softmax(logits[0])
+            # Probabilities and the log-sum accumulate in float64 whatever
+            # the network dtype.
+            probs = softmax(np.asarray(logits[0], dtype=np.float64))
             mask = targets != network.bos_token
             picked = probs[np.arange(len(targets)), np.where(mask, targets, 0)]
             total += float(np.where(mask, np.log(picked + 1e-300), 0.0).sum())
@@ -319,12 +390,13 @@ class LSTMModel(GenerativeModel):
     def _company_log_prob(self, sequences: list[list[int]]) -> float:
         """Per-company teacher-forced scoring with fresh state per row."""
         network = self.network
+        order = self._scoring_order([len(s) for s in sequences])
         total = 0.0
-        for start in range(0, len(sequences), self.batch_size):
-            chosen = sequences[start : start + self.batch_size]
+        for start in range(0, len(order), self.batch_size):
+            chosen = [sequences[i] for i in order[start : start + self.batch_size]]
             inputs, targets, mask = self._make_padded_batch(chosen, network.bos_token)
             logits, __ = network.forward(inputs, train=False)
-            probs = softmax(logits)
+            probs = softmax(np.asarray(logits, dtype=np.float64))
             batch, time = targets.shape
             rows = np.repeat(np.arange(batch), time)
             cols = np.tile(np.arange(time), batch)
@@ -337,26 +409,36 @@ class LSTMModel(GenerativeModel):
         network = self.network
         tokens = np.array([[network.bos_token] + clean], dtype=np.int64)
         logits, __ = network.forward(tokens, train=False)
-        return softmax(logits[0, -1])
+        return softmax(np.asarray(logits[0, -1], dtype=np.float64))
 
     def batch_next_product_proba(self, histories: list[list[int]]) -> np.ndarray:
-        """Batched recommender scores via one padded forward per chunk."""
+        """Batched recommender scores via one padded forward per chunk.
+
+        With ``bucketed=True`` histories are scored in length order so each
+        chunk pads to its own maximum; rows come back in caller order.
+        """
         if not histories:
             self._check_fitted()
             return np.zeros((0, self.vocab_size), dtype=np.float64)
         network = self.network
+        clean = [self._check_history(h) for h in histories]
+        order = self._scoring_order([len(h) for h in clean])
         result = np.empty((len(histories), self.vocab_size))
-        for start in range(0, len(histories), self.batch_size):
-            chunk = histories[start : start + self.batch_size]
-            clean = [self._check_history(h) for h in chunk]
-            time = max(len(h) for h in clean) + 1
-            tokens = np.full((len(clean), time), network.bos_token, dtype=np.int64)
-            for b, h in enumerate(clean):
+        for start in range(0, len(order), self.batch_size):
+            chunk = [clean[i] for i in order[start : start + self.batch_size]]
+            time = max(len(h) for h in chunk) + 1
+            tokens = np.full((len(chunk), time), network.bos_token, dtype=np.int64)
+            lengths = np.empty(len(chunk), dtype=np.int64)
+            for b, h in enumerate(chunk):
                 tokens[b, 1 : len(h) + 1] = h
-            logits, __ = network.forward(tokens, train=False)
-            probs = softmax(logits)
-            for b, h in enumerate(clean):
-                result[start + b] = probs[b, len(h)]
+                lengths[b] = len(h) + 1
+            # Project only each row's last real position: one (batch, vocab)
+            # GEMM instead of a (batch, time, vocab) one per chunk.
+            hidden = network.final_hidden(tokens, lengths)
+            logits = network.output.forward(hidden)
+            probs = softmax(np.asarray(logits, dtype=np.float64))
+            for b in range(len(chunk)):
+                result[order[start + b]] = probs[b]
         return result
 
     def company_features(self, corpus: Corpus) -> np.ndarray:
@@ -369,8 +451,9 @@ class LSTMModel(GenerativeModel):
         features = np.zeros((corpus.n_companies, self.hidden))
         sequences = corpus.sequences()
         indexed = [(i, s) for i, s in enumerate(sequences) if s]
-        for start in range(0, len(indexed), self.batch_size):
-            chunk = indexed[start : start + self.batch_size]
+        order = self._scoring_order([len(s) for __, s in indexed])
+        for start in range(0, len(order), self.batch_size):
+            chunk = [indexed[i] for i in order[start : start + self.batch_size]]
             seqs = [s for __, s in chunk]
             time = max(len(s) for s in seqs)
             tokens = np.full((len(seqs), time + 1), network.bos_token, dtype=np.int64)
@@ -402,6 +485,9 @@ class LSTMModel(GenerativeModel):
             decay_start=self.decay_start,
             batch_size=self.batch_size,
             clip_norm=self.clip_norm,
+            dtype=self.dtype,
+            kernel=self.kernel,
+            bucketed=self.bucketed,
         )
         for key, value in self.network.params().items():
             state[f"param::{key}"] = value
@@ -422,6 +508,11 @@ class LSTMModel(GenerativeModel):
         self.decay_start = int(state["decay_start"])
         self.batch_size = int(state["batch_size"])
         self.clip_norm = float(state["clip_norm"])
+        # Models saved before the kernel pass default to their historical
+        # behaviour (float64 parameters).
+        self.dtype = str(state.get("dtype", "float64"))
+        self.kernel = str(state.get("kernel", "fused"))
+        self.bucketed = bool(state.get("bucketed", True))
         self.validation = None
         self._seed = 0
         self.training_history = []
@@ -433,6 +524,8 @@ class LSTMModel(GenerativeModel):
             cell=self.cell,
             dropout=self.dropout,
             seed=0,
+            dtype=self.dtype,
+            kernel=self.kernel,
         )
         for key, value in self._network.params().items():
-            value[...] = np.asarray(state[f"param::{key}"], dtype=np.float64)
+            value[...] = np.asarray(state[f"param::{key}"], dtype=value.dtype)

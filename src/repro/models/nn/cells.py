@@ -1,9 +1,30 @@
 """Recurrent cells (LSTM and GRU) with hand-derived backward passes.
 
-Both cells operate on one timestep of a batch: ``step`` maps
-``(x, state)`` to ``(h, state, cache)`` and ``backward_step`` consumes the
-upstream gradients plus the cache, accumulates parameter gradients, and
-returns the gradients flowing to the input and the previous state.
+Both cells expose two equivalent compute paths:
+
+* ``step`` / ``backward_step`` — the per-timestep *reference* recurrence:
+  ``step`` maps ``(x, state)`` to ``(h, state, cache)`` and
+  ``backward_step`` consumes the upstream gradients plus the cache,
+  accumulates parameter gradients, and returns the gradients flowing to
+  the input and the previous state.
+* ``forward_sequence`` / ``backward_sequence`` — the *fused* kernels used
+  by the trainer.  The input projection ``X @ Wx`` for a whole truncated-
+  BPTT window is a single ``(batch * time, in_dim) @ (in_dim, G * hidden)``
+  GEMM per layer (and likewise ``dZ @ Wx.T`` and the weight gradients on
+  the way back), leaving only the unavoidable ``h_prev @ Wh`` recurrence
+  inside the step loop.  All gate activations live in preallocated
+  contiguous ``(batch, time, hidden)`` workspace buffers — zero per-step
+  allocation.
+
+Under ``float64`` the fused forward pass is **bit-identical** to the
+reference recurrence: GEMM rows are independent of the other rows in the
+matrix, every elementwise kernel replays the reference expression's
+operation order, and for the LSTM the bias is deliberately *not* folded
+into the fused projection so the reference's ``(x@Wx + h@Wh) + b``
+addition order is preserved (the GRU reference computes ``x@Wx + b``
+first, so there the bias is folded).  Only the fused weight-gradient
+GEMMs differ from per-step accumulation, at the reordering level of
+floating-point summation (~1e-11 relative).
 
 Weight layout follows the fused convention: a single input matrix ``Wx``
 of shape ``(in_dim, G * hidden)`` and a recurrent matrix ``Wh`` of shape
@@ -20,6 +41,7 @@ from typing import Any
 import numpy as np
 
 from repro._validation import as_rng, check_positive_int
+from repro.models.nn.workspace import Workspace
 
 __all__ = ["LSTMCell", "GRUCell"]
 
@@ -27,6 +49,40 @@ __all__ = ["LSTMCell", "GRUCell"]
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     # Clip to keep exp() finite; sigmoid saturates far before +-40 anyway.
     return 1.0 / (1.0 + np.exp(-np.clip(x, -40.0, 40.0)))
+
+
+def _sigmoid_into(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out[:] = sigmoid(x)`` replaying :func:`_sigmoid`'s exact op order.
+
+    The clamp is spelled as min/max ufuncs — value-identical to ``np.clip``
+    but without its Python dispatch overhead, which is measurable at one
+    call per gate per timestep.
+    """
+    np.minimum(x, 40.0, out=out)
+    np.maximum(out, -40.0, out=out)
+    np.negative(out, out=out)
+    np.exp(out, out=out)
+    out += 1.0
+    np.divide(1.0, out, out=out)
+    return out
+
+
+def _init_params(rng, in_dim: int, hidden: int, n_gates: int, bias, dtype):
+    """Draw the fused weight matrices.
+
+    Draws always happen in float64 so the float64 path is bit-identical to
+    the historical initialisation; float32 parameters are the rounded copy.
+    """
+    scale = 1.0 / np.sqrt(hidden)
+    return {
+        "Wx": rng.uniform(-scale, scale, size=(in_dim, n_gates * hidden)).astype(
+            dtype, copy=False
+        ),
+        "Wh": rng.uniform(-scale, scale, size=(hidden, n_gates * hidden)).astype(
+            dtype, copy=False
+        ),
+        "b": bias.astype(dtype, copy=False),
+    }
 
 
 class LSTMCell:
@@ -38,26 +94,28 @@ class LSTMCell:
 
     N_GATES = 4
 
-    def __init__(self, in_dim: int, hidden: int, *, seed=None) -> None:
+    def __init__(self, in_dim: int, hidden: int, *, seed=None, dtype=np.float64) -> None:
         check_positive_int(in_dim, "in_dim")
         check_positive_int(hidden, "hidden")
         rng = as_rng(seed)
-        scale = 1.0 / np.sqrt(hidden)
         self.in_dim = in_dim
         self.hidden = hidden
+        self.dtype = np.dtype(dtype)
         bias = np.zeros(self.N_GATES * hidden)
         bias[hidden : 2 * hidden] = 1.0  # forget-gate bias
-        self.params = {
-            "Wx": rng.uniform(-scale, scale, size=(in_dim, self.N_GATES * hidden)),
-            "Wh": rng.uniform(-scale, scale, size=(hidden, self.N_GATES * hidden)),
-            "b": bias,
-        }
+        self.params = _init_params(rng, in_dim, hidden, self.N_GATES, bias, self.dtype)
         self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
 
     def initial_state(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
         """Zero hidden and cell state for a batch."""
-        return np.zeros((batch, self.hidden)), np.zeros((batch, self.hidden))
+        return (
+            np.zeros((batch, self.hidden), dtype=self.dtype),
+            np.zeros((batch, self.hidden), dtype=self.dtype),
+        )
 
+    # ------------------------------------------------------------------
+    # Reference per-timestep path
+    # ------------------------------------------------------------------
     def step(
         self, x: np.ndarray, state: tuple[np.ndarray, np.ndarray]
     ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray], dict[str, Any]]:
@@ -124,6 +182,197 @@ class LSTMCell:
         dh_prev = dz @ self.params["Wh"].T
         return dx, (dh_prev, dc_prev)
 
+    # ------------------------------------------------------------------
+    # Fused whole-window path
+    # ------------------------------------------------------------------
+    def forward_sequence(
+        self,
+        x: np.ndarray,
+        state: tuple[np.ndarray, np.ndarray],
+        ws: Workspace | None = None,
+    ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray], dict[str, Any]]:
+        """Run a whole ``(batch, time, in_dim)`` window through the cell.
+
+        Returns ``(outputs, final_state, cache)`` where ``outputs`` is the
+        ``(batch, time, hidden)`` stack of hidden states.  ``outputs`` and
+        the cache arrays live in ``ws`` and are overwritten by the next
+        call; ``final_state`` is copied out and safe to carry across
+        windows.
+        """
+        if ws is None:
+            ws = Workspace()
+        batch, time, _ = x.shape
+        hid = self.hidden
+        dt = self.dtype
+        Wx, Wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+
+        # Initial state may alias last window's output buffers: copy first.
+        h_prev = ws.get("h0", (batch, hid), dt)
+        c_prev = ws.get("c0", (batch, hid), dt)
+        np.copyto(h_prev, state[0])
+        np.copyto(c_prev, state[1])
+
+        # One GEMM for every timestep's input projection.  The bias is NOT
+        # folded in: the reference computes (x@Wx + h@Wh) + b and float64
+        # bit-equality requires the same addition order.
+        zx = ws.get("zx", (batch, time, self.N_GATES * hid), dt)
+        np.matmul(x.reshape(batch * time, -1), Wx, out=zx.reshape(batch * time, -1))
+
+        gi = ws.get("gate_i", (batch, time, hid), dt)
+        gf = ws.get("gate_f", (batch, time, hid), dt)
+        gg = ws.get("gate_g", (batch, time, hid), dt)
+        go = ws.get("gate_o", (batch, time, hid), dt)
+        tanh_c = ws.get("tanh_c", (batch, time, hid), dt)
+        cells = ws.get("c", (batch, time, hid), dt)
+        outputs = ws.get("h", (batch, time, hid), dt)
+        z = ws.get("z", (batch, self.N_GATES * hid), dt)
+        tmp = ws.get("tmp", (batch, hid), dt)
+
+        # float32 fast path: the skinny recurrent GEMM runs noticeably
+        # faster with a contiguous transposed weight matrix producing a
+        # transposed output.  Reordering BLAS accumulation is off-limits
+        # for float64, where bit-equality with the reference is promised.
+        # The transpose is reused by backward_sequence (same params).
+        transposed_rec = dt == np.float32
+        if transposed_rec:
+            wh_t = ws.get("wh_t", (self.N_GATES * hid, hid), dt)
+            np.copyto(wh_t, Wh.T)
+            z_t = ws.get("z_t", (self.N_GATES * hid, batch), dt)
+
+        for t in range(time):
+            if transposed_rec:
+                np.matmul(wh_t, h_prev.T, out=z_t)
+                np.add(zx[:, t], z_t.T, out=z)
+            else:
+                np.matmul(h_prev, Wh, out=z)
+                np.add(zx[:, t], z, out=z)
+            z += b
+            i = _sigmoid_into(z[:, :hid], gi[:, t])
+            f = _sigmoid_into(z[:, hid : 2 * hid], gf[:, t])
+            g = np.tanh(z[:, 2 * hid : 3 * hid], out=gg[:, t])
+            o = _sigmoid_into(z[:, 3 * hid :], go[:, t])
+            c = cells[:, t]
+            np.multiply(f, c_prev, out=c)
+            np.multiply(i, g, out=tmp)
+            c += tmp  # c = f*c_prev + i*g, reference order
+            tc = np.tanh(c, out=tanh_c[:, t])
+            h = np.multiply(o, tc, out=outputs[:, t])
+            h_prev, c_prev = h, c
+
+        cache = {
+            "x": x,
+            "h0": ws.get("h0", (batch, hid), dt),
+            "c0": ws.get("c0", (batch, hid), dt),
+            "i": gi,
+            "f": gf,
+            "g": gg,
+            "o": go,
+            "tanh_c": tanh_c,
+            "c": cells,
+            "h": outputs,
+        }
+        final = (outputs[:, time - 1].copy(), cells[:, time - 1].copy())
+        return outputs, final, cache
+
+    def backward_sequence(
+        self,
+        dh: np.ndarray,
+        dstate: tuple[np.ndarray, np.ndarray],
+        cache: dict[str, Any],
+        ws: Workspace | None = None,
+    ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+        """Backward through a whole window; mirrors :meth:`forward_sequence`.
+
+        ``dh`` is ``(batch, time, hidden)``; ``dstate`` is the gradient
+        flowing back from after the window (zeros for truncated BPTT).
+        Parameter gradients accumulate as three fused GEMMs.  Returns
+        ``(dx, (dh_prev, dc_prev))``; both live in workspace buffers.
+        """
+        if ws is None:
+            ws = Workspace()
+        x = cache["x"]
+        batch, time, _ = x.shape
+        hid = self.hidden
+        dt = self.dtype
+        Wx, Wh = self.params["Wx"], self.params["Wh"]
+        gi, gf, gg, go = cache["i"], cache["f"], cache["g"], cache["o"]
+        tanh_c, cells = cache["tanh_c"], cache["c"]
+
+        dz_seq = ws.get("dz_seq", (batch, time, self.N_GATES * hid), dt)
+        dh_next = ws.get("dh_next", (batch, hid), dt)
+        dc_next = ws.get("dc_next", (batch, hid), dt)
+        np.copyto(dh_next, dstate[0])
+        np.copyto(dc_next, dstate[1])
+        # One contiguous transpose up front makes the per-step dz @ Wh.T
+        # GEMM measurably faster than handing BLAS the transposed view.
+        # The float32 forward already built it for this parameter state
+        # (the cache ties this call to that forward), so skip the copy.
+        wh_t = ws.get("wh_t", (self.N_GATES * hid, hid), dt)
+        if dt != np.float32:
+            np.copyto(wh_t, Wh.T)
+        total = ws.get("btotal", (batch, hid), dt)
+        dc = ws.get("bdc", (batch, hid), dt)
+        tmp = ws.get("btmp", (batch, hid), dt)
+        tmp2 = ws.get("btmp2", (batch, hid), dt)
+
+        for t in reversed(range(time)):
+            i, f, g, o = gi[:, t], gf[:, t], gg[:, t], go[:, t]
+            tc = tanh_c[:, t]
+            c_prev = cells[:, t - 1] if t > 0 else cache["c0"]
+            dz = dz_seq[:, t]
+            dzi, dzf = dz[:, :hid], dz[:, hid : 2 * hid]
+            dzg, dzo = dz[:, 2 * hid : 3 * hid], dz[:, 3 * hid :]
+
+            np.add(dh[:, t], dh_next, out=total)
+            # dc = dc_next + total*o*(1 - tanh_c^2)
+            np.multiply(tc, tc, out=tmp)
+            np.subtract(1.0, tmp, out=tmp)
+            np.multiply(total, o, out=dc)
+            dc *= tmp
+            dc += dc_next
+            # do*o*(1-o)
+            np.multiply(total, tc, out=tmp)  # do
+            np.multiply(tmp, o, out=tmp)
+            np.subtract(1.0, o, out=tmp2)
+            np.multiply(tmp, tmp2, out=dzo)
+            # di*i*(1-i) with di = dc*g
+            np.multiply(dc, g, out=tmp)
+            np.multiply(tmp, i, out=tmp)
+            np.subtract(1.0, i, out=tmp2)
+            np.multiply(tmp, tmp2, out=dzi)
+            # df*f*(1-f) with df = dc*c_prev
+            np.multiply(dc, c_prev, out=tmp)
+            np.multiply(tmp, f, out=tmp)
+            np.subtract(1.0, f, out=tmp2)
+            np.multiply(tmp, tmp2, out=dzf)
+            # dg*(1-g^2) with dg = dc*i
+            np.multiply(g, g, out=tmp2)
+            np.subtract(1.0, tmp2, out=tmp2)
+            np.multiply(dc, i, out=tmp)
+            np.multiply(tmp, tmp2, out=dzg)
+
+            np.matmul(dz, wh_t, out=dh_next)
+            np.multiply(dc, f, out=dc_next)
+
+        dz_flat = dz_seq.reshape(batch * time, -1)
+        x_flat = x.reshape(batch * time, -1)
+        # Previous-h stack: [h0, h_0..h_{T-2}] for the fused Wh gradient.
+        h_prev_seq = ws.get("h_prev_seq", (batch, time, hid), dt)
+        h_prev_seq[:, 0] = cache["h0"]
+        h_prev_seq[:, 1:] = cache["h"][:, :-1]
+
+        gwx = ws.get("gwx", self.params["Wx"].shape, dt)
+        gwh = ws.get("gwh", self.params["Wh"].shape, dt)
+        np.matmul(x_flat.T, dz_flat, out=gwx)
+        np.matmul(h_prev_seq.reshape(batch * time, -1).T, dz_flat, out=gwh)
+        self.grads["Wx"] += gwx
+        self.grads["Wh"] += gwh
+        self.grads["b"] += dz_flat.sum(axis=0)
+
+        dx = ws.get("dx", x.shape, dt)
+        np.matmul(dz_flat, Wx.T, out=dx.reshape(batch * time, -1))
+        return dx, (dh_next, dc_next)
+
     def zero_grads(self) -> None:
         """Reset accumulated gradients to zero."""
         for grad in self.grads.values():
@@ -140,24 +389,24 @@ class GRUCell:
 
     N_GATES = 3
 
-    def __init__(self, in_dim: int, hidden: int, *, seed=None) -> None:
+    def __init__(self, in_dim: int, hidden: int, *, seed=None, dtype=np.float64) -> None:
         check_positive_int(in_dim, "in_dim")
         check_positive_int(hidden, "hidden")
         rng = as_rng(seed)
-        scale = 1.0 / np.sqrt(hidden)
         self.in_dim = in_dim
         self.hidden = hidden
-        self.params = {
-            "Wx": rng.uniform(-scale, scale, size=(in_dim, self.N_GATES * hidden)),
-            "Wh": rng.uniform(-scale, scale, size=(hidden, self.N_GATES * hidden)),
-            "b": np.zeros(self.N_GATES * hidden),
-        }
+        self.dtype = np.dtype(dtype)
+        bias = np.zeros(self.N_GATES * hidden)
+        self.params = _init_params(rng, in_dim, hidden, self.N_GATES, bias, self.dtype)
         self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
 
     def initial_state(self, batch: int) -> tuple[np.ndarray]:
         """Zero hidden state for a batch."""
-        return (np.zeros((batch, self.hidden)),)
+        return (np.zeros((batch, self.hidden), dtype=self.dtype),)
 
+    # ------------------------------------------------------------------
+    # Reference per-timestep path
+    # ------------------------------------------------------------------
     def step(
         self, x: np.ndarray, state: tuple[np.ndarray]
     ) -> tuple[np.ndarray, tuple[np.ndarray], dict[str, Any]]:
@@ -199,6 +448,168 @@ class GRUCell:
         dx = dzx @ self.params["Wx"].T
         dh_prev = dh_prev + dzh @ self.params["Wh"].T
         return dx, (dh_prev,)
+
+    # ------------------------------------------------------------------
+    # Fused whole-window path
+    # ------------------------------------------------------------------
+    def forward_sequence(
+        self,
+        x: np.ndarray,
+        state: tuple[np.ndarray],
+        ws: Workspace | None = None,
+    ) -> tuple[np.ndarray, tuple[np.ndarray], dict[str, Any]]:
+        """Whole-window forward; see :meth:`LSTMCell.forward_sequence`."""
+        if ws is None:
+            ws = Workspace()
+        batch, time, _ = x.shape
+        hid = self.hidden
+        dt = self.dtype
+        Wx, Wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+
+        h_prev = ws.get("h0", (batch, hid), dt)
+        np.copyto(h_prev, state[0])
+
+        # The GRU reference computes zx = (x@Wx) + b before mixing in the
+        # recurrent term, so folding the bias into the fused projection
+        # preserves its addition order exactly.
+        zx = ws.get("zx", (batch, time, self.N_GATES * hid), dt)
+        np.matmul(x.reshape(batch * time, -1), Wx, out=zx.reshape(batch * time, -1))
+        zx += b
+
+        gr = ws.get("gate_r", (batch, time, hid), dt)
+        gu = ws.get("gate_u", (batch, time, hid), dt)
+        gn = ws.get("gate_n", (batch, time, hid), dt)
+        zh_n = ws.get("zh_n", (batch, time, hid), dt)
+        outputs = ws.get("h", (batch, time, hid), dt)
+        zh = ws.get("zh", (batch, self.N_GATES * hid), dt)
+        tmp = ws.get("tmp", (batch, hid), dt)
+
+        # float32 transposed-recurrence fast path; see LSTMCell.
+        transposed_rec = dt == np.float32
+        if transposed_rec:
+            wh_t = ws.get("wh_t", (self.N_GATES * hid, hid), dt)
+            np.copyto(wh_t, Wh.T)
+            zh_t = ws.get("zh_t", (self.N_GATES * hid, batch), dt)
+
+        for t in range(time):
+            if transposed_rec:
+                np.matmul(wh_t, h_prev.T, out=zh_t)
+                np.copyto(zh, zh_t.T)
+            else:
+                np.matmul(h_prev, Wh, out=zh)
+            r = gr[:, t]
+            np.add(zx[:, t, :hid], zh[:, :hid], out=r)
+            _sigmoid_into(r, r)
+            u = gu[:, t]
+            np.add(zx[:, t, hid : 2 * hid], zh[:, hid : 2 * hid], out=u)
+            _sigmoid_into(u, u)
+            np.copyto(zh_n[:, t], zh[:, 2 * hid :])
+            n = gn[:, t]
+            np.multiply(r, zh_n[:, t], out=tmp)
+            np.add(zx[:, t, 2 * hid :], tmp, out=n)
+            np.tanh(n, out=n)
+            h = outputs[:, t]
+            np.multiply(u, h_prev, out=h)
+            np.subtract(1.0, u, out=tmp)
+            tmp *= n
+            h += tmp  # h = u*h_prev + (1-u)*n, reference order
+            h_prev = h
+
+        cache = {
+            "x": x,
+            "h0": ws.get("h0", (batch, hid), dt),
+            "r": gr,
+            "u": gu,
+            "n": gn,
+            "zh_n": zh_n,
+            "h": outputs,
+        }
+        return outputs, (outputs[:, time - 1].copy(),), cache
+
+    def backward_sequence(
+        self,
+        dh: np.ndarray,
+        dstate: tuple[np.ndarray],
+        cache: dict[str, Any],
+        ws: Workspace | None = None,
+    ) -> tuple[np.ndarray, tuple[np.ndarray]]:
+        """Whole-window backward; see :meth:`LSTMCell.backward_sequence`."""
+        if ws is None:
+            ws = Workspace()
+        x = cache["x"]
+        batch, time, _ = x.shape
+        hid = self.hidden
+        dt = self.dtype
+        Wx, Wh = self.params["Wx"], self.params["Wh"]
+        gr, gu, gn, zh_n = cache["r"], cache["u"], cache["n"], cache["zh_n"]
+
+        dzx_seq = ws.get("dzx_seq", (batch, time, self.N_GATES * hid), dt)
+        dzh_seq = ws.get("dzh_seq", (batch, time, self.N_GATES * hid), dt)
+        dh_next = ws.get("dh_next", (batch, hid), dt)
+        np.copyto(dh_next, dstate[0])
+        # Contiguous transpose of Wh, amortised over the step loop (see the
+        # matching comment in LSTMCell.backward_sequence); the float32
+        # forward already built it for this parameter state.
+        wh_t = ws.get("wh_t", (self.N_GATES * hid, hid), dt)
+        if dt != np.float32:
+            np.copyto(wh_t, Wh.T)
+        total = ws.get("btotal", (batch, hid), dt)
+        tmp = ws.get("btmp", (batch, hid), dt)
+        tmp2 = ws.get("btmp2", (batch, hid), dt)
+        dhp = ws.get("bdhp", (batch, hid), dt)
+
+        for t in reversed(range(time)):
+            r, u, n = gr[:, t], gu[:, t], gn[:, t]
+            h_prev = cache["h"][:, t - 1] if t > 0 else cache["h0"]
+            dzx = dzx_seq[:, t]
+            dzh = dzh_seq[:, t]
+            dzr, dzu = dzx[:, :hid], dzx[:, hid : 2 * hid]
+            dzn = dzx[:, 2 * hid :]
+
+            np.add(dh[:, t], dh_next, out=total)
+            # dzn = total*(1-u)*(1-n^2)
+            np.subtract(1.0, u, out=tmp)
+            np.multiply(total, tmp, out=tmp)  # dn
+            np.multiply(n, n, out=tmp2)
+            np.subtract(1.0, tmp2, out=tmp2)
+            np.multiply(tmp, tmp2, out=dzn)
+            # dzr = dzn*zh_n * r*(1-r)
+            np.multiply(dzn, zh_n[:, t], out=tmp)  # dr
+            np.multiply(tmp, r, out=tmp)
+            np.subtract(1.0, r, out=tmp2)
+            np.multiply(tmp, tmp2, out=dzr)
+            # dzu = total*(h_prev - n) * u*(1-u)
+            np.subtract(h_prev, n, out=tmp)
+            np.multiply(total, tmp, out=tmp)  # du
+            np.multiply(tmp, u, out=tmp)
+            np.subtract(1.0, u, out=tmp2)
+            np.multiply(tmp, tmp2, out=dzu)
+            # recurrent-side pre-activations: [dzr, dzu, dzn*r]
+            np.copyto(dzh[:, : 2 * hid], dzx[:, : 2 * hid])
+            np.multiply(dzn, r, out=dzh[:, 2 * hid :])
+
+            np.multiply(total, u, out=dhp)
+            np.matmul(dzh, wh_t, out=dh_next)
+            dh_next += dhp
+
+        dzx_flat = dzx_seq.reshape(batch * time, -1)
+        dzh_flat = dzh_seq.reshape(batch * time, -1)
+        x_flat = x.reshape(batch * time, -1)
+        h_prev_seq = ws.get("h_prev_seq", (batch, time, hid), dt)
+        h_prev_seq[:, 0] = cache["h0"]
+        h_prev_seq[:, 1:] = cache["h"][:, :-1]
+
+        gwx = ws.get("gwx", self.params["Wx"].shape, dt)
+        gwh = ws.get("gwh", self.params["Wh"].shape, dt)
+        np.matmul(x_flat.T, dzx_flat, out=gwx)
+        np.matmul(h_prev_seq.reshape(batch * time, -1).T, dzh_flat, out=gwh)
+        self.grads["Wx"] += gwx
+        self.grads["Wh"] += gwh
+        self.grads["b"] += dzx_flat.sum(axis=0)
+
+        dx = ws.get("dx", x.shape, dt)
+        np.matmul(dzx_flat, Wx.T, out=dx.reshape(batch * time, -1))
+        return dx, (dh_next,)
 
     def zero_grads(self) -> None:
         """Reset accumulated gradients to zero."""

@@ -55,7 +55,10 @@ def masked_softmax_cross_entropy(
     # Use a safe target everywhere; masked entries are zeroed afterwards.
     safe_targets = np.where(mask, targets, 0)
     picked = probs[rows, cols, safe_targets.reshape(-1)].reshape(batch, time)
-    log_likelihood = np.where(mask, np.log(picked + 1e-300), 0.0)
+    # Guard log(0) with the smallest normal of the working dtype (1e-300
+    # underflows to zero in float32, which would defeat the guard there).
+    tiny = 1e-300 if picked.dtype == np.float64 else float(np.finfo(picked.dtype).tiny)
+    log_likelihood = np.where(mask, np.log(picked + tiny), 0.0)
     loss = float(-log_likelihood.sum() / n_tokens)
 
     dlogits = probs.copy()

@@ -9,6 +9,14 @@ over the product vocabulary.
 A dedicated beginning-of-sequence token (id ``vocab_size``) conditions the
 first prediction, so the model also yields a distribution over a company's
 *first* product.
+
+Two compute kernels are available.  ``kernel="fused"`` (the default) runs
+each layer's whole truncated-BPTT window through the cell's fused
+sequence kernels — one time-fused input-projection GEMM per layer and
+direction, gate caches in preallocated contiguous workspaces reused across
+minibatches.  ``kernel="reference"`` replays the original per-timestep
+recurrence with list-of-dict caches; under float64 both kernels produce
+bit-identical forward activations (see ``models/nn/cells.py``).
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from repro._validation import (
 )
 from repro.models.nn.cells import GRUCell, LSTMCell
 from repro.models.nn.layers import Dense, Embedding
+from repro.models.nn.workspace import Workspace
 
 __all__ = ["RecurrentLM"]
 
@@ -47,6 +56,11 @@ class RecurrentLM:
         Drop probability on non-recurrent connections during training.
     seed:
         Initialisation randomness.
+    dtype:
+        Parameter/activation dtype, ``"float64"`` (default, reference
+        precision) or ``"float32"`` (the fast training dtype).
+    kernel:
+        ``"fused"`` (default) or ``"reference"`` — see the module docstring.
     """
 
     def __init__(
@@ -58,11 +72,15 @@ class RecurrentLM:
         cell: str = "lstm",
         dropout: float = 0.3,
         seed=None,
+        dtype: str = "float64",
+        kernel: str = "fused",
     ) -> None:
         check_positive_int(vocab_size, "vocab_size")
         check_positive_int(hidden, "hidden")
         check_positive_int(n_layers, "n_layers")
         check_in_choices(cell, "cell", ("lstm", "gru"))
+        check_in_choices(str(dtype), "dtype", ("float32", "float64"))
+        check_in_choices(kernel, "kernel", ("fused", "reference"))
         check_probability(dropout, "dropout")
         if dropout >= 1.0:
             raise ValueError("dropout must be < 1")
@@ -72,10 +90,16 @@ class RecurrentLM:
         self.n_layers = n_layers
         self.cell_type = cell
         self.dropout = dropout
+        self.dtype = np.dtype(str(dtype))
+        self.kernel = kernel
         cell_cls = LSTMCell if cell == "lstm" else GRUCell
-        self.embedding = Embedding(vocab_size + 1, hidden, seed=rng)
-        self.cells = [cell_cls(hidden, hidden, seed=rng) for __ in range(n_layers)]
-        self.output = Dense(hidden, vocab_size, seed=rng)
+        self.embedding = Embedding(vocab_size + 1, hidden, seed=rng, dtype=self.dtype)
+        self.cells = [
+            cell_cls(hidden, hidden, seed=rng, dtype=self.dtype) for __ in range(n_layers)
+        ]
+        self.output = Dense(hidden, vocab_size, seed=rng, dtype=self.dtype)
+        # One workspace per layer so stacked layers never alias buffers.
+        self._workspaces = [Workspace() for __ in range(n_layers)]
 
     @property
     def bos_token(self) -> int:
@@ -126,16 +150,24 @@ class RecurrentLM:
         train: bool = False,
         rng: np.random.Generator | None = None,
         states: list[tuple[np.ndarray, ...]] | None = None,
-    ) -> tuple[np.ndarray, dict[str, Any]]:
+        validate: bool = False,
+        project: bool = True,
+    ) -> tuple[np.ndarray | None, dict[str, Any]]:
         """Run the network over a padded batch.
 
         ``tokens`` is ``(batch, time)`` of token ids (pad positions must
         hold a valid id, e.g. the BOS sentinel; masking happens in the
         loss).  ``states`` optionally carries per-layer recurrent state from
         a previous window (truncated-BPTT streaming); gradients do not flow
-        into carried state.  Returns ``(logits, cache)`` with logits
-        ``(batch, time, vocab_size)``; the final per-layer states are in
-        ``cache["final_states"]``.
+        into carried state.  ``validate=True`` range-checks the token ids
+        (otherwise the embedding lookup is a pure gather).  Returns
+        ``(logits, cache)`` with logits ``(batch, time, vocab_size)``; the
+        final per-layer states are in ``cache["final_states"]``.
+
+        ``project=False`` skips the output projection and returns ``None``
+        logits — callers that only need hidden states (company embeddings,
+        last-position scoring) avoid a ``time x vocab`` GEMM per batch and
+        can project just the rows they gather from ``cache["dense_input"]``.
         """
         if tokens.ndim != 2:
             raise ValueError(f"tokens must be 2-D, got shape {tokens.shape}")
@@ -146,28 +178,36 @@ class RecurrentLM:
             states = self.initial_states(batch)
         if len(states) != self.n_layers:
             raise ValueError(f"expected {self.n_layers} layer states, got {len(states)}")
-        x = self.embedding.forward(tokens)
+        x = self.embedding.forward(tokens, validate=validate)
+        fused = self.kernel == "fused"
         cache: dict[str, Any] = {
             "tokens": tokens,
+            "kernel": self.kernel,
             "layer_inputs": [],
             "step_caches": [],
             "dropout_masks": [],
             "final_states": [],
         }
         h = x
-        for cell, state in zip(self.cells, states):
+        for layer, (cell, state) in enumerate(zip(self.cells, states)):
             mask = self._dropout_mask(h.shape, train, rng)
             if mask is not None:
                 h = h * mask
             cache["dropout_masks"].append(mask)
             cache["layer_inputs"].append(h)
-            outputs = np.empty((batch, time, self.hidden))
-            steps = []
-            for t in range(time):
-                out, state, step_cache = cell.step(h[:, t], state)
-                outputs[:, t] = out
-                steps.append(step_cache)
-            cache["step_caches"].append(steps)
+            if fused:
+                outputs, state, seq_cache = cell.forward_sequence(
+                    h, state, self._workspaces[layer]
+                )
+                cache["step_caches"].append(seq_cache)
+            else:
+                outputs = np.empty((batch, time, self.hidden), dtype=self.dtype)
+                steps = []
+                for t in range(time):
+                    out, state, step_cache = cell.step(h[:, t], state)
+                    outputs[:, t] = out
+                    steps.append(step_cache)
+                cache["step_caches"].append(steps)
             cache["final_states"].append(state)
             h = outputs
         out_mask = self._dropout_mask(h.shape, train, rng)
@@ -175,7 +215,7 @@ class RecurrentLM:
             h = h * out_mask
         cache["out_mask"] = out_mask
         cache["dense_input"] = h
-        logits = self.output.forward(h)
+        logits = self.output.forward(h) if project else None
         return logits, cache
 
     def _dropout_mask(
@@ -185,7 +225,9 @@ class RecurrentLM:
             return None
         assert rng is not None
         keep = 1.0 - self.dropout
-        return (rng.random(shape) < keep) / keep
+        # The float64 draw happens regardless of dtype so the rng stream is
+        # shared by both precisions; the mask is cast before scaling.
+        return (rng.random(shape) < keep).astype(self.dtype) / keep
 
     def backward(self, dlogits: np.ndarray, cache: dict[str, Any]) -> None:
         """Accumulate gradients for a forward pass (call after zero_grads)."""
@@ -193,14 +235,24 @@ class RecurrentLM:
         if cache["out_mask"] is not None:
             dh = dh * cache["out_mask"]
         batch, time = cache["tokens"].shape
+        fused = cache["kernel"] == "fused"
         for layer in reversed(range(self.n_layers)):
             cell = self.cells[layer]
-            steps = cache["step_caches"][layer]
-            dinput = np.empty((batch, time, self.hidden))
-            dstate = tuple(np.zeros((batch, self.hidden)) for __ in cell.initial_state(batch))
-            for t in reversed(range(time)):
-                dx, dstate = cell.backward_step(dh[:, t], dstate, steps[t])
-                dinput[:, t] = dx
+            if fused:
+                zero = cell.initial_state(batch)
+                dinput, __ = cell.backward_sequence(
+                    dh, zero, cache["step_caches"][layer], self._workspaces[layer]
+                )
+            else:
+                steps = cache["step_caches"][layer]
+                dinput = np.empty((batch, time, self.hidden), dtype=self.dtype)
+                dstate = tuple(
+                    np.zeros((batch, self.hidden), dtype=self.dtype)
+                    for __ in cell.initial_state(batch)
+                )
+                for t in reversed(range(time)):
+                    dx, dstate = cell.backward_step(dh[:, t], dstate, steps[t])
+                    dinput[:, t] = dx
             mask = cache["dropout_masks"][layer]
             if mask is not None:
                 dinput = dinput * mask
@@ -218,14 +270,8 @@ class RecurrentLM:
         """
         if np.any(lengths < 1) or np.any(lengths > tokens.shape[1]):
             raise ValueError("lengths must be in [1, time]")
-        __, cache = self.forward(tokens, train=False)
-        steps = cache["step_caches"][-1]
+        __, cache = self.forward(tokens, train=False, project=False)
+        # In eval mode dense_input is the (pre-softmax) top-layer output,
+        # so a single gather picks each row's last real hidden state.
         batch = tokens.shape[0]
-        hidden = np.empty((batch, self.hidden))
-        for b in range(batch):
-            # step cache "tanh_c"*"o" is h for LSTM; recompute from the
-            # stored next-layer input instead: the step output equals the
-            # layer output at that time, which we saved as dense_input pre-
-            # dropout only in eval mode (no dropout), so dense_input works.
-            hidden[b] = cache["dense_input"][b, lengths[b] - 1]
-        return hidden
+        return cache["dense_input"][np.arange(batch), np.asarray(lengths) - 1].copy()

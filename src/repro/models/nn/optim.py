@@ -22,9 +22,16 @@ def clip_gradients(grads: dict[str, np.ndarray], max_norm: float) -> float:
     check_positive_float(max_norm, "max_norm")
     total = 0.0
     for grad in grads.values():
-        total += float((grad**2).sum())
+        if grad.dtype == np.float64:
+            # Historical computation, kept bit-for-bit for float64 runs.
+            total += float((grad**2).sum(dtype=np.float64))
+        else:
+            # Single-pass BLAS dot: no grad**2 temporary.  The clip decision
+            # tolerates float32 accumulation error on the squared norm.
+            total += float(np.vdot(grad, grad))
     norm = float(np.sqrt(total))
     if norm > max_norm:
+        # Python-float scalar keeps the in-place multiply dtype-preserving.
         scale = max_norm / (norm + 1e-12)
         for grad in grads.values():
             grad *= scale
@@ -46,12 +53,20 @@ class SGD:
         for key, param in params.items():
             grad = grads[key]
             if self.momentum > 0.0:
+                # Optimiser state mirrors the parameter dtype; all updates
+                # are in-place with Python-float scalars so float32 params
+                # never round-trip through float64.
                 velocity = self._velocity.setdefault(key, np.zeros_like(param))
                 velocity *= self.momentum
                 velocity -= self.lr * grad
                 param += velocity
             else:
-                param -= self.lr * grad
+                # Scale the gradient in place instead of allocating lr*grad;
+                # callers zero grads before the next accumulation, so the
+                # mutation is safe, and lr*grad followed by the subtraction
+                # is elementwise identical to `param -= self.lr * grad`.
+                grad *= self.lr
+                param -= grad
 
 
 class Adam:
@@ -82,6 +97,8 @@ class Adam:
         correct2 = 1.0 - self.beta2**self._t
         for key, param in params.items():
             grad = grads[key]
+            # Moments are allocated with np.zeros_like so they inherit the
+            # parameter dtype; every op below is dtype-preserving.
             m = self._m.setdefault(key, np.zeros_like(param))
             v = self._v.setdefault(key, np.zeros_like(param))
             m *= self.beta1

@@ -1,0 +1,46 @@
+"""Reusable ndarray workspaces for the fused BPTT kernels.
+
+Truncated-BPTT training touches the same ``(batch, num_steps, hidden)``
+shapes minibatch after minibatch; allocating fresh gate caches and gradient
+scratch every step was a measurable share of the per-epoch wall time.  A
+:class:`Workspace` is a tiny named-buffer pool: ``get`` hands back the same
+contiguous array for a given name as long as the requested shape and dtype
+match, and silently reallocates when they change (e.g. the ragged final
+bucket of an epoch).
+
+Buffers are returned *dirty* — callers own the initialisation.  Each
+recurrent layer gets its own workspace so stacked layers never alias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Named pool of reusable scratch arrays keyed by shape and dtype."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Return a contiguous uninitialised buffer for ``name``.
+
+        The same array is reused across calls while ``shape`` and ``dtype``
+        are stable, which is the steady state of stream-batched training.
+        """
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool (for introspection)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop all pooled buffers (e.g. before pickling a model)."""
+        self._buffers.clear()

@@ -102,3 +102,82 @@ class TestAuxiliary:
             BayesianPMF(n_factors=0)
         with pytest.raises(ValueError):
             BayesianPMF(rating_precision=-1.0)
+
+
+class TestBatchedGramParity:
+    """The equal-count batched pre-assembly must not move a single bit.
+
+    ``_sample_factors`` groups rows by rating count and computes their
+    precision/mean contributions with stacked matmuls; this replays the
+    historical per-row loop and demands bit-identical draws.
+    """
+
+    @staticmethod
+    def _reference_sample_factors(model, factors, other, index, hyper, rng):
+        # Verbatim replica of the pre-batching per-row loop.
+        mu, precision = hyper
+        alpha = model.rating_precision
+        fresh = np.empty_like(factors)
+        prior_term = precision @ mu
+        for i in range(factors.shape[0]):
+            entry = index.get(i)
+            if entry is None:
+                cov = np.linalg.inv(precision)
+                fresh[i] = rng.multivariate_normal(mu, (cov + cov.T) / 2.0)
+                continue
+            idx, ratings = entry
+            v = other[idx]
+            post_precision = precision + alpha * v.T @ v
+            post_cov = np.linalg.inv(post_precision)
+            post_mean = post_cov @ (prior_term + alpha * v.T @ ratings)
+            fresh[i] = rng.multivariate_normal(
+                post_mean, (post_cov + post_cov.T) / 2.0
+            )
+        return fresh
+
+    def test_sample_factors_bit_identical_to_per_row_loop(self, rng):
+        d, n_rows, n_cols = 5, 30, 20
+        model = BayesianPMF(n_factors=d, seed=0)
+        factors = rng.normal(size=(n_rows, d))
+        other = rng.normal(size=(n_cols, d))
+        # Ragged index with empty rows (2 and 13) and varied counts.
+        index = {}
+        for i in range(n_rows):
+            if i in (2, 13):
+                continue
+            k = int(rng.integers(1, n_cols))
+            idx = rng.choice(n_cols, size=k, replace=False)
+            index[i] = (idx, rng.normal(size=k))
+        a_mat = np.linalg.qr(rng.normal(size=(d, d)))[0]
+        precision = a_mat @ np.diag(rng.uniform(0.5, 2.0, size=d)) @ a_mat.T
+        precision = (precision + precision.T) / 2.0
+        hyper = (rng.normal(size=d), precision)
+        draw_new = model._sample_factors(
+            factors, other, index, hyper, np.random.default_rng(42)
+        )
+        draw_ref = self._reference_sample_factors(
+            model, factors, other, index, hyper, np.random.default_rng(42)
+        )
+        assert np.array_equal(draw_new, draw_ref)
+
+    def test_full_fit_bit_identical_to_per_row_loop(self, rng):
+        # End to end: patch _sample_factors back to the per-row replica and
+        # compare fitted predictions bit-for-bit.
+        n_rows, n_cols = 25, 12
+        mask = rng.random((n_rows, n_cols)) < 0.3
+        mask[4] = False  # an empty row exercises the hoisted prior draw
+        rows, cols = np.nonzero(mask)
+        values = rng.integers(1, 6, size=rows.size).astype(np.float64)
+        kwargs = dict(n_factors=4, n_iter=8, seed=3)
+        fast = BayesianPMF(**kwargs).fit_ratings(
+            rows, cols, values, shape=(n_rows, n_cols)
+        )
+        slow = BayesianPMF(**kwargs)
+        slow._sample_factors = (
+            lambda factors, other, index, hyper, rng_: self._reference_sample_factors(
+                slow, factors, other, index, hyper, rng_
+            )
+        )
+        slow.fit_ratings(rows, cols, values, shape=(n_rows, n_cols))
+        assert np.array_equal(fast._prediction, slow._prediction)
+        assert np.array_equal(fast._item_factors, slow._item_factors)

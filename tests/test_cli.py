@@ -66,6 +66,18 @@ class TestParser:
         assert args.cache_dir is None
         assert args.metrics_json is None
 
+    def test_fig1_alias_for_lstm_grid(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.command == "fig1"
+        assert args.dtype == "float32"
+        assert args.epochs == 14
+
+    def test_lstm_grid_dtype_flag(self):
+        args = build_parser().parse_args(["lstm-grid", "--dtype", "float64"])
+        assert args.dtype == "float64"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lstm-grid", "--dtype", "float16"])
+
     def test_recommend_defaults_to_paper_protocol(self):
         args = build_parser().parse_args(["recommend"])
         assert args.retrain is True

@@ -142,3 +142,31 @@ class TestDunsRegistry:
         assert len(registry) == 4
         assert hq in registry
         assert len(list(registry)) == 4
+
+
+class TestVectorisedHelpers:
+    def test_batch_values_match_scalar(self):
+        from repro.data.duns import duns_values_from_sequences
+
+        sequences = list(range(50)) + [12345678, 99_999_999, 7]
+        batch = duns_values_from_sequences(sequences)
+        scalar = [DunsNumber.from_sequence(s).value for s in sequences]
+        assert batch == scalar
+        assert all(is_valid_duns(v) for v in batch)
+
+    def test_batch_rejects_out_of_range(self):
+        from repro.data.duns import duns_values_from_sequences
+
+        with pytest.raises(ValueError):
+            duns_values_from_sequences([-1])
+        with pytest.raises(ValueError):
+            duns_values_from_sequences([100_000_000])
+
+    def test_batch_empty_input(self):
+        from repro.data.duns import duns_values_from_sequences
+
+        assert duns_values_from_sequences([]) == []
+
+    def test_trusted_skips_validation_but_preserves_value(self):
+        number = DunsNumber._trusted("000000174")
+        assert number.value == DunsNumber.from_sequence(17).value

@@ -102,7 +102,16 @@ class TestEmbedding:
     def test_out_of_range_rejected(self):
         layer = Embedding(5, 3, seed=0)
         with pytest.raises(ValueError):
+            layer.forward(np.array([[5]]), validate=True)
+
+    def test_validation_is_opt_in(self):
+        # The range scan is hoisted out of the hot path; without validate=
+        # the lookup is a pure gather (numpy still rejects ids >= vocab).
+        layer = Embedding(5, 3, seed=0)
+        with pytest.raises(IndexError):
             layer.forward(np.array([[5]]))
+        with pytest.raises(ValueError):
+            layer.forward(np.array([[-1]]), validate=True)
 
     def test_backward_accumulates_per_token(self):
         layer = Embedding(4, 2, seed=0)

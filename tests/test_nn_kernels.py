@@ -1,0 +1,235 @@
+"""Parity and regression tests for the fused BPTT kernels.
+
+The contract under test (see ``models/nn/cells.py``): under float64 the
+fused whole-window kernels replay the per-step reference recurrence
+bit-for-bit in the forward direction, gradients agree to tight tolerance,
+and float32 training lands within 1% of the float64 perplexity because the
+dropout rng stream is shared across dtypes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.lstm import LSTMModel
+from repro.models.nn.network import RecurrentLM
+from repro.models.nn.optim import SGD, Adam, clip_gradients
+from repro.models.nn.workspace import Workspace
+
+
+def _build_pair(cell: str, *, dtype: str = "float64", n_layers: int = 2, seed: int = 5):
+    """Two identically initialised networks, one per kernel."""
+    kwargs = dict(
+        vocab_size=12, hidden=16, n_layers=n_layers, cell=cell,
+        dropout=0.3, dtype=dtype,
+    )
+    fused = RecurrentLM(seed=seed, kernel="fused", **kwargs)
+    ref = RecurrentLM(seed=seed, kernel="reference", **kwargs)
+    for key, value in fused.params().items():
+        assert np.array_equal(value, ref.params()[key])
+    return fused, ref
+
+
+def _tokens(rng: np.random.Generator, batch: int = 4, time: int = 7) -> np.ndarray:
+    return rng.integers(0, 12, size=(batch, time))
+
+
+class TestFusedReferenceParity:
+    """float64 fused kernels vs the historical per-step recurrence."""
+
+    @pytest.mark.parametrize("cell", ["lstm", "gru"])
+    def test_forward_bit_identical(self, cell, rng):
+        fused, ref = _build_pair(cell)
+        tokens = _tokens(rng)
+        logits_f, cache_f = fused.forward(tokens)
+        logits_r, cache_r = ref.forward(tokens)
+        assert np.array_equal(logits_f, logits_r)
+        for sf, sr in zip(cache_f["final_states"], cache_r["final_states"]):
+            for a, b in zip(sf, sr):
+                assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("cell", ["lstm", "gru"])
+    def test_forward_bit_identical_with_dropout_and_carried_state(self, cell, rng):
+        fused, ref = _build_pair(cell)
+        first = _tokens(rng)
+        second = _tokens(rng)
+        rng_f = np.random.default_rng(99)
+        rng_r = np.random.default_rng(99)
+        __, cache_f = fused.forward(first, train=True, rng=rng_f)
+        __, cache_r = ref.forward(first, train=True, rng=rng_r)
+        logits_f, __ = fused.forward(
+            second, train=True, rng=rng_f, states=cache_f["final_states"]
+        )
+        logits_r, __ = ref.forward(
+            second, train=True, rng=rng_r, states=cache_r["final_states"]
+        )
+        assert np.array_equal(logits_f, logits_r)
+
+    @pytest.mark.parametrize("cell", ["lstm", "gru"])
+    def test_gradients_match_tightly(self, cell, rng):
+        fused, ref = _build_pair(cell)
+        tokens = _tokens(rng)
+        dlogits = rng.normal(size=(4, 7, 12))
+        for net in (fused, ref):
+            net.zero_grads()
+            __, cache = net.forward(tokens)
+            net.backward(dlogits, cache)
+        for key, grad_f in fused.grads().items():
+            np.testing.assert_allclose(
+                grad_f, ref.grads()[key], rtol=1e-10, atol=1e-12, err_msg=key
+            )
+
+    def test_float32_perplexity_within_one_percent(self, split):
+        """Shared dropout draws keep the f32 run on the f64 trajectory."""
+        kwargs = dict(hidden=32, n_layers=1, n_epochs=2, seed=0)
+        ppl32 = LSTMModel(dtype="float32", **kwargs).fit(split.train).perplexity(
+            split.test
+        )
+        ppl64 = LSTMModel(dtype="float64", **kwargs).fit(split.train).perplexity(
+            split.test
+        )
+        assert abs(ppl32 - ppl64) / ppl64 < 0.01
+
+    def test_fused_f64_training_bit_identical_to_reference(self, split):
+        """End to end: same seed, both kernels, identical perplexity."""
+        kwargs = dict(hidden=24, n_layers=2, n_epochs=2, seed=0, dtype="float64")
+        ppl_fused = LSTMModel(kernel="fused", **kwargs).fit(split.train).perplexity(
+            split.test
+        )
+        ppl_ref = LSTMModel(kernel="reference", **kwargs).fit(split.train).perplexity(
+            split.test
+        )
+        assert ppl_fused == ppl_ref
+
+
+class TestWorkspace:
+    def test_buffers_reused_across_calls(self):
+        ws = Workspace()
+        a = ws.get("buf", (4, 8), np.float32)
+        b = ws.get("buf", (4, 8), np.float32)
+        assert a is b
+
+    def test_new_buffer_on_shape_or_dtype_change(self):
+        ws = Workspace()
+        a = ws.get("buf", (4, 8), np.float32)
+        b = ws.get("buf", (6, 8), np.float32)
+        c = ws.get("buf", (6, 8), np.float64)
+        assert a is not b and b is not c
+
+    def test_reused_forward_results_stable(self, rng):
+        """Two minibatches through one workspace give the same answers as
+        two fresh networks — nothing leaks between calls."""
+        net, ref = _build_pair("lstm", n_layers=1)
+        first, second = _tokens(rng), _tokens(rng)
+        net.forward(first)
+        logits, __ = net.forward(second)
+        expected, __ = ref.forward(second)
+        assert np.array_equal(logits, expected)
+
+
+class TestDtypePreservation:
+    """float32 gradients and parameters must never be silently promoted."""
+
+    def test_clip_preserves_float32(self):
+        grads = {"w": np.ones((3, 3), dtype=np.float32) * 10.0}
+        clip_gradients(grads, 1.0)
+        assert grads["w"].dtype == np.float32
+
+    def test_clip_norm_value_matches_float64_path(self):
+        values = np.linspace(-2.0, 2.0, 12).reshape(3, 4)
+        g32 = {"w": values.astype(np.float32)}
+        g64 = {"w": values.copy()}
+        n32 = clip_gradients(g32, 1e9)
+        n64 = clip_gradients(g64, 1e9)
+        assert n32 == pytest.approx(n64, rel=1e-6)
+
+    @pytest.mark.parametrize("opt", [SGD(lr=0.1), SGD(lr=0.1, momentum=0.9), Adam()])
+    def test_optimizers_preserve_float32(self, opt):
+        params = {"w": np.ones((4, 4), dtype=np.float32)}
+        grads = {"w": np.full((4, 4), 0.5, dtype=np.float32)}
+        opt.update(params, grads)
+        assert params["w"].dtype == np.float32
+
+    def test_trained_model_parameters_stay_float32(self, split):
+        model = LSTMModel(hidden=16, n_epochs=1, seed=0, dtype="float32").fit(
+            split.train
+        )
+        for key, value in model.network.params().items():
+            assert value.dtype == np.float32, key
+
+
+class TestBucketedScoring:
+    """Length-bucketed scoring must be a pure reordering."""
+
+    @pytest.fixture(scope="class")
+    def models(self, split):
+        kwargs = dict(hidden=16, n_epochs=1, seed=0, dtype="float64")
+        bucketed = LSTMModel(bucketed=True, **kwargs).fit(split.train)
+        plain = LSTMModel(bucketed=False, **kwargs).fit(split.train)
+        return bucketed, plain
+
+    def test_training_unaffected_by_bucketing_flag_in_stream_mode(self, models):
+        bucketed, plain = models
+        for key, value in bucketed.network.params().items():
+            assert np.array_equal(value, plain.network.params()[key]), key
+
+    def test_log_prob_matches(self, models, split):
+        bucketed, plain = models
+        assert bucketed.log_prob(split.test) == pytest.approx(
+            plain.log_prob(split.test), rel=1e-12
+        )
+
+    def test_batch_scores_match(self, models, split):
+        bucketed, plain = models
+        histories = [seq[:-1] for seq in split.test.sequences()[:9] if len(seq) > 1]
+        histories.append([])  # empty history rides along
+        pb = bucketed.batch_next_product_proba(histories)
+        pp = plain.batch_next_product_proba(histories)
+        np.testing.assert_allclose(pb, pp, rtol=1e-12, atol=0)
+
+    def test_company_features_match(self, models, split):
+        bucketed, plain = models
+        fb = bucketed.company_features(split.test)
+        fp = plain.company_features(split.test)
+        np.testing.assert_allclose(fb, fp, rtol=1e-12, atol=0)
+
+
+class TestPersistence:
+    def test_save_load_round_trips_kernel_flags(self, split, tmp_path):
+        model = LSTMModel(
+            hidden=16, n_epochs=1, seed=0,
+            dtype="float32", kernel="fused", bucketed=False,
+        ).fit(split.train)
+        model.save(tmp_path / "m.npz")
+        loaded = LSTMModel.load(tmp_path / "m.npz")
+        assert loaded.dtype == "float32"
+        assert loaded.kernel == "fused"
+        assert loaded.bucketed is False
+        history = split.test.sequences()[0][:-1]
+        np.testing.assert_allclose(
+            loaded.next_product_proba(history),
+            model.next_product_proba(history),
+            rtol=1e-6,
+        )
+
+
+class TestEpochInstrumentation:
+    def test_epoch_span_reports_token_throughput(self, split):
+        from repro.obs import trace
+
+        trace.enable()
+        try:
+            LSTMModel(hidden=16, n_epochs=1, seed=0).fit(split.train)
+            spans = trace.roots()
+            epoch_spans = [
+                child
+                for root in spans
+                for child in root.children
+                if child.name == "model.lstm.epoch"
+            ]
+            assert epoch_spans
+            assert all(s.counters.get("tokens_per_s", 0) > 0 for s in epoch_spans)
+        finally:
+            trace.disable()
+            trace.reset()

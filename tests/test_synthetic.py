@@ -172,6 +172,69 @@ class TestStatisticalShape:
         assert len(universe.companies) > 60
         assert any(c.country != "US" for c in universe.companies)
 
+    def test_batch_kernel_matches_loop_distribution(self):
+        # The batch kernel consumes randomness in a different order, so
+        # universes are not bit-identical — but the marginals must agree.
+        config = SimulatorConfig(n_companies=800)
+        simulator = InstallBaseSimulator(config)
+        loop = simulator.generate(seed=3, method="loop")
+        batch = simulator.generate(seed=3, method="batch")
+        assert len(batch.companies) == len(loop.companies)
+        mean_loop = np.mean([len(c) for c in loop.companies])
+        mean_batch = np.mean([len(c) for c in batch.companies])
+        assert abs(mean_loop - mean_batch) / mean_loop < 0.05
+        categories = simulator.catalog.categories
+        freq_loop = np.array(
+            [sum(cat in c.categories for c in loop.companies) for cat in categories],
+            dtype=np.float64,
+        ) / len(loop.companies)
+        freq_batch = np.array(
+            [sum(cat in c.categories for c in batch.companies) for cat in categories],
+            dtype=np.float64,
+        ) / len(batch.companies)
+        assert np.max(np.abs(freq_loop - freq_batch)) < 0.06
+
+    def test_batch_kernel_respects_invariants(self):
+        config = SimulatorConfig(
+            n_companies=400, foreign_site_rate=0.1, granularity="product_type"
+        )
+        simulator = InstallBaseSimulator(config)
+        universe = simulator.generate(seed=5, method="batch")
+        for company in universe.companies:
+            assert len(company) >= 1
+            for date in company.first_seen.values():
+                assert config.earliest_start <= date <= config.observation_end
+
+    def test_batch_kernel_min_products(self):
+        config = SimulatorConfig(n_companies=300, min_products=3)
+        universe = InstallBaseSimulator(config).generate(seed=2, method="batch")
+        domestic = [c for c in universe.companies if c.country == "US"]
+        assert all(len(c) >= 3 for c in domestic)
+
+    def test_auto_method_is_loop_below_threshold(self, simulator):
+        # Tier-1 corpora stay on the bit-stable loop path: auto == loop.
+        auto = simulator.generate(seed=7, method="auto")
+        loop = simulator.generate(seed=7, method="loop")
+        assert [c.first_seen for c in auto.companies] == [
+            c.first_seen for c in loop.companies
+        ]
+        assert np.array_equal(
+            auto.ground_truth.company_mixture, loop.ground_truth.company_mixture
+        )
+
+    def test_invalid_method_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.generate(seed=0, method="vectorised")
+
+    def test_batch_kernel_deterministic_given_seed(self):
+        config = SimulatorConfig(n_companies=300)
+        simulator = InstallBaseSimulator(config)
+        a = simulator.generate(seed=11, method="batch")
+        b = simulator.generate(seed=11, method="batch")
+        assert [c.first_seen for c in a.companies] == [
+            c.first_seen for c in b.companies
+        ]
+
     def test_stage_ordering_biases_sequences(self):
         # With full temporal coherence, early-stage categories come first.
         config = SimulatorConfig(n_companies=100, temporal_coherence=1.0)

@@ -23,13 +23,22 @@ processes (results identical to ``--jobs 1``), ``--cache-dir PATH`` reuses
 fitted models across runs via the content-addressed fit cache, and
 ``--metrics-json PATH`` dumps the run's counters (including ``cache.hit`` /
 ``cache.miss``) for scripted inspection.
+
+Fault-tolerance flags: ``--retries N`` re-attempts each failed sweep cell,
+``--task-timeout S`` bounds each pooled cell's wall clock,
+``--checkpoint-dir PATH`` journals finished cells so ``--resume`` replays
+them instead of re-running, and ``--inject-faults SPEC`` arms the
+deterministic fault injectors (see :mod:`repro.runtime.faults`).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
 import sys
+import tempfile
 import time
 from typing import Callable
 
@@ -38,7 +47,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.obs import report as obs_report
 from repro.obs import trace as obs_trace
-from repro.runtime import FitCache
+from repro.runtime import FitCache, RunJournal, faults as runtime_faults
 
 from repro.experiments import (
     make_experiment_data,
@@ -123,6 +132,46 @@ def _add_global_options(parser: argparse.ArgumentParser, *, suppress: bool) -> N
         help="write the run's metric counters (cache.hit/miss, runtime.tasks, "
         "recommend.*) as JSON to PATH",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=default(0),
+        metavar="N",
+        help="extra attempts per sweep cell after its first failure "
+        "(0 = fail the cell immediately; failed cells degrade to recorded "
+        "failures, they never abort the sweep)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=default(None),
+        metavar="SECONDS",
+        help="wall-clock budget per pooled sweep cell (--jobs > 1 only); "
+        "a cell that exceeds it counts as one failed attempt",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        default=default(None),
+        help="journal finished sweep cells under PATH; combine with "
+        "--resume to skip them after an interruption",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        default=default(False),
+        help="replay cells already journaled in --checkpoint-dir instead "
+        "of re-running them (counted as journal.skip)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=default(None),
+        help="arm deterministic fault injection, e.g. "
+        "'crash:table1/s:lda' or 'segfault:fig1:times=1' — "
+        "comma-separated mode:match[:opt=val[;opt=val]] specs "
+        "(modes: crash, segfault, hang, corrupt)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,10 +254,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Subcommand aliases journal under their canonical name, so ``repro fig1``
+#: and ``repro lstm-grid`` resume from the same checkpoint file.
+_CANONICAL_COMMANDS: dict[str, str] = {"fig1": "lstm-grid"}
+
+
+def _build_journal(args: argparse.Namespace) -> RunJournal | None:
+    """The run journal configured by ``--checkpoint-dir`` / ``--resume``.
+
+    One JSONL file per (canonical) command; the journal's meta line pins
+    the corpus identity so a checkpoint from a different ``--companies`` /
+    ``--seed`` run is discarded rather than wrongly replayed.
+    """
+    if not args.checkpoint_dir:
+        return None
+    command = _CANONICAL_COMMANDS.get(args.command, args.command)
+    os.makedirs(args.checkpoint_dir, exist_ok=True)
+    return RunJournal(
+        os.path.join(args.checkpoint_dir, f"{command}.journal.jsonl"),
+        meta={"command": command, "companies": args.companies, "seed": args.seed},
+        resume=args.resume,
+    )
+
+
 def _runtime_kwargs(args: argparse.Namespace) -> dict[str, object]:
-    """The ``--jobs`` / ``--cache-dir`` flags as driver keyword arguments."""
+    """The runtime / fault-tolerance flags as driver keyword arguments."""
     cache = FitCache(args.cache_dir) if args.cache_dir else None
-    return {"n_jobs": args.jobs, "fit_cache": cache}
+    return {
+        "n_jobs": args.jobs,
+        "fit_cache": cache,
+        "retries": args.retries,
+        "task_timeout": args.task_timeout,
+        "journal": _build_journal(args),
+    }
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -254,12 +332,17 @@ def _cmd_recommend(args: argparse.Namespace) -> None:
 def _cmd_bpmf(args: argparse.Namespace) -> None:
     data = make_experiment_data(args.companies, seed=args.seed)
     result = run_bpmf_analysis(
-        data, fit_cache=FitCache(args.cache_dir) if args.cache_dir else None
+        data,
+        fit_cache=FitCache(args.cache_dir) if args.cache_dir else None,
+        retries=args.retries,
+        journal=_build_journal(args),
     )
     quantiles = result["score_quantiles"]
     print("BPMF recommendation score distribution (Figure 5):")
     for key, value in quantiles.items():
         print(f"  {key:>12}: {value:.4f}")
+    if "failed" in result:
+        print(f"\nanalysis failed (recorded): {result['failed']}")
     print("\nThreshold sweep (Figure 6):")
     print(f"{'threshold':>9} {'precision':>9} {'recall':>7} {'f1':>7} {'retrieved':>10}")
     for row in result["threshold_rows"]:
@@ -408,6 +491,13 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.inject_faults:
+        try:
+            runtime_faults.parse_faults(args.inject_faults)
+        except ValueError as exc:
+            parser.error(f"--inject-faults: {exc}")
     try:
         obs.configure_logging(args.log_level.upper(), json_path=args.log_json)
     except OSError as exc:
@@ -418,6 +508,20 @@ def main(argv: list[str] | None = None) -> int:
         obs_metrics.enable()
     if args.profile:
         obs_profile.enable()
+    previous_env = {
+        name: os.environ.get(name) for name in ("REPRO_FAULTS", "REPRO_FAULTS_STATE")
+    }
+    temp_state_dir: str | None = None
+    if args.inject_faults:
+        # The env vars inherit into pool workers; the state directory makes
+        # times=N firing counts atomic across processes.
+        os.environ["REPRO_FAULTS"] = args.inject_faults
+        if args.checkpoint_dir:
+            state_dir = os.path.join(args.checkpoint_dir, "fault-state")
+            os.makedirs(state_dir, exist_ok=True)
+        else:
+            state_dir = temp_state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+        os.environ["REPRO_FAULTS_STATE"] = state_dir
     log = obs.get_logger("cli")
     log.info(
         "command started",
@@ -426,14 +530,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     started = time.perf_counter()
     try:
-        with obs_trace.span(f"cmd.{args.command}"), obs_profile.capture(
-            f"cmd.{args.command}"
-        ):
-            _COMMANDS[args.command](args)
-    except Exception:
-        log.error("command failed", exc_info=True,
-                  extra={"obs": {"command": args.command}})
-        raise
+        try:
+            with obs_trace.span(f"cmd.{args.command}"), obs_profile.capture(
+                f"cmd.{args.command}"
+            ):
+                _COMMANDS[args.command](args)
+        except Exception:
+            log.error("command failed", exc_info=True,
+                      extra={"obs": {"command": args.command}})
+            raise
+    finally:
+        for name, value in previous_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        if temp_state_dir is not None:
+            shutil.rmtree(temp_state_dir, ignore_errors=True)
     log.info(
         "command finished",
         extra={"obs": {"command": args.command,

@@ -9,18 +9,27 @@ point reports its test perplexity and parameter count.
 from __future__ import annotations
 
 import functools
+import math
 from typing import Any, Sequence
 
-from repro.experiments.common import ExperimentData
+from repro.experiments.common import ExperimentData, resolve_grid_outcomes
 from repro.models.lstm import LSTMModel
 from repro.obs import trace
-from repro.runtime import FitCache, ParallelMap, fingerprint_corpus, fit_model
+from repro.runtime import (
+    FitCache,
+    RunJournal,
+    cell_key,
+    faults,
+    fingerprint_corpus,
+    fit_model,
+)
 
 __all__ = ["run_lstm_grid"]
 
 
 def _grid_task(payload: dict[str, Any]) -> dict[str, float]:
     """Worker task: fit one (layers, nodes) grid point, return its row."""
+    faults.inject(payload["cell"])
     with trace.span("exp.fig1.fit"):
         model = fit_model(
             payload["factory"],
@@ -37,6 +46,16 @@ def _grid_task(payload: dict[str, Any]) -> dict[str, float]:
         }
 
 
+def _failed_row(payload: dict[str, Any], error: object) -> dict[str, float]:
+    """The recorded-failure row for one grid point: coordinates plus NaN."""
+    return {
+        "n_layers": float(payload["n_layers"]),
+        "nodes": float(payload["nodes"]),
+        "test_perplexity": float("nan"),
+        "n_parameters": float("nan"),
+    }
+
+
 def run_lstm_grid(
     data: ExperimentData,
     *,
@@ -47,6 +66,9 @@ def run_lstm_grid(
     dtype: str = "float32",
     n_jobs: int = 1,
     fit_cache: FitCache | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    journal: RunJournal | None = None,
 ) -> list[dict[str, float]]:
     """Train every (layers, nodes) point; return per-point test results.
 
@@ -57,11 +79,15 @@ def run_lstm_grid(
     identical to a serial run.  ``dtype`` selects the training precision of
     every grid point (``float32`` default; ``float64`` replays the original
     double-precision arithmetic bit-for-bit).
+
+    A grid point that exhausts its ``retries`` degrades to a NaN row;
+    ``journal`` checkpoints finished points and skips them on resume.
     """
     split = data.split
     fingerprint = fingerprint_corpus(split.train) if fit_cache is not None else None
     payloads = [
         {
+            "cell": cell_key("fig1", n_layers, nodes, n_epochs, seed, dtype),
             "factory": functools.partial(
                 LSTMModel,
                 hidden=nodes,
@@ -81,11 +107,20 @@ def run_lstm_grid(
         for n_layers in layer_grid
         for nodes in node_grid
     ]
-    return ParallelMap(n_jobs).map(_grid_task, payloads)
+    return resolve_grid_outcomes(
+        _grid_task,
+        payloads,
+        n_jobs=n_jobs,
+        retries=retries,
+        task_timeout=task_timeout,
+        journal=journal,
+        failure_value=_failed_row,
+    )
 
 
 def best_point(rows: list[dict[str, float]]) -> dict[str, float]:
-    """The grid point with the lowest test perplexity."""
-    if not rows:
-        raise ValueError("no grid rows supplied")
-    return min(rows, key=lambda r: r["test_perplexity"])
+    """The grid point with the lowest test perplexity (failed rows excluded)."""
+    finite = [r for r in rows if not math.isnan(r["test_perplexity"])]
+    if not finite:
+        raise ValueError("no grid rows supplied" if not rows else "every grid row failed")
+    return min(finite, key=lambda r: r["test_perplexity"])

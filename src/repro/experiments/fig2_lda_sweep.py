@@ -10,18 +10,27 @@ slowly afterwards.
 from __future__ import annotations
 
 import functools
+import math
 from typing import Any, Sequence
 
-from repro.experiments.common import ExperimentData
+from repro.experiments.common import ExperimentData, resolve_grid_outcomes
 from repro.models.lda import LatentDirichletAllocation
 from repro.obs import trace
-from repro.runtime import FitCache, ParallelMap, fingerprint_corpus, fit_model
+from repro.runtime import (
+    FitCache,
+    RunJournal,
+    cell_key,
+    faults,
+    fingerprint_corpus,
+    fit_model,
+)
 
 __all__ = ["run_lda_sweep"]
 
 
 def _sweep_task(payload: dict[str, Any]) -> dict[str, float | str]:
     """Worker task: fit one (input, topics) cell, return its row."""
+    faults.inject(payload["cell"])
     with trace.span("exp.fig2.fit"):
         model = fit_model(
             payload["factory"],
@@ -38,6 +47,16 @@ def _sweep_task(payload: dict[str, Any]) -> dict[str, float | str]:
         }
 
 
+def _failed_row(payload: dict[str, Any], error: object) -> dict[str, float | str]:
+    """The recorded-failure row for one sweep cell: coordinates plus NaN."""
+    return {
+        "input": payload["input"],
+        "n_topics": float(payload["n_topics"]),
+        "test_perplexity": float("nan"),
+        "n_parameters": float("nan"),
+    }
+
+
 def run_lda_sweep(
     data: ExperimentData,
     *,
@@ -47,17 +66,23 @@ def run_lda_sweep(
     seed: int = 0,
     n_jobs: int = 1,
     fit_cache: FitCache | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    journal: RunJournal | None = None,
 ) -> list[dict[str, float | str]]:
     """Fit LDA across the (topics, input) grid; return test perplexities.
 
     Cells are independent and fan out over a process pool when
     ``n_jobs > 1``; rows come back in (input, topics) grid order either
-    way, so parallel sweeps match serial ones exactly.
+    way, so parallel sweeps match serial ones exactly.  A cell that
+    exhausts its ``retries`` degrades to a NaN row; ``journal``
+    checkpoints finished cells and skips them on resume.
     """
     split = data.split
     fingerprint = fingerprint_corpus(split.train) if fit_cache is not None else None
     payloads = [
         {
+            "cell": cell_key("fig2", input_type, n_topics, n_iter, seed),
             "factory": functools.partial(
                 LatentDirichletAllocation,
                 n_topics=n_topics,
@@ -76,12 +101,27 @@ def run_lda_sweep(
         for input_type in inputs
         for n_topics in topic_grid
     ]
-    return ParallelMap(n_jobs).map(_sweep_task, payloads)
+    return resolve_grid_outcomes(
+        _sweep_task,
+        payloads,
+        n_jobs=n_jobs,
+        retries=retries,
+        task_timeout=task_timeout,
+        journal=journal,
+        failure_value=_failed_row,
+    )
 
 
 def best_binary_band(rows: list[dict[str, float | str]]) -> tuple[float, float]:
-    """(best perplexity, topic count) among the binary-input rows."""
-    binary = [r for r in rows if r["input"] == "binary"]
+    """(best perplexity, topic count) among the binary-input rows.
+
+    Recorded-failure rows (NaN perplexity) are excluded from the band.
+    """
+    binary = [
+        r
+        for r in rows
+        if r["input"] == "binary" and not math.isnan(float(r["test_perplexity"]))
+    ]
     if not binary:
         raise ValueError("no binary rows in the sweep")
     best = min(binary, key=lambda r: r["test_perplexity"])

@@ -29,7 +29,7 @@ from repro.obs import trace
 from repro.recommend.baselines import RandomRecommender
 from repro.recommend.evaluation import RecommendationEvaluator, ThresholdCurve
 from repro.recommend.windows import SlidingWindowSpec
-from repro.runtime import FitCache
+from repro.runtime import FitCache, RunJournal
 
 __all__ = ["run_recommendation_accuracy", "DEFAULT_THRESHOLDS"]
 
@@ -52,6 +52,9 @@ def run_recommendation_accuracy(
     seed: int = 0,
     n_jobs: int = 1,
     fit_cache: FitCache | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    journal: RunJournal | None = None,
 ) -> dict[str, ThresholdCurve]:
     """Run the Figure 3/4 protocol; returns one ThresholdCurve per method.
 
@@ -63,6 +66,11 @@ def run_recommendation_accuracy(
     ``n_jobs > 1`` fans the (window x model) fit+score cells out over a
     process pool — results are identical to a serial run for any fixed
     seed — and ``fit_cache`` memoizes the per-window refits across runs.
+
+    A (window, model) cell that exhausts ``retries`` contributes no
+    observation for that window (recorded, not fatal); ``journal``
+    checkpoints finished cells so an interrupted sweep resumes without
+    re-running them.
     """
     factories = {
         f"LDA{lda_topics}": functools.partial(
@@ -86,6 +94,9 @@ def run_recommendation_accuracy(
         retrain_per_window=retrain_per_window,
         n_jobs=n_jobs,
         fit_cache=fit_cache,
+        retries=retries,
+        task_timeout=task_timeout,
+        journal=journal,
     )
     with trace.span("exp.fig34.evaluate"):
         return evaluator.evaluate(factories)

@@ -16,10 +16,35 @@ import numpy as np
 
 from repro.experiments.common import ExperimentData
 from repro.models.bpmf import BayesianPMF
-from repro.obs import trace
-from repro.runtime import FitCache, fit_model
+from repro.obs import get_logger, trace
+from repro.runtime import (
+    FitCache,
+    Ok,
+    RunJournal,
+    cell_key,
+    faults,
+    fit_model,
+    run_with_retries,
+)
 
 __all__ = ["run_bpmf_analysis"]
+
+
+def _failed_analysis(error: str) -> dict[str, object]:
+    """The recorded-failure shape of the BPMF analysis: NaN everywhere."""
+    nan = float("nan")
+    return {
+        "score_quantiles": {
+            "min": nan,
+            "q1": nan,
+            "median": nan,
+            "q3": nan,
+            "max": nan,
+            "frac_ge_0.9": nan,
+        },
+        "threshold_rows": [],
+        "failed": error,
+    }
 
 
 def run_bpmf_analysis(
@@ -30,6 +55,8 @@ def run_bpmf_analysis(
     thresholds: Sequence[float] = tuple(np.round(np.arange(0.90, 1.0, 0.01), 2)),
     seed: int = 0,
     fit_cache: FitCache | None = None,
+    retries: int = 0,
+    journal: RunJournal | None = None,
 ) -> dict[str, object]:
     """Fit BPMF on the train companies' positive cells; analyse the scores.
 
@@ -43,7 +70,46 @@ def run_bpmf_analysis(
       train cutoff are unavailable to BPMF, so the natural protocol is the
       same one the recommendation harness uses for a single window over
       the whole horizon).
+
+    The analysis is one fault-tolerance cell: it is retried ``retries``
+    extra times on failure, checkpointed/replayed through ``journal``, and
+    degrades to an all-NaN result carrying a ``"failed"`` message when the
+    attempts are exhausted.
     """
+    key = cell_key("fig56", n_factors, n_iter, seed)
+    if journal is not None:
+        entry = journal.completed(key)
+        if entry is not None:
+            return entry.value
+
+    def analysis() -> dict[str, object]:
+        faults.inject(key)
+        return _bpmf_analysis(data, n_factors, n_iter, thresholds, seed, fit_cache)
+
+    outcome = run_with_retries(analysis, retries=retries)
+    if isinstance(outcome, Ok):
+        if journal is not None:
+            journal.record_ok(key, outcome.value, attempts=outcome.attempts)
+        return outcome.value
+    if journal is not None:
+        journal.record_failure(key, outcome.describe(), attempts=outcome.attempts)
+    get_logger("experiments").warning(
+        "BPMF analysis failed after %d attempt(s): %s",
+        outcome.attempts,
+        outcome.describe(),
+    )
+    return _failed_analysis(outcome.describe())
+
+
+def _bpmf_analysis(
+    data: ExperimentData,
+    n_factors: int,
+    n_iter: int,
+    thresholds: Sequence[float],
+    seed: int,
+    fit_cache: FitCache | None,
+) -> dict[str, object]:
+    """The actual fit + score analysis (one attempt)."""
     corpus = data.corpus
     import datetime as dt
 

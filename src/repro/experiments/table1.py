@@ -4,11 +4,17 @@ Paper values (860k companies): LDA 8.5 < LSTM 11.6 < n-grams 15.5 <
 unigram 19.5.  The driver fits each method's best-known configuration on
 the train split and reports test perplexity, preserving the ranking rather
 than the absolute numbers (the substrate is the synthetic universe).
+
+Fault tolerance: each method is one sweep cell.  A cell that exhausts its
+retries degrades to a recorded failure — ``NaN`` in the table — instead of
+killing the sweep, and with a :class:`~repro.runtime.RunJournal` attached,
+finished cells are checkpointed as they complete and skipped on resume.
 """
 
 from __future__ import annotations
 
 import functools
+import math
 from typing import Any
 
 from repro.experiments.common import ExperimentData
@@ -17,7 +23,16 @@ from repro.models.lstm import LSTMModel
 from repro.models.ngram import NGramModel
 from repro.models.unigram import UnigramModel
 from repro.obs import trace
-from repro.runtime import FitCache, ParallelMap, fingerprint_corpus, fit_model
+from repro.runtime import (
+    FitCache,
+    Ok,
+    ParallelMap,
+    RunJournal,
+    cell_key,
+    faults,
+    fingerprint_corpus,
+    fit_model,
+)
 
 __all__ = ["run_perplexity_table", "PAPER_TABLE1"]
 
@@ -32,10 +47,17 @@ PAPER_TABLE1: dict[str, float] = {
 
 def _table1_task(payload: dict[str, Any]) -> float:
     """Worker task: fit one method configuration, return test perplexity."""
+    faults.inject(payload["cell"])
     model = fit_model(
         payload["factory"], payload["train"], payload["cache"], payload["fingerprint"]
     )
     return model.perplexity(payload["test"])
+
+
+def _nan_min(*values: float) -> float:
+    """Minimum over the finite values; NaN only when every input failed."""
+    finite = [v for v in values if not math.isnan(v)]
+    return min(finite) if finite else float("nan")
 
 
 def run_perplexity_table(
@@ -48,6 +70,9 @@ def run_perplexity_table(
     seed: int = 0,
     n_jobs: int = 1,
     fit_cache: FitCache | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    journal: RunJournal | None = None,
 ) -> dict[str, float]:
     """Fit every method's best configuration; return test perplexities.
 
@@ -57,6 +82,11 @@ def run_perplexity_table(
     are independent; ``n_jobs > 1`` runs them on a process pool (``1``
     reproduces the serial fit order exactly), and ``fit_cache`` memoizes
     each fitted configuration across runs.
+
+    A method whose cell fails after ``retries`` extra attempts reports
+    ``NaN`` instead of aborting the table; ``journal`` checkpoints each
+    finished cell (result or failure) and replays completed ones on
+    resume, counted as ``journal.skip``.
     """
     split = data.split
     factories = {
@@ -80,24 +110,52 @@ def run_perplexity_table(
         ),
     }
     fingerprint = fingerprint_corpus(split.train) if fit_cache is not None else None
-    payloads = [
-        {
-            "factory": factory,
-            "train": split.train,
-            "test": split.test,
-            "cache": fit_cache,
-            "fingerprint": fingerprint,
-        }
-        for factory in factories.values()
-    ]
-    with trace.span("exp.table1.fit"):
-        perplexities = dict(
-            zip(factories, ParallelMap(n_jobs).map(_table1_task, payloads))
+    perplexities: dict[str, float] = {}
+    pending: list[dict[str, Any]] = []
+    for name, factory in factories.items():
+        key = cell_key(
+            "table1", name, seed, lstm_hidden, lstm_epochs, lda_topics, lda_iter
         )
+        if journal is not None:
+            entry = journal.completed(key)
+            if entry is not None:
+                perplexities[name] = float(entry.value)
+                continue
+        pending.append(
+            {
+                "name": name,
+                "cell": key,
+                "factory": factory,
+                "train": split.train,
+                "test": split.test,
+                "cache": fit_cache,
+                "fingerprint": fingerprint,
+            }
+        )
+    def journal_outcome(position: int, outcome: Any) -> None:
+        # Fires per finished cell, so a killed run keeps its completed fits.
+        if journal is None:
+            return
+        cell = pending[position]["cell"]
+        if isinstance(outcome, Ok):
+            journal.record_ok(cell, float(outcome.value), attempts=outcome.attempts)
+        else:
+            journal.record_failure(cell, outcome.describe(), attempts=outcome.attempts)
+
+    with trace.span("exp.table1.fit"):
+        executor = ParallelMap(n_jobs, retries=retries, task_timeout=task_timeout)
+        outcomes = executor.map_outcomes(
+            _table1_task, pending, on_outcome=journal_outcome
+        )
+        for payload, outcome in zip(pending, outcomes):
+            if isinstance(outcome, Ok):
+                perplexities[payload["name"]] = float(outcome.value)
+            else:
+                perplexities[payload["name"]] = float("nan")
     with trace.span("exp.table1.evaluate"):
         results: dict[str, float] = {
             "unigram": perplexities["unigram"],
-            "ngram": min(perplexities["bigram"], perplexities["trigram"]),
+            "ngram": _nan_min(perplexities["bigram"], perplexities["trigram"]),
             "lstm": perplexities["lstm"],
             "lda": perplexities["lda"],
         }
@@ -105,12 +163,21 @@ def run_perplexity_table(
 
 
 def format_table(results: dict[str, float]) -> str:
-    """Render the measured-vs-paper comparison as fixed-width text."""
-    order = sorted(results, key=results.get)
+    """Render the measured-vs-paper comparison as fixed-width text.
+
+    Failed (NaN) cells sort last and render as ``failed`` so a degraded
+    sweep is obvious at a glance.
+    """
+    order = sorted(
+        results, key=lambda name: (math.isnan(results[name]), results[name])
+    )
     lines = [
         f"{'rank':>4}  {'method':<10} {'measured':>9}  {'paper':>6}",
     ]
     for rank, name in enumerate(order, start=1):
         paper = PAPER_TABLE1.get(name, float("nan"))
-        lines.append(f"{rank:>4}  {name:<10} {results[name]:>9.2f}  {paper:>6.1f}")
+        measured = (
+            "   failed" if math.isnan(results[name]) else f"{results[name]:>9.2f}"
+        )
+        lines.append(f"{rank:>4}  {name:<10} {measured}  {paper:>6.1f}")
     return "\n".join(lines)

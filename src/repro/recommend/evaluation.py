@@ -26,14 +26,19 @@ from repro._validation import check_probability
 from repro.analysis.stats import mean_confidence_interval
 from repro.data.corpus import Corpus
 from repro.models.base import GenerativeModel
-from repro.obs import metrics, trace
+from repro.obs import get_logger, metrics, trace
 from repro.recommend.windows import SlidingWindowSpec, Window
 from repro.runtime import (
     FitCache,
+    Ok,
     ParallelMap,
+    RunJournal,
+    cell_key,
+    faults,
     fingerprint_corpus,
     fit_model,
     resolve_n_jobs,
+    run_with_retries,
 )
 
 __all__ = ["WindowObservation", "ThresholdCurve", "RecommendationEvaluator"]
@@ -70,6 +75,27 @@ class WindowObservation:
         if np.isnan(p) or p + r == 0.0:
             return float("nan") if np.isnan(p) else 0.0
         return 2.0 * p * r / (p + r)
+
+    def as_json(self) -> dict[str, Any]:
+        """JSON-serializable form, for the checkpoint journal."""
+        return {
+            "window_start": self.window_start.isoformat(),
+            "threshold": self.threshold,
+            "n_retrieved": self.n_retrieved,
+            "n_correct": self.n_correct,
+            "n_relevant": self.n_relevant,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict[str, Any]) -> "WindowObservation":
+        """Rebuild an observation journaled by :meth:`as_json`."""
+        return cls(
+            window_start=dt.date.fromisoformat(record["window_start"]),
+            threshold=float(record["threshold"]),
+            n_retrieved=int(record["n_retrieved"]),
+            n_correct=int(record["n_correct"]),
+            n_relevant=int(record["n_relevant"]),
+        )
 
 
 @dataclass
@@ -174,6 +200,17 @@ class RecommendationEvaluator:
         fingerprint), so re-running a sweep — or two models sharing a
         training prefix across overlapping windows — never refits the
         same model twice.
+    retries:
+        Extra attempts per (window, model) cell after its first failure.
+    task_timeout:
+        Wall-clock seconds allowed per pooled cell (``n_jobs > 1`` only).
+    journal:
+        Optional :class:`repro.runtime.RunJournal`.  In the
+        retrain-per-window protocol every finished (window, model) cell is
+        checkpointed with its observations; a resumed sweep replays
+        journaled cells (``journal.skip``) and re-runs only the rest.  A
+        cell that exhausts its attempts is recorded as failed and its
+        window simply contributes no observation for that model.
     """
 
     def __init__(
@@ -185,6 +222,9 @@ class RecommendationEvaluator:
         retrain_per_window: bool = True,
         n_jobs: int = 1,
         fit_cache: FitCache | None = None,
+        retries: int = 0,
+        task_timeout: float | None = None,
+        journal: RunJournal | None = None,
     ) -> None:
         self.corpus = corpus
         self.spec = spec if spec is not None else SlidingWindowSpec()
@@ -194,6 +234,10 @@ class RecommendationEvaluator:
         self.retrain_per_window = bool(retrain_per_window)
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.fit_cache = fit_cache
+        self.retries = int(retries)
+        self.task_timeout = task_timeout
+        self.journal = journal
+        self._n_failed_cells = 0
 
     # ------------------------------------------------------------------
     def _window_tasks(
@@ -252,6 +296,7 @@ class RecommendationEvaluator:
                                  observations={t: [] for t in self.thresholds})
             for name in model_factories
         }
+        self._n_failed_cells = 0
         if self.n_jobs > 1:
             self._evaluate_parallel(model_factories, windows, curves, verbose=verbose)
         else:
@@ -261,11 +306,72 @@ class RecommendationEvaluator:
             for curve in curves.values()
             for observations in curve.observations.values()
         ):
+            if self._n_failed_cells:
+                raise RuntimeError(
+                    f"every evaluation cell failed ({self._n_failed_cells} "
+                    "recorded failures); see the runtime logs or journal"
+                )
             raise ValueError(
                 "no sliding window had any company with history before its "
                 "start; check the window spec against the corpus timeline"
             )
         return curves
+
+    def _cell_key(self, name: str, window: Window) -> str:
+        """Journal/fault-site identity of one (window, model) cell."""
+        mode = "retrain" if self.retrain_per_window else "shared"
+        return cell_key("recommend", mode, name, window.start.isoformat())
+
+    def _replay_journal(self, key: str, curve: ThresholdCurve) -> bool:
+        """Replay a journaled cell's observations into ``curve`` if present."""
+        if self.journal is None:
+            return False
+        entry = self.journal.completed(key)
+        if entry is None:
+            return False
+        for record in entry.value:
+            observation = WindowObservation.from_json(record)
+            curve.observations[observation.threshold].append(observation)
+        return True
+
+    def _journal_outcome(self, key: str, outcome: Any) -> None:
+        """Checkpoint one cell outcome the moment it is final."""
+        if self.journal is None:
+            return
+        if isinstance(outcome, Ok):
+            self.journal.record_ok(
+                key,
+                [o.as_json() for o in outcome.value],
+                attempts=outcome.attempts,
+            )
+        else:
+            self.journal.record_failure(
+                key, outcome.describe(), attempts=outcome.attempts
+            )
+
+    def _merge_outcome(self, key: str, outcome: Any, curve: ThresholdCurve) -> None:
+        """Fold one cell outcome into its curve.
+
+        A failed cell contributes no observation — the window is skipped
+        for that model, recorded rather than fatal.
+        """
+        if isinstance(outcome, Ok):
+            for observation in outcome.value:
+                curve.observations[observation.threshold].append(observation)
+            return
+        self._n_failed_cells += 1
+        get_logger("recommend").warning(
+            "cell %s failed after %d attempt(s); window skipped for this "
+            "model: %s",
+            key,
+            outcome.attempts,
+            outcome.describe(),
+        )
+
+    def _absorb(self, key: str, outcome: Any, curve: ThresholdCurve) -> None:
+        """Journal and fold one cell outcome (the serial-path combination)."""
+        self._journal_outcome(key, outcome)
+        self._merge_outcome(key, outcome, curve)
 
     def _evaluate_serial(
         self,
@@ -277,6 +383,7 @@ class RecommendationEvaluator:
     ) -> None:
         """The historical in-process loop (the ``n_jobs=1`` reference path)."""
         trained: dict[str, GenerativeModel] = {}
+        shared_train: tuple[Corpus, str | None] | None = None
         for w_index, window in enumerate(windows):
             with trace.span("recommend.window"):
                 histories, owned_sets, truths = self._window_tasks(window)
@@ -290,17 +397,40 @@ class RecommendationEvaluator:
                 if self.fit_cache is not None
                 else None
             )
+            if shared_train is None:
+                # The once-before-the-first-window corpus of the
+                # no-retrain protocol; pinned here so a resume that skips
+                # the first window still trains on the right prefix.
+                shared_train = (train_corpus, fingerprint)
             for name, factory in model_factories.items():
-                if self.retrain_per_window or name not in trained:
-                    model = self._fit_model(factory, train_corpus, fingerprint)
-                    trained[name] = model
-                else:
-                    model = trained[name]
-                scores = model.batch_next_product_proba(histories)
-                metrics.inc("recommend.candidates", scores.size)
-                self._score_window(
-                    curves[name], window, scores, owned_sets, truths
-                )
+                key = self._cell_key(name, window)
+                if self._replay_journal(key, curves[name]):
+                    continue
+
+                def cell(
+                    name: str = name,
+                    factory: Callable[[], GenerativeModel] = factory,
+                    key: str = key,
+                ) -> list[WindowObservation]:
+                    faults.inject(key)
+                    if self.retrain_per_window:
+                        model = self._fit_model(factory, train_corpus, fingerprint)
+                    elif name not in trained:
+                        corpus, shared_fingerprint = shared_train
+                        model = self._fit_model(factory, corpus, shared_fingerprint)
+                        trained[name] = model
+                    else:
+                        model = trained[name]
+                    scores = model.batch_next_product_proba(histories)
+                    metrics.inc("recommend.candidates", scores.size)
+                    observations = _count_observations(
+                        scores, owned_sets, truths, self.thresholds, window.start
+                    )
+                    _record_observation_metrics(observations)
+                    return observations
+
+                self._absorb(key, run_with_retries(cell, retries=self.retries),
+                             curves[name])
                 if verbose:  # pragma: no cover - console convenience
                     print(f"window {w_index + 1}/{len(windows)} [{window.start}] {name} done")
 
@@ -330,20 +460,31 @@ class RecommendationEvaluator:
             prepared.append((window, histories, owned_sets, truths))
         if not prepared:
             return
-        executor = ParallelMap(self.n_jobs)
+        executor = ParallelMap(
+            self.n_jobs, retries=self.retries, task_timeout=self.task_timeout
+        )
         if self.retrain_per_window:
             payloads = []
             for window, histories, owned_sets, truths in prepared:
-                train_corpus = self.corpus.truncated_before(window.start)
-                fingerprint = (
-                    fingerprint_corpus(train_corpus)
-                    if self.fit_cache is not None
-                    else None
-                )
+                # The training prefix is built lazily: a fully journaled
+                # window replays without paying for truncation/hashing.
+                train_corpus: Corpus | None = None
+                fingerprint: str | None = None
                 for name, factory in model_factories.items():
+                    key = self._cell_key(name, window)
+                    if self._replay_journal(key, curves[name]):
+                        continue
+                    if train_corpus is None:
+                        train_corpus = self.corpus.truncated_before(window.start)
+                        fingerprint = (
+                            fingerprint_corpus(train_corpus)
+                            if self.fit_cache is not None
+                            else None
+                        )
                     payloads.append(
                         {
                             "name": name,
+                            "cell": key,
                             "factory": factory,
                             "train": train_corpus,
                             "fingerprint": fingerprint,
@@ -355,11 +496,17 @@ class RecommendationEvaluator:
                             "window_start": window.start,
                         }
                     )
-            results = executor.map(_fit_score_task, payloads)
-            for payload, observations in zip(payloads, results):
-                curve = curves[payload["name"]]
-                for observation in observations:
-                    curve.observations[observation.threshold].append(observation)
+            def journal_outcome(position: int, outcome: Any) -> None:
+                # Journaling happens per finished cell (completion order —
+                # entries are keyed, so order is irrelevant) while curve
+                # merging below stays in submission order for determinism.
+                self._journal_outcome(payloads[position]["cell"], outcome)
+
+            outcomes = executor.map_outcomes(
+                _fit_score_task, payloads, on_outcome=journal_outcome
+            )
+            for payload, outcome in zip(payloads, outcomes):
+                self._merge_outcome(payload["cell"], outcome, curves[payload["name"]])
                 if verbose:  # pragma: no cover - console convenience
                     print(f"[{payload['window_start']}] {payload['name']} done")
         else:
@@ -372,17 +519,31 @@ class RecommendationEvaluator:
             )
             fit_payloads = [
                 {
+                    "name": name,
                     "factory": factory,
                     "train": train_corpus,
                     "fingerprint": fingerprint,
                     "cache": self.fit_cache,
                 }
-                for factory in model_factories.values()
+                for name, factory in model_factories.items()
             ]
-            fitted = executor.map(_fit_task, fit_payloads)
-            models = dict(zip(model_factories, fitted))
+            models: dict[str, GenerativeModel] = {}
+            for payload, outcome in zip(
+                fit_payloads, executor.map_outcomes(_fit_task, fit_payloads)
+            ):
+                if isinstance(outcome, Ok):
+                    models[payload["name"]] = outcome.value
+                    continue
+                self._n_failed_cells += 1
+                get_logger("recommend").warning(
+                    "fit of model %s failed after %d attempt(s); model "
+                    "excluded from the sweep: %s",
+                    payload["name"],
+                    outcome.attempts,
+                    outcome.describe(),
+                )
             for window, histories, owned_sets, truths in prepared:
-                for name in model_factories:
+                for name in models:
                     scores = models[name].batch_next_product_proba(histories)
                     metrics.inc("recommend.candidates", scores.size)
                     self._score_window(
@@ -481,6 +642,7 @@ def _fit_score_task(payload: dict[str, Any]) -> list[WindowObservation]:
     Emits the same metric increments as the serial loop; the executor
     merges worker counters back into the parent registry.
     """
+    faults.inject(payload["cell"])
     model = _fit_task(payload)
     scores = model.batch_next_product_proba(payload["histories"])
     metrics.inc("recommend.candidates", scores.size)

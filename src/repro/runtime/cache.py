@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Callable, TYPE_CHECKING
 
-from repro.obs import metrics, trace
+from repro.obs import get_logger, metrics, trace
+from repro.runtime import faults
 from repro.runtime.fingerprint import Uncacheable, cache_key, fingerprint_corpus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -34,6 +36,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.models.base import GenerativeModel
 
 __all__ = ["FitCache", "fit_model"]
+
+#: Temp files older than this are orphans of a dead writer, safe to sweep.
+_ORPHAN_AGE_S = 3600.0
 
 
 def fit_model(
@@ -66,6 +71,7 @@ class FitCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self._sweep_orphans()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"FitCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"
@@ -142,9 +148,33 @@ class FitCache:
             try:
                 model.save(tmp_name)
                 os.replace(tmp_name, self._path(key))
+                faults.corrupt_artifact(self._path(key), f"cache/{key}")
             finally:
                 if os.path.exists(tmp_name):
                     os.unlink(tmp_name)
         except Exception:
-            # A cache that cannot write is merely a cache that never hits.
-            pass
+            # A cache that cannot write is merely a cache that never hits —
+            # but never a silent one.
+            metrics.inc("cache.store_failed")
+            trace.add_counter("cache.store_failed")
+            get_logger("runtime.cache").warning(
+                "failed to store cache entry %s", key, exc_info=True
+            )
+
+    def _sweep_orphans(self) -> None:
+        """Delete stale ``.tmp-*.npz`` left by writers that died mid-store.
+
+        ``mkstemp`` + ``os.replace`` is atomic for the entry itself, but a
+        process killed between the two leaks the temp file forever.  Only
+        files older than an hour are swept, so a live concurrent writer's
+        temp file is never yanked out from under it.
+        """
+        if not self.root.is_dir():
+            return
+        cutoff = time.time() - _ORPHAN_AGE_S
+        for orphan in self.root.glob(".tmp-*.npz"):
+            try:
+                if orphan.stat().st_mtime < cutoff:
+                    orphan.unlink()
+            except OSError:  # pragma: no cover - raced with another sweeper
+                continue

@@ -1,4 +1,4 @@
-"""Deterministic process-pool fan-out for experiment workloads.
+"""Deterministic, fault-tolerant process-pool fan-out for experiments.
 
 :class:`ParallelMap` is the one execution primitive the experiment stack
 shares: drivers hand it a module-level task function plus a list of
@@ -7,12 +7,22 @@ of which worker finished first.  ``n_jobs=1`` (the default) runs every
 task inline in the calling process — no pool, no pickling, no reordering —
 so the serial path is bit-identical to a plain ``for`` loop.
 
+Fault tolerance: :meth:`ParallelMap.map_outcomes` returns one
+:class:`Ok`/:class:`TaskError` per payload instead of letting the first
+exception abort the pool.  Failures are retried up to ``retries`` times
+with exponential ``backoff``; ``task_timeout`` bounds each task's wall
+time (pool mode only — a hung worker is killed and the pool respawned);
+an abruptly dead worker (``BrokenProcessPool``) respawns the pool and
+re-runs **only the unfinished tasks** — completed results are never
+discarded and never re-executed.  :meth:`ParallelMap.map` keeps the
+original raise-on-first-error contract on top of the same machinery.
+
 Observability crosses the process boundary: when tracing or metrics are
 enabled in the parent, each worker records its own spans and counters in a
 clean slate, ships them home with the task result, and the parent merges
-them under the span that issued the fan-out (``trace.merge_subtree``).  A
-``--trace`` report therefore shows worker fit/score spans exactly where
-they belong, just with wall times that may overlap.
+them under the span that issued the fan-out (``trace.merge_subtree``).
+Failure handling has counters of its own: ``runtime.task_retry``,
+``runtime.task_failed`` and ``runtime.pool_respawn``.
 
 Determinism rules:
 
@@ -20,24 +30,38 @@ Determinism rules:
 * tasks that need randomness derive their seed from the task identity via
   :func:`derive_seed` (or carry an explicit seed in the payload), never
   from worker-local state;
-* payloads that cannot be pickled degrade to the inline path with a
-  logged warning instead of failing — the caller observes the same
-  results, just without the fan-out.
+* an unpicklable function or payload degrades the whole map to the inline
+  path **before anything is submitted** (preflight pickling), so no task
+  can ever run twice because a sibling failed to serialize.
 """
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Sequence, TypeVar
+import time
+import traceback as traceback_module
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence, TypeVar, Union
 
 import numpy as np
 
 from repro._validation import check_positive_int
 from repro.obs import disable_all, enable_all, get_logger, metrics, reset_all, trace
 
-__all__ = ["ParallelMap", "derive_seed", "resolve_n_jobs"]
+__all__ = [
+    "Ok",
+    "ParallelMap",
+    "TaskError",
+    "TaskFailedError",
+    "derive_seed",
+    "resolve_n_jobs",
+    "run_with_retries",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -51,12 +75,19 @@ def derive_seed(base: int | None, *keys: int | str) -> int:
     depends on execution order or process identity::
 
         seed = derive_seed(7, "fig1", n_layers, nodes)
+
+    Each key contributes a type tag alongside its value, so integer and
+    string keys that render identically — ``derive_seed(7, 1)`` versus
+    ``derive_seed(7, "1")`` — spawn *different* streams.  (This tagging is
+    a deliberate fingerprint bump over the first release, which conflated
+    the two.)
     """
     entropy = 0 if base is None else int(base)
-    spawn_key = tuple(
-        int.from_bytes(str(key).encode(), "little") % (2**63) for key in keys
-    )
-    sequence = np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+    spawn_key: list[int] = []
+    for key in keys:
+        spawn_key.append(0 if isinstance(key, (int, np.integer)) else 1)
+        spawn_key.append(int.from_bytes(str(key).encode(), "little") % (2**63))
+    sequence = np.random.SeedSequence(entropy=entropy, spawn_key=tuple(spawn_key))
     return int(sequence.generate_state(1, dtype=np.uint64)[0] % (2**63))
 
 
@@ -65,6 +96,85 @@ def resolve_n_jobs(n_jobs: int) -> int:
     if n_jobs == -1:
         return max(os.cpu_count() or 1, 1)
     return check_positive_int(n_jobs, "n_jobs")
+
+
+class TaskFailedError(RuntimeError):
+    """Raised by :meth:`ParallelMap.map` for a failure with no live exception."""
+
+
+@dataclass(frozen=True)
+class Ok:
+    """A task that completed, with its result and the attempts it took."""
+
+    value: Any
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """A task that exhausted its attempts, with the failure's anatomy.
+
+    ``message``/``error_type``/``traceback`` are plain strings so the
+    outcome can be journaled as JSON; ``exception`` carries the live
+    exception object when one exists (worker raises travel back through
+    the pool) for callers that re-raise.
+    """
+
+    message: str
+    error_type: str
+    traceback: str
+    attempts: int
+    exception: BaseException | None = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, attempts: int) -> "TaskError":
+        return cls(
+            message=str(exc) or exc.__class__.__name__,
+            error_type=type(exc).__name__,
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempts=attempts,
+            exception=exc,
+        )
+
+    def describe(self) -> str:
+        """One-line ``Type: message`` rendering for journals and logs."""
+        return f"{self.error_type}: {self.message}"
+
+    def reraise(self) -> None:
+        """Re-raise the original exception (or a :class:`TaskFailedError`)."""
+        if self.exception is not None:
+            raise self.exception
+        raise TaskFailedError(self.describe())
+
+
+TaskOutcome = Union[Ok, TaskError]
+
+
+def run_with_retries(
+    fn: Callable[[], R], *, retries: int = 0, backoff: float = 0.0
+) -> TaskOutcome:
+    """Call ``fn`` with up to ``1 + retries`` attempts; never raises.
+
+    The inline counterpart of the pool's retry loop, shared by drivers
+    whose work is a single in-process cell (fig56, the serial evaluator
+    path).  Retries count on ``runtime.task_retry``; exhaustion counts on
+    ``runtime.task_failed`` and returns a :class:`TaskError`.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return Ok(fn(), attempts=attempts)
+        except Exception as exc:
+            if attempts <= retries:
+                metrics.inc("runtime.task_retry")
+                if backoff > 0.0:
+                    time.sleep(backoff * 2 ** (attempts - 1))
+                continue
+            metrics.inc("runtime.task_failed")
+            return TaskError.from_exception(exc, attempts=attempts)
 
 
 def _run_captured(
@@ -91,69 +201,324 @@ def _run_captured(
 
 
 class ParallelMap:
-    """Ordered, observable map over a process pool.
+    """Ordered, observable, fault-tolerant map over a process pool.
 
     Parameters
     ----------
     n_jobs:
         Worker processes; ``1`` (default) executes inline and is
         bit-identical to a serial loop, ``-1`` uses every CPU.
+    retries:
+        Extra attempts per task after its first failure (crash, worker
+        death or timeout alike).  Default 0 — fail fast.
+    backoff:
+        Base seconds of exponential backoff between a task's attempts
+        (``backoff * 2**(attempt-1)``).  Default 0 — retry immediately.
+    task_timeout:
+        Wall-clock seconds allowed per task.  Enforced in pool mode only
+        (a hung inline task cannot be preempted): an overdue task is
+        marked failed (or retried), its worker killed and the pool
+        respawned for the remaining tasks.
     """
 
-    def __init__(self, n_jobs: int = 1) -> None:
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        *,
+        retries: int = 0,
+        backoff: float = 0.0,
+        task_timeout: float | None = None,
+    ) -> None:
         self.n_jobs = resolve_n_jobs(n_jobs)
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0.0:
+            raise ValueError("backoff must be >= 0")
+        if task_timeout is not None and task_timeout <= 0.0:
+            raise ValueError("task_timeout must be positive")
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.task_timeout = task_timeout
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"ParallelMap(n_jobs={self.n_jobs})"
+        return (
+            f"ParallelMap(n_jobs={self.n_jobs}, retries={self.retries}, "
+            f"task_timeout={self.task_timeout})"
+        )
 
+    # ------------------------------------------------------------------
     def map(self, fn: Callable[[T], R], payloads: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every payload; results in payload order.
 
+        The historical raise-on-error contract: the first task (in payload
+        order) that exhausts its attempts has its exception re-raised.
         With more than one job, ``fn`` must be a module-level function and
         the payloads picklable; anything unpicklable falls back to the
         inline path (same results, logged at warning level).
         """
         payloads = list(payloads)
+        if self._inline(fn, payloads):
+            return self._map_inline(fn, payloads, raise_on_error=True)
+        results: list[R] = []
+        for outcome in self._map_pool(fn, payloads):
+            if isinstance(outcome, TaskError):
+                outcome.reraise()
+            results.append(outcome.value)
+        return results
+
+    def map_outcomes(
+        self,
+        fn: Callable[[T], R],
+        payloads: Sequence[T],
+        *,
+        on_outcome: Callable[[int, TaskOutcome], None] | None = None,
+    ) -> list[TaskOutcome]:
+        """Apply ``fn`` to every payload; one :class:`Ok`/:class:`TaskError` each.
+
+        Never raises for a task failure: each payload's slot reports what
+        happened to it, in payload order, and one poisoned cell cannot
+        discard its siblings' finished work.
+
+        ``on_outcome(index, outcome)`` fires in the calling process the
+        moment a payload's outcome is final — after its last attempt, in
+        completion order, while later tasks may still be running.  Sweep
+        drivers journal from this hook so a kill mid-sweep keeps every
+        cell that already finished.
+        """
+        payloads = list(payloads)
+        if self._inline(fn, payloads):
+            return self._map_inline(
+                fn, payloads, raise_on_error=False, on_outcome=on_outcome
+            )
+        return self._map_pool(fn, payloads, on_outcome=on_outcome)
+
+    # ------------------------------------------------------------------
+    def _inline(self, fn: Callable[[T], R], payloads: list[T]) -> bool:
+        """Whether this map must run inline (serial, tiny, or unpicklable).
+
+        Pickling is preflighted *before submission*: a payload that cannot
+        cross the process boundary switches the whole map inline up front,
+        never after siblings have already executed in the pool.
+        """
         if self.n_jobs == 1 or len(payloads) <= 1:
-            return [fn(payload) for payload in payloads]
+            return True
         try:
             pickle.dumps(fn)
         except Exception:
             get_logger("runtime").warning(
                 "task function %r is not picklable; running inline", fn
             )
-            return [fn(payload) for payload in payloads]
-        capture = trace.is_enabled() or metrics.is_enabled()
-        try:
-            return self._map_pool(fn, payloads, capture)
-        except (pickle.PicklingError, AttributeError, TypeError) as exc:
-            get_logger("runtime").warning(
-                "parallel map degraded to inline execution: %s", exc
-            )
-            return [fn(payload) for payload in payloads]
+            return True
+        for index, payload in enumerate(payloads):
+            try:
+                pickle.dumps(payload)
+            except Exception:
+                get_logger("runtime").warning(
+                    "payload %d is not picklable; running the whole map inline",
+                    index,
+                )
+                return True
+        return False
 
+    def _map_inline(
+        self,
+        fn: Callable[[T], R],
+        payloads: list[T],
+        *,
+        raise_on_error: bool,
+        on_outcome: Callable[[int, TaskOutcome], None] | None = None,
+    ) -> list[Any]:
+        """The in-process path: values (``raise_on_error``) or outcomes."""
+        results: list[Any] = []
+        for index, payload in enumerate(payloads):
+            outcome = run_with_retries(
+                functools.partial(fn, payload),
+                retries=self.retries,
+                backoff=self.backoff,
+            )
+            if on_outcome is not None:
+                on_outcome(index, outcome)
+            if raise_on_error and isinstance(outcome, TaskError):
+                outcome.reraise()
+            results.append(outcome.value if raise_on_error else outcome)
+        return results
+
+    # ------------------------------------------------------------------
     def _map_pool(
-        self, fn: Callable[[T], R], payloads: list[T], capture: bool
-    ) -> list[R]:
-        workers = min(self.n_jobs, len(payloads))
+        self,
+        fn: Callable[[T], R],
+        payloads: list[T],
+        *,
+        on_outcome: Callable[[int, TaskOutcome], None] | None = None,
+    ) -> list[TaskOutcome]:
+        """Pool execution with retry, timeout and broken-pool recovery.
+
+        Futures are drained strictly in submission order.  A worker raise
+        fails (or requeues) just its own task; a timeout or dead worker
+        additionally poisons the pool, so the round is cut short: finished
+        siblings keep their results, unfinished ones are requeued with
+        their attempt refunded, and a fresh pool takes over.
+
+        A dead worker cannot be attributed with certainty — the charge
+        lands on the first task still unresolved in submission order,
+        which may be a concurrently running sibling of the real culprit.
+        Sweeps that expect worker deaths should allow ``retries >= 1`` so
+        a misattributed task gets its result back on the respawned pool.
+        """
+        capture = trace.is_enabled() or metrics.is_enabled()
+        n = len(payloads)
+        workers = min(self.n_jobs, n)
+        outcomes: list[TaskOutcome | None] = [None] * n
+        attempts = [0] * n
+        notified = [False] * n
+        log = get_logger("runtime")
+
+        def notify(i: int) -> None:
+            # Fire the hook exactly once per task, when its slot resolves.
+            if on_outcome is not None and outcomes[i] is not None and not notified[i]:
+                notified[i] = True
+                on_outcome(i, outcomes[i])
         with trace.span("runtime.parallel_map") as node:
             if node is not None:
-                node.add_counter("tasks", len(payloads))
+                node.add_counter("tasks", n)
                 node.add_counter("workers", workers)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_run_captured, fn, payload, capture)
-                    for payload in payloads
-                ]
-                # Gather strictly in submission order: completion order
-                # never leaks into results.
-                outcomes = [future.result() for future in futures]
-            results: list[R] = []
-            for result, span_trees, counters in outcomes:
-                results.append(result)
-                for tree in span_trees:
-                    trace.merge_subtree(tree)
-                for name, value in counters.items():
-                    metrics.inc(name, value)
-            metrics.inc("runtime.tasks", len(payloads))
-        return results
+            pool = ProcessPoolExecutor(max_workers=workers)
+            pending = list(range(n))
+            rounds = 0
+            try:
+                while pending:
+                    if rounds and self.backoff > 0.0:
+                        time.sleep(self.backoff * 2 ** (rounds - 1))
+                    rounds += 1
+                    futures = {}
+                    for i in pending:
+                        attempts[i] += 1
+                        futures[i] = pool.submit(_run_captured, fn, payloads[i], capture)
+                    pending = []
+                    poisoned = False
+                    for i, future in futures.items():
+                        if poisoned:
+                            # The pool is going down; salvage whatever
+                            # already finished, requeue the rest with the
+                            # attempt refunded (the fault was not theirs).
+                            if future.done():
+                                self._settle(i, future, attempts, outcomes, pending, log)
+                                notify(i)
+                            else:
+                                attempts[i] -= 1
+                                pending.append(i)
+                            continue
+                        try:
+                            packed = future.result(timeout=self.task_timeout)
+                            outcomes[i] = Ok(self._merge(packed), attempts=attempts[i])
+                        except FutureTimeoutError:
+                            self._fail(
+                                i,
+                                TimeoutError(
+                                    f"task {i} exceeded task_timeout="
+                                    f"{self.task_timeout}s"
+                                ),
+                                attempts,
+                                outcomes,
+                                pending,
+                                log,
+                            )
+                            poisoned = True
+                        except BrokenProcessPool as exc:
+                            self._fail(i, exc, attempts, outcomes, pending, log)
+                            poisoned = True
+                        except Exception as exc:
+                            self._fail(i, exc, attempts, outcomes, pending, log)
+                        notify(i)
+                    if poisoned:
+                        metrics.inc("runtime.pool_respawn")
+                        log.warning(
+                            "worker pool poisoned (%d task(s) outstanding); "
+                            "respawning",
+                            len(pending),
+                        )
+                        _terminate_pool(pool)
+                        pool = ProcessPoolExecutor(max_workers=workers)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            metrics.inc("runtime.tasks", n)
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _settle(
+        self,
+        i: int,
+        future: Any,
+        attempts: list[int],
+        outcomes: list[TaskOutcome | None],
+        pending: list[int],
+        log: Any,
+    ) -> None:
+        """Collect a done future during pool teardown: keep Ok, judge errors."""
+        try:
+            packed = future.result(timeout=0)
+            outcomes[i] = Ok(self._merge(packed), attempts=attempts[i])
+        except (FutureTimeoutError, BrokenProcessPool, CancelledError):
+            attempts[i] -= 1
+            pending.append(i)
+        except Exception as exc:
+            self._fail(i, exc, attempts, outcomes, pending, log)
+
+    def _fail(
+        self,
+        i: int,
+        exc: BaseException,
+        attempts: list[int],
+        outcomes: list[TaskOutcome | None],
+        pending: list[int],
+        log: Any,
+    ) -> None:
+        """Route one failed attempt: requeue with attempts left, else record."""
+        if attempts[i] < self.retries + 1:
+            metrics.inc("runtime.task_retry")
+            log.warning(
+                "task %d failed (attempt %d/%d): %s; retrying",
+                i,
+                attempts[i],
+                self.retries + 1,
+                exc,
+            )
+            pending.append(i)
+            return
+        metrics.inc("runtime.task_failed")
+        log.warning(
+            "task %d failed permanently after %d attempt(s): %s", i, attempts[i], exc
+        )
+        outcomes[i] = TaskError.from_exception(exc, attempts=attempts[i])
+
+    @staticmethod
+    def _merge(packed: tuple[Any, list[dict[str, Any]], dict[str, float]]) -> Any:
+        """Unpack one worker result, merging its spans/counters into the parent."""
+        result, span_trees, counters = packed
+        for tree in span_trees:
+            trace.merge_subtree(tree)
+        for name, value in counters.items():
+            metrics.inc(name, value)
+        return result
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a poisoned pool down, killing workers that will not exit.
+
+    ``shutdown`` alone leaves a hung worker running its task forever; the
+    explicit terminate/join reaps it so a timed-out sweep does not leak
+    processes.  Touches the executor's private process table — there is no
+    public kill switch — guarded for forward compatibility.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    for process in list(processes.values()):
+        try:
+            process.join(timeout=5.0)
+        except Exception:  # pragma: no cover - already reaped
+            pass

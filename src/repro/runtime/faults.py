@@ -1,0 +1,198 @@
+"""Deterministic fault injection for exercising the fault-tolerance layer.
+
+Production sweeps die in only a handful of ways — a worker raises, a
+worker process vanishes, a task hangs, an artifact on disk rots — and all
+of them are awkward to reproduce on demand.  This module turns each one
+into a switch: a fault *spec* names a failure mode and a substring of the
+fault *site* (the task's journal/cell key), and matching sites fail in
+exactly the requested way.  Everything is driven by plain environment
+variables so the same specs reach pool workers, subprocesses and CI shells
+unchanged:
+
+* ``REPRO_FAULTS`` — comma-separated specs, ``mode:match[:opt=val[;opt=val]]``::
+
+      REPRO_FAULTS="crash:table1/s:lda"            # raise at the LDA cell
+      REPRO_FAULTS="segfault:fig1/i:2:times=1"     # kill the worker once
+      REPRO_FAULTS="hang:recommend:seconds=120"    # stall matching cells
+
+  Modes: ``crash`` raises :class:`InjectedFault`; ``segfault`` terminates
+  the process via ``os._exit`` (no cleanup, exactly like a real worker
+  death); ``hang`` sleeps ``seconds`` (default 3600 — rely on a task
+  timeout to reap it); ``corrupt`` garbles fit-cache artifacts as they are
+  stored.  Options: ``times=N`` fires at most N times, ``seconds=S`` sets
+  the hang duration.
+
+* ``REPRO_FAULTS_STATE`` — a directory used to count ``times=N`` firings
+  *across processes* (one ``O_EXCL`` marker file per firing); without it
+  the count is per-process.
+
+Injection points call :func:`inject` with their site key; when
+``REPRO_FAULTS`` is unset that is one ``os.environ`` lookup, so the hooks
+stay in production code permanently — the same philosophy as
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "FaultSpec",
+    "InjectedFault",
+    "active_faults",
+    "corrupt_artifact",
+    "inject",
+    "parse_faults",
+]
+
+_MODES = ("crash", "segfault", "hang", "corrupt")
+
+#: Exit status of an injected segfault (mirrors SIGSEGV's 128 + 11).
+SEGFAULT_STATUS = 139
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``crash`` fault at a matching site."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: a failure mode bound to a site substring."""
+
+    mode: str
+    match: str
+    times: int | None = None
+    seconds: float = 3600.0
+
+    def matches(self, site: str) -> bool:
+        """Whether this spec applies to ``site`` (plain substring match)."""
+        return self.match in site
+
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe identity used for cross-process firing markers."""
+        digest = hashlib.sha256(f"{self.mode}:{self.match}".encode()).hexdigest()
+        return f"{self.mode}-{digest[:12]}"
+
+
+def parse_faults(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULTS`` value into specs.
+
+    Grammar: comma-separated ``mode:match[:opt=val[;opt=val]]``.  The match
+    may itself contain ``:``-free slashes (cell keys do); only the first
+    and last colon-separated fields are structural.
+    """
+    specs = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 2:
+            raise ValueError(f"fault spec {chunk!r} needs mode:match")
+        mode = parts[0].strip()
+        if mode not in _MODES:
+            raise ValueError(f"unknown fault mode {mode!r} (expected one of {_MODES})")
+        times: int | None = None
+        seconds = 3600.0
+        if len(parts) > 2 and "=" in parts[-1]:
+            for option in parts.pop().split(";"):
+                name, _, value = option.partition("=")
+                if name == "times":
+                    times = int(value)
+                elif name == "seconds":
+                    seconds = float(value)
+                else:
+                    raise ValueError(f"unknown fault option {name!r}")
+        match = ":".join(parts[1:])
+        if not match:
+            raise ValueError(f"fault spec {chunk!r} has an empty match")
+        specs.append(FaultSpec(mode=mode, match=match, times=times, seconds=seconds))
+    return tuple(specs)
+
+
+_parsed: tuple[str, tuple[FaultSpec, ...]] = ("", ())
+_local_counts: dict[str, int] = {}
+
+
+def active_faults() -> tuple[FaultSpec, ...]:
+    """The specs currently configured via ``REPRO_FAULTS`` (cached by value)."""
+    global _parsed
+    text = os.environ.get("REPRO_FAULTS", "")
+    if text != _parsed[0]:
+        _parsed = (text, parse_faults(text))
+    return _parsed[1]
+
+
+def _claim_firing(spec: FaultSpec) -> bool:
+    """Whether ``spec`` may fire once more, consuming one of its firings.
+
+    With ``times=None`` the spec always fires.  Otherwise firings are
+    counted through ``O_CREAT|O_EXCL`` marker files under
+    ``REPRO_FAULTS_STATE`` (atomic across processes) or, without a state
+    directory, a per-process counter.
+    """
+    if spec.times is None:
+        return True
+    state_dir = os.environ.get("REPRO_FAULTS_STATE", "")
+    if not state_dir:
+        fired = _local_counts.get(spec.slug, 0)
+        if fired >= spec.times:
+            return False
+        _local_counts[spec.slug] = fired + 1
+        return True
+    root = Path(state_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    for n in range(spec.times):
+        try:
+            os.close(
+                os.open(root / f"{spec.slug}.{n}", os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            )
+            return True
+        except OSError as exc:  # marker already claimed
+            if exc.errno != errno.EEXIST:
+                raise
+    return False
+
+
+def inject(site: str) -> None:
+    """Fire the first configured fault matching ``site``, if any.
+
+    Called at task entry points with the task's cell key.  A no-op (one
+    environment lookup) when ``REPRO_FAULTS`` is unset.
+    """
+    for spec in active_faults():
+        if spec.mode == "corrupt" or not spec.matches(site):
+            continue
+        if not _claim_firing(spec):
+            continue
+        if spec.mode == "crash":
+            raise InjectedFault(f"injected crash at {site!r}")
+        if spec.mode == "hang":
+            time.sleep(spec.seconds)
+            return
+        if spec.mode == "segfault":
+            os._exit(SEGFAULT_STATUS)
+
+
+def corrupt_artifact(path: str | os.PathLike[str], site: str) -> None:
+    """Garble a freshly written artifact when a ``corrupt`` fault matches.
+
+    Called by the fit cache after each atomic store; the corruption is an
+    in-place overwrite, exactly the shape of on-disk rot the cache's
+    corruption-as-miss policy must absorb.
+    """
+    for spec in active_faults():
+        if spec.mode != "corrupt" or not spec.matches(site):
+            continue
+        if not _claim_firing(spec):
+            continue
+        with open(path, "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"\x00CORRUPTED-BY-FAULT-INJECTION\x00")
+        return

@@ -1,0 +1,199 @@
+"""Checkpoint journal: per-cell outcomes of a sweep, resumable after a kill.
+
+A long sweep (the Table 1 grid, the 13-window retrain protocol) is a list
+of independent cells, and a run that dies halfway should not owe the
+universe the cells it already paid for.  :class:`RunJournal` is an
+append-only JSONL file under the ``--checkpoint-dir``: one line per
+finished cell, keyed by the cell's identity (the same type-tagged identity
+that feeds :func:`~repro.runtime.executor.derive_seed`), holding either
+the cell's JSON result or its recorded failure.  Every line is flushed and
+fsynced before the driver moves on, so the journal is exactly as complete
+as the sweep was when the process died.
+
+Resume semantics: drivers consult :meth:`RunJournal.completed` before
+running a cell and replay the stored result on a hit (counted as
+``journal.skip``).  Failed cells are *recorded* but not skipped — a resume
+retries them, which is what you want after fixing whatever killed them.
+A meta header pins the run configuration (command, corpus size, seed);
+resuming against a journal whose header disagrees discards the stale
+entries instead of mixing two different runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.obs import get_logger, metrics, trace
+
+__all__ = ["JournalEntry", "RunJournal", "cell_key"]
+
+
+def cell_key(*parts: int | str) -> str:
+    """Stable, human-readable identity for one sweep cell.
+
+    Each part is tagged with its type (``i:`` for integers, ``s:`` for
+    strings) so ``cell_key("fig1", 1)`` and ``cell_key("fig1", "1")`` name
+    different cells — the same discrimination :func:`derive_seed` applies
+    to its spawn keys.
+    """
+    tagged = []
+    for part in parts:
+        if isinstance(part, (bool,)):
+            raise TypeError("cell keys take ints and strings, not bools")
+        if isinstance(part, (int, np.integer)):
+            tagged.append(f"i:{int(part)}")
+        elif isinstance(part, str):
+            tagged.append(f"s:{part}")
+        else:
+            raise TypeError(f"cell keys take ints and strings, not {type(part).__name__}")
+    return "/".join(tagged)
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled cell: its key, status and stored result or error."""
+
+    key: str
+    status: str  # "ok" | "failed"
+    value: Any = None
+    error: str | None = None
+    attempts: int = 1
+
+
+class RunJournal:
+    """Append-only JSONL record of completed sweep cells.
+
+    Parameters
+    ----------
+    path:
+        The journal file; parent directories are created on demand.
+    meta:
+        Run-identifying configuration written as the first line.  On
+        ``resume``, a stored header that disagrees with ``meta`` marks the
+        journal stale: its entries are discarded and the file restarted.
+    resume:
+        Load existing entries (``True``) or start the journal fresh,
+        truncating whatever was there (``False``, the default).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        meta: dict[str, Any] | None = None,
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.meta = dict(meta) if meta else {}
+        self._entries: dict[str, JournalEntry] = {}
+        if resume and self.path.exists():
+            self._load()
+        else:
+            self._restart()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunJournal({str(self.path)!r}, entries={len(self._entries)})"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        stored_meta: dict[str, Any] = {}
+        entries: dict[str, JournalEntry] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line from a kill mid-write: everything
+                    # before it is intact, the torn cell simply re-runs.
+                    get_logger("runtime.journal").warning(
+                        "journal %s has a torn line; ignoring it", self.path
+                    )
+                    continue
+                if "__meta__" in record:
+                    stored_meta = record["__meta__"]
+                    continue
+                entries[record["key"]] = JournalEntry(
+                    key=record["key"],
+                    status=record["status"],
+                    value=record.get("value"),
+                    error=record.get("error"),
+                    attempts=int(record.get("attempts", 1)),
+                )
+        if self.meta and stored_meta != self.meta:
+            get_logger("runtime.journal").warning(
+                "journal %s was written by a different run configuration "
+                "(%r != %r); discarding its %d entries",
+                self.path,
+                stored_meta,
+                self.meta,
+                len(entries),
+            )
+            self._restart()
+            return
+        self._entries = entries
+
+    def _restart(self) -> None:
+        self._entries = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            if self.meta:
+                handle.write(json.dumps({"__meta__": self.meta}, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> JournalEntry | None:
+        """The stored entry under ``key`` (any status), or None."""
+        return self._entries.get(key)
+
+    def completed(self, key: str) -> JournalEntry | None:
+        """The successful entry under ``key``, counting a ``journal.skip``.
+
+        Failed entries return None — a resumed sweep retries them.
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.status != "ok":
+            return None
+        metrics.inc("journal.skip")
+        trace.add_counter("journal.skip")
+        return entry
+
+    def record_ok(self, key: str, value: Any, *, attempts: int = 1) -> None:
+        """Journal a completed cell with its JSON-serializable result."""
+        entry = JournalEntry(key=key, status="ok", value=value, attempts=attempts)
+        self._entries[key] = entry
+        self._append(
+            {"key": key, "status": "ok", "value": value, "attempts": attempts}
+        )
+        metrics.inc("journal.record")
+
+    def record_failure(self, key: str, error: str, *, attempts: int = 1) -> None:
+        """Journal a cell that exhausted its attempts, with the error text."""
+        entry = JournalEntry(key=key, status="failed", error=error, attempts=attempts)
+        self._entries[key] = entry
+        self._append(
+            {"key": key, "status": "failed", "error": error, "attempts": attempts}
+        )
+        metrics.inc("journal.record")
+        get_logger("runtime.journal").warning(
+            "cell %s recorded as failed after %d attempt(s): %s", key, attempts, error
+        )

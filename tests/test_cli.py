@@ -86,6 +86,41 @@ class TestParser:
         args = build_parser().parse_args(["recommend", "--no-retrain"])
         assert args.retrain is False
 
+    def test_fault_tolerance_flags(self):
+        args = build_parser().parse_args(
+            ["--retries", "2", "--task-timeout", "30",
+             "--checkpoint-dir", "/tmp/ckpt", "--resume",
+             "--inject-faults", "crash:s:lda", "table1"]
+        )
+        assert args.retries == 2
+        assert args.task_timeout == 30.0
+        assert args.checkpoint_dir == "/tmp/ckpt"
+        assert args.resume is True
+        assert args.inject_faults == "crash:s:lda"
+
+    def test_fault_tolerance_flags_after_subcommand(self):
+        args = build_parser().parse_args(
+            ["table1", "--retries", "1", "--checkpoint-dir", "/tmp/c"]
+        )
+        assert args.retries == 1
+        assert args.checkpoint_dir == "/tmp/c"
+
+    def test_fault_tolerance_flags_default_off(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.retries == 0
+        assert args.task_timeout is None
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+        assert args.inject_faults is None
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["--resume", "table1"])
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--inject-faults", "explode:everywhere", "table1"])
+
 
 class TestExecution:
     """Fast end-to-end runs on tiny corpora."""
@@ -188,3 +223,55 @@ class TestObservabilityFlags:
         assert cold["cache.miss"] > 0
         assert warm["cache.hit"] > 0
         assert warm.get("cache.miss", 0) == 0
+
+
+class TestFaultToleranceFlow:
+    """Crash injection, checkpointing and resume through the real CLI."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_obs_state(self):
+        obs.disable_all()
+        obs.reset_all()
+        yield
+        obs.disable_all()
+        obs.reset_all()
+
+    BASE = ["--companies", "80", "--seed", "3", "table1"]
+
+    def test_crash_checkpoint_resume_round_trip(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        assert main(self.BASE) == 0
+        clean_out = capsys.readouterr().out
+
+        obs.disable_all()
+        obs.reset_all()
+        assert main(
+            self.BASE + ["--inject-faults", "crash:s:lda",
+                         "--checkpoint-dir", str(ckpt)]
+        ) == 0
+        faulted_out = capsys.readouterr().out
+        assert "failed" in faulted_out
+        journal = (ckpt / "table1.journal.jsonl").read_text()
+        assert '"status": "failed"' in journal
+        assert journal.count('"status": "ok"') == 4
+
+        obs.disable_all()
+        obs.reset_all()
+        metrics_json = tmp_path / "resume.json"
+        assert main(
+            self.BASE + ["--checkpoint-dir", str(ckpt), "--resume",
+                         "--metrics-json", str(metrics_json)]
+        ) == 0
+        resumed_out = capsys.readouterr().out
+        assert resumed_out == clean_out
+        counters = json.loads(metrics_json.read_text())["counters"]
+        assert counters["journal.skip"] == 4
+        assert counters["journal.record"] == 1
+
+    def test_fault_env_is_restored_after_run(self, capsys, tmp_path):
+        import os as os_module
+
+        assert main(self.BASE + ["--inject-faults", "crash:s:lda"]) == 0
+        capsys.readouterr()
+        assert "REPRO_FAULTS" not in os_module.environ
+        assert "REPRO_FAULTS_STATE" not in os_module.environ

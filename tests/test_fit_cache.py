@@ -150,3 +150,62 @@ class TestFitCache:
     def test_fit_model_without_cache(self, split):
         model = fit_model(_lda_factory(), split.train)
         assert model.is_fitted
+
+
+class _UnsavableModel(UnigramModel):
+    """A model whose artifact can never be written."""
+
+    def save(self, path):
+        raise OSError("disk on fire")
+
+
+class TestStoreFailures:
+    def test_store_failure_is_counted_not_raised(self, tmp_path, split):
+        from repro.obs import metrics
+
+        metrics.enable()
+        cache = FitCache(tmp_path)
+        fitted = cache.fit(_UnsavableModel, split.train)
+        assert fitted.is_fitted
+        assert metrics.snapshot()["counters"]["cache.store_failed"] == 1
+        assert list(tmp_path.glob("*.npz")) == []
+
+    def test_store_failure_still_returns_fresh_fits(self, tmp_path, split):
+        cache = FitCache(tmp_path)
+        cache.fit(_UnsavableModel, split.train)
+        cache.fit(_UnsavableModel, split.train)
+        assert (cache.misses, cache.hits) == (2, 0)
+
+
+class TestOrphanSweep:
+    def test_old_temp_files_swept_on_init(self, tmp_path):
+        import os
+        import time
+
+        old = tmp_path / ".tmp-dead-writer.npz"
+        old.write_bytes(b"orphan")
+        stale = time.time() - 7200
+        os.utime(old, (stale, stale))
+        fresh = tmp_path / ".tmp-live-writer.npz"
+        fresh.write_bytes(b"in flight")
+        FitCache(tmp_path)
+        assert not old.exists()
+        assert fresh.exists()
+
+    def test_missing_root_is_fine(self, tmp_path):
+        cache = FitCache(tmp_path / "nonexistent")
+        assert cache.hits == 0
+
+    def test_sweep_ignores_real_entries(self, tmp_path, split):
+        import os
+        import time
+
+        cache = FitCache(tmp_path)
+        cache.fit(_lda_factory(), split.train)
+        entries = list(tmp_path.glob("*.npz"))
+        assert entries
+        stale = time.time() - 7200
+        for entry in entries:
+            os.utime(entry, (stale, stale))
+        FitCache(tmp_path)
+        assert sorted(tmp_path.glob("*.npz")) == sorted(entries)

@@ -1,11 +1,21 @@
 """Tests for the parallel runtime: executor, seeds, observability merge."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import obs
 from repro.obs import metrics, trace
-from repro.runtime import ParallelMap, derive_seed, resolve_n_jobs
+from repro.runtime import (
+    Ok,
+    ParallelMap,
+    TaskError,
+    TaskFailedError,
+    derive_seed,
+    resolve_n_jobs,
+    run_with_retries,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -30,9 +40,40 @@ def _instrumented(x):
     return x
 
 
+def _boom(x):
+    if x == 2:
+        raise ValueError("boom on 2")
+    return x * 10
+
+
+def _flaky(payload):
+    """Fails its first attempt (per marker file), succeeds afterwards.
+
+    The marker lives on the filesystem, so the retry is observed whether
+    the attempts run inline or in different pool workers.
+    """
+    marker, value = payload
+    try:
+        os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+    except FileExistsError:
+        return value
+    raise RuntimeError("first attempt always fails")
+
+
+def _record_run(payload):
+    """Append one line per execution, so double-runs are detectable."""
+    with open(payload["log"], "a") as handle:
+        handle.write(f"{payload['value']}\n")
+    return payload["value"]
+
+
 class TestDeriveSeed:
     def test_stable(self):
         assert derive_seed(7, "fig1", 2, 200) == derive_seed(7, "fig1", 2, 200)
+
+    def test_int_and_string_keys_are_distinct(self):
+        assert derive_seed(7, 1) != derive_seed(7, "1")
+        assert derive_seed(7, "fig1", 2) != derive_seed(7, "fig1", "2")
 
     def test_sensitive_to_keys(self):
         assert derive_seed(7, "fig1", 1) != derive_seed(7, "fig1", 2)
@@ -115,3 +156,106 @@ class TestParallelMap:
     def test_serial_path_leaves_metrics_untouched(self):
         ParallelMap(1).map(_instrumented, range(3))
         assert metrics.snapshot()["counters"] == {}
+
+
+class TestRunWithRetries:
+    def test_success_first_attempt(self):
+        outcome = run_with_retries(lambda: 42)
+        assert outcome == Ok(42, attempts=1)
+
+    def test_failure_returns_task_error(self):
+        outcome = run_with_retries(lambda: 1 / 0, retries=2)
+        assert isinstance(outcome, TaskError)
+        assert outcome.attempts == 3
+        assert outcome.error_type == "ZeroDivisionError"
+        assert "ZeroDivisionError" in outcome.describe()
+
+    def test_recovers_within_retries(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        outcome = run_with_retries(lambda: _flaky((marker, 5)), retries=1)
+        assert outcome == Ok(5, attempts=2)
+
+    def test_counts_retry_and_failure_metrics(self):
+        metrics.enable()
+        run_with_retries(lambda: 1 / 0, retries=2)
+        counters = metrics.snapshot()["counters"]
+        assert counters["runtime.task_retry"] == 2
+        assert counters["runtime.task_failed"] == 1
+
+    def test_reraise_preserves_original_exception(self):
+        outcome = run_with_retries(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            outcome.reraise()
+
+    def test_reraise_without_live_exception(self):
+        error = TaskError(
+            message="gone", error_type="RuntimeError", traceback="", attempts=1
+        )
+        with pytest.raises(TaskFailedError):
+            error.reraise()
+
+
+class TestMapOutcomes:
+    def test_inline_isolates_failures(self):
+        outcomes = ParallelMap(1).map_outcomes(_boom, range(4))
+        assert [type(o) for o in outcomes] == [Ok, Ok, TaskError, Ok]
+        assert [o.value for o in outcomes if isinstance(o, Ok)] == [0, 10, 30]
+        assert outcomes[2].error_type == "ValueError"
+
+    def test_pool_isolates_failures(self):
+        outcomes = ParallelMap(2).map_outcomes(_boom, range(4))
+        assert [type(o) for o in outcomes] == [Ok, Ok, TaskError, Ok]
+        assert [o.value for o in outcomes if isinstance(o, Ok)] == [0, 10, 30]
+
+    def test_map_still_raises_first_failure(self):
+        with pytest.raises(ValueError, match="boom on 2"):
+            ParallelMap(1).map(_boom, range(4))
+        with pytest.raises(ValueError, match="boom on 2"):
+            ParallelMap(2).map(_boom, range(4))
+
+    def test_inline_retry_recovers(self, tmp_path):
+        payloads = [(str(tmp_path / f"m{i}"), i) for i in range(3)]
+        outcomes = ParallelMap(1, retries=1).map_outcomes(_flaky, payloads)
+        assert outcomes == [Ok(0, attempts=2), Ok(1, attempts=2), Ok(2, attempts=2)]
+
+    def test_pool_retry_recovers(self, tmp_path):
+        payloads = [(str(tmp_path / f"m{i}"), i) for i in range(4)]
+        outcomes = ParallelMap(2, retries=1).map_outcomes(_flaky, payloads)
+        assert all(isinstance(o, Ok) for o in outcomes)
+        assert [o.value for o in outcomes] == [0, 1, 2, 3]
+        assert all(o.attempts == 2 for o in outcomes)
+
+    def test_exhausted_retries_record_attempts(self):
+        outcomes = ParallelMap(1, retries=2).map_outcomes(_boom, [2])
+        assert isinstance(outcomes[0], TaskError)
+        assert outcomes[0].attempts == 3
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelMap(1, retries=-1)
+        with pytest.raises(ValueError):
+            ParallelMap(1, backoff=-0.1)
+        with pytest.raises(ValueError):
+            ParallelMap(1, task_timeout=0.0)
+
+
+class TestPreflightPickling:
+    def test_unpicklable_payload_never_double_executes(self, tmp_path):
+        """Regression: the pool must not run tasks before discovering an
+        unpicklable sibling and then re-run everything inline."""
+        log = str(tmp_path / "runs.log")
+        payloads = [{"log": log, "value": i} for i in range(3)]
+        payloads.append({"log": log, "value": 3, "obj": lambda: None})
+        results = ParallelMap(2).map(_record_run, payloads)
+        assert results == [0, 1, 2, 3]
+        lines = sorted(open(log).read().split())
+        assert lines == ["0", "1", "2", "3"]
+
+    def test_unpicklable_fn_never_double_executes(self, tmp_path):
+        log = str(tmp_path / "runs.log")
+        payloads = [{"log": log, "value": i} for i in range(3)]
+        results = ParallelMap(2).map(
+            lambda p: _record_run(p), payloads
+        )
+        assert results == [0, 1, 2]
+        assert sorted(open(log).read().split()) == ["0", "1", "2"]

@@ -1,0 +1,390 @@
+"""Load harness for the resilient serving layer (``repro.serve``).
+
+Replays seeded traffic mixes — clean installs, malformed payload bursts,
+oversized bodies, unknown vocabulary, bad identifiers — against a live
+``ThreadingHTTPServer`` instance, then layers on injected faults (a hanging
+model tier, a corrupted staged model, an overload burst) and asserts the
+service's core contract end to end:
+
+* **zero HTTP 5xx** on the serving endpoints, under every fault;
+* **zero uncaught exceptions** (the ``serve.errors`` counter stays 0);
+* every fault is **accounted for** — sheds match 429s, rejections match
+  4xx responses and quarantine entries, tier counters match successes;
+* a corrupted staged model is **rejected** while the previous model keeps
+  serving bit-identical recommendations;
+* readiness flips unready → ready across a hot-swap.
+
+Run directly (CI's serve-smoke job does)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --inject-faults \
+        --json serve-summary.json
+
+or under pytest along with the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.data.duns import DunsNumber
+from repro.runtime import faults
+from repro.serve import ServiceConfig, build_demo_service, start_server
+
+#: Sequence far beyond any synthetic corpus size: valid check digit,
+#: guaranteed absent from the similarity index.
+_UNKNOWN_DUNS = DunsNumber.from_sequence(99_999_990).value
+
+
+class _Client:
+    """Tiny urllib client that returns (status, body, headers) for any code."""
+
+    def __init__(self, base: str) -> None:
+        self.base = base
+
+    def _request(self, req: urllib.request.Request) -> tuple[int, dict, dict]:
+        try:
+            with urllib.request.urlopen(req, timeout=30.0) as resp:
+                return resp.status, json.loads(resp.read() or b"{}"), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                body = json.loads(raw or b"{}")
+            except ValueError:
+                body = {"raw": raw.decode("utf-8", "replace")}
+            return exc.code, body, dict(exc.headers)
+        except urllib.error.URLError as exc:
+            # A server that answers 413 without draining a huge body closes
+            # the connection mid-send; urllib surfaces that as a broken
+            # pipe.  Report it as status 0 so the ledger can distinguish a
+            # connection-level rejection from an HTTP status.
+            return 0, {"error": "connection", "detail": str(exc.reason)}, {}
+
+    def get(self, path: str) -> tuple[int, dict, dict]:
+        return self._request(urllib.request.Request(self.base + path, method="GET"))
+
+    def post(self, path: str, payload) -> tuple[int, dict, dict]:
+        data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+        return self._request(
+            urllib.request.Request(
+                self.base + path,
+                data=data,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        )
+
+
+class Ledger:
+    """Counts every request the harness sent and every status it got back."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.statuses: Counter[int] = Counter()
+        self.kinds: Counter[str] = Counter()
+        self.tiers: Counter[str] = Counter()
+        self.violations: list[str] = []
+
+    def record(self, kind: str, status: int, body: dict, expect: set[int]) -> None:
+        with self.lock:
+            self.kinds[kind] += 1
+            self.statuses[status] += 1
+            if isinstance(body, dict) and "tier" in body:
+                self.tiers[body["tier"]] += 1
+            if status not in expect:
+                self.violations.append(
+                    f"{kind}: got {status}, expected one of {sorted(expect)}: {body}"
+                )
+
+
+def _traffic(rng, vocabulary: list[str], known_duns: str, max_history: int):
+    """One seeded request: (kind, path, payload, expected statuses)."""
+    kind = rng.choice(
+        ["valid"] * 6
+        + ["oov", "badtype", "oversized", "bad_json", "bad_duns", "huge_k", "unknown_company"]
+    )
+    if kind == "valid":
+        history = rng.sample(vocabulary, rng.randint(1, min(6, len(vocabulary))))
+        payload = {"history": history, "top_n": rng.randint(1, 10)}
+        return kind, "/recommend", payload, {200}
+    if kind == "oov":
+        payload = {"history": [vocabulary[0], "not-a-real-category"]}
+        return kind, "/recommend", payload, {422}
+    if kind == "badtype":
+        payload = rng.choice([{"history": "not-a-list"}, {"top_n": 3}, [1, 2, 3]])
+        return kind, "/recommend", payload, {422}
+    if kind == "oversized":
+        history = [vocabulary[i % len(vocabulary)] for i in range(max_history + 5)]
+        return kind, "/recommend", {"history": history}, {413}
+    if kind == "bad_json":
+        return kind, "/recommend", b'{"history": [unterminated', {400}
+    if kind == "bad_duns":
+        return kind, "/similar", {"duns": "12345", "k": 3}, {422}
+    if kind == "huge_k":
+        return kind, "/similar", {"duns": known_duns, "k": 10_000}, {200}
+    return kind, "/similar", {"duns": _UNKNOWN_DUNS, "k": 3}, {404}
+
+
+def run_harness(
+    *,
+    companies: int = 200,
+    seed: int = 7,
+    requests: int = 60,
+    inject: bool = True,
+    json_path: str | None = None,
+) -> dict:
+    """Drive the full fault matrix against a live service; returns the summary."""
+    rng = random.Random(seed)
+    config = ServiceConfig(
+        max_inflight=4,
+        default_deadline_ms=250.0,
+        breaker_failure_threshold=3,
+        breaker_recovery_s=0.5,
+    )
+    service = build_demo_service(companies, seed=seed, config=config)
+    server, _thread = start_server(service)
+    host, port = server.server_address[:2]
+    client = _Client(f"http://{host}:{port}")
+    ledger = Ledger()
+    vocabulary = list(service.corpus.vocabulary)
+    known_duns = service.corpus.companies[0].duns.value
+    saved_env = os.environ.get("REPRO_FAULTS")
+    summary: dict = {"phases": {}}
+
+    def fire(kind, path, payload, expect):
+        status, body, _headers = client.post(path, payload)
+        ledger.record(kind, status, body, expect)
+        return status, body
+
+    try:
+        # ---- phase 1: seeded clean + malformed traffic mix ----------------
+        for _ in range(requests):
+            fire(*_traffic(rng, vocabulary, known_duns, config.max_history))
+        status, body, _ = client.get("/healthz")
+        ledger.record("healthz", status, body, {200})
+        summary["phases"]["mixed_traffic"] = {"requests": requests}
+
+        # ---- phase 2: transport-level oversized body ----------------------
+        # The handler answers 413 without reading the 2 MiB body and closes
+        # the connection; depending on socket buffering the client sees the
+        # 413 or a connection reset (status 0) — both are rejections.
+        status, body, _ = client.post("/recommend", b" " * (2 << 20))
+        ledger.record("huge_body", status, body, {413, 0})
+
+        # ---- phase 3: hanging model tier under deadline -------------------
+        if inject:
+            os.environ["REPRO_FAULTS"] = "hang:serve/score/lda:seconds=1.0"
+            faults.reset_firing_counts()
+            hang_tiers: Counter[str] = Counter()
+            for _ in range(6):
+                status, body = fire(
+                    "hang_lda",
+                    "/recommend",
+                    {"history": [vocabulary[0]], "deadline_ms": 120},
+                    {200},
+                )
+                if status == 200:
+                    hang_tiers[body["tier"]] += 1
+                    assert body["degraded"], body
+            os.environ.pop("REPRO_FAULTS", None)
+            breaker_opened = (
+                service.metrics_snapshot()["counters"].get("serve.breaker.lda.open", 0) >= 1
+            )
+            # Breaker recovery: after the window passes, a half-open probe
+            # succeeds (fault cleared) and the ladder answers from LDA again.
+            time.sleep(config.breaker_recovery_s + 0.1)
+            recovered = False
+            for _ in range(4):
+                status, body = fire(
+                    "recovery", "/recommend", {"history": [vocabulary[0]]}, {200}
+                )
+                if status == 200 and body["tier"] == "lda":
+                    recovered = True
+                    break
+            summary["phases"]["hang_fault"] = {
+                "answering_tiers": dict(hang_tiers),
+                "breaker_opened": breaker_opened,
+                "recovered_to_lda": recovered,
+            }
+            assert breaker_opened, "lda breaker never opened under the hang fault"
+            assert recovered, "ladder never recovered to the lda tier"
+            assert "lda" not in hang_tiers, hang_tiers
+
+        # ---- phase 4: overload burst → load shedding ----------------------
+        if inject:
+            os.environ["REPRO_FAULTS"] = "hang:serve/score/lda:seconds=0.3"
+            faults.reset_firing_counts()
+        burst = 24
+        with ThreadPoolExecutor(max_workers=burst) as pool:
+            futures = [
+                pool.submit(
+                    fire,
+                    "burst",
+                    "/recommend",
+                    {"history": [vocabulary[i % len(vocabulary)]], "deadline_ms": 400},
+                    {200, 429},
+                )
+                for i in range(burst)
+            ]
+            burst_statuses = Counter(f.result()[0] for f in futures)
+        os.environ.pop("REPRO_FAULTS", None)
+        summary["phases"]["overload_burst"] = {
+            "requests": burst,
+            "statuses": {str(k): v for k, v in burst_statuses.items()},
+        }
+        if inject:
+            assert burst_statuses.get(429, 0) >= 1, (
+                f"no load shedding in a {burst}-wide burst: {burst_statuses}"
+            )
+
+        # ---- phase 5: hot-swap — corrupt rejected, clean promoted ---------
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+            probe = {"history": [vocabulary[0], vocabulary[1]], "top_n": 5}
+            _, before = fire("probe", "/recommend", probe, {200})
+
+            corrupt_path = Path(tmp) / "staged-lda.npz"
+            service.registry.model("lda").save(corrupt_path)
+            if inject:
+                os.environ["REPRO_FAULTS"] = "corrupt:serve/stage"
+                faults.reset_firing_counts()
+                faults.corrupt_artifact(corrupt_path, "serve/stage")
+                os.environ.pop("REPRO_FAULTS", None)
+            else:
+                corrupt_path.write_bytes(b"\x00not a model\x00")
+            status, body = fire(
+                "hotswap_corrupt",
+                "/admin/hotswap",
+                {"name": "lda", "path": str(corrupt_path)},
+                {409},
+            )
+            assert body.get("status") == "rejected", body
+
+            _, after = fire("probe", "/recommend", probe, {200})
+            bit_identical = (
+                before["recommendations"] == after["recommendations"]
+                and before["model_versions"] == after["model_versions"]
+            )
+            assert bit_identical, (before, after)
+
+            good_path = Path(tmp) / "good-lda.npz"
+            service.registry.model("lda").save(good_path)
+
+            # Readiness must flip ready → unready → ready across the
+            # promotion; a hang on the swap site widens the window so the
+            # poller reliably samples the unready phase.
+            status, ready_before, _ = client.get("/readyz")
+            ledger.record("readyz_before", status, ready_before, {200})
+            ready_codes: list[int] = []
+            stop = threading.Event()
+
+            def poll_ready() -> None:
+                while not stop.is_set():
+                    ready_codes.append(client.get("/readyz")[0])
+                    time.sleep(0.02)
+
+            poller = threading.Thread(target=poll_ready, daemon=True)
+            if inject:
+                os.environ["REPRO_FAULTS"] = "hang:serve/swap/lda:seconds=0.4"
+                faults.reset_firing_counts()
+            poller.start()
+            status, body = fire(
+                "hotswap_good",
+                "/admin/hotswap",
+                {"name": "lda", "path": str(good_path)},
+                {200},
+            )
+            os.environ.pop("REPRO_FAULTS", None)
+            stop.set()
+            poller.join(timeout=2.0)
+            assert body.get("status") == "promoted", body
+            status, ready_body, _ = client.get("/readyz")
+            ledger.record("readyz", status, ready_body, {200})
+            summary["phases"]["hotswap"] = {
+                "corrupt_rejected": True,
+                "bit_identical_after_rejection": bit_identical,
+                "promoted_version": body.get("version"),
+                "readiness_codes_during_swap": sorted(set(ready_codes)),
+                "ready_after": ready_body.get("ready"),
+            }
+            if inject:
+                assert 503 in ready_codes, "readiness never dropped during the swap"
+            assert ready_before.get("ready") is True and ready_body.get("ready") is True
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_FAULTS", None)
+        else:
+            os.environ["REPRO_FAULTS"] = saved_env
+        server.shutdown()
+        server.server_close()
+
+    # ---- accounting: every fault shows up in exactly one counter ----------
+    counters = service.metrics_snapshot()["counters"]
+    assert not ledger.violations, "\n".join(ledger.violations)
+    server_errors = [s for s in ledger.statuses if s >= 500 and s != 503]
+    assert not server_errors, f"5xx observed: {dict(ledger.statuses)}"
+    assert counters.get("serve.errors", 0) == 0, counters
+    assert counters.get("serve.shed", 0) == ledger.statuses.get(429, 0), counters
+    # Transport-level 413s (huge_body) never reach admission; every other
+    # 4xx on the serving endpoints is an admission rejection + quarantine.
+    rejected_kinds = ("oov", "badtype", "oversized", "bad_json", "bad_duns", "unknown_company")
+    rejected_4xx = sum(ledger.kinds.get(kind, 0) for kind in rejected_kinds)
+    assert counters.get("serve.rejected", 0) == rejected_4xx, (counters, ledger.kinds)
+    quarantined = service.quarantine.total
+    assert quarantined == rejected_4xx, (quarantined, rejected_4xx)
+    tier_total = sum(v for k, v in counters.items() if k.startswith("serve.tier."))
+    assert tier_total == sum(ledger.tiers.values()), (counters, ledger.tiers)
+
+    summary["statuses"] = {str(k): v for k, v in sorted(ledger.statuses.items())}
+    summary["request_kinds"] = dict(ledger.kinds)
+    summary["fallback_tiers"] = dict(ledger.tiers)
+    summary["counters"] = {k: v for k, v in sorted(counters.items())}
+    summary["quarantined"] = quarantined
+    summary["server_5xx"] = 0
+    if json_path:
+        Path(json_path).write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    return summary
+
+
+def test_serve_load_harness():
+    """Pytest entry point: the full harness at smoke scale."""
+    summary = run_harness(companies=150, requests=30, inject=True)
+    assert summary["server_5xx"] == 0
+    assert summary["phases"]["hotswap"]["bit_identical_after_rejection"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--companies", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--requests", type=int, default=60, help="mixed-traffic phase size")
+    parser.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="arm the hang / corrupt-model / swap-stall fault phases",
+    )
+    parser.add_argument("--json", metavar="PATH", default=None, help="write the summary here")
+    args = parser.parse_args(argv)
+    summary = run_harness(
+        companies=args.companies,
+        seed=args.seed,
+        requests=args.requests,
+        inject=args.inject_faults,
+        json_path=args.json,
+    )
+    print(json.dumps(summary, indent=2))
+    print("\nserve load harness: all contracts held (0 uncaught, 0 server 5xx)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ an audit trail of every check.
 from __future__ import annotations
 
 import datetime as dt
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,14 +65,23 @@ class DriftReport:
     perplexity_ratio: float
     js_divergence: float
     drifted: bool
+    #: True when the batch perplexity came back NaN/inf — a degenerate
+    #: batch counts as fit degradation instead of silently never flagging.
+    degenerate: bool = False
 
     def reasons(self) -> list[str]:
         """Human-readable explanation of why (or why not) the flag fired."""
         notes = []
-        notes.append(
-            f"perplexity {self.perplexity:.2f} vs reference "
-            f"{self.reference_perplexity:.2f} (ratio {self.perplexity_ratio:.2f})"
-        )
+        if self.degenerate:
+            notes.append(
+                f"non-finite batch perplexity {self.perplexity} — degenerate "
+                "batch treated as fit degradation"
+            )
+        else:
+            notes.append(
+                f"perplexity {self.perplexity:.2f} vs reference "
+                f"{self.reference_perplexity:.2f} (ratio {self.perplexity_ratio:.2f})"
+            )
         notes.append(f"product-frequency JS divergence {self.js_divergence:.4f}")
         notes.append("drift detected" if self.drifted else "no drift")
         return notes
@@ -113,6 +123,11 @@ class DriftMonitor:
             divergence_threshold, "divergence_threshold"
         )
         self._reference_perplexity = model.perplexity(reference)
+        if not math.isfinite(self._reference_perplexity):
+            raise ValueError(
+                f"model perplexity on the reference slice is non-finite "
+                f"({self._reference_perplexity}); the monitor needs a sound baseline"
+            )
         counts = reference.binary_matrix().sum(axis=0)
         self._reference_frequency = counts / counts.sum()
         self.history: list[DriftReport] = []
@@ -129,7 +144,11 @@ class DriftMonitor:
         if batch.n_products != len(self._reference_frequency):
             raise ValueError("batch vocabulary does not match the reference")
         perplexity = self.model.perplexity(batch)
-        ratio = perplexity / self._reference_perplexity
+        degenerate = not math.isfinite(perplexity)
+        # A NaN batch perplexity would otherwise poison the ratio (NaN
+        # compares False against any threshold) and the monitor would
+        # silently never trigger; flag it explicitly instead.
+        ratio = float("inf") if degenerate else perplexity / self._reference_perplexity
         counts = batch.binary_matrix().sum(axis=0)
         divergence = jensen_shannon_divergence(self._reference_frequency, counts)
         report = DriftReport(
@@ -140,9 +159,11 @@ class DriftMonitor:
             perplexity_ratio=ratio,
             js_divergence=divergence,
             drifted=(
-                ratio > self.perplexity_tolerance
+                degenerate
+                or ratio > self.perplexity_tolerance
                 or divergence > self.divergence_threshold
             ),
+            degenerate=degenerate,
         )
         self.history.append(report)
         return report

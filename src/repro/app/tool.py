@@ -20,6 +20,7 @@ from repro.analysis.similarity import top_k_similar
 from repro.app.filters import FirmographicFilter
 from repro.data.corpus import Corpus
 from repro.data.internal import InternalSalesDatabase
+from repro.obs.logging import get_logger
 
 __all__ = ["SimilarCompany", "SalesRecommendation", "SalesRecommendationTool"]
 
@@ -97,11 +98,18 @@ class SalesRecommendationTool:
         k: int = 10,
         filters: FirmographicFilter | None = None,
     ) -> list[SimilarCompany]:
-        """Top-k companies most similar to ``duns`` passing the filters."""
+        """Top-k companies most similar to ``duns`` passing the filters.
+
+        Asking for more companies than the (possibly filtered) candidate
+        pool contains clamps ``k`` to the pool size with a logged warning
+        instead of erroring — a small pool after firmographic filtering
+        still yields recommendations.
+        """
         check_positive_int(k, "k")
         query = self.company_index(duns)
         if filters is None:
             mask = None
+            available = self.corpus.n_companies - 1
         else:
             mask = np.array(
                 [
@@ -110,6 +118,18 @@ class SalesRecommendationTool:
                 ],
                 dtype=bool,
             )
+            available = int(mask.sum()) - int(mask[query])
+        if k > available:
+            get_logger("app.tool").warning(
+                "similar_companies k=%d exceeds the %d candidate companies "
+                "for %s; clamping",
+                k,
+                available,
+                duns,
+            )
+            if available == 0:
+                return []
+            k = available
         hits = top_k_similar(self.features, query, k, candidate_mask=mask)
         return [
             SimilarCompany(

@@ -12,6 +12,7 @@ Every paper artifact can be regenerated from the console::
     repro sequentiality
     repro cocluster
     repro sales-demo
+    repro serve --companies 300 --port 8151
 
 All commands accept ``--companies`` and ``--seed`` to control the synthetic
 universe, plus the observability flags ``--log-level``, ``--log-json PATH``,
@@ -248,6 +249,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rank.add_argument("--k", type=int, default=5)
 
+    serve = sub.add_parser(
+        "serve",
+        help="Section 6 tool as a resilient HTTP service",
+        parents=[shared],
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8151, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        metavar="N",
+        help="concurrent requests admitted before shedding with 429",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="default per-request deadline budget",
+    )
+    serve.add_argument(
+        "--quarantine",
+        metavar="PATH",
+        default=None,
+        help="append rejected payloads to PATH as JSON lines",
+    )
+
     sub.add_parser(
         "representations", help="Extension: representation families", parents=[shared]
     )
@@ -453,6 +484,34 @@ def _cmd_ranking(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.serve import ServiceConfig, ServiceHTTPServer, build_demo_service
+
+    config = ServiceConfig(
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+        quarantine_path=args.quarantine,
+    )
+    service = build_demo_service(args.companies, seed=args.seed, config=config)
+    server = ServiceHTTPServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
+    print("endpoints: GET /healthz /readyz /metrics; "
+          "POST /recommend /similar /admin/hotswap")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    snapshot = service.metrics_snapshot()
+    counters = {k: v for k, v in sorted(snapshot["counters"].items())}
+    print("\nfinal counters:")
+    for name, value in counters.items():
+        print(f"  {name}: {value}")
+
+
 def _cmd_representations(args: argparse.Namespace) -> None:
     from repro.experiments import run_representation_families
 
@@ -476,6 +535,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "cocluster": _cmd_cocluster,
     "sales-demo": _cmd_sales_demo,
     "ranking": _cmd_ranking,
+    "serve": _cmd_serve,
     "representations": _cmd_representations,
 }
 

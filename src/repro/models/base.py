@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import abc
 import json
+import zipfile
 from pathlib import Path
 from typing import Any
 
@@ -53,8 +54,16 @@ class GenerativeModel(InstrumentedModel, abc.ABC):
     #: Short display name used in benchmark tables.
     name: str = "model"
 
+    #: Concrete subclasses by class name, populated automatically; the
+    #: dispatch table of :meth:`load_any`.
+    _registry: dict[str, type["GenerativeModel"]] = {}
+
     def __init__(self) -> None:
         self._vocab_size: int | None = None
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        GenerativeModel._registry[cls.__name__] = cls
 
     # ------------------------------------------------------------------
     # Core contract
@@ -131,8 +140,15 @@ class GenerativeModel(InstrumentedModel, abc.ABC):
         if self._vocab_size is None:
             raise NotFittedError(f"{type(self).__name__} must be fitted first")
 
-    def _check_history(self, history: list[int]) -> list[int]:
-        """Validate a recommender history against the fitted vocabulary."""
+    def validate_history(self, history: list[int]) -> list[int]:
+        """Validate a recommender history against the fitted vocabulary.
+
+        Returns the history as plain ``int`` tokens.  Non-integer entries
+        raise :class:`TypeError`; out-of-range tokens raise a
+        :class:`ValueError` naming the vocabulary size — callers holding
+        user-supplied histories (the serving layer, the recommender) get a
+        clear rejection instead of an ``IndexError`` deep in numpy.
+        """
         self._check_fitted()
         assert self._vocab_size is not None
         clean: list[int] = []
@@ -145,6 +161,10 @@ class GenerativeModel(InstrumentedModel, abc.ABC):
                 )
             clean.append(int(token))
         return clean
+
+    def _check_history(self, history: list[int]) -> list[int]:
+        """Internal alias of :meth:`validate_history` used by subclasses."""
+        return self.validate_history(history)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -208,3 +228,27 @@ class GenerativeModel(InstrumentedModel, abc.ABC):
         GenerativeModel.__init__(model)
         model._set_state(state)
         return model
+
+    @staticmethod
+    def load_any(path: str | Path) -> "GenerativeModel":
+        """Load a saved model, dispatching on the class recorded in the file.
+
+        The serving layer's hot-swap endpoint receives bare artifact paths;
+        this reads the ``__meta__`` class name and delegates to the matching
+        concrete subclass's :meth:`load`.  Unknown classes and unreadable
+        or corrupted files raise :class:`ValueError`.
+        """
+        storage = GenerativeModel._storage_path(path)
+        try:
+            with np.load(storage, allow_pickle=False) as bundle:
+                meta = json.loads(str(bundle["__meta__"]))
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise ValueError(f"cannot read model file {storage}: {exc}") from exc
+        class_name = str(meta.get("class", ""))
+        target = GenerativeModel._registry.get(class_name)
+        if target is None:
+            raise ValueError(
+                f"file contains unknown model class {class_name!r}; known: "
+                f"{sorted(GenerativeModel._registry)}"
+            )
+        return target.load(storage)

@@ -30,8 +30,40 @@ class ThresholdRecommender:
         self.threshold = check_probability(threshold, "threshold")
 
     def scores(self, history: list[int]) -> np.ndarray:
-        """Raw conditional product probabilities for a company history."""
-        return self.model.next_product_proba(history)
+        """Raw conditional product probabilities for a company history.
+
+        The history is validated against the model vocabulary up front, so
+        out-of-range token ids raise a clear :class:`ValueError` here
+        rather than an ``IndexError`` inside a numpy kernel.
+        """
+        return self.model.next_product_proba(self.model.validate_history(history))
+
+    def _owned_mask(self, history: list[int], size: int) -> np.ndarray:
+        """Boolean mask of the products the company already owns."""
+        owned = np.zeros(size, dtype=bool)
+        if history:
+            owned[np.asarray(history, dtype=np.intp)] = True
+        return owned
+
+    def recommend_scored(
+        self, history: list[int], *, threshold: float | None = None
+    ) -> list[tuple[int, float]]:
+        """``(token, score)`` pairs above the threshold, excluding owned.
+
+        Sorted by descending score, ties broken by ascending token id.
+        """
+        phi = self.threshold if threshold is None else check_probability(threshold, "threshold")
+        clean = self.model.validate_history(history)
+        scores = self.model.next_product_proba(clean)
+        eligible = (scores >= phi) & ~self._owned_mask(clean, len(scores))
+        candidates = np.flatnonzero(eligible)
+        if len(candidates) == 0:
+            return []
+        # Stable argsort of the negated scores keeps ascending-token order
+        # within each tied score group.
+        order = np.argsort(-scores[candidates], kind="stable")
+        ranked = candidates[order]
+        return [(int(t), float(scores[t])) for t in ranked]
 
     def recommend(
         self, history: list[int], *, threshold: float | None = None
@@ -40,23 +72,14 @@ class ThresholdRecommender:
 
         Returns token ids sorted by descending score.
         """
-        phi = self.threshold if threshold is None else check_probability(threshold, "threshold")
-        scores = self.scores(history)
-        owned = set(history)
-        candidates = [
-            (float(scores[token]), token)
-            for token in range(len(scores))
-            if token not in owned and scores[token] >= phi
-        ]
-        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
-        return [token for __, token in candidates]
+        return [token for token, __ in self.recommend_scored(history, threshold=threshold)]
 
     def top_k(self, history: list[int], k: int) -> list[int]:
         """The k highest-scoring unowned products regardless of threshold."""
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        scores = self.scores(history)
-        owned = set(history)
-        order = np.argsort(-scores, kind="stable")
-        result = [int(t) for t in order if int(t) not in owned]
-        return result[:k]
+        clean = self.model.validate_history(history)
+        scores = self.model.next_product_proba(clean)
+        candidates = np.flatnonzero(~self._owned_mask(clean, len(scores)))
+        order = np.argsort(-scores[candidates], kind="stable")
+        return [int(t) for t in candidates[order][:k]]

@@ -48,6 +48,7 @@ __all__ = [
     "corrupt_artifact",
     "inject",
     "parse_faults",
+    "reset_firing_counts",
 ]
 
 _MODES = ("crash", "segfault", "hang", "corrupt")
@@ -127,6 +128,18 @@ def active_faults() -> tuple[FaultSpec, ...]:
     if text != _parsed[0]:
         _parsed = (text, parse_faults(text))
     return _parsed[1]
+
+
+def reset_firing_counts() -> None:
+    """Re-arm every ``times=N`` spec counted per-process.
+
+    Long-lived processes (the serving layer, its tests and the load
+    harness) inject the same spec in separate phases of one run; resetting
+    the per-process counters between phases lets a consumed spec fire
+    again.  Cross-process counts under ``REPRO_FAULTS_STATE`` are marker
+    files — remove the directory to reset those.
+    """
+    _local_counts.clear()
 
 
 def _claim_firing(spec: FaultSpec) -> bool:

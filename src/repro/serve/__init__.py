@@ -1,0 +1,49 @@
+"""Resilient online serving layer for the Section 6 recommendation tool.
+
+The paper ships a *deployed* sales tool; this package is the harness that
+makes the reproduction's pipeline survive deployment conditions — dirty
+payloads, slow or broken models, mid-flight model refreshes, overload —
+while never answering a degradable failure with a 5xx:
+
+* :mod:`repro.serve.admission` — schema/vocabulary validation + quarantine;
+* :mod:`repro.serve.breaker` — per-tier circuit breakers (injectable clock);
+* :mod:`repro.serve.ladder` — LDA → n-gram → popularity degradation ladder
+  under per-request deadline budgets;
+* :mod:`repro.serve.registry` — DriftMonitor-gated, atomic model hot-swap;
+* :mod:`repro.serve.service` — the transport-agnostic request core;
+* :mod:`repro.serve.http` — stdlib ``ThreadingHTTPServer`` transport;
+* :mod:`repro.serve.bootstrap` — the standard demo stack builder.
+"""
+
+from __future__ import annotations
+
+from repro.serve.admission import AdmissionError, AdmissionPolicy, QuarantineLog, ValidatedRequest
+from repro.serve.bootstrap import build_demo_service
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.http import ServiceHTTPServer, start_server
+from repro.serve.ladder import DegradationLadder, LadderResult, Tier, TierOutcome
+from repro.serve.registry import ModelRegistry, SwapReport
+from repro.serve.service import RecommendationService, ServiceConfig, ServiceResponse
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionPolicy",
+    "QuarantineLog",
+    "ValidatedRequest",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "DegradationLadder",
+    "LadderResult",
+    "Tier",
+    "TierOutcome",
+    "ModelRegistry",
+    "SwapReport",
+    "RecommendationService",
+    "ServiceConfig",
+    "ServiceResponse",
+    "ServiceHTTPServer",
+    "start_server",
+    "build_demo_service",
+]

@@ -1,0 +1,276 @@
+"""Admission control: validate every payload before it can reach a model.
+
+Company-recommendation inputs arrive dirty — unknown product categories,
+malformed D-U-N-S identifiers, absurdly long install-base histories — and
+the service's contract is that *no* unvalidated value ever reaches a model.
+:class:`AdmissionPolicy` normalises a raw request payload into a
+:class:`ValidatedRequest` whose history tokens are guaranteed to lie inside
+the serving vocabulary, or raises :class:`AdmissionError` with an HTTP
+status and machine-readable reason.  Rejected payloads are recorded in the
+:class:`QuarantineLog` for offline inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.data.duns import is_valid_duns
+
+__all__ = ["AdmissionError", "ValidatedRequest", "AdmissionPolicy", "QuarantineLog"]
+
+
+class AdmissionError(Exception):
+    """A rejected payload: carries the HTTP status and a reason code.
+
+    ``status`` is always a 4xx — admission failures are the caller's
+    fault and must never surface as a 5xx.
+    """
+
+    def __init__(self, status: int, reason: str, detail: str) -> None:
+        if not 400 <= status < 500:
+            raise ValueError(f"admission failures must map to 4xx, got {status}")
+        super().__init__(detail)
+        self.status = status
+        self.reason = reason
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class ValidatedRequest:
+    """A recommendation request that passed admission.
+
+    ``history`` tokens are ints in ``[0, vocab_size)``; nothing outside
+    the vocabulary survives validation.
+    """
+
+    history: tuple[int, ...]
+    top_n: int
+    threshold: float | None
+    deadline_s: float
+    duns: str | None = None
+    raw_fields: tuple[str, ...] = field(default=())
+
+
+class QuarantineLog:
+    """Ring buffer (plus optional JSONL file) of rejected payloads.
+
+    Every rejection is kept in memory (up to ``capacity`` entries, oldest
+    dropped) and, when ``path`` is given, appended as one JSON document per
+    line so operators can replay or inspect bad traffic offline.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        capacity: int = 256,
+        max_payload_chars: int = 2048,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.path = Path(path) if path is not None else None
+        self.max_payload_chars = max_payload_chars
+        self._clock = clock
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def record(self, reason: str, detail: str, payload: Any) -> None:
+        """Quarantine one rejected payload."""
+        try:
+            rendered = json.dumps(payload, default=repr)
+        except (TypeError, ValueError):
+            rendered = repr(payload)
+        entry = {
+            "ts": round(self._clock(), 6),
+            "reason": reason,
+            "detail": detail,
+            "payload": rendered[: self.max_payload_chars],
+        }
+        with self._lock:
+            self._entries.append(entry)
+            self._total += 1
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    @property
+    def total(self) -> int:
+        """Rejections recorded over the log's lifetime."""
+        with self._lock:
+            return self._total
+
+    def entries(self) -> list[dict[str, Any]]:
+        """The retained (most recent) quarantined entries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+
+class AdmissionPolicy:
+    """Schema + vocabulary validation of recommendation payloads.
+
+    Parameters
+    ----------
+    vocabulary:
+        Category names in token order — the only values a history may
+        contain (entries may also be integer token ids in range).
+    max_history:
+        Histories longer than this are rejected with 413.
+    default_top_n / max_top_n:
+        Bounds on the ``top_n`` request field.
+    default_deadline_s / max_deadline_s:
+        Bounds on the per-request deadline budget.
+    """
+
+    def __init__(
+        self,
+        vocabulary: tuple[str, ...],
+        *,
+        max_history: int = 64,
+        default_top_n: int = 5,
+        max_top_n: int = 50,
+        default_deadline_s: float = 0.25,
+        max_deadline_s: float = 5.0,
+    ) -> None:
+        if not vocabulary:
+            raise ValueError("vocabulary must be non-empty")
+        self.vocabulary = tuple(vocabulary)
+        self._token = {name: i for i, name in enumerate(self.vocabulary)}
+        self.max_history = max_history
+        self.default_top_n = default_top_n
+        self.max_top_n = max_top_n
+        self.default_deadline_s = default_deadline_s
+        self.max_deadline_s = max_deadline_s
+
+    # ------------------------------------------------------------------
+    # Field helpers
+    # ------------------------------------------------------------------
+    def _require_mapping(self, payload: Any) -> dict[str, Any]:
+        if not isinstance(payload, dict):
+            raise AdmissionError(
+                400, "malformed", f"payload must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+    def _token_of(self, entry: Any, position: int) -> int:
+        if isinstance(entry, str):
+            token = self._token.get(entry)
+            if token is None:
+                raise AdmissionError(
+                    422,
+                    "vocabulary",
+                    f"history[{position}] category {entry!r} is not in the "
+                    f"serving vocabulary of {len(self.vocabulary)} products",
+                )
+            return token
+        if isinstance(entry, bool) or not isinstance(entry, int):
+            raise AdmissionError(
+                422,
+                "schema",
+                f"history[{position}] must be a category name or token id, "
+                f"got {type(entry).__name__}",
+            )
+        if not 0 <= entry < len(self.vocabulary):
+            raise AdmissionError(
+                422,
+                "vocabulary",
+                f"history[{position}] token {entry} outside vocabulary of "
+                f"size {len(self.vocabulary)}",
+            )
+        return entry
+
+    def _deadline_of(self, payload: dict[str, Any]) -> float:
+        raw = payload.get("deadline_ms")
+        if raw is None:
+            return self.default_deadline_s
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise AdmissionError(422, "schema", "deadline_ms must be a number")
+        deadline_s = float(raw) / 1000.0
+        if not deadline_s > 0:
+            raise AdmissionError(422, "schema", "deadline_ms must be positive")
+        return min(deadline_s, self.max_deadline_s)
+
+    def _top_n_of(self, payload: dict[str, Any]) -> int:
+        raw = payload.get("top_n")
+        if raw is None:
+            return self.default_top_n
+        if isinstance(raw, bool) or not isinstance(raw, int):
+            raise AdmissionError(422, "schema", "top_n must be an integer")
+        if not 1 <= raw <= self.max_top_n:
+            raise AdmissionError(
+                422, "schema", f"top_n must be in [1, {self.max_top_n}], got {raw}"
+            )
+        return raw
+
+    def _threshold_of(self, payload: dict[str, Any]) -> float | None:
+        raw = payload.get("threshold")
+        if raw is None:
+            return None
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise AdmissionError(422, "schema", "threshold must be a number")
+        if not 0.0 <= float(raw) <= 1.0:
+            raise AdmissionError(422, "schema", f"threshold must be in [0, 1], got {raw}")
+        return float(raw)
+
+    def _duns_of(self, payload: dict[str, Any], *, required: bool) -> str | None:
+        raw = payload.get("duns")
+        if raw is None:
+            if required:
+                raise AdmissionError(422, "schema", "payload requires a 'duns' field")
+            return None
+        if not isinstance(raw, str):
+            raise AdmissionError(422, "schema", "duns must be a string")
+        if not is_valid_duns(raw):
+            raise AdmissionError(
+                422,
+                "duns",
+                f"duns {raw!r} is not a valid 9-digit identifier with check digit",
+            )
+        return raw
+
+    # ------------------------------------------------------------------
+    # Endpoint validators
+    # ------------------------------------------------------------------
+    def validate_recommend(self, payload: Any) -> ValidatedRequest:
+        """Validate a ``/recommend`` payload into a model-safe request."""
+        fields = self._require_mapping(payload)
+        history_raw = fields.get("history")
+        if not isinstance(history_raw, list):
+            raise AdmissionError(
+                422, "schema", "payload requires a 'history' list of owned products"
+            )
+        if len(history_raw) > self.max_history:
+            raise AdmissionError(
+                413,
+                "oversized",
+                f"history of {len(history_raw)} products exceeds the limit of "
+                f"{self.max_history}",
+            )
+        history = tuple(
+            self._token_of(entry, position) for position, entry in enumerate(history_raw)
+        )
+        return ValidatedRequest(
+            history=history,
+            top_n=self._top_n_of(fields),
+            threshold=self._threshold_of(fields),
+            deadline_s=self._deadline_of(fields),
+            duns=self._duns_of(fields, required=False),
+            raw_fields=tuple(sorted(fields)),
+        )
+
+    def validate_similar(self, payload: Any) -> tuple[str, int]:
+        """Validate a ``/similar`` payload into ``(duns, k)``."""
+        fields = self._require_mapping(payload)
+        duns = self._duns_of(fields, required=True)
+        assert duns is not None
+        raw_k = fields.get("k", 10)
+        if isinstance(raw_k, bool) or not isinstance(raw_k, int) or raw_k < 1:
+            raise AdmissionError(422, "schema", f"k must be a positive integer, got {raw_k!r}")
+        return duns, raw_k

@@ -1,0 +1,79 @@
+"""Assemble a full serving stack from a synthetic universe.
+
+The CLI's ``repro serve``, the load harness and the tests all need the
+same thing: a corpus, fitted models for every ladder tier, a reference
+slice for swap validation, the internal sales database, and a
+:class:`~repro.serve.service.RecommendationService` wired through a
+:class:`~repro.serve.registry.ModelRegistry`.  This module is that one
+recipe, deterministic in ``(n_companies, seed)``.
+"""
+
+from __future__ import annotations
+
+from repro.app.tool import SalesRecommendationTool
+from repro.data.internal import InternalSalesDatabase
+from repro.experiments.common import make_experiment_data
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.ngram import NGramModel
+from repro.obs.logging import get_logger
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import RecommendationService, ServiceConfig
+
+__all__ = ["build_demo_service"]
+
+
+def build_demo_service(
+    n_companies: int = 300,
+    *,
+    seed: int = 7,
+    config: ServiceConfig | None = None,
+    lda_topics: int = 3,
+    lda_iterations: int = 60,
+    with_tool: bool = True,
+) -> RecommendationService:
+    """Build the standard LDA → n-gram → popularity serving stack.
+
+    Models are fitted on the train split; the validation split is the
+    registry's reference slice for hot-swap gating.  Deterministic in
+    ``(n_companies, seed)``.
+    """
+    config = config or ServiceConfig()
+    log = get_logger("serve.bootstrap")
+    data = make_experiment_data(n_companies, seed=seed)
+    train = data.split.train
+    reference = data.split.validation
+
+    lda = LatentDirichletAllocation(
+        n_topics=lda_topics, inference="variational", n_iter=lda_iterations, seed=0
+    ).fit(train)
+    ngram = NGramModel(order=2).fit(train)
+
+    registry = ModelRegistry(
+        reference,
+        perplexity_tolerance=config.swap_tolerance,
+        threshold=config.default_threshold,
+    )
+    registry.install("lda", lda)
+    registry.install("ngram", ngram)
+    log.info(
+        "serving stack ready: %d companies, %d products, lda ppl %.2f, ngram ppl %.2f",
+        data.corpus.n_companies,
+        data.corpus.n_products,
+        registry.serving_perplexity("lda"),
+        registry.serving_perplexity("ngram"),
+    )
+
+    tool = None
+    if with_tool:
+        internal = InternalSalesDatabase(data.corpus.companies, seed=seed)
+        tool = SalesRecommendationTool(
+            data.corpus, lda.company_features(data.corpus), internal
+        )
+
+    return RecommendationService(
+        corpus=data.corpus,
+        registry=registry,
+        tiers=("lda", "ngram"),
+        tool=tool,
+        config=config,
+    )

@@ -1,0 +1,171 @@
+"""Per-model circuit breaker: closed → open → half-open.
+
+Each degradation-ladder tier (see :mod:`repro.serve.ladder`) scores
+requests through a breaker.  While *closed*, calls flow and outcomes are
+recorded over a sliding window of recent calls; once the window holds
+``failure_threshold`` failures the breaker *opens* and the tier is skipped
+without spending any of the request's deadline budget.  After
+``recovery_time`` seconds the breaker moves to *half-open* and admits a
+single probe call: a probe success closes the breaker (window cleared), a
+probe failure re-opens it and restarts the recovery clock.
+
+Failures are both raised exceptions and — when ``latency_budget`` is set —
+successful calls that took too long, so a model that silently degrades to
+pathological latency trips the breaker exactly like one that raises.
+
+The clock is injectable (any ``() -> float`` in seconds) so tests drive
+open/half-open transitions deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure/latency-rate driven circuit breaker for one scoring tier.
+
+    Parameters
+    ----------
+    name:
+        Display/metrics name (usually the tier name).
+    failure_threshold:
+        Failures within the sliding window that trip the breaker.
+    window:
+        Number of most recent calls the failure count is computed over.
+    recovery_time:
+        Seconds the breaker stays open before admitting a half-open probe.
+    latency_budget:
+        When set, a successful call slower than this many seconds counts
+        as a failure.
+    clock:
+        Monotonic seconds source; injectable for deterministic tests.
+    on_transition:
+        Optional ``(name, old_state, new_state)`` callback fired under the
+        breaker lock on every state change.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        window: int = 8,
+        recovery_time: float = 5.0,
+        latency_budget: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if window < failure_threshold:
+            raise ValueError("window must be >= failure_threshold")
+        if recovery_time <= 0:
+            raise ValueError("recovery_time must be positive")
+        if latency_budget is not None and latency_budget <= 0:
+            raise ValueError("latency_budget must be positive when set")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.recovery_time = recovery_time
+        self.latency_budget = latency_budget
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    # ------------------------------------------------------------------
+    def _transition(self, new_state: str) -> None:
+        old, self._state = self._state, new_state
+        if old != new_state and self._on_transition is not None:
+            self._on_transition(self.name, old, new_state)
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for recovery-time expiry."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and self._clock() - self._opened_at >= self.recovery_time:
+            self._transition(HALF_OPEN)
+            self._probe_inflight = False
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed now.
+
+        In the half-open state only one probe is admitted at a time; the
+        caller that got ``True`` must report the outcome via
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def cancel(self) -> None:
+        """An admitted call was never made; release any held probe slot.
+
+        Records no outcome — used when the request's deadline budget ran
+        out between :meth:`allow` and the call itself.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+
+    def record_success(self, latency: float = 0.0) -> None:
+        """Report a completed call; slow successes may still count as failures."""
+        if self.latency_budget is not None and latency > self.latency_budget:
+            self.record_failure(latency, reason="latency")
+            return
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+                self._outcomes.clear()
+                self._transition(CLOSED)
+                return
+            self._outcomes.append(False)
+
+    def record_failure(self, latency: float | None = None, *, reason: str = "error") -> None:
+        """Report a failed (raised, timed-out, or over-budget) call."""
+        del latency, reason  # recorded by the caller's metrics, not here
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+                return
+            self._outcomes.append(True)
+            if self._state == CLOSED and sum(self._outcomes) >= self.failure_threshold:
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict view for health/metrics endpoints."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "recent_failures": sum(self._outcomes),
+                "window": self.window,
+                "failure_threshold": self.failure_threshold,
+                "recovery_time_s": self.recovery_time,
+            }

@@ -1,0 +1,96 @@
+"""Stdlib HTTP transport for the recommendation service.
+
+A thin :class:`~http.server.ThreadingHTTPServer` shell around
+:meth:`RecommendationService.handle` — every request thread reads the JSON
+body, dispatches into the transport-agnostic core, and writes the JSON
+response with whatever extra headers (``Retry-After``, ``Allow``) the core
+attached.  No framework, no dependency: the paper's tool is a deployed
+service and this layer is what lets the reproduction answer real sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.logging import get_logger
+from repro.serve.service import RecommendationService
+
+__all__ = ["ServiceHTTPServer", "start_server"]
+
+#: Request bodies beyond this many bytes are rejected before being read
+#: into memory (413) — the transport-level half of admission control.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Translates HTTP requests into ``service.handle`` calls."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> RecommendationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _respond(self, status: int, payload: bytes, headers: dict[str, str]) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _dispatch(self, body: bytes | None) -> None:
+        response = self.service.handle(self.command, self.path, body)
+        self._respond(response.status, response.to_json(), response.headers)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch(None)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        try:
+            length = int(self.headers.get("Content-Length", "0") or "0")
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            # Reject without reading the body; the unread bytes make the
+            # connection unusable for keep-alive, so close it.
+            self.close_connection = True
+            self._respond(
+                413,
+                b'{"error": "oversized", "detail": "request body too large"}',
+                {},
+            )
+            return
+        self._dispatch(self.rfile.read(length))
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        get_logger("serve.http").debug(format, *args)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`RecommendationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: RecommendationService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def start_server(
+    service: RecommendationService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ServiceHTTPServer, threading.Thread]:
+    """Start the service on a background thread; ``port=0`` picks a free one.
+
+    Returns the server (``server.server_address`` holds the bound port)
+    and its thread.  Call ``server.shutdown()`` to stop.
+    """
+    server = ServiceHTTPServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return server, thread

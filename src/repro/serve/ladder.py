@@ -1,0 +1,195 @@
+"""Degradation ladder: LDA → n-gram → popularity prior.
+
+A request's scoring walks an ordered list of tiers.  Each model tier is
+guarded by a :class:`~repro.serve.breaker.CircuitBreaker` and runs inside
+the request's remaining deadline budget; a tier that is skipped (breaker
+open, budget exhausted), raises, or times out simply hands the request to
+the next tier.  The final *floor* tier — a precomputed popularity prior —
+is pure array lookup: it cannot fail and needs no budget, so every request
+that passes admission gets an answer.  The answering tier is reported in
+the result so callers can tell a degraded answer from a full one.
+
+Timed-out model calls run in abandoned daemon threads: the ladder cannot
+preempt a numpy kernel (or an injected hang), so it stops *waiting* and
+degrades, which is exactly the behaviour the deadline budget promises.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.obs import trace
+from repro.runtime import faults
+from repro.serve.breaker import CircuitBreaker
+
+__all__ = ["Tier", "TierOutcome", "LadderResult", "DegradationLadder"]
+
+#: Scorer signature: (history tokens, threshold override, top_n) ->
+#: ``[(token, score), ...]`` best-first.
+Scorer = Callable[[list[int], float | None, int], list[tuple[int, float]]]
+
+
+@dataclass
+class Tier:
+    """One rung of the ladder: a named scorer behind an optional breaker."""
+
+    name: str
+    scorer: Scorer
+    breaker: CircuitBreaker | None = None
+
+
+@dataclass(frozen=True)
+class TierOutcome:
+    """What happened when the ladder considered one tier."""
+
+    tier: str
+    status: str  # ok | breaker_open | no_budget | timeout | error
+    latency_s: float = 0.0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class LadderResult:
+    """The answer plus the per-tier audit trail."""
+
+    tier: str
+    recommendations: list[tuple[int, float]]
+    degraded: bool
+    outcomes: tuple[TierOutcome, ...] = field(default=())
+
+
+class DegradationLadder:
+    """Walks the tiers under a deadline budget until one answers.
+
+    Parameters
+    ----------
+    tiers:
+        Model tiers in preference order (strongest first).
+    floor:
+        The always-available fallback tier; runs inline with no breaker
+        and no timeout, and must not raise.
+    clock:
+        Monotonic seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        tiers: list[Tier],
+        floor: Tier,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if floor.breaker is not None:
+            raise ValueError("the floor tier is the guaranteed fallback; no breaker")
+        names = [t.name for t in tiers] + [floor.name]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        self.tiers = list(tiers)
+        self.floor = floor
+        self._clock = clock
+
+    @property
+    def tier_names(self) -> list[str]:
+        """All tier names, strongest first, floor last."""
+        return [t.name for t in self.tiers] + [self.floor.name]
+
+    # ------------------------------------------------------------------
+    def _run_guarded(
+        self,
+        tier: Tier,
+        history: list[int],
+        threshold: float | None,
+        top_n: int,
+        budget_s: float,
+    ) -> tuple[str, list[tuple[int, float]] | None, float, str | None]:
+        """Run one tier's scorer in a worker thread under ``budget_s``.
+
+        Returns ``(status, result, latency, error)``.  On timeout the
+        worker thread is abandoned (daemon) — its eventual result is
+        discarded and its outcome is reported to the breaker as a failure.
+        """
+        box: dict[str, object] = {}
+        done = threading.Event()
+
+        def worker() -> None:
+            try:
+                faults.inject(f"serve/score/{tier.name}")
+                box["value"] = tier.scorer(history, threshold, top_n)
+            except BaseException as exc:  # noqa: BLE001 - reported, never raised
+                box["error"] = exc
+            finally:
+                done.set()
+
+        started = self._clock()
+        thread = threading.Thread(
+            target=worker, name=f"serve-score-{tier.name}", daemon=True
+        )
+        thread.start()
+        finished = done.wait(budget_s)
+        latency = self._clock() - started
+        if not finished:
+            return "timeout", None, latency, f"exceeded budget of {budget_s:.3f}s"
+        if "error" in box:
+            error = box["error"]
+            return "error", None, latency, f"{type(error).__name__}: {error}"
+        return "ok", box["value"], latency, None  # type: ignore[return-value]
+
+    def score(
+        self,
+        history: list[int],
+        *,
+        deadline_s: float,
+        threshold: float | None = None,
+        top_n: int = 5,
+    ) -> LadderResult:
+        """Answer from the strongest tier the budget and breakers allow."""
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        started = self._clock()
+        outcomes: list[TierOutcome] = []
+        for tier in self.tiers:
+            breaker = tier.breaker
+            if breaker is not None and not breaker.allow():
+                outcomes.append(TierOutcome(tier.name, "breaker_open"))
+                continue
+            remaining = deadline_s - (self._clock() - started)
+            if remaining <= 0:
+                # The budget is gone: release any probe slot held since
+                # allow() without charging the tier a failure.
+                if breaker is not None:
+                    breaker.cancel()
+                outcomes.append(TierOutcome(tier.name, "no_budget"))
+                continue
+            with trace.span(f"serve.score.{tier.name}"):
+                status, result, latency, error = self._run_guarded(
+                    tier, history, threshold, top_n, remaining
+                )
+            if status == "ok":
+                if breaker is not None:
+                    breaker.record_success(latency)
+                outcomes.append(TierOutcome(tier.name, "ok", latency))
+                assert result is not None
+                return LadderResult(
+                    tier=tier.name,
+                    recommendations=result[:top_n],
+                    degraded=tier is not self.tiers[0],
+                    outcomes=tuple(outcomes),
+                )
+            if breaker is not None:
+                breaker.record_failure(latency, reason=status)
+            outcomes.append(TierOutcome(tier.name, status, latency, error))
+        with trace.span(f"serve.score.{self.floor.name}"):
+            floor_started = self._clock()
+            result = self.floor.scorer(history, threshold, top_n)
+            outcomes.append(
+                TierOutcome(self.floor.name, "ok", self._clock() - floor_started)
+            )
+        return LadderResult(
+            tier=self.floor.name,
+            recommendations=result[:top_n],
+            degraded=bool(self.tiers),
+            outcomes=tuple(outcomes),
+        )

@@ -1,0 +1,269 @@
+"""Model registry with validated, atomic hot-swap.
+
+The serving layer never points at a model object directly; it resolves
+models through this registry on every request.  A *swap* stages a
+candidate (an in-memory model or a saved artifact path), validates it
+against a held-out reference slice, and only then atomically replaces the
+serving record.  Validation is :class:`~repro.app.drift.DriftMonitor`-
+gated: the candidate's perplexity on the reference slice must be finite
+and within ``perplexity_tolerance`` of the *currently serving* model's
+reference perplexity (the monitor's baseline).  A candidate that fails to
+load (corrupt artifact), is unfitted, disagrees on vocabulary, or flunks
+the perplexity gate is rejected — the previous model keeps serving
+throughout, bit-identically, and the rejection is recorded in the swap
+history.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.app.drift import DriftMonitor
+from repro.data.corpus import Corpus
+from repro.models.base import GenerativeModel
+from repro.obs.logging import get_logger
+from repro.recommend.recommender import ThresholdRecommender
+from repro.runtime import faults
+from repro.serve.admission import AdmissionError
+
+__all__ = ["SwapReport", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """Outcome of one staged swap attempt."""
+
+    name: str
+    status: str  # promoted | rejected
+    reason: str
+    version: int
+    candidate_perplexity: float | None = None
+    baseline_perplexity: float | None = None
+    tolerance: float | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-encodable view for the admin endpoint response."""
+        return {
+            "name": self.name,
+            "status": self.status,
+            "reason": self.reason,
+            "version": self.version,
+            "candidate_perplexity": self.candidate_perplexity,
+            "baseline_perplexity": self.baseline_perplexity,
+            "tolerance": self.tolerance,
+        }
+
+
+@dataclass(frozen=True)
+class _Record:
+    """One atomically-swapped serving slot."""
+
+    model: GenerativeModel
+    recommender: ThresholdRecommender
+    monitor: DriftMonitor
+    version: int
+
+
+class ModelRegistry:
+    """Named serving slots, each hot-swappable behind validation.
+
+    Parameters
+    ----------
+    reference:
+        Held-out slice used as the validation yardstick for every swap.
+    perplexity_tolerance:
+        A candidate may be at most this factor worse than the serving
+        model on the reference slice.
+    threshold:
+        Default phi for the recommenders built around serving models.
+    clock:
+        Injectable seconds source recorded with swaps (tests).
+    """
+
+    def __init__(
+        self,
+        reference: Corpus,
+        *,
+        perplexity_tolerance: float = 1.25,
+        threshold: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if perplexity_tolerance < 1.0:
+            raise ValueError("perplexity_tolerance must be >= 1")
+        self.reference = reference
+        self.perplexity_tolerance = perplexity_tolerance
+        self.threshold = threshold
+        self._clock = clock
+        self._records: dict[str, _Record] = {}
+        self._swap_lock = threading.Lock()
+        self.history: list[SwapReport] = []
+        self._log = get_logger("serve.registry")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered slot names."""
+        return sorted(self._records)
+
+    def _record(self, name: str) -> _Record:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise KeyError(f"no model registered under {name!r}") from None
+
+    def model(self, name: str) -> GenerativeModel:
+        """The currently serving model of a slot."""
+        return self._record(name).model
+
+    def recommender(self, name: str) -> ThresholdRecommender:
+        """The recommender wrapping the currently serving model."""
+        return self._record(name).recommender
+
+    def monitor(self, name: str) -> DriftMonitor:
+        """The drift monitor watching the currently serving model."""
+        return self._record(name).monitor
+
+    def version(self, name: str) -> int:
+        """Monotonic version of a slot; bumped on every promotion."""
+        return self._record(name).version
+
+    def serving_perplexity(self, name: str) -> float:
+        """The serving model's perplexity on the reference slice."""
+        return self._record(name).monitor.reference_perplexity
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Version/perplexity view of every slot for health endpoints."""
+        return {
+            name: {
+                "version": record.version,
+                "model": type(record.model).__name__,
+                "reference_perplexity": record.monitor.reference_perplexity,
+            }
+            for name, record in sorted(self._records.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Install / swap
+    # ------------------------------------------------------------------
+    def _build_record(self, model: GenerativeModel, version: int) -> _Record:
+        monitor = DriftMonitor(
+            model, self.reference, perplexity_tolerance=self.perplexity_tolerance
+        )
+        return _Record(
+            model=model,
+            recommender=ThresholdRecommender(model, threshold=self.threshold),
+            monitor=monitor,
+            version=version,
+        )
+
+    def install(self, name: str, model: GenerativeModel) -> None:
+        """Install the initial model of a slot (validated, version 1)."""
+        if name in self._records:
+            raise ValueError(f"slot {name!r} already installed; use swap()")
+        if not isinstance(model, GenerativeModel) or not model.is_fitted:
+            raise ValueError(f"slot {name!r} needs a fitted GenerativeModel")
+        if model.vocab_size != self.reference.n_products:
+            raise ValueError(
+                f"model vocabulary {model.vocab_size} does not match the "
+                f"reference slice's {self.reference.n_products} products"
+            )
+        self._records[name] = self._build_record(model, version=1)
+
+    def _load_candidate(self, source: GenerativeModel | str | Path) -> GenerativeModel:
+        if isinstance(source, GenerativeModel):
+            return source
+        return GenerativeModel.load_any(source)
+
+    def swap(self, name: str, source: GenerativeModel | str | Path) -> SwapReport:
+        """Validate a staged candidate and atomically promote it.
+
+        Never raises for a bad candidate: every failure mode yields a
+        ``rejected`` report and the previous model keeps serving.  Unknown
+        slot names raise :class:`AdmissionError` (the caller's fault).
+        """
+        if name not in self._records:
+            raise AdmissionError(404, "unknown_model", f"no serving slot named {name!r}")
+        with self._swap_lock:
+            current = self._records[name]
+            baseline = current.monitor.reference_perplexity
+            tolerance = self.perplexity_tolerance
+
+            def rejected(reason: str, candidate_ppl: float | None = None) -> SwapReport:
+                report = SwapReport(
+                    name=name,
+                    status="rejected",
+                    reason=reason,
+                    version=current.version,
+                    candidate_perplexity=candidate_ppl,
+                    baseline_perplexity=baseline,
+                    tolerance=tolerance,
+                )
+                self.history.append(report)
+                self._log.warning(
+                    "hot-swap of %s rejected: %s (serving v%d unchanged)",
+                    name,
+                    reason,
+                    current.version,
+                )
+                return report
+
+            try:
+                # The injection site lets the load harness stall or crash a
+                # swap mid-validation; both degrade to a rejection.
+                faults.inject(f"serve/swap/{name}")
+                candidate = self._load_candidate(source)
+            except (ValueError, TypeError, faults.InjectedFault) as exc:
+                return rejected(f"stage failed: {exc}")
+            if not isinstance(candidate, GenerativeModel) or not candidate.is_fitted:
+                return rejected("candidate is not a fitted GenerativeModel")
+            if candidate.vocab_size != self.reference.n_products:
+                return rejected(
+                    f"candidate vocabulary {candidate.vocab_size} does not match "
+                    f"the reference slice's {self.reference.n_products} products"
+                )
+            try:
+                candidate_ppl = candidate.perplexity(self.reference)
+            except Exception as exc:  # noqa: BLE001 - degrade, never propagate
+                return rejected(f"perplexity evaluation failed: {type(exc).__name__}: {exc}")
+            if not math.isfinite(candidate_ppl):
+                return rejected(
+                    f"candidate perplexity on the reference slice is non-finite "
+                    f"({candidate_ppl})",
+                    candidate_ppl,
+                )
+            if candidate_ppl > baseline * tolerance:
+                return rejected(
+                    f"candidate perplexity {candidate_ppl:.3f} exceeds the gate "
+                    f"{baseline:.3f} * {tolerance} = {baseline * tolerance:.3f}",
+                    candidate_ppl,
+                )
+            try:
+                record = self._build_record(candidate, version=current.version + 1)
+            except Exception as exc:  # noqa: BLE001 - roll back, never propagate
+                return rejected(f"promotion failed, rolled back: {type(exc).__name__}: {exc}",
+                                candidate_ppl)
+            self._records[name] = record
+            report = SwapReport(
+                name=name,
+                status="promoted",
+                reason="validation passed",
+                version=record.version,
+                candidate_perplexity=candidate_ppl,
+                baseline_perplexity=baseline,
+                tolerance=tolerance,
+            )
+            self.history.append(report)
+            self._log.info(
+                "hot-swap of %s promoted to v%d (perplexity %.3f vs baseline %.3f)",
+                name,
+                record.version,
+                candidate_ppl,
+                baseline,
+            )
+            return report

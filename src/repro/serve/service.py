@@ -1,0 +1,430 @@
+"""The resilient recommendation service (transport-agnostic core).
+
+:class:`RecommendationService` wires admission control, the bounded
+in-flight limiter, the degradation ladder, the hot-swappable model
+registry and the similar-company tool into one ``handle(method, path,
+body)`` entry point that the stdlib HTTP layer (:mod:`repro.serve.http`),
+the tests and the load harness all drive identically.
+
+The service's contract: **every degradable failure yields a degraded
+answer, a 4xx rejection, or a 429 shed — never a 5xx.**  Bad payloads are
+quarantined; slow or broken model tiers degrade down the ladder; an
+overloaded service sheds with ``Retry-After``; a bad staged model is
+rejected while the previous model keeps serving.
+
+Endpoints
+---------
+* ``POST /recommend`` — install-base payload → tiered recommendations.
+* ``POST /similar``   — ``{"duns", "k"}`` → similar companies.
+* ``POST /admin/hotswap`` — ``{"name", "path"}`` → validated promotion.
+* ``GET /healthz``    — liveness (always 200 while the process runs).
+* ``GET /readyz``     — readiness (503 while a hot-swap is in flight).
+* ``GET /metrics``    — counters, latency histogram, breaker states.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.data.corpus import Corpus
+from repro.obs import trace
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionError, AdmissionPolicy, QuarantineLog
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.ladder import DegradationLadder, Tier
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["ServiceConfig", "ServiceResponse", "RecommendationService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the serving layer (all enforced per request)."""
+
+    #: Concurrent requests admitted before load-shedding with 429.
+    max_inflight: int = 32
+    #: ``Retry-After`` seconds advertised on a shed.
+    retry_after_s: float = 1.0
+    #: Deadline budget for requests that do not carry ``deadline_ms``.
+    default_deadline_ms: float = 250.0
+    #: Hard ceiling on a request-supplied deadline.
+    max_deadline_ms: float = 5000.0
+    #: Histories longer than this are rejected with 413.
+    max_history: int = 64
+    default_top_n: int = 5
+    max_top_n: int = 50
+    #: Default phi of the tier recommenders.
+    default_threshold: float = 0.1
+    #: Breaker tuning shared by every model tier.
+    breaker_failure_threshold: int = 3
+    breaker_window: int = 8
+    breaker_recovery_s: float = 2.0
+    breaker_latency_budget_s: float | None = None
+    #: Perplexity gate for hot-swaps.
+    swap_tolerance: float = 1.25
+    #: Optional JSONL file quarantined payloads are appended to.
+    quarantine_path: str | None = None
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Transport-agnostic response: status, JSON body, extra headers."""
+
+    status: int
+    body: dict[str, Any]
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> bytes:
+        """The body serialised for the HTTP layer."""
+        return json.dumps(self.body, sort_keys=True).encode("utf-8")
+
+
+class RecommendationService:
+    """Admission-controlled, degradation-laddered recommendation service.
+
+    Parameters
+    ----------
+    corpus:
+        The serving universe (vocabulary + popularity floor source).
+    registry:
+        Hot-swappable model slots; ``tiers`` names must be installed.
+    tiers:
+        Slot names forming the ladder, strongest first.  The popularity
+        floor is always appended automatically.
+    tool:
+        Optional :class:`~repro.app.tool.SalesRecommendationTool` backing
+        ``/similar``.
+    config, clock, metrics:
+        Tunables, injectable monotonic clock, and the metrics registry
+        (the service owns its own by default so counters always record).
+    """
+
+    def __init__(
+        self,
+        *,
+        corpus: Corpus,
+        registry: ModelRegistry,
+        tiers: tuple[str, ...] = ("lda", "ngram"),
+        tool: Any = None,
+        config: ServiceConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.corpus = corpus
+        self.registry = registry
+        self.tool = tool
+        self.config = config or ServiceConfig()
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._log = get_logger("serve.service")
+
+        self.policy = AdmissionPolicy(
+            corpus.vocabulary,
+            max_history=self.config.max_history,
+            default_top_n=self.config.default_top_n,
+            max_top_n=self.config.max_top_n,
+            default_deadline_s=self.config.default_deadline_ms / 1000.0,
+            max_deadline_s=self.config.max_deadline_ms / 1000.0,
+        )
+        self.quarantine = QuarantineLog(self.config.quarantine_path)
+
+        for name in tiers:
+            registry.model(name)  # raises early on a missing slot
+        self.ladder = DegradationLadder(
+            [
+                Tier(
+                    name,
+                    self._tier_scorer(name),
+                    breaker=CircuitBreaker(
+                        name,
+                        failure_threshold=self.config.breaker_failure_threshold,
+                        window=self.config.breaker_window,
+                        recovery_time=self.config.breaker_recovery_s,
+                        latency_budget=self.config.breaker_latency_budget_s,
+                        clock=clock,
+                        on_transition=self._on_breaker_transition,
+                    ),
+                )
+                for name in tiers
+            ],
+            floor=Tier("popularity", self._popularity_scorer()),
+            clock=clock,
+        )
+
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._ready = True
+        self._started_at = self._clock()
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing (service counters always record, thread-safely)
+    # ------------------------------------------------------------------
+    def _inc(self, name: str, amount: float = 1.0) -> None:
+        with self._metrics_lock:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self.metrics.histogram(name).observe(value)
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self.metrics.gauge(name).set(value)
+
+    def _on_breaker_transition(self, name: str, old: str, new: str) -> None:
+        self._inc(f"serve.breaker.{name}.{new}")
+        self._log.warning("breaker %s: %s -> %s", name, old, new)
+
+    # ------------------------------------------------------------------
+    # Tier scorers
+    # ------------------------------------------------------------------
+    def _tier_scorer(self, name: str):
+        def scorer(
+            history: list[int], threshold: float | None, top_n: int
+        ) -> list[tuple[int, float]]:
+            recommender = self.registry.recommender(name)
+            scored = recommender.recommend_scored(list(history), threshold=threshold)
+            if scored:
+                return scored[:top_n]
+            # Nothing above phi: still answer with the best unowned
+            # candidates so a degraded tier never goes silent.
+            scores = recommender.scores(list(history))
+            return [
+                (token, float(scores[token]))
+                for token in recommender.top_k(list(history), top_n)
+            ]
+
+        return scorer
+
+    def _popularity_scorer(self):
+        counts = self.corpus.binary_matrix().sum(axis=0)
+        popularity = counts / counts.sum()
+
+        def scorer(
+            history: list[int], threshold: float | None, top_n: int
+        ) -> list[tuple[int, float]]:
+            del threshold  # the floor ignores phi: it always answers
+            owned = set(history)
+            ranked = [
+                (int(token), float(popularity[token]))
+                for token in popularity.argsort()[::-1]
+                if int(token) not in owned
+            ]
+            return ranked[:top_n]
+
+        return scorer
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, path: str, body: bytes | str | dict | None = None
+    ) -> ServiceResponse:
+        """Serve one request; the single entry point for every transport."""
+        try:
+            return self._route(method.upper(), path, body)
+        except Exception:  # noqa: BLE001 - last-resort guard; must stay unreached
+            self._inc("serve.errors")
+            self._log.error("unhandled service error", exc_info=True)
+            return ServiceResponse(500, {"error": "internal", "detail": "unexpected failure"})
+
+    def _route(self, method: str, path: str, body: Any) -> ServiceResponse:
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return ServiceResponse(
+                200,
+                {"status": "alive", "uptime_s": round(self._clock() - self._started_at, 3)},
+            )
+        if path == "/readyz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            if self._ready:
+                return ServiceResponse(200, {"ready": True, "models": self.registry.snapshot()})
+            return ServiceResponse(503, {"ready": False, "reason": "model swap in progress"})
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return ServiceResponse(200, self.metrics_snapshot())
+        if path == "/recommend":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return self._with_admission(body, self._recommend)
+        if path == "/similar":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return self._with_admission(body, self._similar)
+        if path == "/admin/hotswap":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return self._with_admission(body, self._hotswap)
+        return ServiceResponse(404, {"error": "not_found", "detail": f"unknown path {path}"})
+
+    @staticmethod
+    def _method_not_allowed(allowed: str) -> ServiceResponse:
+        return ServiceResponse(
+            405, {"error": "method_not_allowed"}, headers={"Allow": allowed}
+        )
+
+    def _parse_body(self, body: Any) -> Any:
+        if isinstance(body, (bytes, str)):
+            try:
+                return json.loads(body)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise AdmissionError(400, "malformed", f"body is not valid JSON: {exc}")
+        return body if body is not None else {}
+
+    def _with_admission(
+        self, body: Any, endpoint: Callable[[Any], ServiceResponse]
+    ) -> ServiceResponse:
+        """Shed on overload, then parse + validate + dispatch one request."""
+        started = self._clock()
+        with self._inflight_lock:
+            if self._inflight >= self.config.max_inflight:
+                self._inc("serve.shed")
+                return ServiceResponse(
+                    429,
+                    {
+                        "error": "overloaded",
+                        "detail": f"more than {self.config.max_inflight} requests in flight",
+                    },
+                    headers={"Retry-After": f"{self.config.retry_after_s:g}"},
+                )
+            self._inflight += 1
+            self._set_gauge("serve.inflight", self._inflight)
+        self._inc("serve.requests")
+        try:
+            with trace.span("serve.request"):
+                payload = None
+                try:
+                    payload = self._parse_body(body)
+                    response = endpoint(payload)
+                except AdmissionError as exc:
+                    self._inc("serve.rejected")
+                    self._inc(f"serve.rejected.{exc.reason}")
+                    self.quarantine.record(
+                        exc.reason, exc.detail, payload if payload is not None else repr(body)
+                    )
+                    response = ServiceResponse(
+                        exc.status, {"error": exc.reason, "detail": exc.detail}
+                    )
+            self._observe("serve.latency_ms", (self._clock() - started) * 1000.0)
+            return response
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                self._set_gauge("serve.inflight", self._inflight)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _recommend(self, payload: Any) -> ServiceResponse:
+        request = self.policy.validate_recommend(payload)
+        result = self.ladder.score(
+            list(request.history),
+            deadline_s=request.deadline_s,
+            threshold=request.threshold,
+            top_n=request.top_n,
+        )
+        self._inc(f"serve.tier.{result.tier}")
+        if result.degraded:
+            self._inc("serve.degraded")
+        else:
+            self._inc("serve.ok")
+        return ServiceResponse(
+            200,
+            {
+                "tier": result.tier,
+                "degraded": result.degraded,
+                "recommendations": [
+                    {
+                        "token": token,
+                        "category": self.corpus.vocabulary[token],
+                        "score": round(score, 6),
+                    }
+                    for token, score in result.recommendations
+                ],
+                "outcomes": [
+                    {
+                        "tier": outcome.tier,
+                        "status": outcome.status,
+                        "latency_ms": round(outcome.latency_s * 1000.0, 3),
+                        **({"error": outcome.error} if outcome.error else {}),
+                    }
+                    for outcome in result.outcomes
+                ],
+                "model_versions": {
+                    name: self.registry.version(name)
+                    for name in self.registry.names()
+                },
+            },
+        )
+
+    def _similar(self, payload: Any) -> ServiceResponse:
+        if self.tool is None:
+            raise AdmissionError(
+                404, "not_configured", "this deployment has no similarity index"
+            )
+        duns, k = self.policy.validate_similar(payload)
+        try:
+            hits = self.tool.similar_companies(duns, k=k)
+        except KeyError:
+            raise AdmissionError(404, "unknown_company", f"company {duns} is not in the corpus")
+        self._inc("serve.ok")
+        return ServiceResponse(
+            200,
+            {
+                "duns": duns,
+                "similar": [
+                    {"duns": hit.duns, "name": hit.name, "similarity": round(hit.similarity, 6)}
+                    for hit in hits
+                ],
+            },
+        )
+
+    def _hotswap(self, payload: Any) -> ServiceResponse:
+        fields = payload if isinstance(payload, dict) else {}
+        name = fields.get("name")
+        path = fields.get("path")
+        if not isinstance(name, str) or not isinstance(path, str):
+            raise AdmissionError(
+                422, "schema", "hotswap requires string 'name' and 'path' fields"
+            )
+        # Readiness drops for the duration of validation + promotion; the
+        # previous model keeps answering /recommend throughout.
+        self._ready = False
+        try:
+            report = self.registry.swap(name, path)
+        finally:
+            self._ready = True
+        self._inc(f"serve.swap.{report.status}")
+        status = 200 if report.status == "promoted" else 409
+        return ServiceResponse(status, report.as_dict())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """Whether the service currently reports ready."""
+        return self._ready
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Counters + breaker states + quarantine depth, JSON-encodable."""
+        with self._metrics_lock:
+            snapshot = self.metrics.snapshot()
+        snapshot["breakers"] = {
+            tier.name: tier.breaker.snapshot()
+            for tier in self.ladder.tiers
+            if tier.breaker is not None
+        }
+        snapshot["quarantine"] = {"total": self.quarantine.total}
+        snapshot["models"] = self.registry.snapshot()
+        snapshot["tiers"] = self.ladder.tier_names
+        return snapshot

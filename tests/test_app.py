@@ -1,5 +1,7 @@
 """Tests for the sales application (Section 6)."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -87,6 +89,32 @@ class TestSalesRecommendationTool:
     def test_unknown_company_raises(self, tool):
         with pytest.raises(KeyError):
             tool.similar_companies("999999999")
+
+    def test_oversized_k_clamped_with_warning(self, tool, corpus, caplog):
+        target = corpus.companies[0].duns.value
+        with caplog.at_level(logging.WARNING, logger="repro.app.tool"):
+            hits = tool.similar_companies(target, k=corpus.n_companies + 50)
+        assert len(hits) == corpus.n_companies - 1
+        assert any("clamping" in record.message for record in caplog.records)
+
+    def test_k_within_pool_does_not_warn(self, tool, corpus, caplog):
+        target = corpus.companies[0].duns.value
+        with caplog.at_level(logging.WARNING, logger="repro.app.tool"):
+            tool.similar_companies(target, k=3)
+        assert not caplog.records
+
+    def test_empty_filtered_pool_returns_no_hits(self, tool, corpus):
+        target = corpus.companies[0]
+        # A filter no candidate can satisfy leaves an empty pool.
+        impossible = FirmographicFilter(min_employees=10**9)
+        hits = tool.similar_companies(target.duns.value, k=5, filters=impossible)
+        assert hits == []
+
+    def test_nonpositive_k_still_rejected(self, tool, corpus):
+        target = corpus.companies[0].duns.value
+        for bad in (0, -3):
+            with pytest.raises(ValueError):
+                tool.similar_companies(target, k=bad)
 
     def test_recommendations_exclude_owned(self, tool, corpus):
         target = corpus.companies[0]

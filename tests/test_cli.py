@@ -23,7 +23,7 @@ class TestParser:
         for command in (
             "table1", "lda-sweep", "lstm-grid", "recommend", "bpmf",
             "silhouette", "tsne", "sequentiality", "cocluster", "sales-demo",
-            "ranking", "representations",
+            "ranking", "serve", "representations",
         ):
             args = build_parser().parse_args([command])
             assert args.command == command
@@ -85,6 +85,26 @@ class TestParser:
     def test_recommend_no_retrain_fast_path(self):
         args = build_parser().parse_args(["recommend", "--no-retrain"])
         assert args.retrain is False
+
+    def test_serve_flag_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8151
+        assert args.max_inflight == 32
+        assert args.deadline_ms == 250.0
+        assert args.quarantine is None
+
+    def test_serve_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--max-inflight", "4", "--deadline-ms", "100",
+             "--quarantine", "/tmp/q.jsonl"]
+        )
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.max_inflight == 4
+        assert args.deadline_ms == 100.0
+        assert args.quarantine == "/tmp/q.jsonl"
 
     def test_fault_tolerance_flags(self):
         args = build_parser().parse_args(

@@ -108,3 +108,34 @@ class TestDriftMonitor:
         model, __ = monitor_setup
         with pytest.raises(ValueError):
             DriftMonitor(model, split.validation, perplexity_tolerance=0.5)
+
+    def test_degenerate_batch_perplexity_treated_as_drift(self, split, monkeypatch):
+        model = UnigramModel().fit(split.train)
+        monitor = DriftMonitor(model, split.validation)
+        monkeypatch.setattr(model, "perplexity", lambda batch: float("nan"))
+        report = monitor.check(split.test)
+        assert report.degenerate
+        assert report.drifted
+        assert report.perplexity_ratio == float("inf")
+        assert any("non-finite" in note for note in report.reasons())
+
+    def test_degenerate_infinite_perplexity_also_flagged(self, split, monkeypatch):
+        model = UnigramModel().fit(split.train)
+        monitor = DriftMonitor(model, split.validation)
+        monkeypatch.setattr(model, "perplexity", lambda batch: float("inf"))
+        report = monitor.check(split.test)
+        assert report.degenerate and report.drifted
+
+    def test_non_finite_reference_perplexity_rejected(self, split, monkeypatch):
+        model = UnigramModel().fit(split.train)
+        monkeypatch.setattr(model, "perplexity", lambda batch: float("nan"))
+        with pytest.raises(ValueError, match="non-finite"):
+            DriftMonitor(model, split.validation)
+
+    def test_degenerate_batches_count_toward_retraining(self, split, monkeypatch):
+        model = UnigramModel().fit(split.train)
+        monitor = DriftMonitor(model, split.validation)
+        monkeypatch.setattr(model, "perplexity", lambda batch: float("nan"))
+        monitor.check(split.test)
+        monitor.check(split.test)
+        assert monitor.should_retrain(consecutive=2)

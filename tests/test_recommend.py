@@ -119,6 +119,36 @@ class TestThresholdRecommender:
         with pytest.raises(ValueError):
             recommender.top_k([], 0)
 
+    def test_recommend_scored_matches_recommend(self, recommender, split):
+        history = split.test.sequences()[0][:4]
+        scored = recommender.recommend_scored(history, threshold=0.02)
+        assert [token for token, __ in scored] == recommender.recommend(
+            history, threshold=0.02
+        )
+        scores = recommender.scores(history)
+        for token, score in scored:
+            assert score == pytest.approx(scores[token])
+            assert isinstance(token, int) and isinstance(score, float)
+
+    def test_recommend_scored_sorted_descending(self, recommender, split):
+        history = split.test.sequences()[0][:4]
+        values = [s for __, s in recommender.recommend_scored(history, threshold=0.01)]
+        assert values == sorted(values, reverse=True)
+
+    def test_out_of_range_token_raises_value_error(self, recommender):
+        # The vectorized path must reject dirty histories up front with a
+        # ValueError naming the vocabulary, not an IndexError deep in numpy.
+        with pytest.raises(ValueError, match="vocabulary"):
+            recommender.scores([0, 38])
+        with pytest.raises(ValueError, match="vocabulary"):
+            recommender.recommend([-1])
+
+    def test_non_integer_token_raises_type_error(self, recommender):
+        with pytest.raises(TypeError, match="non-integer"):
+            recommender.scores([0, "server_HW"])
+        with pytest.raises(TypeError, match="non-integer"):
+            recommender.top_k([True], 3)
+
 
 class TestRandomRecommender:
     def test_uniform_scores(self, split):

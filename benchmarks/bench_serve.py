@@ -7,12 +7,19 @@ model tier, a corrupted staged model, an overload burst) and asserts the
 service's core contract end to end:
 
 * **zero HTTP 5xx** on the serving endpoints, under every fault;
-* **zero uncaught exceptions** (the ``serve.errors`` counter stays 0);
+* **zero uncaught exceptions** (no ``serve.requests`` series with
+  ``outcome="error"``);
 * every fault is **accounted for** — sheds match 429s, rejections match
   4xx responses and quarantine entries, tier counters match successes;
 * a corrupted staged model is **rejected** while the previous model keeps
   serving bit-identical recommendations;
-* readiness flips unready → ready across a hot-swap.
+* readiness flips unready → ready across a hot-swap;
+* the ``/metrics`` scrape is **valid Prometheus text** (every ``serve_*``
+  family labelled), exemplar request ids **round-trip** into the flight
+  recorder via ``/admin/debug``, and a crash burst against the primary
+  tier trips the **fast-window SLO burn alert** on ``/slo``;
+* request-scoped telemetry costs ≤ 10 % of p50 ``/recommend`` latency
+  (the overhead gate, recorded into ``BENCH_METRICS.json``).
 
 Run directly (CI's serve-smoke job does)::
 
@@ -28,6 +35,8 @@ import argparse
 import json
 import os
 import random
+import re
+import statistics
 import tempfile
 import threading
 import time
@@ -38,8 +47,12 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.data.duns import DunsNumber
+from repro.obs import metrics as obs_metrics
+from repro.obs import prom as obs_prom
+from repro.obs.top import sum_counters
 from repro.runtime import faults
 from repro.serve import ServiceConfig, build_demo_service, start_server
+from repro.serve.service import RecommendationService
 
 #: Sequence far beyond any synthetic corpus size: valid check digit,
 #: guaranteed absent from the similarity index.
@@ -72,6 +85,16 @@ class _Client:
 
     def get(self, path: str) -> tuple[int, dict, dict]:
         return self._request(urllib.request.Request(self.base + path, method="GET"))
+
+    def get_raw(self, path: str, accept: str | None = None) -> tuple[int, str, dict]:
+        """GET returning the body as text — for non-JSON endpoints."""
+        headers = {"Accept": accept} if accept else {}
+        req = urllib.request.Request(self.base + path, headers=headers, method="GET")
+        try:
+            with urllib.request.urlopen(req, timeout=30.0) as resp:
+                return resp.status, resp.read().decode("utf-8"), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8", "replace"), dict(exc.headers)
 
     def post(self, path: str, payload) -> tuple[int, dict, dict]:
         data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
@@ -150,6 +173,10 @@ def run_harness(
         default_deadline_ms=250.0,
         breaker_failure_threshold=3,
         breaker_recovery_s=0.5,
+        # Compressed SLO windows so the burn-alert phase can drain the
+        # earlier phases' traffic with a short sleep instead of an hour.
+        slo_fast_window_s=1.0,
+        slo_slow_window_s=4.0,
     )
     service = build_demo_service(companies, seed=seed, config=config)
     server, _thread = start_server(service)
@@ -198,7 +225,13 @@ def run_harness(
                     assert body["degraded"], body
             os.environ.pop("REPRO_FAULTS", None)
             breaker_opened = (
-                service.metrics_snapshot()["counters"].get("serve.breaker.lda.open", 0) >= 1
+                sum_counters(
+                    service.metrics_snapshot()["counters"],
+                    "serve.breaker.transitions",
+                    state="open",
+                    tier="lda",
+                )
+                >= 1
             )
             # Breaker recovery: after the window passes, a half-open probe
             # succeeds (fault cleared) and the ladder answers from LDA again.
@@ -319,6 +352,74 @@ def run_harness(
             if inject:
                 assert 503 in ready_codes, "readiness never dropped during the swap"
             assert ready_before.get("ready") is True and ready_body.get("ready") is True
+
+        # ---- phase 6: telemetry — strict scrape, exemplars, burn alert ----
+        # Default Accept: Prometheus text 0.0.4.  The strict parser also
+        # proves no serve.* family is exported unlabelled.
+        status, text, headers = client.get_raw("/metrics")
+        assert status == 200 and headers["Content-Type"].startswith("text/plain"), (
+            status,
+            headers,
+        )
+        scrape = obs_prom.parse(text, require_labels_prefix="serve_")
+        for family in ("serve_requests", "serve_latency_ms", "serve_inflight"):
+            assert family in scrape["families"], sorted(scrape["families"])
+
+        # OpenMetrics carries exemplars; at least one request id attached
+        # to a /recommend latency bucket must resolve in the flight
+        # recorder (fast requests may have been evicted by slower ones).
+        status, om_text, _ = client.get_raw("/metrics", accept="application/openmetrics-text")
+        assert status == 200 and om_text.rstrip().endswith("# EOF"), om_text[-200:]
+        exemplar_ids = re.findall(
+            r'serve_latency_ms_bucket\{[^}]*endpoint="/recommend"[^}]*\}'
+            r'[^#\n]*# \{request_id="([0-9a-f]+)"\}',
+            om_text,
+        )
+        assert exemplar_ids, "no exemplars on the /recommend latency histogram"
+        resolved = 0
+        for rid in exemplar_ids:
+            status, body, _ = client.get(f"/admin/debug?request_id={rid}")
+            if status == 200:
+                assert body["request_id"] == rid, body
+                resolved += 1
+        assert resolved >= 1, f"no exemplar id resolved in flight: {exemplar_ids}"
+
+        burn_alerted = None
+        burn_rates = None
+        if inject:
+            # Drain the compressed SLO windows, then burn: a crash fault on
+            # the primary tier degrades every answer, so the quality error
+            # budget burns at 1/0.05 = 20x — over the fast alert threshold.
+            time.sleep(config.slo_slow_window_s + 0.2)
+            os.environ["REPRO_FAULTS"] = "crash:serve/score/lda"
+            faults.reset_firing_counts()
+            for _ in range(20):
+                status, body = fire(
+                    "burn", "/recommend", {"history": [vocabulary[0]]}, {200}
+                )
+                if status == 200:
+                    assert body["degraded"], body
+            os.environ.pop("REPRO_FAULTS", None)
+            status, slo_body, _ = client.get("/slo")
+            ledger.record("slo", status, slo_body, {200})
+            quality = slo_body["objectives"]["quality"]
+            assert quality["fast"]["burn_rate"] >= slo_body["burn_threshold"], quality
+            assert quality["alerting"], slo_body
+            assert "quality" in slo_body["alerts"], slo_body["alerts"]
+            assert not slo_body["objectives"]["availability"]["alerting"], slo_body
+            burn_alerted = True
+            burn_rates = {
+                "quality_fast": quality["fast"]["burn_rate"],
+                "quality_slow": quality["slow"]["burn_rate"],
+                "threshold": slo_body["burn_threshold"],
+            }
+        summary["phases"]["telemetry"] = {
+            "prom_families": len(scrape["families"]),
+            "exemplars_on_recommend": len(exemplar_ids),
+            "exemplars_resolved_in_flight": resolved,
+            "burn_alert_tripped": burn_alerted,
+            "burn_rates": burn_rates,
+        }
     finally:
         if saved_env is None:
             os.environ.pop("REPRO_FAULTS", None)
@@ -332,16 +433,16 @@ def run_harness(
     assert not ledger.violations, "\n".join(ledger.violations)
     server_errors = [s for s in ledger.statuses if s >= 500 and s != 503]
     assert not server_errors, f"5xx observed: {dict(ledger.statuses)}"
-    assert counters.get("serve.errors", 0) == 0, counters
-    assert counters.get("serve.shed", 0) == ledger.statuses.get(429, 0), counters
+    assert sum_counters(counters, "serve.requests", outcome="error") == 0, counters
+    assert sum_counters(counters, "serve.shed") == ledger.statuses.get(429, 0), counters
     # Transport-level 413s (huge_body) never reach admission; every other
     # 4xx on the serving endpoints is an admission rejection + quarantine.
     rejected_kinds = ("oov", "badtype", "oversized", "bad_json", "bad_duns", "unknown_company")
     rejected_4xx = sum(ledger.kinds.get(kind, 0) for kind in rejected_kinds)
-    assert counters.get("serve.rejected", 0) == rejected_4xx, (counters, ledger.kinds)
+    assert sum_counters(counters, "serve.rejected") == rejected_4xx, (counters, ledger.kinds)
     quarantined = service.quarantine.total
     assert quarantined == rejected_4xx, (quarantined, rejected_4xx)
-    tier_total = sum(v for k, v in counters.items() if k.startswith("serve.tier."))
+    tier_total = sum_counters(counters, "serve.tier.answers")
     assert tier_total == sum(ledger.tiers.values()), (counters, ledger.tiers)
 
     summary["statuses"] = {str(k): v for k, v in sorted(ledger.statuses.items())}
@@ -355,11 +456,92 @@ def run_harness(
     return summary
 
 
+def run_overhead_gate(
+    *,
+    companies: int = 150,
+    seed: int = 7,
+    rounds: int = 3,
+    per_round: int = 120,
+    limit: float = 1.10,
+    slack_ms: float = 0.25,
+) -> dict:
+    """Gate: request-scoped telemetry costs ≤ ``limit`` of p50 latency.
+
+    Builds one serving stack and two service shells over the same fitted
+    models — full telemetry (span capture, labelled metrics, SLO counting,
+    flight recording) versus ``telemetry=False`` — and compares p50
+    ``/recommend`` latency via direct ``handle()`` calls.  Rounds are
+    interleaved and the best (minimum) round median is kept on each side,
+    which discards scheduler noise; ``slack_ms`` absorbs sub-millisecond
+    jitter when the handler itself is only a few ms.  The measurements
+    are recorded as ``bench.serve.telemetry.*`` gauges so the benchmark
+    session's ``BENCH_METRICS.json`` artifact carries them.
+    """
+    on = build_demo_service(companies, seed=seed)
+    off = RecommendationService(
+        corpus=on.corpus,
+        registry=on.registry,
+        tiers=("lda", "ngram"),
+        tool=on.tool,
+        config=ServiceConfig(telemetry=False, request_spans=False),
+    )
+    vocabulary = list(on.corpus.vocabulary)
+    rng = random.Random(seed)
+    payloads = [
+        json.dumps(
+            {"history": rng.sample(vocabulary, rng.randint(1, min(4, len(vocabulary))))}
+        ).encode()
+        for _ in range(32)
+    ]
+
+    def p50_ms(service: RecommendationService, n: int) -> float:
+        latencies = []
+        for i in range(n):
+            started = time.perf_counter()
+            response = service.handle("POST", "/recommend", payloads[i % len(payloads)])
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            assert response.status == 200, (response.status, response.body)
+        return statistics.median(latencies)
+
+    for service in (on, off):  # warm caches before timing
+        p50_ms(service, 30)
+    on_medians, off_medians = [], []
+    for _ in range(rounds):
+        on_medians.append(p50_ms(on, per_round))
+        off_medians.append(p50_ms(off, per_round))
+    p50_on, p50_off = min(on_medians), min(off_medians)
+    ratio = p50_on / p50_off if p50_off > 0 else 1.0
+    result = {
+        "p50_on_ms": round(p50_on, 4),
+        "p50_off_ms": round(p50_off, 4),
+        "ratio": round(ratio, 4),
+        "limit": limit,
+        "requests_per_side": rounds * per_round,
+    }
+    registry = obs_metrics.get_registry()
+    for key in ("p50_on_ms", "p50_off_ms", "ratio"):
+        registry.gauge(f"bench.serve.telemetry.{key}").set(result[key])
+    assert p50_on <= p50_off * limit + slack_ms, (
+        f"telemetry overhead over budget: p50 {p50_on:.3f}ms with telemetry vs "
+        f"{p50_off:.3f}ms without (ratio {ratio:.3f}, limit {limit})"
+    )
+    return result
+
+
 def test_serve_load_harness():
     """Pytest entry point: the full harness at smoke scale."""
     summary = run_harness(companies=150, requests=30, inject=True)
     assert summary["server_5xx"] == 0
     assert summary["phases"]["hotswap"]["bit_identical_after_rejection"]
+    assert summary["phases"]["telemetry"]["burn_alert_tripped"]
+
+
+def test_serve_telemetry_overhead():
+    """Pytest entry point: the p50 telemetry-overhead gate."""
+    result = run_overhead_gate()
+    assert result["ratio"] <= result["limit"] or result["p50_on_ms"] <= (
+        result["p50_off_ms"] * result["limit"] + 0.25
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -373,6 +555,11 @@ def main(argv: list[str] | None = None) -> int:
         help="arm the hang / corrupt-model / swap-stall fault phases",
     )
     parser.add_argument("--json", metavar="PATH", default=None, help="write the summary here")
+    parser.add_argument(
+        "--overhead-gate",
+        action="store_true",
+        help="also run the p50 telemetry-overhead gate (adds ~30s)",
+    )
     args = parser.parse_args(argv)
     summary = run_harness(
         companies=args.companies,
@@ -381,6 +568,14 @@ def main(argv: list[str] | None = None) -> int:
         inject=args.inject_faults,
         json_path=args.json,
     )
+    if args.overhead_gate:
+        summary["telemetry_overhead"] = run_overhead_gate(
+            companies=args.companies, seed=args.seed
+        )
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+            )
     print(json.dumps(summary, indent=2))
     print("\nserve load harness: all contracts held (0 uncaught, 0 server 5xx)")
     return 0

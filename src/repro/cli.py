@@ -278,6 +278,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="append rejected payloads to PATH as JSON lines",
     )
+    serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="2xx answers slower than this burn the latency SLO budget",
+    )
+    serve.add_argument(
+        "--slo-fast-window",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="fast burn-rate window in seconds",
+    )
+    serve.add_argument(
+        "--slo-slow-window",
+        type=float,
+        default=3600.0,
+        metavar="S",
+        help="slow burn-rate window in seconds",
+    )
+    serve.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="flight-recorder slots per section (failed ring / slowest heap)",
+    )
+    serve.add_argument(
+        "--no-request-spans",
+        action="store_true",
+        help="disable per-request span capture (flight records lose spans)",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="observability utilities against a running service",
+        parents=[shared],
+    )
+    obs_cmd.add_argument("action", choices=["top"], help="'top': live terminal dashboard")
+    obs_cmd.add_argument(
+        "--url",
+        default="http://127.0.0.1:8151",
+        help="base URL of a running `repro serve` instance",
+    )
+    obs_cmd.add_argument(
+        "--interval", type=float, default=2.0, metavar="S", help="poll interval"
+    )
+    obs_cmd.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: until Ctrl-C)",
+    )
+    obs_cmd.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen",
+    )
 
     sub.add_parser(
         "representations", help="Extension: representation families", parents=[shared]
@@ -491,13 +551,20 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         max_inflight=args.max_inflight,
         default_deadline_ms=args.deadline_ms,
         quarantine_path=args.quarantine,
+        slo_latency_threshold_ms=args.slo_latency_ms,
+        slo_fast_window_s=args.slo_fast_window,
+        slo_slow_window_s=args.slo_slow_window,
+        flight_capacity=args.flight_capacity,
+        request_spans=not args.no_request_spans,
     )
     service = build_demo_service(args.companies, seed=args.seed, config=config)
     server = ServiceHTTPServer((args.host, args.port), service)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
-    print("endpoints: GET /healthz /readyz /metrics; "
+    print("endpoints: GET /healthz /readyz /metrics /slo "
+          "/admin/debug /admin/profile; "
           "POST /recommend /similar /admin/hotswap")
+    print(f"dashboard: repro obs top --url http://{host}:{port}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -510,6 +577,20 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     print("\nfinal counters:")
     for name, value in counters.items():
         print(f"  {name}: {value}")
+
+
+def _cmd_obs(args: argparse.Namespace) -> None:
+    from repro.obs.top import run_top
+
+    # Only "top" exists today (argparse enforces the choices).
+    code = run_top(
+        args.url,
+        interval=args.interval,
+        count=args.count,
+        clear=not args.no_clear,
+    )
+    if code != 0:
+        raise SystemExit(code)
 
 
 def _cmd_representations(args: argparse.Namespace) -> None:
@@ -536,6 +617,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "sales-demo": _cmd_sales_demo,
     "ranking": _cmd_ranking,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
     "representations": _cmd_representations,
 }
 

@@ -10,8 +10,17 @@ recommender, CLI and benchmark code all report through:
 * :mod:`repro.obs.logging` — structured logging (plain text + JSON lines);
 * :mod:`repro.obs.instrument` — decorators and the ``GenerativeModel``
   mixin that auto-spans every model's core methods;
-* :mod:`repro.obs.profile` — opt-in cProfile top-N hot-function capture;
-* :mod:`repro.obs.report` — the span-tree/metrics/profile timing report.
+* :mod:`repro.obs.profile` — opt-in cProfile capture + the sampling
+  wall-clock profiler for live services;
+* :mod:`repro.obs.report` — the span-tree/metrics/profile timing report;
+* :mod:`repro.obs.context` — request scopes: ``request_id``/``trace_id``
+  minting plus per-request span capture;
+* :mod:`repro.obs.prom` — Prometheus/OpenMetrics text exposition and a
+  strict parser for CI validation;
+* :mod:`repro.obs.slo` — multi-window burn-rate SLO monitoring;
+* :mod:`repro.obs.flight` — the flight recorder of slowest/failed
+  requests;
+* :mod:`repro.obs.top` — the ``repro obs top`` terminal dashboard.
 
 Everything is **off by default** and the disabled paths cost a single flag
 check, so production code keeps its instrumentation permanently in place.
@@ -21,12 +30,15 @@ collect with :func:`repro.obs.report.timing_report`.
 
 from __future__ import annotations
 
-from repro.obs import instrument, metrics, profile, report, trace
+from repro.obs import context, flight, instrument, metrics, profile, prom, report, slo, top, trace
+from repro.obs.context import RequestContext, current_request_id, request_scope
+from repro.obs.flight import FlightRecorder
 from repro.obs.instrument import InstrumentedModel, traced
 from repro.obs.logging import JsonLinesFormatter, configure as configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.report import render_json, render_text, timing_report
-from repro.obs.trace import Span, add_counter, current_span, span
+from repro.obs.slo import Objective, SLOMonitor
+from repro.obs.trace import Span, TraceBuffer, add_counter, current_span, span
 
 __all__ = [
     # submodules
@@ -35,14 +47,28 @@ __all__ = [
     "instrument",
     "profile",
     "report",
+    "context",
+    "flight",
+    "prom",
+    "slo",
+    "top",
     # tracing
     "Span",
+    "TraceBuffer",
     "span",
     "current_span",
     "add_counter",
+    # request context
+    "RequestContext",
+    "request_scope",
+    "current_request_id",
     # metrics
     "MetricsRegistry",
     "get_registry",
+    # SLOs + flight recorder
+    "Objective",
+    "SLOMonitor",
+    "FlightRecorder",
     # logging
     "JsonLinesFormatter",
     "configure_logging",

@@ -1,0 +1,124 @@
+"""Request-scoped observability context: ids, span capture, correlation.
+
+Every server request runs inside a :func:`request_scope`.  The scope
+
+* mints (or honors) a **request id** — the caller-visible correlation
+  handle, echoed in the ``X-Request-Id`` response header;
+* mints a **trace id** — the internal identifier of the request's span
+  tree (always fresh, even when the request id was supplied inbound);
+* installs an isolated :class:`~repro.obs.trace.TraceBuffer` via
+  :func:`repro.obs.trace.capture`, so the request's spans form their own
+  tree regardless of what concurrent requests do;
+* exposes itself through a :class:`contextvars.ContextVar` so the JSON
+  log formatter (:mod:`repro.obs.logging`) can stamp ``request_id`` /
+  ``trace_id`` onto every line emitted while the request is in flight.
+
+The context variable makes all of this thread- and task-safe: a
+``ThreadingHTTPServer`` handler thread, a worker thread it spawns via
+``contextvars.copy_context()``, and an asyncio task all see exactly the
+context of their own request.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import re
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from contextlib import contextmanager
+
+from repro.obs.trace import TraceBuffer, capture
+
+__all__ = [
+    "RequestContext",
+    "REQUEST_ID_HEADER",
+    "current",
+    "current_request_id",
+    "mint_request_id",
+    "sanitize_request_id",
+    "request_scope",
+]
+
+#: Canonical header carrying the request id in and out of the service.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+#: Inbound ids must look like reasonable correlation tokens; anything
+#: else (control characters, oversized blobs) is replaced with a minted
+#: id so logs and headers stay injection-safe.
+_VALID_ID = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+
+@dataclass
+class RequestContext:
+    """One request's observability identity and span capture target."""
+
+    request_id: str
+    trace_id: str
+    buffer: TraceBuffer = field(default_factory=TraceBuffer)
+    started: float = field(default_factory=time.time)
+
+    def spans(self) -> list[dict]:
+        """The captured span forest, JSON-encodable."""
+        return self.buffer.as_dicts()
+
+
+_context: contextvars.ContextVar[RequestContext | None] = contextvars.ContextVar(
+    "repro_obs_request_context", default=None
+)
+
+
+def current() -> RequestContext | None:
+    """The active request context, or None outside a request scope."""
+    return _context.get()
+
+
+def current_request_id() -> str | None:
+    """The active request id, or None outside a request scope."""
+    ctx = _context.get()
+    return ctx.request_id if ctx is not None else None
+
+
+def mint_request_id() -> str:
+    """A fresh 16-hex-char request id."""
+    return uuid.uuid4().hex[:16]
+
+
+def sanitize_request_id(candidate: object) -> str | None:
+    """``candidate`` if it is a usable inbound request id, else None."""
+    if isinstance(candidate, str) and _VALID_ID.match(candidate):
+        return candidate
+    return None
+
+
+@contextmanager
+def request_scope(
+    request_id: str | None = None,
+    *,
+    capture_spans: bool = True,
+    clock: Callable[[], float] = time.time,
+) -> Iterator[RequestContext]:
+    """Run the enclosed block under a fresh request context.
+
+    ``request_id`` (already sanitized) is honored when given, minted
+    otherwise.  With ``capture_spans`` (the default) the request's spans
+    are recorded into the context's isolated buffer; with it off the
+    scope still provides ids for logging/headers but spans follow the
+    global enable flag, for measuring telemetry overhead.
+    """
+    ctx = RequestContext(
+        request_id=request_id if request_id is not None else mint_request_id(),
+        trace_id=uuid.uuid4().hex,
+        started=clock(),
+    )
+    token = _context.set(ctx)
+    try:
+        if capture_spans:
+            with capture(ctx.buffer):
+                yield ctx
+        else:
+            yield ctx
+    finally:
+        _context.reset(token)

@@ -1,0 +1,175 @@
+"""Flight recorder: a ring buffer of the slowest and failed requests.
+
+Aggregate metrics say *that* p99 regressed; the flight recorder says
+*which request* and *where the time went*.  The serving layer offers every
+finished request to :meth:`FlightRecorder.record` together with its full
+span tree (captured per-request via :mod:`repro.obs.context`); the
+recorder keeps
+
+* every **failed** request (non-2xx, shed, internal error) in a ring of
+  the most recent ``capacity`` entries, and
+* the **slowest** successful requests in a bounded min-heap of size
+  ``capacity`` (plus anything over ``slow_threshold_ms``, which competes
+  for the same slots but is prioritised by latency like everything else).
+
+Entries are JSON-encodable dicts retrievable by ``request_id`` — the same
+id exposed as a histogram-bucket exemplar on ``/metrics`` — and dumpable
+as JSONL via the service's ``/admin/debug`` endpoint, so the workflow
+"scrape shows a slow bucket exemplar → fetch that request's span tree"
+needs nothing but an HTTP client.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+__all__ = ["FlightRecord", "FlightRecorder"]
+
+
+class FlightRecord(dict):
+    """One recorded request: a plain JSON-encodable dict.
+
+    Keys: ``request_id``, ``trace_id``, ``endpoint``, ``status``,
+    ``outcome``, ``tier``, ``latency_ms``, ``ts``, ``spans`` (the span
+    forest as nested dicts) plus whatever extra context the service
+    attached.
+    """
+
+
+class FlightRecorder:
+    """Bounded two-section store of failed and slowest requests."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 64,
+        slow_threshold_ms: float | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.slow_threshold_ms = slow_threshold_ms
+        self._clock = clock
+        self._failed: deque[FlightRecord] = deque(maxlen=capacity)
+        # Min-heap of (latency_ms, seq, record): the fastest of the kept
+        # slow requests sits on top and is evicted first.
+        self._slow: list[tuple[float, int, FlightRecord]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._recorded = 0
+        self._dropped_fast = 0
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        *,
+        request_id: str,
+        endpoint: str,
+        status: int,
+        latency_ms: float,
+        failed: bool,
+        spans: list[dict[str, Any]] | Callable[[], list[dict[str, Any]]],
+        **extra: Any,
+    ) -> bool:
+        """Offer one finished request; returns True when it was kept.
+
+        ``failed`` requests always enter the failure ring.  Successes
+        compete for the slowest-request heap: kept while the heap has
+        room, afterwards only when slower than the current fastest kept
+        entry (entries over ``slow_threshold_ms`` are unconditionally
+        eligible but still bounded by the heap size).
+
+        ``spans`` may be a zero-argument callable; it is invoked only
+        when the request is actually kept, so callers on the hot path
+        skip serializing the span forest of every dropped request.
+        """
+        with self._lock:
+            self._recorded += 1
+            if not failed:
+                keep = len(self._slow) < self.capacity
+                if not keep:
+                    keep = (
+                        self.slow_threshold_ms is not None
+                        and latency_ms >= self.slow_threshold_ms
+                    ) or latency_ms > self._slow[0][0]
+                if not keep:
+                    self._dropped_fast += 1
+                    return False
+            record = FlightRecord(
+                request_id=request_id,
+                endpoint=endpoint,
+                status=int(status),
+                latency_ms=round(float(latency_ms), 3),
+                failed=bool(failed),
+                ts=round(self._clock(), 6),
+                spans=spans() if callable(spans) else spans,
+                **extra,
+            )
+            if failed:
+                self._failed.append(record)
+            elif len(self._slow) < self.capacity:
+                heapq.heappush(self._slow, (float(latency_ms), next(self._seq), record))
+            else:
+                heapq.heapreplace(
+                    self._slow, (float(latency_ms), next(self._seq), record)
+                )
+            return True
+
+    # ------------------------------------------------------------------
+    def lookup(self, request_id: str) -> FlightRecord | None:
+        """The most recent record with this ``request_id``, if kept."""
+        with self._lock:
+            candidates = [r for r in self._failed if r["request_id"] == request_id]
+            candidates += [
+                r for _, _, r in self._slow if r["request_id"] == request_id
+            ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r["ts"])
+
+    def records(self, *, section: str = "all", limit: int | None = None) -> list[FlightRecord]:
+        """Kept records, newest first.
+
+        ``section`` is ``all`` (default), ``failed`` or ``slow``.
+        """
+        if section not in ("all", "failed", "slow"):
+            raise ValueError(f"unknown section {section!r}")
+        with self._lock:
+            failed = list(self._failed)
+            slow = [r for _, _, r in self._slow]
+        if section == "failed":
+            chosen = failed
+        elif section == "slow":
+            chosen = slow
+        else:
+            chosen = failed + slow
+        chosen.sort(key=lambda r: r["ts"], reverse=True)
+        if limit is not None:
+            chosen = chosen[: max(0, int(limit))]
+        return chosen
+
+    def dump_jsonl(self, *, section: str = "all", limit: int | None = None) -> str:
+        """The kept records as one JSON document per line (newest first)."""
+        lines = [
+            json.dumps(record, sort_keys=True, default=str)
+            for record in self.records(section=section, limit=limit)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def stats(self) -> dict[str, int]:
+        """Occupancy and churn counters for /metrics-adjacent reporting."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "failed_kept": len(self._failed),
+                "slow_kept": len(self._slow),
+                "offered": self._recorded,
+                "dropped_fast": self._dropped_fast,
+            }

@@ -33,12 +33,47 @@ LOGGER_NAME = "repro"
 _installed: list[logging.Handler] = []
 
 
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce ``value`` into strictly valid JSON.
+
+    ``json.dumps`` happily emits ``NaN``/``Infinity`` (invalid JSON that
+    downstream parsers reject) and raises on unknown types; log emission
+    must do neither, so non-finite floats become strings and anything
+    unencodable falls back to ``repr``.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
 class JsonLinesFormatter(logging.Formatter):
     """Format records as one JSON document per line.
 
     Standard fields: ``ts`` (epoch seconds), ``level``, ``logger``,
     ``message``; any dict passed as ``extra={"obs": {...}}`` is merged in,
-    and exception info is rendered under ``exc_info``.
+    and exception info is rendered under ``exc_info``.  When the record is
+    emitted inside a request scope (:mod:`repro.obs.context`), the line is
+    stamped with that request's ``request_id`` and ``trace_id`` so log
+    lines join up with metrics exemplars and flight-recorder entries.
+    Values that are not JSON-serialisable (or are non-finite floats) are
+    coerced rather than raised on — a log call must never take down the
+    caller.
     """
 
     def format(self, record: logging.LogRecord) -> str:
@@ -49,12 +84,20 @@ class JsonLinesFormatter(logging.Formatter):
             "logger": record.name,
             "message": record.getMessage(),
         }
+        # Imported here: repro.obs.context pulls in trace machinery that
+        # must not become a hard import dependency of basic logging setup.
+        from repro.obs import context as obs_context
+
+        ctx = obs_context.current()
+        if ctx is not None:
+            payload["request_id"] = ctx.request_id
+            payload["trace_id"] = ctx.trace_id
         structured = getattr(record, "obs", None)
         if isinstance(structured, dict):
             payload.update(structured)
         if record.exc_info:
             payload["exc_info"] = self.formatException(record.exc_info)
-        return json.dumps(payload, default=str)
+        return json.dumps(_json_safe(payload), default=repr, allow_nan=False)
 
 
 def configure(

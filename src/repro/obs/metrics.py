@@ -1,4 +1,4 @@
-"""Named counter/gauge/histogram registry with snapshot, reset and JSON export.
+"""Named counter/gauge/histogram registry with labels, snapshot and export.
 
 The registry is the *aggregate* side of observability: while spans
 (:mod:`repro.obs.trace`) record where time goes, metrics record how much
@@ -11,18 +11,45 @@ Two usage styles:
 * guarded module helpers — :func:`inc`, :func:`observe`, :func:`set_gauge`
   check a global enable flag first and are safe to leave in hot paths;
   they are **disabled by default** and cost one flag check when off.
+
+Labels
+------
+Serving metrics carry bounded-cardinality labels (``endpoint``, ``tier``,
+``outcome``)::
+
+    registry.counter("serve.requests", {"endpoint": "/recommend", "outcome": "ok"}).inc()
+
+A ``(name, labels)`` pair identifies one *series* inside the ``name``
+family.  Distinct label sets per family are capped (default 64): past the
+cap new label sets collapse into a single overflow series whose label
+values are all ``__overflow__``, so a misbehaving caller can degrade
+resolution but never memory.  Snapshots render labeled series as
+``name{key="value",...}`` keys.
+
+Thread safety
+-------------
+Every instrument guards its state with its own lock and the registry
+guards series creation, so concurrent serve threads never lose
+increments.  Histograms keep exact count/sum/min/max forever and bound
+memory by reservoir-sampling retained observations past a cap.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+import random
+import threading
+from bisect import bisect_left
+from typing import Any, Iterator, Mapping, NamedTuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SeriesView",
+    "series_key",
+    "DEFAULT_LATENCY_BUCKETS_MS",
     "get_registry",
     "enable",
     "disable",
@@ -34,153 +61,342 @@ __all__ = [
     "reset",
 ]
 
-#: Maximum raw observations a histogram retains for quantile estimates.
+#: Maximum raw observations a histogram retains for quantile estimates;
+#: past this the retained set is a uniform reservoir sample of the full
+#: stream (count/sum/min/max stay exact).
 _HISTOGRAM_SAMPLE_CAP = 4096
+
+#: Default distinct label sets per metric family before overflow folding.
+_DEFAULT_MAX_SERIES = 64
+
+#: Latency bucket bounds (milliseconds) used by the serving histograms.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+#: Label values of the per-family overflow series.
+OVERFLOW_LABEL_VALUE = "__overflow__"
+
+
+def series_key(name: str, labels: Mapping[str, str] | None = None) -> str:
+    """The canonical snapshot key of a series: ``name{k="v",...}``.
+
+    Labels are sorted by key; an unlabeled series is keyed by its bare
+    name.  This is also the identity used for cardinality accounting.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the total."""
         if amount < 0:
             raise ValueError("counters only increase; use a gauge instead")
-        self.value += float(amount)
+        amount = float(amount)
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A point-in-time value that can move in either direction."""
+    """A point-in-time value that can move in either direction (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the gauge's value."""
-        self.value = float(value)
+        value = float(value)
+        with self._lock:
+            self.value = value
 
     def add(self, amount: float) -> None:
         """Shift the gauge by ``amount`` (may be negative)."""
-        self.value += float(amount)
+        amount = float(amount)
+        with self._lock:
+            self.value += amount
+
+
+class Exemplar(NamedTuple):
+    """A sampled observation attached to a histogram bucket."""
+
+    labels: dict[str, str]
+    value: float
+    ts: float
 
 
 class Histogram:
-    """Streaming summary of observed values.
+    """Streaming summary of observed values (thread-safe).
 
-    Count, sum, min and max are exact; quantiles are computed from the
-    first :data:`_HISTOGRAM_SAMPLE_CAP` retained observations.
+    Count, sum, min and max are exact over the full stream; quantiles are
+    estimated from a uniform reservoir sample of up to
+    :data:`_HISTOGRAM_SAMPLE_CAP` observations.  With ``buckets`` set the
+    histogram additionally tracks Prometheus-style cumulative bucket
+    counts (an implicit ``+Inf`` bucket is always appended) and can attach
+    an exemplar — e.g. a ``request_id`` — to the bucket each observation
+    lands in, so a scrape can name a concrete slow request per latency
+    band.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_sample")
+    __slots__ = (
+        "count", "total", "min", "max", "buckets",
+        "_bucket_counts", "_exemplars", "_sample", "_rng", "_lock",
+    )
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        buckets: tuple[float, ...] | None = None,
+        *,
+        sample_seed: int = 0,
+    ) -> None:
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if list(bounds) != sorted(set(bounds)):
+                raise ValueError("buckets must be strictly increasing")
+            self.buckets = bounds
+            # One slot per finite bound plus the +Inf catch-all.
+            self._bucket_counts = [0] * (len(bounds) + 1)
+            self._exemplars: list[Exemplar | None] = [None] * (len(bounds) + 1)
+        else:
+            self.buckets = None
+            self._bucket_counts = []
+            self._exemplars = []
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
         self._sample: list[float] = []
+        self._rng = random.Random(sample_seed)
+        self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(
+        self,
+        value: float,
+        *,
+        exemplar: Mapping[str, str] | None = None,
+        ts: float = 0.0,
+    ) -> None:
+        """Record one observation, optionally tagged with an exemplar."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        if len(self._sample) < _HISTOGRAM_SAMPLE_CAP:
-            self._sample.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._sample) < _HISTOGRAM_SAMPLE_CAP:
+                self._sample.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < _HISTOGRAM_SAMPLE_CAP:
+                    self._sample[slot] = value
+            if self.buckets is not None:
+                index = bisect_left(self.buckets, value)
+                self._bucket_counts[index] += 1
+                if exemplar is not None:
+                    self._exemplars[index] = Exemplar(dict(exemplar), value, float(ts))
 
     def quantile(self, q: float) -> float:
         """Approximate ``q``-quantile from the retained sample (NaN if empty)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
-        if not self._sample:
+        with self._lock:
+            sample = list(self._sample)
+        if not sample:
             return float("nan")
-        ordered = sorted(self._sample)
+        ordered = sorted(sample)
         index = min(int(q * len(ordered)), len(ordered) - 1)
         return ordered[index]
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` rows, ``+Inf`` last.
+
+        Empty when the histogram was created without buckets.
+        """
+        if self.buckets is None:
+            return []
+        with self._lock:
+            counts = list(self._bucket_counts)
+        rows: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets + (float("inf"),), counts):
+            running += n
+            rows.append((bound, running))
+        return rows
+
+    def exemplars(self) -> list[tuple[float, Exemplar]]:
+        """``(le, exemplar)`` pairs for buckets that have one."""
+        if self.buckets is None:
+            return []
+        with self._lock:
+            stored = list(self._exemplars)
+        bounds = self.buckets + (float("inf"),)
+        return [(bounds[i], ex) for i, ex in enumerate(stored) if ex is not None]
+
     def summary(self) -> dict[str, float]:
-        """Count/sum/mean/min/max/median snapshot of the histogram."""
-        if self.count == 0:
-            return {"count": 0, "sum": 0.0, "mean": float("nan"),
-                    "min": float("nan"), "max": float("nan"), "p50": float("nan")}
+        """Count/sum/mean/min/max/median/tail snapshot of the histogram."""
+        with self._lock:
+            count, total = self.count, self.total
+            low, high = self.min, self.max
+        if count == 0:
+            nan = float("nan")
+            return {"count": 0, "sum": 0.0, "mean": nan,
+                    "min": nan, "max": nan, "p50": nan, "p90": nan, "p99": nan}
         return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.total / self.count,
-            "min": self.min,
-            "max": self.max,
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": low,
+            "max": high,
             "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
         }
+
+
+class SeriesView(NamedTuple):
+    """One registered series, as exposed to exporters."""
+
+    kind: str  # counter | gauge | histogram
+    name: str  # family name (dotted)
+    labels: dict[str, str]
+    instrument: Counter | Gauge | Histogram
 
 
 class MetricsRegistry:
     """A namespace of counters, gauges and histograms.
 
     Names are free-form dotted strings; the convention mirrors span names
-    (``model.<name>.<method>.calls``, ``recommend.retrieved``).  A name is
+    (``model.<name>.<method>.calls``, ``serve.requests``).  A name is
     bound to the kind of instrument that first claimed it; asking for the
-    same name as a different kind raises :class:`TypeError`.
+    same name as a different kind raises :class:`TypeError`.  All methods
+    are thread-safe.
     """
 
-    def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
+    def __init__(self, *, max_series_per_family: int = _DEFAULT_MAX_SERIES) -> None:
+        if max_series_per_family < 1:
+            raise ValueError("max_series_per_family must be >= 1")
+        self._max_series = max_series_per_family
+        self._lock = threading.Lock()
+        self._kinds: dict[str, str] = {}  # family name -> kind
+        self._series: dict[str, SeriesView] = {}  # series key -> view
+        self._family_counts: dict[str, int] = {}
+        self._overflowed = 0
 
-    def _check_unclaimed(self, name: str, kind: dict[str, Any]) -> None:
-        for family in (self._counters, self._gauges, self._histograms):
-            if family is not kind and name in family:
+    # ------------------------------------------------------------------
+    def _resolve(
+        self,
+        kind: str,
+        name: str,
+        labels: Mapping[str, str] | None,
+        factory,
+    ):
+        labels = {str(k): str(v) for k, v in labels.items()} if labels else {}
+        key = series_key(name, labels)
+        view = self._series.get(key)
+        if view is not None:
+            if view.kind != kind:
+                raise TypeError(f"metric {name!r} already registered as {view.kind}")
+            return view.instrument
+        with self._lock:
+            view = self._series.get(key)
+            if view is not None:
+                if view.kind != kind:
+                    raise TypeError(f"metric {name!r} already registered as {view.kind}")
+                return view.instrument
+            claimed = self._kinds.get(name)
+            if claimed is not None and claimed != kind:
                 raise TypeError(f"metric {name!r} already registered as another kind")
+            if labels and self._family_counts.get(name, 0) >= self._max_series:
+                # Cardinality cap: fold into the family's overflow series.
+                self._overflowed += 1
+                labels = {k: OVERFLOW_LABEL_VALUE for k in labels}
+                key = series_key(name, labels)
+                view = self._series.get(key)
+                if view is not None:
+                    return view.instrument
+            self._kinds[name] = kind
+            instrument = factory()
+            self._series[key] = SeriesView(kind, name, labels, instrument)
+            self._family_counts[name] = self._family_counts.get(name, 0) + 1
+            return instrument
 
-    def counter(self, name: str) -> Counter:
-        """The counter registered under ``name``, created on first use."""
-        instrument = self._counters.get(name)
-        if instrument is None:
-            self._check_unclaimed(name, self._counters)
-            instrument = self._counters[name] = Counter()
-        return instrument
+    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> Counter:
+        """The counter series ``(name, labels)``, created on first use."""
+        return self._resolve("counter", name, labels, Counter)
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge registered under ``name``, created on first use."""
-        instrument = self._gauges.get(name)
-        if instrument is None:
-            self._check_unclaimed(name, self._gauges)
-            instrument = self._gauges[name] = Gauge()
-        return instrument
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        """The gauge series ``(name, labels)``, created on first use."""
+        return self._resolve("gauge", name, labels, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram registered under ``name``, created on first use."""
-        instrument = self._histograms.get(name)
-        if instrument is None:
-            self._check_unclaimed(name, self._histograms)
-            instrument = self._histograms[name] = Histogram()
-        return instrument
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        *,
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        """The histogram series ``(name, labels)``, created on first use.
+
+        ``buckets`` applies on first creation of a series; later calls
+        return the existing series regardless of the argument.
+        """
+        return self._resolve("histogram", name, labels, lambda: Histogram(buckets))
+
+    # ------------------------------------------------------------------
+    def series(self) -> Iterator[SeriesView]:
+        """Every registered series, family-name then label order."""
+        with self._lock:
+            views = list(self._series.items())
+        for _key, view in sorted(views, key=lambda kv: (kv[1].name, kv[0])):
+            yield view
+
+    @property
+    def overflowed_series(self) -> int:
+        """Label sets folded into overflow series since creation."""
+        with self._lock:
+            return self._overflowed
 
     def snapshot(self) -> dict[str, Any]:
-        """Plain-dict view of every registered instrument."""
-        return {
-            "counters": {name: c.value for name, c in sorted(self._counters.items())},
-            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
-            "histograms": {
-                name: h.summary() for name, h in sorted(self._histograms.items())
-            },
-        }
+        """Plain-dict view of every registered instrument.
+
+        Labeled series appear under ``name{key="value",...}`` keys.
+        """
+        with self._lock:
+            views = sorted(self._series.items())
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, float]] = {}
+        for key, view in views:
+            if view.kind == "counter":
+                counters[key] = view.instrument.value
+            elif view.kind == "gauge":
+                gauges[key] = view.instrument.value
+            else:
+                histograms[key] = view.instrument.summary()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def reset(self) -> None:
         """Drop every registered instrument."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._kinds.clear()
+            self._series.clear()
+            self._family_counts.clear()
+            self._overflowed = 0
 
     def to_json(self, *, indent: int | None = None) -> str:
         """The snapshot serialised as JSON."""
@@ -213,22 +429,28 @@ def is_enabled() -> bool:
     return _enabled
 
 
-def inc(name: str, amount: float = 1.0) -> None:
+def inc(
+    name: str, amount: float = 1.0, labels: Mapping[str, str] | None = None
+) -> None:
     """Guarded counter increment on the default registry."""
     if _enabled:
-        _default.counter(name).inc(amount)
+        _default.counter(name, labels).inc(amount)
 
 
-def observe(name: str, value: float) -> None:
+def observe(
+    name: str, value: float, labels: Mapping[str, str] | None = None
+) -> None:
     """Guarded histogram observation on the default registry."""
     if _enabled:
-        _default.histogram(name).observe(value)
+        _default.histogram(name, labels).observe(value)
 
 
-def set_gauge(name: str, value: float) -> None:
+def set_gauge(
+    name: str, value: float, labels: Mapping[str, str] | None = None
+) -> None:
     """Guarded gauge update on the default registry."""
     if _enabled:
-        _default.gauge(name).set(value)
+        _default.gauge(name, labels).set(value)
 
 
 def snapshot() -> dict[str, Any]:

@@ -4,12 +4,24 @@ CPython allows only one active profiler at a time, so :func:`capture` is
 re-entrancy guarded: the outermost enabled capture profiles, any nested
 capture silently no-ops.  Like tracing, profiling is disabled by default
 and :func:`capture` costs a flag check when off.
+
+For *live services* cProfile is the wrong tool — it taxes every function
+call in every thread for as long as it runs.  :class:`SamplingProfiler`
+instead takes periodic wall-clock snapshots of every thread's stack via
+``sys._current_frames``: overhead is proportional to the sampling rate
+(default 100 Hz) rather than the request rate, so it can be attached to a
+serving process for a few seconds (the service's ``/admin/profile``
+endpoint does exactly this) and report where wall time is going right
+now, hangs and lock waits included.
 """
 
 from __future__ import annotations
 
 import cProfile
 import pstats
+import sys
+import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -17,6 +29,7 @@ from typing import Any, Iterator
 __all__ = [
     "HotFunction",
     "ProfileCapture",
+    "SamplingProfiler",
     "enable",
     "disable",
     "is_enabled",
@@ -126,6 +139,86 @@ def _top_functions(profiler: cProfile.Profile, top_n: int) -> list[HotFunction]:
         )
     rows.sort(key=lambda r: -r.cumulative_s)
     return rows[:top_n]
+
+
+class SamplingProfiler:
+    """Low-overhead wall-clock stack sampler for live processes.
+
+    :meth:`run_for` blocks the calling thread for the requested duration,
+    sampling every other thread's stack at ``interval_s`` and aggregating
+    identical stacks.  The result names the hottest stacks and a flat
+    self/cumulative table per function — enough to spot a hot kernel, a
+    blocked lock, or an abandoned hung scorer thread in a running server.
+    """
+
+    def __init__(self, *, interval_s: float = 0.01, max_depth: int = 64) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.interval_s = float(interval_s)
+        self.max_depth = int(max_depth)
+
+    @staticmethod
+    def _frame_stack(frame, max_depth: int) -> tuple[str, ...]:
+        stack: list[str] = []
+        while frame is not None and len(stack) < max_depth:
+            code = frame.f_code
+            stack.append(f"{code.co_filename}:{frame.f_lineno}({code.co_name})")
+            frame = frame.f_back
+        stack.reverse()  # outermost first
+        return tuple(stack)
+
+    def run_for(self, seconds: float, *, top_n: int = 20) -> dict[str, Any]:
+        """Sample for ``seconds``; returns the aggregated JSON-encodable report."""
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        if top_n < 1:
+            raise ValueError("top_n must be >= 1")
+        own_thread = threading.get_ident()
+        stack_counts: dict[tuple[str, ...], int] = {}
+        samples = 0
+        deadline = time.monotonic() + seconds
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                break
+            for thread_id, frame in sys._current_frames().items():
+                if thread_id == own_thread:
+                    continue
+                stack = self._frame_stack(frame, self.max_depth)
+                if stack:
+                    stack_counts[stack] = stack_counts.get(stack, 0) + 1
+            samples += 1
+            time.sleep(min(self.interval_s, max(deadline - now, 0.0)))
+        self_counts: dict[str, int] = {}
+        cumulative_counts: dict[str, int] = {}
+        for stack, count in stack_counts.items():
+            self_counts[stack[-1]] = self_counts.get(stack[-1], 0) + count
+            for location in set(stack):
+                cumulative_counts[location] = cumulative_counts.get(location, 0) + count
+        hottest = sorted(stack_counts.items(), key=lambda kv: -kv[1])[:top_n]
+        functions = sorted(
+            cumulative_counts,
+            key=lambda loc: (-cumulative_counts[loc], loc),
+        )[:top_n]
+        return {
+            "seconds": seconds,
+            "interval_s": self.interval_s,
+            "samples": samples,
+            "threads_seen": len({s[0] for s in stack_counts} if stack_counts else set()),
+            "stacks": [
+                {"stack": list(stack), "count": count} for stack, count in hottest
+            ],
+            "functions": [
+                {
+                    "location": location,
+                    "self": self_counts.get(location, 0),
+                    "cumulative": cumulative_counts[location],
+                }
+                for location in functions
+            ],
+        }
 
 
 def captures() -> list[ProfileCapture]:

@@ -1,0 +1,364 @@
+"""Prometheus text exposition (and a strict parser) for the metrics registry.
+
+:func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry` into the
+Prometheus text format (version 0.0.4) any scraper understands; with
+``openmetrics=True`` it produces OpenMetrics 1.0 instead, which carries
+per-bucket **exemplars** (the ``request_id`` of a concrete request that
+landed in that latency band) and the terminating ``# EOF``.
+
+Naming: dotted registry families map to Prometheus names by replacing
+every non-``[a-zA-Z0-9_:]`` character with ``_`` (``serve.latency.ms`` →
+``serve_latency_ms``); counter samples get the conventional ``_total``
+suffix.  Bucketed histograms render as ``histogram`` families
+(``_bucket``/``_sum``/``_count``); bucketless histograms render as
+``summary`` families with ``quantile`` series from the reservoir sample.
+
+:func:`parse` is the strict validating parser the CI scrape check and the
+tests run over the exposition: it rejects malformed lines, samples without
+a preceding ``# TYPE``, non-cumulative or ``+Inf``-less histograms,
+``_count``/``+Inf`` mismatches and duplicate series — close enough to the
+real scraper's behaviour that passing it means a real Prometheus can
+ingest the endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE_TEXT",
+    "CONTENT_TYPE_OPENMETRICS",
+    "prom_name",
+    "render",
+    "parse",
+    "ParseError",
+]
+
+#: Content type of the Prometheus text format (version 0.0.4).
+CONTENT_TYPE_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Content type of OpenMetrics 1.0 (the exemplar-carrying format).
+CONTENT_TYPE_OPENMETRICS = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Summary quantiles rendered for bucketless histograms.
+_SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def prom_name(family: str) -> str:
+    """The dotted registry family name as a valid Prometheus name."""
+    name = _NAME_FIX.sub("_", family)
+    if not name or not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_le(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    if bound == int(bound):
+        return f"{bound:.1f}"
+    return format(bound, "g")
+
+
+def _labels_text(labels: Mapping[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, labels[k]) for k in sorted(labels)] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{prom_name(k)}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render(registry: MetricsRegistry, *, openmetrics: bool = False) -> str:
+    """The registry in Prometheus (or OpenMetrics) text exposition format."""
+    # Group series by family so each family gets exactly one TYPE header.
+    families: dict[str, list] = {}
+    kinds: dict[str, str] = {}
+    for view in registry.series():
+        families.setdefault(view.name, []).append(view)
+        kinds[view.name] = view.kind
+    lines: list[str] = []
+    for family in sorted(families):
+        kind = kinds[family]
+        base = prom_name(family)
+        views = families[family]
+        if kind == "counter":
+            type_name = base if openmetrics else base + "_total"
+            lines.append(f"# HELP {type_name} Counter {family} from the repro metrics registry.")
+            lines.append(f"# TYPE {type_name} counter")
+            for view in views:
+                lines.append(
+                    f"{base}_total{_labels_text(view.labels)} "
+                    f"{_fmt_value(view.instrument.value)}"
+                )
+        elif kind == "gauge":
+            lines.append(f"# HELP {base} Gauge {family} from the repro metrics registry.")
+            lines.append(f"# TYPE {base} gauge")
+            for view in views:
+                lines.append(
+                    f"{base}{_labels_text(view.labels)} {_fmt_value(view.instrument.value)}"
+                )
+        else:
+            bucketed = any(view.instrument.buckets is not None for view in views)
+            family_type = "histogram" if bucketed else "summary"
+            lines.append(f"# HELP {base} Histogram {family} from the repro metrics registry.")
+            lines.append(f"# TYPE {base} {family_type}")
+            for view in views:
+                hist: Histogram = view.instrument
+                if bucketed:
+                    exemplars = dict(hist.exemplars()) if openmetrics else {}
+                    for bound, cumulative in hist.cumulative_buckets():
+                        line = (
+                            f"{base}_bucket"
+                            f"{_labels_text(view.labels, (('le', _fmt_le(bound)),))} "
+                            f"{cumulative}"
+                        )
+                        exemplar = exemplars.get(bound)
+                        if exemplar is not None:
+                            ex_labels = ",".join(
+                                f'{prom_name(k)}="{_escape(v)}"'
+                                for k, v in sorted(exemplar.labels.items())
+                            )
+                            line += (
+                                f" # {{{ex_labels}}} {_fmt_value(exemplar.value)}"
+                                f" {_fmt_value(exemplar.ts)}"
+                            )
+                        lines.append(line)
+                else:
+                    for q in _SUMMARY_QUANTILES:
+                        lines.append(
+                            f"{base}{_labels_text(view.labels, (('quantile', format(q, 'g')),))} "
+                            f"{_fmt_value(hist.quantile(q))}"
+                        )
+                summary = hist.summary()
+                lines.append(
+                    f"{base}_sum{_labels_text(view.labels)} {_fmt_value(summary['sum'])}"
+                )
+                lines.append(
+                    f"{base}_count{_labels_text(view.labels)} {int(summary['count'])}"
+                )
+    if openmetrics:
+        lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Strict parsing / validation
+# ----------------------------------------------------------------------
+class ParseError(ValueError):
+    """The exposition violated the Prometheus text format."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ #]+)"
+    r"(?: (?P<ts>[0-9.eE+-]+))?"
+    r"(?P<exemplar> # \{[^}]*\} [^ ]+(?: [^ ]+)?)?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+#: Sample-name suffixes each family type may emit.
+_TYPE_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_sum", "_count"),
+    "summary": ("", "_sum", "_count"),
+    "untyped": ("",),
+}
+
+
+def _parse_value(raw: str, lineno: int) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    try:
+        return float(raw)
+    except ValueError:
+        raise ParseError(lineno, f"unparseable sample value {raw!r}")
+
+
+def _family_of(name: str, types: dict[str, str]) -> tuple[str, str] | None:
+    """Match a sample name to its declared family and suffix."""
+    for family, kind in types.items():
+        for suffix in _TYPE_SUFFIXES[kind]:
+            if name == family + suffix:
+                return family, suffix
+    return None
+
+
+def parse(text: str, *, require_labels_prefix: str | None = None) -> dict[str, Any]:
+    """Strictly parse a Prometheus/OpenMetrics text exposition.
+
+    Returns ``{"families": {name: {"type": ..., "samples": [...]}}}``
+    where each sample is ``{"name", "labels", "value", "exemplar"}``.
+
+    Raises :class:`ParseError` on any violation: malformed lines, samples
+    without a preceding ``# TYPE``, duplicate series, counters without
+    ``_total``, histograms missing ``+Inf`` / ``_sum`` / ``_count``,
+    non-monotone bucket counts, or ``_count`` != the ``+Inf`` bucket.
+
+    ``require_labels_prefix``: when given, every sample of a family whose
+    name starts with the prefix must carry at least one label other than
+    ``le`` / ``quantile`` — the CI guard that no ``serve.*`` metric ships
+    unlabeled.
+    """
+    types: dict[str, str] = {}
+    families: dict[str, dict[str, Any]] = {}
+    seen_series: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 2 and parts[1] == "EOF" and line == "# EOF":
+                continue
+            if len(parts) < 4 or parts[1] not in ("HELP", "TYPE"):
+                raise ParseError(lineno, f"malformed comment line {line!r}")
+            _, keyword, name, rest = parts
+            if not _NAME_OK.match(name):
+                raise ParseError(lineno, f"invalid metric name {name!r}")
+            if keyword == "TYPE":
+                if rest not in _VALID_TYPES:
+                    raise ParseError(lineno, f"unknown metric type {rest!r}")
+                # Text format declares counters as `<family>_total`;
+                # OpenMetrics declares the bare family. Accept both by
+                # stripping the suffix for counters.
+                family = name
+                if rest == "counter" and family.endswith("_total"):
+                    family = family[: -len("_total")]
+                if family in types:
+                    raise ParseError(lineno, f"duplicate TYPE for {family!r}")
+                types[family] = rest
+                families[family] = {"type": rest, "samples": []}
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ParseError(lineno, f"malformed sample line {line!r}")
+        name = match.group("name")
+        resolved = _family_of(name, types)
+        if resolved is None:
+            raise ParseError(lineno, f"sample {name!r} has no preceding # TYPE")
+        family, _suffix = resolved
+        labels_raw = match.group("labels") or ""
+        labels: dict[str, str] = {}
+        position = 0
+        while position < len(labels_raw):
+            label_match = _LABEL_RE.match(labels_raw, position)
+            if label_match is None:
+                raise ParseError(lineno, f"malformed labels {labels_raw!r}")
+            key, value = label_match.group(1), label_match.group(2)
+            if key in labels:
+                raise ParseError(lineno, f"duplicate label {key!r}")
+            labels[key] = value.replace('\\"', '"').replace("\\n", "\n").replace(
+                "\\\\", "\\"
+            )
+            position = label_match.end()
+            if position < len(labels_raw):
+                if labels_raw[position] != ",":
+                    raise ParseError(lineno, f"malformed labels {labels_raw!r}")
+                position += 1
+        series_id = (name, tuple(sorted(labels.items())))
+        if series_id in seen_series:
+            raise ParseError(lineno, f"duplicate series {name}{labels!r}")
+        seen_series.add(series_id)
+        value = _parse_value(match.group("value"), lineno)
+        exemplar_raw = match.group("exemplar")
+        exemplar = None
+        if exemplar_raw:
+            ex_labels = dict(
+                (m.group(1), m.group(2)) for m in _LABEL_RE.finditer(exemplar_raw)
+            )
+            exemplar = {"labels": ex_labels}
+        if require_labels_prefix and family.startswith(require_labels_prefix):
+            meaningful = [k for k in labels if k not in ("le", "quantile")]
+            if not meaningful:
+                raise ParseError(
+                    lineno,
+                    f"series {name!r} matches prefix {require_labels_prefix!r} "
+                    "but carries no labels",
+                )
+        families[family]["samples"].append(
+            {"name": name, "labels": labels, "value": value, "exemplar": exemplar}
+        )
+
+    _validate_histograms(types, families)
+    return {"families": families}
+
+
+def _validate_histograms(
+    types: dict[str, str], families: dict[str, dict[str, Any]]
+) -> None:
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        groups: dict[tuple, dict[str, Any]] = {}
+        for sample in families[family]["samples"]:
+            base_labels = tuple(
+                sorted((k, v) for k, v in sample["labels"].items() if k != "le")
+            )
+            group = groups.setdefault(
+                base_labels, {"buckets": [], "sum": None, "count": None}
+            )
+            if sample["name"].endswith("_bucket"):
+                le = sample["labels"].get("le")
+                if le is None:
+                    raise ParseError(0, f"{family}: bucket sample without le label")
+                group["buckets"].append((_parse_value(le, 0), sample["value"]))
+            elif sample["name"].endswith("_sum"):
+                group["sum"] = sample["value"]
+            elif sample["name"].endswith("_count"):
+                group["count"] = sample["value"]
+        for base_labels, group in groups.items():
+            buckets = sorted(group["buckets"])
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise ParseError(
+                    0, f"{family}{dict(base_labels)}: histogram lacks a +Inf bucket"
+                )
+            running = -1.0
+            for _le, cumulative in buckets:
+                if cumulative < running:
+                    raise ParseError(
+                        0, f"{family}{dict(base_labels)}: bucket counts not cumulative"
+                    )
+                running = cumulative
+            if group["sum"] is None or group["count"] is None:
+                raise ParseError(
+                    0, f"{family}{dict(base_labels)}: missing _sum or _count"
+                )
+            if group["count"] != buckets[-1][1]:
+                raise ParseError(
+                    0,
+                    f"{family}{dict(base_labels)}: _count {group['count']} != "
+                    f"+Inf bucket {buckets[-1][1]}",
+                )

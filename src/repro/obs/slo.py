@@ -1,0 +1,247 @@
+"""SLO objectives evaluated over multi-window burn rates.
+
+An SLO states "at least ``target`` of requests are *good* over the
+compliance period".  The error budget is ``1 - target``; the **burn
+rate** of a window is how many times faster than budget-neutral the
+service is consuming it::
+
+    burn = bad_fraction_in_window / (1 - target)
+
+Burn rate 1.0 exactly exhausts the budget over the period; 14.4 burns a
+30-day budget in 50 hours — the classic page threshold.  Alerting on a
+single window is either noisy (short window) or slow to clear (long
+window), so this module implements the standard **multi-window rule**: an
+objective alerts only while *both* its fast window (default 5 min,
+catches sudden bursts) and its slow window (default 1 h, proves the burst
+is sustained and makes the alert reset quickly once the problem stops)
+exceed the burn threshold.
+
+Three objectives cover the serving stack (see
+:class:`repro.serve.service.RecommendationService`):
+
+* ``availability`` — request not shed / not internally failed;
+* ``latency`` — request answered under the latency threshold;
+* ``quality`` — request answered by the primary model tier (degradation
+  down the ladder burns this budget *before* users see wrong answers).
+
+Counts live in fixed-resolution ring buffers, so memory is bounded by
+``window / resolution`` regardless of traffic, and the clock is
+injectable so tests (and the load harness) can compress hours into
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+__all__ = ["Objective", "WindowCounts", "BurnRate", "SLOMonitor"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service-level objective: a named good/bad classification."""
+
+    name: str
+    #: Target good fraction over the compliance period, e.g. 0.99.
+    target: float
+    #: Human-readable definition of a good event (shown on /slo).
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerable bad fraction."""
+        return 1.0 - self.target
+
+
+class WindowCounts:
+    """Good/bad totals over a sliding window, in a fixed ring of buckets.
+
+    The window is divided into ``n_buckets`` equal slices; events land in
+    the slice covering the current time and slices older than the window
+    are zeroed lazily as the clock advances.  Totals are therefore exact
+    to within one bucket's width, with O(n_buckets) memory forever.
+    """
+
+    __slots__ = ("window_s", "_bucket_s", "_good", "_bad", "_stamps", "_clock", "_lock")
+
+    def __init__(
+        self,
+        window_s: float,
+        *,
+        n_buckets: int = 60,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        self.window_s = float(window_s)
+        self._bucket_s = self.window_s / n_buckets
+        self._good = [0] * n_buckets
+        self._bad = [0] * n_buckets
+        self._stamps = [-1] * n_buckets  # epoch index each slot last served
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def _slot(self, now: float) -> int:
+        epoch = int(now / self._bucket_s)
+        index = epoch % len(self._good)
+        if self._stamps[index] != epoch:
+            self._good[index] = 0
+            self._bad[index] = 0
+            self._stamps[index] = epoch
+        return index
+
+    def record(self, good: bool) -> None:
+        """Count one event at the current time."""
+        with self._lock:
+            index = self._slot(self._clock())
+            if good:
+                self._good[index] += 1
+            else:
+                self._bad[index] += 1
+
+    def totals(self) -> tuple[int, int]:
+        """``(good, bad)`` totals over the live window."""
+        with self._lock:
+            now = self._clock()
+            current_epoch = int(now / self._bucket_s)
+            oldest = current_epoch - len(self._good) + 1
+            good = bad = 0
+            for i in range(len(self._good)):
+                if oldest <= self._stamps[i] <= current_epoch:
+                    good += self._good[i]
+                    bad += self._bad[i]
+            return good, bad
+
+
+@dataclass(frozen=True)
+class BurnRate:
+    """Burn-rate evaluation of one objective over one window."""
+
+    window_s: float
+    good: int
+    bad: int
+    bad_fraction: float
+    burn_rate: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-encodable representation (as served on ``/slo``)."""
+        return {
+            "window_s": self.window_s,
+            "good": self.good,
+            "bad": self.bad,
+            "bad_fraction": round(self.bad_fraction, 6),
+            "burn_rate": round(self.burn_rate, 4),
+        }
+
+
+class SLOMonitor:
+    """Multi-window burn-rate tracker for a set of objectives.
+
+    Parameters
+    ----------
+    objectives:
+        The SLOs to track.
+    fast_window_s / slow_window_s:
+        The multi-window pair (defaults: 5 min and 1 h).
+    burn_threshold:
+        Both windows must burn at or above this rate to alert (14.4 —
+        the "30-day budget gone in 50 h" page threshold).
+    clock:
+        Monotonic seconds source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        objectives: list[Objective],
+        *,
+        fast_window_s: float = 300.0,
+        slow_window_s: float = 3600.0,
+        burn_threshold: float = 14.4,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        if fast_window_s >= slow_window_s:
+            raise ValueError("fast window must be shorter than the slow window")
+        if burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.objectives = {o.name: o for o in objectives}
+        self.fast_window_s = float(fast_window_s)
+        self.slow_window_s = float(slow_window_s)
+        self.burn_threshold = float(burn_threshold)
+        self._clock = clock
+        self._windows: dict[str, dict[str, WindowCounts]] = {
+            o.name: {
+                "fast": WindowCounts(fast_window_s, clock=clock),
+                "slow": WindowCounts(slow_window_s, clock=clock),
+            }
+            for o in objectives
+        }
+
+    def record(self, outcomes: Mapping[str, bool]) -> None:
+        """Record one request: ``{objective_name: good}`` per objective.
+
+        Objectives absent from ``outcomes`` are not counted for this
+        request (e.g. a shed request has no latency measurement).
+        """
+        for name, good in outcomes.items():
+            windows = self._windows.get(name)
+            if windows is None:
+                raise KeyError(f"unknown objective {name!r}")
+            windows["fast"].record(bool(good))
+            windows["slow"].record(bool(good))
+
+    def _evaluate_window(self, objective: Objective, counts: WindowCounts) -> BurnRate:
+        good, bad = counts.totals()
+        total = good + bad
+        bad_fraction = (bad / total) if total else 0.0
+        return BurnRate(
+            window_s=counts.window_s,
+            good=good,
+            bad=bad,
+            bad_fraction=bad_fraction,
+            burn_rate=bad_fraction / objective.budget,
+        )
+
+    def evaluate(self) -> dict[str, Any]:
+        """Burn rates, alert states and budget math for every objective."""
+        report: dict[str, Any] = {
+            "burn_threshold": self.burn_threshold,
+            "windows": {"fast_s": self.fast_window_s, "slow_s": self.slow_window_s},
+            "objectives": {},
+            "alerts": [],
+        }
+        for name, objective in self.objectives.items():
+            fast = self._evaluate_window(objective, self._windows[name]["fast"])
+            slow = self._evaluate_window(objective, self._windows[name]["slow"])
+            alerting = (
+                fast.burn_rate >= self.burn_threshold
+                and slow.burn_rate >= self.burn_threshold
+            )
+            report["objectives"][name] = {
+                "target": objective.target,
+                "budget": round(objective.budget, 6),
+                "description": objective.description,
+                "fast": fast.as_dict(),
+                "slow": slow.as_dict(),
+                "alerting": alerting,
+            }
+            if alerting:
+                report["alerts"].append(name)
+        return report
+
+    def alerting(self) -> list[str]:
+        """Names of objectives currently in the alerting state."""
+        return self.evaluate()["alerts"]

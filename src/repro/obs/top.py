@@ -1,0 +1,210 @@
+"""``repro obs top`` — a terminal dashboard over a live service's /metrics.
+
+Polls the serving endpoints (``/metrics`` as JSON, ``/slo``) at an
+interval, differences successive counter snapshots into rates, and renders
+a fixed-width dashboard: per-endpoint RPS and latency percentiles, outcome
+mix, tier distribution, breaker states, SLO burn rates and flight-recorder
+occupancy.  Pure functions do the parsing/rendering so tests can drive
+them without a socket; :func:`run_top` owns the poll loop.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import time
+import urllib.request
+from typing import Any, Callable, IO
+
+__all__ = ["parse_series_key", "sum_counters", "render_dashboard", "run_top"]
+
+_SERIES_RE = re.compile(r'^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$')
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a snapshot series key ``name{k="v",...}`` into name + labels."""
+    match = _SERIES_RE.match(key)
+    if match is None:
+        return key, {}
+    labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+    return match.group("name"), labels
+
+
+def sum_counters(
+    counters: dict[str, float], name: str, **label_filter: str
+) -> float:
+    """Sum every series of family ``name`` whose labels match the filter."""
+    total = 0.0
+    for key, value in counters.items():
+        family, labels = parse_series_key(key)
+        if family != name:
+            continue
+        if all(labels.get(k) == v for k, v in label_filter.items()):
+            total += value
+    return total
+
+
+def _fetch_json(url: str, timeout: float) -> dict[str, Any]:
+    request = urllib.request.Request(url, headers={"Accept": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _rate(curr: float, prev: float, dt: float) -> float:
+    return max(0.0, curr - prev) / dt if dt > 0 else 0.0
+
+
+def render_dashboard(
+    metrics: dict[str, Any],
+    previous: dict[str, Any] | None,
+    dt: float,
+    *,
+    slo: dict[str, Any] | None = None,
+    source: str = "",
+) -> str:
+    """One dashboard frame as fixed-width text."""
+    counters = metrics.get("counters", {})
+    prev_counters = (previous or {}).get("counters", {})
+    histograms = metrics.get("histograms", {})
+    gauges = metrics.get("gauges", {})
+    lines: list[str] = []
+    lines.append(f"repro obs top — {source}".rstrip(" —"))
+
+    # Per-endpoint request table -----------------------------------------
+    endpoints: set[str] = set()
+    for key in counters:
+        family, labels = parse_series_key(key)
+        if family == "serve.requests" and "endpoint" in labels:
+            endpoints.add(labels["endpoint"])
+    lines.append(
+        f"{'endpoint':<18} {'rps':>8} {'total':>9} {'p50ms':>8} {'p90ms':>8} "
+        f"{'p99ms':>8} {'inflight':>8}"
+    )
+    for endpoint in sorted(endpoints):
+        total = sum_counters(counters, "serve.requests", endpoint=endpoint)
+        prev_total = sum_counters(prev_counters, "serve.requests", endpoint=endpoint)
+        summary = None
+        for key, candidate in histograms.items():
+            family, labels = parse_series_key(key)
+            if family == "serve.latency.ms" and labels.get("endpoint") == endpoint:
+                summary = candidate
+                break
+        inflight = 0.0
+        for key, value in gauges.items():
+            family, labels = parse_series_key(key)
+            if family == "serve.inflight" and labels.get("endpoint") == endpoint:
+                inflight = value
+        def pct(which: str) -> str:
+            if summary is None or summary.get("count", 0) == 0:
+                return "-"
+            return f"{summary[which]:.1f}"
+        lines.append(
+            f"{endpoint:<18} {_rate(total, prev_total, dt):>8.1f} {total:>9.0f} "
+            f"{pct('p50'):>8} {pct('p90'):>8} {pct('p99'):>8} {inflight:>8.0f}"
+        )
+
+    # Outcome and tier mix ----------------------------------------------
+    outcome_bits = []
+    for outcome in ("ok", "degraded", "rejected", "shed", "unavailable", "error"):
+        count = sum_counters(counters, "serve.requests", outcome=outcome)
+        if count:
+            outcome_bits.append(f"{outcome} {count:.0f}")
+    if outcome_bits:
+        lines.append("outcomes: " + "  ".join(outcome_bits))
+    tier_bits = []
+    tier_totals: dict[str, float] = {}
+    for key, value in counters.items():
+        family, labels = parse_series_key(key)
+        if family == "serve.tier.answers" and "tier" in labels:
+            tier_totals[labels["tier"]] = tier_totals.get(labels["tier"], 0.0) + value
+    grand = sum(tier_totals.values())
+    for tier, value in sorted(tier_totals.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * value / grand if grand else 0.0
+        tier_bits.append(f"{tier} {share:.0f}%")
+    if tier_bits:
+        lines.append("tiers:    " + "  ".join(tier_bits))
+
+    # Breakers -----------------------------------------------------------
+    breakers = metrics.get("breakers", {})
+    if breakers:
+        lines.append(
+            "breakers: "
+            + "  ".join(
+                f"{name} {state.get('state', '?')}"
+                for name, state in sorted(breakers.items())
+            )
+        )
+
+    # SLO burn rates ------------------------------------------------------
+    if slo:
+        for name, entry in sorted(slo.get("objectives", {}).items()):
+            fast = entry["fast"]["burn_rate"]
+            slow = entry["slow"]["burn_rate"]
+            flag = "ALERT" if entry.get("alerting") else "ok"
+            lines.append(
+                f"slo {name:<13} target {entry['target']:.3f}  "
+                f"burn fast {fast:>7.2f}  slow {slow:>7.2f}  {flag}"
+            )
+
+    flight = metrics.get("flight", {})
+    if flight:
+        lines.append(
+            f"flight:   failed {flight.get('failed_kept', 0)}  "
+            f"slow {flight.get('slow_kept', 0)}  offered {flight.get('offered', 0)}"
+        )
+    quarantine = metrics.get("quarantine", {})
+    if quarantine:
+        lines.append(f"quarantine: {quarantine.get('total', 0)} rejected payloads kept")
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    *,
+    interval: float = 2.0,
+    count: int | None = None,
+    clear: bool = True,
+    timeout: float = 5.0,
+    out: IO[str] | None = None,
+    fetch: Callable[[str, float], dict[str, Any]] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll ``url`` and render the dashboard every ``interval`` seconds.
+
+    ``count`` bounds the number of frames (None = until interrupted).
+    Returns 0 on clean exit, 1 when the first poll already failed.
+    """
+    out = out if out is not None else sys.stdout
+    fetch = fetch if fetch is not None else _fetch_json
+    base = url.rstrip("/")
+    previous: dict[str, Any] | None = None
+    frames = 0
+    last_poll = time.monotonic()
+    while count is None or frames < count:
+        try:
+            metrics = fetch(base + "/metrics", timeout)
+        except Exception as exc:  # noqa: BLE001 - any transport error ends the loop
+            print(f"obs top: cannot fetch {base}/metrics: {exc}", file=out)
+            return 1 if frames == 0 else 0
+        try:
+            slo = fetch(base + "/slo", timeout)
+        except Exception:  # noqa: BLE001 - /slo is optional
+            slo = None
+        now = time.monotonic()
+        dt = max(now - last_poll, 1e-9) if previous is not None else float("inf")
+        last_poll = now
+        if clear:
+            out.write("\x1b[2J\x1b[H")
+        print(render_dashboard(metrics, previous, dt, slo=slo, source=base), file=out)
+        out.flush()
+        previous = metrics
+        frames += 1
+        if count is not None and frames >= count:
+            break
+        try:
+            sleep(interval)
+        except KeyboardInterrupt:
+            break
+    return 0

@@ -14,6 +14,16 @@ CLI's ``--trace`` flag (or :func:`enable`) turns it on.
 
 The current span is tracked with a :class:`contextvars.ContextVar`, so the
 span stack is correct across threads and async tasks.
+
+Request-scoped capture
+----------------------
+Long-lived servers cannot share one global span forest: concurrent
+requests would interleave their trees.  :func:`capture` installs an
+isolated :class:`TraceBuffer` in a :class:`contextvars.ContextVar`; while
+it is active every span opened in that context is recorded into the
+buffer — even when global tracing is disabled — and the global forest is
+untouched.  Each server request runs inside its own ``capture()`` (see
+:mod:`repro.obs.context`), so span trees never cross request boundaries.
 """
 
 from __future__ import annotations
@@ -24,10 +34,13 @@ from typing import Any, Iterator
 
 __all__ = [
     "Span",
+    "TraceBuffer",
     "enable",
     "disable",
     "is_enabled",
     "span",
+    "capture",
+    "current_buffer",
     "current_span",
     "add_counter",
     "merge_subtree",
@@ -117,21 +130,57 @@ class Span:
         return f"Span({self.name!r}, n_calls={self.n_calls}, wall={self.wall:.4f})"
 
 
+class TraceBuffer:
+    """An isolated span forest: the recording target of one context.
+
+    The module keeps one global buffer for whole-process runs (the CLI's
+    ``--trace``); servers install a fresh buffer per request with
+    :func:`capture` so concurrent requests never share a tree.
+    """
+
+    __slots__ = ("roots", "_root_index")
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._root_index: dict[str, Span] = {}
+
+    def root(self, name: str) -> Span:
+        """The merged root span with ``name``, created on first use."""
+        node = self._root_index.get(name)
+        if node is None:
+            node = Span(name)
+            self._root_index[name] = node
+            self.roots.append(node)
+        return node
+
+    def clear(self) -> None:
+        """Drop every recorded root."""
+        self.roots = []
+        self._root_index = {}
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """JSON-encodable representation of the whole forest."""
+        return [root.as_dict() for root in self.roots]
+
+
 class _TraceState:
     """Module-global tracing state; a single object so the hot-path check
     is one attribute load."""
 
-    __slots__ = ("enabled", "roots", "root_index")
+    __slots__ = ("enabled", "buffer")
 
     def __init__(self) -> None:
         self.enabled = False
-        self.roots: list[Span] = []
-        self.root_index: dict[str, Span] = {}
+        self.buffer = TraceBuffer()
 
 
 _state = _TraceState()
 _current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
+)
+#: The context-local recording target; None means the global buffer.
+_buffer: contextvars.ContextVar[TraceBuffer | None] = contextvars.ContextVar(
+    "repro_obs_trace_buffer", default=None
 )
 
 
@@ -161,11 +210,10 @@ class _SpanContext:
     def __enter__(self) -> Span:
         parent = _current.get()
         if parent is None:
-            node = _state.root_index.get(self._name)
-            if node is None:
-                node = Span(self._name)
-                _state.root_index[self._name] = node
-                _state.roots.append(node)
+            buffer = _buffer.get()
+            if buffer is None:
+                buffer = _state.buffer
+            node = buffer.root(self._name)
         else:
             node = parent.child(self._name)
         self._span = node
@@ -201,12 +249,51 @@ def is_enabled() -> bool:
 def span(name: str) -> _SpanContext | _NullSpan:
     """Context manager for one named stage.
 
-    While tracing is disabled this returns a shared no-op object, so
-    wrapping code in ``with span("stage"):`` costs one flag check.
+    While tracing is disabled (and no :func:`capture` buffer is active)
+    this returns a shared no-op object, so wrapping code in ``with
+    span("stage"):`` costs one flag check plus one context-variable load.
     """
-    if not _state.enabled:
+    if not _state.enabled and _buffer.get() is None:
         return _NULL
     return _SpanContext(name)
+
+
+class _CaptureContext:
+    """Context manager installing an isolated :class:`TraceBuffer`."""
+
+    __slots__ = ("buffer", "_buffer_token", "_span_token")
+
+    def __init__(self, buffer: TraceBuffer | None) -> None:
+        self.buffer = buffer if buffer is not None else TraceBuffer()
+
+    def __enter__(self) -> TraceBuffer:
+        self._buffer_token = _buffer.set(self.buffer)
+        # A fresh capture starts outside any span: an open span from the
+        # surrounding context must not become the parent of request spans.
+        self._span_token = _current.set(None)
+        return self.buffer
+
+    def __exit__(self, *exc: object) -> bool:
+        _current.reset(self._span_token)
+        _buffer.reset(self._buffer_token)
+        return False
+
+
+def capture(buffer: TraceBuffer | None = None) -> _CaptureContext:
+    """Record spans into an isolated buffer for the enclosed block.
+
+    Spans opened inside the block are recorded into ``buffer`` (a fresh
+    one by default) **regardless of the global enable flag**, and the
+    global forest is untouched.  The buffer is context-local, so
+    concurrent threads/tasks each capturing their own buffer never see
+    each other's spans.  Returns the buffer on ``__enter__``.
+    """
+    return _CaptureContext(buffer)
+
+
+def current_buffer() -> TraceBuffer | None:
+    """The active capture buffer, or None when recording globally."""
+    return _buffer.get()
 
 
 def current_span() -> Span | None:
@@ -216,7 +303,7 @@ def current_span() -> Span | None:
 
 def add_counter(name: str, value: float = 1.0) -> None:
     """Accumulate a counter on the current span (no-op when disabled)."""
-    if not _state.enabled:
+    if not _state.enabled and _buffer.get() is None:
         return
     node = _current.get()
     if node is not None:
@@ -232,28 +319,29 @@ def merge_subtree(node: dict[str, Any]) -> None:
     span capture: workers ship ``as_dict()`` trees home, the parent absorbs
     them at the point of the fan-out.
     """
-    if not _state.enabled:
+    if not _state.enabled and _buffer.get() is None:
         return
     name = str(node["name"])
     parent = _current.get()
     if parent is None:
-        target = _state.root_index.get(name)
-        if target is None:
-            target = Span(name)
-            _state.root_index[name] = target
-            _state.roots.append(target)
+        buffer = _buffer.get()
+        if buffer is None:
+            buffer = _state.buffer
+        target = buffer.root(name)
     else:
         target = parent.child(name)
     target.absorb(node)
 
 
 def roots() -> list[Span]:
-    """The recorded root spans, in first-entry order."""
-    return list(_state.roots)
+    """The active buffer's root spans (global forest outside a capture)."""
+    buffer = _buffer.get()
+    if buffer is None:
+        buffer = _state.buffer
+    return list(buffer.roots)
 
 
 def reset() -> None:
-    """Drop all recorded spans and clear the current-span stack."""
-    _state.roots = []
-    _state.root_index = {}
+    """Drop all globally recorded spans and clear the current-span stack."""
+    _state.buffer = TraceBuffer()
     _current.set(None)

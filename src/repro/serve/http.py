@@ -2,10 +2,13 @@
 
 A thin :class:`~http.server.ThreadingHTTPServer` shell around
 :meth:`RecommendationService.handle` — every request thread reads the JSON
-body, dispatches into the transport-agnostic core, and writes the JSON
-response with whatever extra headers (``Retry-After``, ``Allow``) the core
-attached.  No framework, no dependency: the paper's tool is a deployed
-service and this layer is what lets the reproduction answer real sockets.
+body, forwards the request headers (so the core can honour
+``X-Request-Id`` and content-negotiate ``/metrics``), dispatches into the
+transport-agnostic core, and writes the response payload with whatever
+extra headers (``Retry-After``, ``Allow``, ``X-Request-Id``) and content
+type the core attached.  No framework, no dependency: the paper's tool is
+a deployed service and this layer is what lets the reproduction answer
+real sockets.
 """
 
 from __future__ import annotations
@@ -33,9 +36,15 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> RecommendationService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _respond(self, status: int, payload: bytes, headers: dict[str, str]) -> None:
+    def _respond(
+        self,
+        status: int,
+        payload: bytes,
+        headers: dict[str, str],
+        content_type: str = "application/json",
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         for name, value in headers.items():
             self.send_header(name, value)
@@ -43,8 +52,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def _dispatch(self, body: bytes | None) -> None:
-        response = self.service.handle(self.command, self.path, body)
-        self._respond(response.status, response.to_json(), response.headers)
+        response = self.service.handle(
+            self.command, self.path, body, dict(self.headers.items())
+        )
+        self._respond(
+            response.status,
+            response.payload(),
+            response.headers,
+            response.content_type,
+        )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
         self._dispatch(None)
@@ -74,6 +90,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     """Threaded HTTP server bound to one :class:`RecommendationService`."""
 
     daemon_threads = True
+    #: The socketserver default backlog of 5 resets connections under a
+    #: burst of simultaneous connects; admission control (shed with 429)
+    #: is the service's overload story, not TCP-level resets.
+    request_queue_size = 128
 
     def __init__(self, address: tuple[str, int], service: RecommendationService) -> None:
         super().__init__(address, _Handler)

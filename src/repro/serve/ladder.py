@@ -16,6 +16,7 @@ degrades, which is exactly the behaviour the deadline budget promises.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from dataclasses import dataclass, field
@@ -113,11 +114,18 @@ class DegradationLadder:
         """
         box: dict[str, object] = {}
         done = threading.Event()
+        # The worker inherits the caller's contextvars (request context +
+        # trace capture buffer), so spans and counters recorded inside a
+        # scorer land in the request's isolated span tree rather than the
+        # process-global one.  An abandoned (timed-out) worker may still
+        # write into that buffer after the request finishes; the service's
+        # telemetry accounting is fail-safe against that.
+        context = contextvars.copy_context()
 
         def worker() -> None:
             try:
                 faults.inject(f"serve/score/{tier.name}")
-                box["value"] = tier.scorer(history, threshold, top_n)
+                box["value"] = context.run(tier.scorer, history, threshold, top_n)
             except BaseException as exc:  # noqa: BLE001 - reported, never raised
                 box["error"] = exc
             finally:

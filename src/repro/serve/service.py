@@ -3,14 +3,29 @@
 :class:`RecommendationService` wires admission control, the bounded
 in-flight limiter, the degradation ladder, the hot-swappable model
 registry and the similar-company tool into one ``handle(method, path,
-body)`` entry point that the stdlib HTTP layer (:mod:`repro.serve.http`),
-the tests and the load harness all drive identically.
+body, headers)`` entry point that the stdlib HTTP layer
+(:mod:`repro.serve.http`), the tests and the load harness all drive
+identically.
 
 The service's contract: **every degradable failure yields a degraded
 answer, a 4xx rejection, or a 429 shed — never a 5xx.**  Bad payloads are
 quarantined; slow or broken model tiers degrade down the ladder; an
 overloaded service sheds with ``Retry-After``; a bad staged model is
 rejected while the previous model keeps serving.
+
+Request-scoped telemetry
+------------------------
+Every request runs inside a :func:`repro.obs.context.request_scope`: the
+service honours an inbound ``X-Request-Id`` header (minting one
+otherwise), echoes it on the response, stamps it on structured log lines,
+and captures the request's span tree into an isolated per-request
+:class:`~repro.obs.trace.TraceBuffer` — no cross-request contamination
+even under the threaded transport.  Finished requests feed labelled
+metrics (``serve.requests{endpoint,outcome}``, per-endpoint latency
+histograms with ``request_id`` exemplars), the multi-window SLO burn-rate
+monitor, and the flight recorder of slowest/failed requests.  Telemetry
+accounting is fail-safe: an exception inside it is logged, never turned
+into a 5xx.
 
 Endpoints
 ---------
@@ -19,7 +34,13 @@ Endpoints
 * ``POST /admin/hotswap`` — ``{"name", "path"}`` → validated promotion.
 * ``GET /healthz``    — liveness (always 200 while the process runs).
 * ``GET /readyz``     — readiness (503 while a hot-swap is in flight).
-* ``GET /metrics``    — counters, latency histogram, breaker states.
+* ``GET /metrics``    — Prometheus text by default over HTTP; JSON with
+  ``Accept: application/json`` (and when called without headers);
+  OpenMetrics (with exemplars) when the Accept header asks for it.
+* ``GET /slo``        — burn rates + alert states of every objective.
+* ``GET /admin/debug`` — flight recorder: JSONL dump, or one request's
+  span tree via ``?request_id=``.
+* ``GET /admin/profile?seconds=N`` — sampling wall-clock profile.
 """
 
 from __future__ import annotations
@@ -27,19 +48,47 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.parse
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from repro.data.corpus import Corpus
-from repro.obs import trace
+from repro.obs import context as obs_context
+from repro.obs import prom, trace
+from repro.obs.flight import FlightRecorder
 from repro.obs.logging import get_logger
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
+from repro.obs.profile import SamplingProfiler
+from repro.obs.slo import Objective, SLOMonitor
 from repro.serve.admission import AdmissionError, AdmissionPolicy, QuarantineLog
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.ladder import DegradationLadder, Tier
 from repro.serve.registry import ModelRegistry
 
 __all__ = ["ServiceConfig", "ServiceResponse", "RecommendationService"]
+
+#: Paths that get their own ``endpoint`` label; anything else is folded
+#: into ``other`` so a URL scanner cannot explode metric cardinality.
+_KNOWN_ENDPOINTS = frozenset(
+    {
+        "/recommend",
+        "/similar",
+        "/admin/hotswap",
+        "/healthz",
+        "/readyz",
+        "/metrics",
+        "/slo",
+        "/admin/debug",
+        "/admin/profile",
+    }
+)
+
+#: Endpoints that do model work: only these burn SLO budget and compete
+#: for flight-recorder slots (scrapes and health checks stay out).
+_WORK_ENDPOINTS = frozenset({"/recommend", "/similar", "/admin/hotswap"})
+
+#: Numeric encoding of breaker states for the ``serve.breaker.state`` gauge.
+_BREAKER_STATE_VALUE = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
 
 @dataclass(frozen=True)
@@ -70,18 +119,59 @@ class ServiceConfig:
     #: Optional JSONL file quarantined payloads are appended to.
     quarantine_path: str | None = None
 
+    # -- request-scoped telemetry --------------------------------------
+    #: Master switch for per-request accounting (labelled metrics, SLO
+    #: counting, flight recording).  Off is the baseline the telemetry
+    #: overhead benchmark compares against; ids are still minted/echoed.
+    telemetry: bool = True
+    #: Capture a per-request span tree (needed by the flight recorder).
+    request_spans: bool = True
+    #: Slots per flight-recorder section (failed ring / slowest heap).
+    flight_capacity: int = 64
+    #: Successful requests at/over this latency always compete for a
+    #: flight-recorder slot (None: only the slowest-so-far do).
+    flight_slow_threshold_ms: float | None = None
+    #: Hard ceiling on ``/admin/profile?seconds=``.
+    profile_max_seconds: float = 10.0
+
+    # -- SLOs -----------------------------------------------------------
+    #: Good fraction targets per objective.
+    slo_availability_target: float = 0.999
+    slo_latency_target: float = 0.99
+    #: A 2xx answer slower than this burns the latency budget.
+    slo_latency_threshold_ms: float = 250.0
+    #: Degraded (non-primary-tier) answers burn the quality budget.
+    slo_quality_target: float = 0.95
+    #: Multi-window burn-rate pair + page threshold.
+    slo_fast_window_s: float = 300.0
+    slo_slow_window_s: float = 3600.0
+    slo_burn_threshold: float = 14.4
+
 
 @dataclass(frozen=True)
 class ServiceResponse:
-    """Transport-agnostic response: status, JSON body, extra headers."""
+    """Transport-agnostic response: status, JSON body *or* raw text.
+
+    JSON responses carry ``body`` (a dict); exposition-format responses
+    (Prometheus text, flight-recorder JSONL) carry ``text`` with a
+    matching ``content_type``.  ``payload()`` is what transports write.
+    """
 
     status: int
-    body: dict[str, Any]
+    body: dict[str, Any] | None = None
     headers: dict[str, str] = field(default_factory=dict)
+    text: str | None = None
+    content_type: str = "application/json"
 
     def to_json(self) -> bytes:
-        """The body serialised for the HTTP layer."""
-        return json.dumps(self.body, sort_keys=True).encode("utf-8")
+        """The JSON body serialised for the HTTP layer."""
+        return json.dumps(self.body if self.body is not None else {}, sort_keys=True).encode("utf-8")
+
+    def payload(self) -> bytes:
+        """The bytes a transport should write (text wins over body)."""
+        if self.text is not None:
+            return self.text.encode("utf-8")
+        return self.to_json()
 
 
 class RecommendationService:
@@ -121,7 +211,6 @@ class RecommendationService:
         self.config = config or ServiceConfig()
         self._clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._metrics_lock = threading.Lock()
         self._log = get_logger("serve.service")
 
         self.policy = AdmissionPolicy(
@@ -133,6 +222,33 @@ class RecommendationService:
             max_deadline_s=self.config.max_deadline_ms / 1000.0,
         )
         self.quarantine = QuarantineLog(self.config.quarantine_path)
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_capacity,
+            slow_threshold_ms=self.config.flight_slow_threshold_ms,
+        )
+        self.slo = SLOMonitor(
+            [
+                Objective(
+                    "availability",
+                    self.config.slo_availability_target,
+                    "request neither shed nor internally failed",
+                ),
+                Objective(
+                    "latency",
+                    self.config.slo_latency_target,
+                    f"2xx answered within {self.config.slo_latency_threshold_ms:g} ms",
+                ),
+                Objective(
+                    "quality",
+                    self.config.slo_quality_target,
+                    "recommendation answered by the primary model tier",
+                ),
+            ],
+            fast_window_s=self.config.slo_fast_window_s,
+            slow_window_s=self.config.slo_slow_window_s,
+            burn_threshold=self.config.slo_burn_threshold,
+            clock=clock,
+        )
 
         for name in tiers:
             registry.model(name)  # raises early on a missing slot
@@ -157,29 +273,78 @@ class RecommendationService:
             clock=clock,
         )
 
+        self._instrument_cache: dict[tuple, Any] = {}
         self._inflight = 0
+        self._inflight_by_endpoint: dict[str, int] = {}
         self._inflight_lock = threading.Lock()
         self._ready = True
         self._started_at = self._clock()
 
     # ------------------------------------------------------------------
-    # Metrics plumbing (service counters always record, thread-safely)
+    # Metrics plumbing.  Instruments carry their own locks (see
+    # repro.obs.metrics), so these helpers are plain lookups — safe to
+    # call concurrently from every transport thread.  Resolved
+    # instruments are memoized per (name, labels): the service's label
+    # values are bounded (normalized endpoints, outcome/tier/reason
+    # enums), so the cache is small and the hot path skips the
+    # registry's key construction on every request.
     # ------------------------------------------------------------------
-    def _inc(self, name: str, amount: float = 1.0) -> None:
-        with self._metrics_lock:
-            self.metrics.counter(name).inc(amount)
+    def _instrument(self, kind: str, name: str, labels: Mapping[str, str] | None):
+        key = (name, tuple(sorted(labels.items())) if labels else ())
+        instrument = self._instrument_cache.get(key)
+        if instrument is None:
+            if kind == "counter":
+                instrument = self.metrics.counter(name, labels)
+            elif kind == "gauge":
+                instrument = self.metrics.gauge(name, labels)
+            else:
+                instrument = self.metrics.histogram(
+                    name, labels, buckets=DEFAULT_LATENCY_BUCKETS_MS
+                )
+            self._instrument_cache[key] = instrument
+        return instrument
 
-    def _observe(self, name: str, value: float) -> None:
-        with self._metrics_lock:
-            self.metrics.histogram(name).observe(value)
+    def _inc(
+        self, name: str, labels: Mapping[str, str] | None = None, amount: float = 1.0
+    ) -> None:
+        self._instrument("counter", name, labels).inc(amount)
 
-    def _set_gauge(self, name: str, value: float) -> None:
-        with self._metrics_lock:
-            self.metrics.gauge(name).set(value)
+    def _set_gauge(
+        self, name: str, labels: Mapping[str, str] | None, value: float
+    ) -> None:
+        self._instrument("gauge", name, labels).set(value)
+
+    def _latency_histogram(self, endpoint: str):
+        return self._instrument("histogram", "serve.latency.ms", {"endpoint": endpoint})
 
     def _on_breaker_transition(self, name: str, old: str, new: str) -> None:
-        self._inc(f"serve.breaker.{name}.{new}")
-        self._log.warning("breaker %s: %s -> %s", name, old, new)
+        self._inc("serve.breaker.transitions", {"tier": name, "state": new})
+        self._set_gauge(
+            "serve.breaker.state",
+            {"tier": name},
+            _BREAKER_STATE_VALUE.get(new, -1.0),
+        )
+        self._log.warning(
+            "breaker %s: %s -> %s",
+            name,
+            old,
+            new,
+            extra={"obs": {"tier": name, "from": old, "to": new}},
+        )
+
+    def _refresh_gauges(self) -> None:
+        """Bring point-in-time gauges up to date before an export."""
+        for tier in self.ladder.tiers:
+            if tier.breaker is not None:
+                self._set_gauge(
+                    "serve.breaker.state",
+                    {"tier": tier.name},
+                    _BREAKER_STATE_VALUE.get(tier.breaker.state, -1.0),
+                )
+        with self._inflight_lock:
+            by_endpoint = dict(self._inflight_by_endpoint)
+        for endpoint, value in by_endpoint.items():
+            self._set_gauge("serve.inflight", {"endpoint": endpoint}, value)
 
     # ------------------------------------------------------------------
     # Tier scorers
@@ -223,18 +388,122 @@ class RecommendationService:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def handle(
-        self, method: str, path: str, body: bytes | str | dict | None = None
-    ) -> ServiceResponse:
-        """Serve one request; the single entry point for every transport."""
-        try:
-            return self._route(method.upper(), path, body)
-        except Exception:  # noqa: BLE001 - last-resort guard; must stay unreached
-            self._inc("serve.errors")
-            self._log.error("unhandled service error", exc_info=True)
-            return ServiceResponse(500, {"error": "internal", "detail": "unexpected failure"})
+    @staticmethod
+    def _header(headers: Mapping[str, str] | None, name: str) -> str | None:
+        """Case-insensitive header lookup over any mapping (or None)."""
+        if not headers:
+            return None
+        lowered = name.lower()
+        for key, value in headers.items():
+            if key.lower() == lowered:
+                return value
+        return None
 
-    def _route(self, method: str, path: str, body: Any) -> ServiceResponse:
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes | str | dict | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> ServiceResponse:
+        """Serve one request; the single entry point for every transport.
+
+        Runs inside a request scope: an inbound ``X-Request-Id`` header is
+        honoured (sanitised) or an id is minted, the id is echoed on the
+        response, and the request's spans are captured into an isolated
+        buffer feeding the flight recorder.
+        """
+        method = method.upper()
+        path, _, query = path.partition("?")
+        params = urllib.parse.parse_qs(query)
+        inbound_id = obs_context.sanitize_request_id(
+            self._header(headers, obs_context.REQUEST_ID_HEADER)
+        )
+        started = self._clock()
+        capture = self.config.telemetry and self.config.request_spans
+        with obs_context.request_scope(inbound_id, capture_spans=capture) as ctx:
+            try:
+                response = self._route(method, path, params, body, headers)
+            except Exception:  # noqa: BLE001 - last-resort guard; must stay unreached
+                self._log.error("unhandled service error", exc_info=True)
+                response = ServiceResponse(
+                    500, {"error": "internal", "detail": "unexpected failure"}
+                )
+            response.headers.setdefault(obs_context.REQUEST_ID_HEADER, ctx.request_id)
+            if self.config.telemetry:
+                latency_ms = (self._clock() - started) * 1000.0
+                try:
+                    self._account(ctx, method, path, response, latency_ms)
+                except Exception:  # noqa: BLE001 - telemetry must never cause a 5xx
+                    self._log.error("telemetry accounting failed", exc_info=True)
+            return response
+
+    def _account(
+        self,
+        ctx: obs_context.RequestContext,
+        method: str,
+        path: str,
+        response: ServiceResponse,
+        latency_ms: float,
+    ) -> None:
+        """Feed one finished request into metrics, SLOs and the recorder."""
+        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+        status = response.status
+        body = response.body if isinstance(response.body, dict) else {}
+        if status == 429:
+            outcome = "shed"
+        elif status == 503:
+            # Deliberate unavailability (readiness probe during a swap),
+            # not an internal failure — keep "error" meaning uncaught 5xx.
+            outcome = "unavailable"
+        elif status >= 500:
+            outcome = "error"
+        elif status >= 400:
+            outcome = "rejected"
+        elif body.get("degraded"):
+            outcome = "degraded"
+        else:
+            outcome = "ok"
+        self._inc("serve.requests", {"endpoint": endpoint, "outcome": outcome})
+        self._latency_histogram(endpoint).observe(
+            latency_ms,
+            exemplar={"request_id": ctx.request_id},
+            ts=time.time(),
+        )
+        if endpoint not in _WORK_ENDPOINTS:
+            return
+        slo_outcomes: dict[str, bool] = {
+            "availability": status != 429 and status < 500
+        }
+        if 200 <= status < 300:
+            slo_outcomes["latency"] = (
+                latency_ms <= self.config.slo_latency_threshold_ms
+            )
+            if endpoint == "/recommend" and "degraded" in body:
+                slo_outcomes["quality"] = not body["degraded"]
+        self.slo.record(slo_outcomes)
+        extra: dict[str, Any] = {"outcome": outcome, "method": method}
+        if "tier" in body:
+            extra["tier"] = body["tier"]
+        self.flight.record(
+            request_id=ctx.request_id,
+            trace_id=ctx.trace_id,
+            endpoint=endpoint,
+            status=status,
+            latency_ms=latency_ms,
+            failed=status >= 400,
+            spans=ctx.spans,  # callable: serialized only when kept
+            **extra,
+        )
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        params: Mapping[str, list[str]],
+        body: Any,
+        headers: Mapping[str, str] | None,
+    ) -> ServiceResponse:
         if path == "/healthz":
             if method != "GET":
                 return self._method_not_allowed("GET")
@@ -251,19 +520,31 @@ class RecommendationService:
         if path == "/metrics":
             if method != "GET":
                 return self._method_not_allowed("GET")
-            return ServiceResponse(200, self.metrics_snapshot())
+            return self._metrics_response(headers)
+        if path == "/slo":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return ServiceResponse(200, self.slo.evaluate())
+        if path == "/admin/debug":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._debug_response(params)
+        if path == "/admin/profile":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._profile_response(params)
         if path == "/recommend":
             if method != "POST":
                 return self._method_not_allowed("POST")
-            return self._with_admission(body, self._recommend)
+            return self._with_admission("/recommend", body, self._recommend)
         if path == "/similar":
             if method != "POST":
                 return self._method_not_allowed("POST")
-            return self._with_admission(body, self._similar)
+            return self._with_admission("/similar", body, self._similar)
         if path == "/admin/hotswap":
             if method != "POST":
                 return self._method_not_allowed("POST")
-            return self._with_admission(body, self._hotswap)
+            return self._with_admission("/admin/hotswap", body, self._hotswap)
         return ServiceResponse(404, {"error": "not_found", "detail": f"unknown path {path}"})
 
     @staticmethod
@@ -272,6 +553,80 @@ class RecommendationService:
             405, {"error": "method_not_allowed"}, headers={"Allow": allowed}
         )
 
+    # ------------------------------------------------------------------
+    # Telemetry endpoints
+    # ------------------------------------------------------------------
+    def _metrics_response(self, headers: Mapping[str, str] | None) -> ServiceResponse:
+        """Content-negotiated /metrics.
+
+        Called without headers (the embedded/test path) it keeps the
+        historical JSON shape.  Over HTTP the default is Prometheus text
+        0.0.4; ``Accept: application/json`` selects JSON and an Accept
+        mentioning ``openmetrics`` selects OpenMetrics, which is the only
+        text format that can carry the ``request_id`` bucket exemplars.
+        """
+        accept = self._header(headers, "Accept") or ""
+        if headers is None or "application/json" in accept:
+            return ServiceResponse(200, self.metrics_snapshot())
+        self._refresh_gauges()
+        openmetrics = "openmetrics" in accept
+        text = prom.render(self.metrics, openmetrics=openmetrics)
+        content_type = (
+            prom.CONTENT_TYPE_OPENMETRICS if openmetrics else prom.CONTENT_TYPE_TEXT
+        )
+        return ServiceResponse(200, None, text=text, content_type=content_type)
+
+    def _debug_response(self, params: Mapping[str, list[str]]) -> ServiceResponse:
+        request_id = params.get("request_id", [None])[0]
+        if request_id:
+            record = self.flight.lookup(request_id)
+            if record is None:
+                return ServiceResponse(
+                    404,
+                    {
+                        "error": "not_found",
+                        "detail": f"request {request_id!r} is not in the flight recorder",
+                    },
+                )
+            return ServiceResponse(200, dict(record))
+        section = params.get("section", ["all"])[0]
+        if section not in ("all", "failed", "slow"):
+            return ServiceResponse(
+                400, {"error": "bad_request", "detail": f"unknown section {section!r}"}
+            )
+        limit: int | None = None
+        raw_limit = params.get("limit", [None])[0]
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                return ServiceResponse(
+                    400, {"error": "bad_request", "detail": "limit must be an integer"}
+                )
+        text = self.flight.dump_jsonl(section=section, limit=limit)
+        return ServiceResponse(
+            200, None, text=text, content_type="application/x-ndjson"
+        )
+
+    def _profile_response(self, params: Mapping[str, list[str]]) -> ServiceResponse:
+        raw = params.get("seconds", ["1.0"])[0]
+        try:
+            seconds = float(raw)
+        except ValueError:
+            return ServiceResponse(
+                400, {"error": "bad_request", "detail": "seconds must be a number"}
+            )
+        if seconds <= 0:
+            return ServiceResponse(
+                400, {"error": "bad_request", "detail": "seconds must be positive"}
+            )
+        seconds = min(seconds, self.config.profile_max_seconds)
+        report = SamplingProfiler().run_for(seconds)
+        return ServiceResponse(200, report)
+
+    # ------------------------------------------------------------------
+    # Admission-scoped endpoints
+    # ------------------------------------------------------------------
     def _parse_body(self, body: Any) -> Any:
         if isinstance(body, (bytes, str)):
             try:
@@ -281,13 +636,15 @@ class RecommendationService:
         return body if body is not None else {}
 
     def _with_admission(
-        self, body: Any, endpoint: Callable[[Any], ServiceResponse]
+        self,
+        endpoint: str,
+        body: Any,
+        handler: Callable[[Any], ServiceResponse],
     ) -> ServiceResponse:
         """Shed on overload, then parse + validate + dispatch one request."""
-        started = self._clock()
         with self._inflight_lock:
             if self._inflight >= self.config.max_inflight:
-                self._inc("serve.shed")
+                self._inc("serve.shed", {"endpoint": endpoint})
                 return ServiceResponse(
                     429,
                     {
@@ -297,33 +654,40 @@ class RecommendationService:
                     headers={"Retry-After": f"{self.config.retry_after_s:g}"},
                 )
             self._inflight += 1
-            self._set_gauge("serve.inflight", self._inflight)
-        self._inc("serve.requests")
+            self._inflight_by_endpoint[endpoint] = (
+                self._inflight_by_endpoint.get(endpoint, 0) + 1
+            )
+            self._set_gauge(
+                "serve.inflight", {"endpoint": endpoint},
+                self._inflight_by_endpoint[endpoint],
+            )
         try:
             with trace.span("serve.request"):
                 payload = None
                 try:
                     payload = self._parse_body(body)
-                    response = endpoint(payload)
+                    response = handler(payload)
                 except AdmissionError as exc:
-                    self._inc("serve.rejected")
-                    self._inc(f"serve.rejected.{exc.reason}")
+                    self._inc(
+                        "serve.rejected",
+                        {"endpoint": endpoint, "reason": exc.reason},
+                    )
                     self.quarantine.record(
                         exc.reason, exc.detail, payload if payload is not None else repr(body)
                     )
                     response = ServiceResponse(
                         exc.status, {"error": exc.reason, "detail": exc.detail}
                     )
-            self._observe("serve.latency_ms", (self._clock() - started) * 1000.0)
             return response
         finally:
             with self._inflight_lock:
                 self._inflight -= 1
-                self._set_gauge("serve.inflight", self._inflight)
+                self._inflight_by_endpoint[endpoint] -= 1
+                self._set_gauge(
+                    "serve.inflight", {"endpoint": endpoint},
+                    self._inflight_by_endpoint[endpoint],
+                )
 
-    # ------------------------------------------------------------------
-    # Endpoints
-    # ------------------------------------------------------------------
     def _recommend(self, payload: Any) -> ServiceResponse:
         request = self.policy.validate_recommend(payload)
         result = self.ladder.score(
@@ -332,11 +696,7 @@ class RecommendationService:
             threshold=request.threshold,
             top_n=request.top_n,
         )
-        self._inc(f"serve.tier.{result.tier}")
-        if result.degraded:
-            self._inc("serve.degraded")
-        else:
-            self._inc("serve.ok")
+        self._inc("serve.tier.answers", {"tier": result.tier})
         return ServiceResponse(
             200,
             {
@@ -376,7 +736,6 @@ class RecommendationService:
             hits = self.tool.similar_companies(duns, k=k)
         except KeyError:
             raise AdmissionError(404, "unknown_company", f"company {duns} is not in the corpus")
-        self._inc("serve.ok")
         return ServiceResponse(
             200,
             {
@@ -403,7 +762,7 @@ class RecommendationService:
             report = self.registry.swap(name, path)
         finally:
             self._ready = True
-        self._inc(f"serve.swap.{report.status}")
+        self._inc("serve.swap", {"status": report.status})
         status = 200 if report.status == "promoted" else 409
         return ServiceResponse(status, report.as_dict())
 
@@ -416,9 +775,14 @@ class RecommendationService:
         return self._ready
 
     def metrics_snapshot(self) -> dict[str, Any]:
-        """Counters + breaker states + quarantine depth, JSON-encodable."""
-        with self._metrics_lock:
-            snapshot = self.metrics.snapshot()
+        """Counters + breaker states + quarantine depth, JSON-encodable.
+
+        Labelled series appear under ``name{key="value",...}`` keys; this
+        is the JSON representation of /metrics (and what ``repro obs top``
+        polls).
+        """
+        self._refresh_gauges()
+        snapshot = self.metrics.snapshot()
         snapshot["breakers"] = {
             tier.name: tier.breaker.snapshot()
             for tier in self.ladder.tiers
@@ -427,4 +791,5 @@ class RecommendationService:
         snapshot["quarantine"] = {"total": self.quarantine.total}
         snapshot["models"] = self.registry.snapshot()
         snapshot["tiers"] = self.ladder.tier_names
+        snapshot["flight"] = self.flight.stats()
         return snapshot

@@ -624,8 +624,8 @@ class TestService:
             assert 0 <= rec["token"] < corpus.n_products
             assert rec["category"] == corpus.vocabulary[rec["token"]]
         counters = service.metrics_snapshot()["counters"]
-        assert counters["serve.tier.lda"] == 1
-        assert counters["serve.ok"] == 1
+        assert counters['serve.tier.answers{tier="lda"}'] == 1
+        assert counters['serve.requests{endpoint="/recommend",outcome="ok"}'] == 1
 
     def test_recommend_bytes_body(self, service, corpus):
         body = json.dumps({"history": [corpus.vocabulary[1]]}).encode()
@@ -644,8 +644,10 @@ class TestService:
         assert response.body["error"] == "vocabulary"
         assert service.quarantine.total == 1
         counters = service.metrics_snapshot()["counters"]
-        assert counters["serve.rejected"] == 1
-        assert counters["serve.rejected.vocabulary"] == 1
+        assert counters['serve.rejected{endpoint="/recommend",reason="vocabulary"}'] == 1
+        assert (
+            counters['serve.requests{endpoint="/recommend",outcome="rejected"}'] == 1
+        )
 
     def test_unknown_path_404_and_wrong_method_405(self, service):
         assert service.handle("GET", "/nope", None).status == 404
@@ -672,8 +674,8 @@ class TestService:
         assert response.status == 429
         assert response.headers["Retry-After"] == "2"
         counters = shedding.metrics_snapshot()["counters"]
-        assert counters["serve.shed"] == 1
-        assert "serve.requests" not in counters  # shed before admission
+        assert counters['serve.shed{endpoint="/recommend"}'] == 1
+        assert counters['serve.requests{endpoint="/recommend",outcome="shed"}'] == 1
 
     def test_concurrent_overload_sheds_excess(self, corpus, split, fitted_lda):
         registry = ModelRegistry(split.validation)
@@ -723,8 +725,14 @@ class TestService:
         assert response.body["outcomes"][0]["status"] == "breaker_open"
         snapshot = service.metrics_snapshot()
         assert snapshot["breakers"]["lda"]["state"] == OPEN
-        assert snapshot["counters"]["serve.breaker.lda.open"] == 1
-        assert snapshot["counters"]["serve.degraded"] == 4
+        assert (
+            snapshot["counters"]['serve.breaker.transitions{state="open",tier="lda"}']
+            == 1
+        )
+        assert (
+            snapshot["counters"]['serve.requests{endpoint="/recommend",outcome="degraded"}']
+            == 4
+        )
 
     def test_deadline_exceeded_mid_score_degrades(self, service, corpus, monkeypatch):
         monkeypatch.setenv("REPRO_FAULTS", "hang:serve/score/lda:seconds=0.5")
@@ -767,7 +775,7 @@ class TestService:
         assert after["model_versions"] == before["model_versions"]
         assert after["tier"] == before["tier"]
         counters = service.metrics_snapshot()["counters"]
-        assert counters["serve.swap.rejected"] == 1
+        assert counters['serve.swap{status="rejected"}'] == 1
 
     def test_hotswap_promotion_bumps_version(self, service, tmp_path):
         staged = tmp_path / "good.npz"

@@ -1,0 +1,356 @@
+"""Service-level tests for request-scoped telemetry (`repro.serve` + `repro.obs`).
+
+The isolation contract under the threaded transport: every request's
+captured span tree contains only that request's spans and counters, the
+request id flows admission → ladder → scorers and back out on the
+response header, ``/metrics`` speaks strict Prometheus, a fault burst
+trips the fast-window burn-rate alert, and flight-recorder entries are
+retrievable by the exemplar ``request_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.models.ngram import NGramModel
+from repro.obs import context as obs_context
+from repro.obs import prom, trace
+from repro.serve import (
+    ModelRegistry,
+    RecommendationService,
+    ServiceConfig,
+    ServiceResponse,
+    start_server,
+)
+
+
+@pytest.fixture()
+def service(corpus, split, fitted_lda):
+    registry = ModelRegistry(split.validation, perplexity_tolerance=1.5)
+    registry.install("lda", fitted_lda)
+    registry.install("ngram", NGramModel(order=2).fit(split.train))
+    return RecommendationService(
+        corpus=corpus,
+        registry=registry,
+        tiers=("lda", "ngram"),
+        config=ServiceConfig(
+            breaker_recovery_s=30.0,
+            slo_fast_window_s=0.5,
+            slo_slow_window_s=5.0,
+            profile_max_seconds=0.1,
+        ),
+    )
+
+
+def _mark_scorers(service):
+    """Wrap every tier scorer to stamp the current request id into the trace.
+
+    The marker counter makes cross-request contamination directly visible:
+    a span tree containing a foreign request's marker is a failed test.
+    """
+    for tier in list(service.ladder.tiers) + [service.ladder.floor]:
+        original = tier.scorer
+
+        def marked(history, threshold, top_n, _original=original):
+            rid = obs_context.current_request_id()
+            trace.add_counter(f"rid.{rid}")
+            return _original(history, threshold, top_n)
+
+        object.__setattr__(tier, "scorer", marked)
+
+
+def _marker_counters(spans):
+    """All ``rid.*`` counter names found anywhere in a span forest."""
+    found = []
+
+    def visit(node):
+        for name in node.get("counters", {}):
+            if name.startswith("rid."):
+                found.append(name)
+        for child in node.get("children", ()):
+            visit(child)
+
+    for root in spans:
+        visit(root)
+    return found
+
+
+class TestRequestScope:
+    def test_response_echoes_inbound_request_id(self, service):
+        response = service.handle(
+            "POST", "/recommend", {"history": []}, {"X-Request-Id": "caller-7"}
+        )
+        assert response.status == 200
+        assert response.headers["X-Request-Id"] == "caller-7"
+
+    def test_request_id_minted_when_absent_or_invalid(self, service):
+        minted = service.handle("POST", "/recommend", {"history": []})
+        assert len(minted.headers["X-Request-Id"]) == 16
+        bad = service.handle(
+            "POST", "/recommend", {"history": []}, {"x-request-id": "bad id\n"}
+        )
+        assert bad.headers["X-Request-Id"] != "bad id\n"
+
+    def test_every_endpoint_carries_request_id(self, service):
+        for method, path in [
+            ("GET", "/healthz"),
+            ("GET", "/metrics"),
+            ("GET", "/slo"),
+            ("GET", "/nope"),
+        ]:
+            assert "X-Request-Id" in service.handle(method, path).headers
+
+    def test_concurrent_span_trees_never_mix(self, service):
+        """16 threads hammer /recommend; each span tree is its own request's."""
+        _mark_scorers(service)
+        n_threads, per_thread = 16, 4
+        results: dict[str, list] = {}
+        errors: list[str] = []
+        barrier = threading.Barrier(n_threads)
+
+        def work(i: int) -> None:
+            barrier.wait()
+            for j in range(per_thread):
+                rid = f"t{i}-r{j}"
+                response = service.handle(
+                    "POST",
+                    "/recommend",
+                    {"history": [], "top_n": 1 + (i % 5)},
+                    {"X-Request-Id": rid},
+                )
+                if response.status != 200:
+                    errors.append(f"{rid}: status {response.status}")
+                if response.headers.get("X-Request-Id") != rid:
+                    errors.append(f"{rid}: echoed {response.headers.get('X-Request-Id')}")
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+        for i in range(n_threads):
+            for j in range(per_thread):
+                rid = f"t{i}-r{j}"
+                record = service.flight.lookup(rid)
+                assert record is not None, f"{rid} not kept by the flight recorder"
+                roots = [s["name"] for s in record["spans"]]
+                assert roots == ["serve.request"], roots
+                assert record["spans"][0]["n_calls"] == 1
+                markers = set(_marker_counters(record["spans"]))
+                assert markers == {f"rid.{rid}"}, (
+                    f"{rid}: span tree contaminated with {markers}"
+                )
+
+    def test_scorer_spans_propagate_into_request_tree(self, service):
+        response = service.handle("POST", "/recommend", {"history": []})
+        record = service.flight.lookup(response.headers["X-Request-Id"])
+        root = record["spans"][0]
+        child_names = [c["name"] for c in root.get("children", ())]
+        assert "serve.score.lda" in child_names
+
+
+class TestMetricsExposition:
+    def test_json_without_headers_keeps_legacy_shape(self, service):
+        service.handle("POST", "/recommend", {"history": []})
+        body = service.handle("GET", "/metrics").body
+        assert set(body) >= {"counters", "gauges", "histograms", "breakers", "flight"}
+
+    def test_accept_json_selects_json_over_http_headers(self, service):
+        response = service.handle(
+            "GET", "/metrics", None, {"Accept": "application/json"}
+        )
+        assert response.text is None and isinstance(response.body, dict)
+
+    def test_default_http_scrape_is_strict_prometheus(self, service):
+        service.handle("POST", "/recommend", {"history": []})
+        response = service.handle("GET", "/metrics", None, {"Accept": "*/*"})
+        assert response.content_type.startswith("text/plain; version=0.0.4")
+        parsed = prom.parse(response.text)
+        assert "serve_requests" in parsed["families"]
+
+    def test_no_unlabeled_serve_metric_survives_traffic(self, service):
+        """The CI guard: every serve.* family must carry labels."""
+        service.handle("POST", "/recommend", {"history": []})
+        service.handle("POST", "/recommend", {"history": ["nope"]})  # rejected
+        service.handle("POST", "/similar", {"duns": "0"})
+        service.handle("GET", "/metrics", None, {"Accept": "*/*"})
+        response = service.handle("GET", "/metrics", None, {"Accept": "*/*"})
+        prom.parse(response.text, require_labels_prefix="serve_")
+
+    def test_openmetrics_exemplars_round_trip_into_flight_recorder(self, service):
+        response = service.handle("POST", "/recommend", {"history": []})
+        rid = response.headers["X-Request-Id"]
+        scrape = service.handle(
+            "GET", "/metrics", None, {"Accept": "application/openmetrics-text"}
+        )
+        assert scrape.content_type.startswith("application/openmetrics-text")
+        assert f'# {{request_id="{rid}"}}' in scrape.text
+        debug = service.handle("GET", f"/admin/debug?request_id={rid}")
+        assert debug.status == 200
+        assert debug.body["request_id"] == rid
+
+    def test_per_endpoint_latency_histograms(self, service):
+        service.handle("POST", "/recommend", {"history": []})
+        service.handle("GET", "/healthz")
+        histograms = service.metrics_snapshot()["histograms"]
+        assert 'serve.latency.ms{endpoint="/recommend"}' in histograms
+        assert 'serve.latency.ms{endpoint="/healthz"}' in histograms
+
+
+class TestSLOEndpoint:
+    def test_slo_reports_objectives(self, service):
+        service.handle("POST", "/recommend", {"history": []})
+        body = service.handle("GET", "/slo").body
+        assert set(body["objectives"]) == {"availability", "latency", "quality"}
+        assert body["alerts"] == []
+        assert body["objectives"]["availability"]["fast"]["bad"] == 0
+
+    def test_fault_burst_trips_fast_window_burn_alert(self, service, monkeypatch):
+        """Crashing the primary tier degrades answers, burning quality budget."""
+        monkeypatch.setenv("REPRO_FAULTS", "crash:serve/score/lda")
+        for _ in range(12):
+            response = service.handle("POST", "/recommend", {"history": []})
+            assert response.status == 200
+            assert response.body["degraded"] is True
+        report = service.handle("GET", "/slo").body
+        quality = report["objectives"]["quality"]
+        assert quality["fast"]["burn_rate"] >= report["burn_threshold"]
+        assert "quality" in report["alerts"]
+        assert report["objectives"]["availability"]["alerting"] is False
+
+    def test_shed_burns_availability(self, corpus, split, fitted_lda):
+        registry = ModelRegistry(split.validation)
+        registry.install("lda", fitted_lda)
+        shedding = RecommendationService(
+            corpus=corpus,
+            registry=registry,
+            tiers=("lda",),
+            config=ServiceConfig(max_inflight=0),
+        )
+        shedding.handle("POST", "/recommend", {"history": []})
+        report = shedding.handle("GET", "/slo").body
+        assert report["objectives"]["availability"]["fast"]["bad"] == 1
+
+
+class TestAdminEndpoints:
+    def test_debug_jsonl_dump_and_sections(self, service):
+        ok = service.handle("POST", "/recommend", {"history": []})
+        service.handle("POST", "/recommend", {"history": ["nope"]})
+        dump = service.handle("GET", "/admin/debug")
+        assert dump.content_type == "application/x-ndjson"
+        records = [json.loads(line) for line in dump.text.strip().splitlines()]
+        assert {r["request_id"] for r in records} >= {ok.headers["X-Request-Id"]}
+        failed = service.handle("GET", "/admin/debug?section=failed")
+        failed_records = [json.loads(l) for l in failed.text.strip().splitlines()]
+        assert all(r["failed"] for r in failed_records)
+        assert len(failed_records) == 1
+
+    def test_debug_validates_parameters(self, service):
+        assert service.handle("GET", "/admin/debug?section=bogus").status == 400
+        assert service.handle("GET", "/admin/debug?limit=x").status == 400
+        assert service.handle("GET", "/admin/debug?request_id=ghost").status == 404
+
+    def test_profile_endpoint_samples_and_clamps(self, service):
+        response = service.handle("GET", "/admin/profile?seconds=50")
+        assert response.status == 200
+        assert response.body["seconds"] == pytest.approx(0.1)  # clamped
+        assert response.body["samples"] >= 1
+        assert service.handle("GET", "/admin/profile?seconds=abc").status == 400
+        assert service.handle("GET", "/admin/profile?seconds=-1").status == 400
+
+    def test_telemetry_failure_never_becomes_5xx(self, service, monkeypatch):
+        def boom(**kwargs):
+            raise RuntimeError("recorder exploded")
+
+        monkeypatch.setattr(service.flight, "record", boom)
+        response = service.handle("POST", "/recommend", {"history": []})
+        assert response.status == 200
+
+
+class TestResponsePayload:
+    def test_text_response_payload_bytes(self):
+        response = ServiceResponse(200, None, text="hello\n", content_type="text/plain")
+        assert response.payload() == b"hello\n"
+
+    def test_json_response_payload_bytes(self):
+        response = ServiceResponse(200, {"a": 1})
+        assert json.loads(response.payload()) == {"a": 1}
+
+
+class TestHTTPTransportTelemetry:
+    @pytest.fixture()
+    def live(self, service):
+        server, _thread = start_server(service)
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+
+    def _request(self, base, path, data=None, headers=None, method=None):
+        request = urllib.request.Request(
+            base + path,
+            data=data,
+            headers={"Content-Type": "application/json", **(headers or {})},
+            method=method or ("POST" if data is not None else "GET"),
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+    def test_request_id_flows_over_http(self, live):
+        status, headers, body = self._request(
+            live, "/recommend", b'{"history": []}', {"X-Request-Id": "http-1"}
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] == "http-1"
+
+    def test_http_scrape_negotiates_content_type(self, live):
+        status, headers, body = self._request(live, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        prom.parse(body.decode())
+        status, headers, body = self._request(
+            live, "/metrics", headers={"Accept": "application/json"}, method="GET"
+        )
+        assert headers["Content-Type"] == "application/json"
+        assert "counters" in json.loads(body)
+
+    def test_concurrent_http_requests_isolated_span_trees(self, live, service):
+        _mark_scorers(service)
+        n_threads = 16
+        errors: list[str] = []
+        barrier = threading.Barrier(n_threads)
+
+        def work(i: int) -> None:
+            barrier.wait()
+            rid = f"http-t{i}"
+            status, headers, _body = self._request(
+                live, "/recommend", b'{"history": []}', {"X-Request-Id": rid}
+            )
+            if status != 200 or headers.get("X-Request-Id") != rid:
+                errors.append(f"{rid}: {status} {headers.get('X-Request-Id')}")
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        for i in range(n_threads):
+            rid = f"http-t{i}"
+            status, _headers, body = self._request(
+                live, f"/admin/debug?request_id={rid}"
+            )
+            assert status == 200
+            record = json.loads(body)
+            markers = set(_marker_counters(record["spans"]))
+            assert markers == {f"rid.{rid}"}

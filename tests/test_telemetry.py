@@ -1,0 +1,536 @@
+"""Unit tests for the request-scoped telemetry core (`repro.obs`).
+
+Covers trace-buffer capture isolation, request contexts, labelled
+metrics (cardinality cap, reservoir sampling, exemplars), Prometheus
+text/OpenMetrics rendering and the strict parser, multi-window SLO burn
+rates under a fake clock, the flight recorder, the sampling profiler,
+request-id stamping of JSON log lines, and the `obs top` dashboard
+renderer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import math
+import threading
+import time
+
+import pytest
+
+from repro.obs import context as obs_context
+from repro.obs import prom, trace
+from repro.obs.flight import FlightRecorder
+from repro.obs.logging import JsonLinesFormatter, _json_safe
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    OVERFLOW_LABEL_VALUE,
+    Histogram,
+    MetricsRegistry,
+    series_key,
+)
+from repro.obs.profile import SamplingProfiler
+from repro.obs.slo import Objective, SLOMonitor, WindowCounts
+from repro.obs.top import parse_series_key, render_dashboard, run_top, sum_counters
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Trace capture / request context
+# ----------------------------------------------------------------------
+class TestTraceCapture:
+    def teardown_method(self) -> None:
+        trace.disable()
+        trace.reset()
+
+    def test_capture_records_even_when_tracing_disabled(self):
+        trace.disable()
+        with trace.capture() as buffer:
+            with trace.span("req"):
+                with trace.span("child"):
+                    pass
+        assert [root.name for root in buffer.roots] == ["req"]
+        assert [c.name for c in buffer.roots[0].children] == ["child"]
+
+    def test_capture_does_not_leak_into_global_roots(self):
+        trace.enable()
+        with trace.capture():
+            with trace.span("inside"):
+                pass
+        assert all(root.name != "inside" for root in trace.roots())
+
+    def test_counters_recorded_into_captured_span(self):
+        with trace.capture() as buffer:
+            with trace.span("req"):
+                trace.add_counter("scored", 3)
+        assert buffer.roots[0].counters["scored"] == 3
+
+    def test_nested_captures_are_independent(self):
+        with trace.capture() as outer:
+            with trace.span("outer-span"):
+                pass
+            with trace.capture() as inner:
+                with trace.span("inner-span"):
+                    pass
+        assert [r.name for r in outer.roots] == ["outer-span"]
+        assert [r.name for r in inner.roots] == ["inner-span"]
+
+    def test_threads_capture_into_their_own_buffers(self):
+        trace.disable()
+        seen: dict[int, list[str]] = {}
+
+        def work(i: int) -> None:
+            with trace.capture() as buffer:
+                with trace.span(f"req-{i}"):
+                    time.sleep(0.001)
+                seen[i] = [r.name for r in buffer.roots]
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(8):
+            assert seen[i] == [f"req-{i}"]
+
+
+class TestRequestContext:
+    def test_scope_mints_ids_and_clears(self):
+        assert obs_context.current() is None
+        with obs_context.request_scope() as ctx:
+            assert obs_context.current() is ctx
+            assert obs_context.current_request_id() == ctx.request_id
+            assert len(ctx.trace_id) == 32
+        assert obs_context.current() is None
+
+    def test_scope_honors_supplied_id_and_captures_spans(self):
+        with obs_context.request_scope("abc-123") as ctx:
+            with trace.span("work"):
+                pass
+        assert ctx.request_id == "abc-123"
+        spans = ctx.spans()
+        assert [s["name"] for s in spans] == ["work"]
+
+    def test_capture_spans_off_yields_ids_only(self):
+        with obs_context.request_scope(capture_spans=False) as ctx:
+            with trace.span("work"):
+                pass
+        assert ctx.spans() == []
+        assert ctx.request_id
+
+    def test_sanitize_rejects_junk(self):
+        assert obs_context.sanitize_request_id("ok-id_1.2:3") == "ok-id_1.2:3"
+        assert obs_context.sanitize_request_id("bad id\n") is None
+        assert obs_context.sanitize_request_id("") is None
+        assert obs_context.sanitize_request_id(None) is None
+        assert obs_context.sanitize_request_id("x" * 200) is None
+
+
+# ----------------------------------------------------------------------
+# Labelled metrics
+# ----------------------------------------------------------------------
+class TestLabelledMetrics:
+    def test_series_key_sorts_labels(self):
+        assert (
+            series_key("m", {"b": "2", "a": "1"}) == 'm{a="1",b="2"}'
+        )
+        assert series_key("m") == "m"
+
+    def test_labelled_counters_are_independent_series(self):
+        registry = MetricsRegistry()
+        registry.counter("req", {"endpoint": "/a"}).inc()
+        registry.counter("req", {"endpoint": "/b"}).inc(2)
+        snap = registry.snapshot()["counters"]
+        assert snap['req{endpoint="/a"}'] == 1
+        assert snap['req{endpoint="/b"}'] == 2
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m", {"x": "1"})
+        with pytest.raises(TypeError):
+            registry.gauge("m", {"x": "2"})
+
+    def test_cardinality_cap_folds_into_overflow(self):
+        registry = MetricsRegistry(max_series_per_family=4)
+        for i in range(10):
+            registry.counter("req", {"user": str(i)}).inc()
+        snap = registry.snapshot()["counters"]
+        overflow_key = series_key("req", {"user": OVERFLOW_LABEL_VALUE})
+        assert overflow_key in snap
+        assert snap[overflow_key] >= 6
+        assert registry.overflowed_series >= 6
+        # Total is conserved across real + overflow series.
+        assert sum(v for k, v in snap.items() if k.startswith("req{")) == 10
+
+    def test_histogram_reservoir_is_bounded_with_exact_count_sum(self):
+        h = Histogram()
+        n = 10_000
+        for i in range(n):
+            h.observe(float(i))
+        assert h.count == n
+        assert h.total == pytest.approx(sum(range(n)))
+        assert len(h._sample) <= 4096
+        # Quantiles stay sane estimates despite sampling.
+        assert 0.35 * n < h.quantile(0.5) < 0.65 * n
+
+    def test_histogram_buckets_and_exemplars(self):
+        h = Histogram(buckets=(10.0, 100.0))
+        h.observe(5.0, exemplar={"request_id": "fast"})
+        h.observe(50.0, exemplar={"request_id": "mid"})
+        h.observe(500.0, exemplar={"request_id": "slow"})
+        assert h.cumulative_buckets() == [(10.0, 1), (100.0, 2), (float("inf"), 3)]
+        by_le = {le: ex.labels["request_id"] for le, ex in h.exemplars()}
+        assert by_le == {10.0: "fast", 100.0: "mid", float("inf"): "slow"}
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.counter("c", {"t": "x"}).inc()
+                registry.histogram("h", {"t": "x"}).observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = registry.snapshot()
+        assert snap["counters"]['c{t="x"}'] == 8000
+        assert snap["histograms"]['h{t="x"}']["count"] == 8000
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+class TestPromExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", {"endpoint": "/r", "outcome": "ok"}).inc(3)
+        registry.gauge("serve.inflight", {"endpoint": "/r"}).set(2)
+        h = registry.histogram(
+            "serve.latency.ms", {"endpoint": "/r"}, buckets=DEFAULT_LATENCY_BUCKETS_MS
+        )
+        h.observe(3.0, exemplar={"request_id": "rid1"})
+        h.observe(700.0, exemplar={"request_id": "rid2"})
+        return registry
+
+    def test_text_format_round_trips_strict_parser(self):
+        text = prom.render(self._registry())
+        parsed = prom.parse(text)
+        families = parsed["families"]
+        assert families["serve_requests"]["type"] == "counter"
+        assert families["serve_inflight"]["type"] == "gauge"
+        assert families["serve_latency_ms"]["type"] == "histogram"
+        sample = families["serve_requests"]["samples"][0]
+        assert sample["labels"] == {"endpoint": "/r", "outcome": "ok"}
+        assert sample["value"] == 3.0
+
+    def test_openmetrics_carries_exemplars_and_eof(self):
+        text = prom.render(self._registry(), openmetrics=True)
+        assert text.rstrip().endswith("# EOF")
+        exemplar_lines = [l for l in text.splitlines() if " # {" in l]
+        assert any('request_id="rid1"' in l for l in exemplar_lines)
+        prom.parse(text)  # strict parse accepts OpenMetrics output too
+
+    def test_histogram_counts_are_cumulative_and_consistent(self):
+        text = prom.render(self._registry())
+        parsed = prom.parse(text)
+        buckets = [
+            s
+            for s in parsed["families"]["serve_latency_ms"]["samples"]
+            if s["name"].endswith("_bucket")
+        ]
+        counts = [b["value"] for b in buckets]
+        assert counts == sorted(counts)
+        assert counts[-1] == 2.0
+
+    def test_unlabeled_family_fails_required_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.naked").inc()
+        text = prom.render(registry)
+        with pytest.raises(prom.ParseError):
+            prom.parse(text, require_labels_prefix="serve_")
+        # Non-matching prefixes are unaffected.
+        prom.parse(text, require_labels_prefix="other_")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(prom.ParseError):
+            prom.parse("metric_without_value\n")
+        with pytest.raises(prom.ParseError):
+            prom.parse('# TYPE m counter\nm 1\nm 2\n')  # duplicate series
+
+
+# ----------------------------------------------------------------------
+# SLO burn rates
+# ----------------------------------------------------------------------
+class TestSLO:
+    def test_window_counts_expire_old_buckets(self):
+        clock = FakeClock()
+        window = WindowCounts(60.0, n_buckets=6, clock=clock)
+        window.record(True)
+        window.record(False)
+        assert window.totals() == (1, 1)
+        clock.advance(120.0)
+        assert window.totals() == (0, 0)
+
+    def test_burn_rate_math(self):
+        clock = FakeClock()
+        monitor = SLOMonitor(
+            [Objective("avail", 0.99)],
+            fast_window_s=10.0,
+            slow_window_s=100.0,
+            clock=clock,
+        )
+        for _ in range(90):
+            monitor.record({"avail": True})
+        for _ in range(10):
+            monitor.record({"avail": False})
+        report = monitor.evaluate()
+        entry = report["objectives"]["avail"]
+        # 10% bad over a 1% budget -> burn rate 10 in both windows.
+        assert entry["fast"]["burn_rate"] == pytest.approx(10.0, rel=1e-3)
+        assert entry["slow"]["burn_rate"] == pytest.approx(10.0, rel=1e-3)
+
+    def test_alert_requires_both_windows(self):
+        clock = FakeClock()
+        monitor = SLOMonitor(
+            [Objective("avail", 0.99)],
+            fast_window_s=10.0,
+            slow_window_s=1000.0,
+            burn_threshold=14.4,
+            clock=clock,
+        )
+        # Long good history dilutes the slow window.
+        for _ in range(2000):
+            monitor.record({"avail": True})
+            clock.advance(0.4)
+        # A short burst of pure failure maxes the fast window first.
+        for _ in range(50):
+            monitor.record({"avail": False})
+            clock.advance(0.1)
+        report = monitor.evaluate()
+        entry = report["objectives"]["avail"]
+        assert entry["fast"]["burn_rate"] >= 14.4
+        assert entry["slow"]["burn_rate"] < 14.4
+        assert not entry["alerting"]
+        # Sustained failure eventually trips the slow window too.
+        for _ in range(5000):
+            monitor.record({"avail": False})
+            clock.advance(0.1)
+        assert monitor.alerting() == ["avail"]
+
+    def test_unknown_objective_raises(self):
+        monitor = SLOMonitor([Objective("a", 0.9)])
+        with pytest.raises(KeyError):
+            monitor.record({"nope": True})
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def _record(self, recorder, rid, latency, failed=False):
+        return recorder.record(
+            request_id=rid,
+            endpoint="/recommend",
+            status=500 if failed else 200,
+            latency_ms=latency,
+            failed=failed,
+            spans=[{"name": "serve.request"}],
+        )
+
+    def test_keeps_slowest_successes(self):
+        recorder = FlightRecorder(capacity=3)
+        for i, latency in enumerate([10, 20, 30, 5, 40]):
+            self._record(recorder, f"r{i}", latency)
+        kept = {r["request_id"] for r in recorder.records(section="slow")}
+        assert kept == {"r1", "r2", "r4"}
+        assert recorder.lookup("r3") is None
+
+    def test_failed_ring_is_separate_and_bounded(self):
+        recorder = FlightRecorder(capacity=2)
+        for i in range(4):
+            self._record(recorder, f"f{i}", 1.0, failed=True)
+        failed = recorder.records(section="failed")
+        assert {r["request_id"] for r in failed} == {"f2", "f3"}
+        assert recorder.stats()["failed_kept"] == 2
+
+    def test_lookup_and_jsonl_round_trip(self):
+        recorder = FlightRecorder(capacity=4)
+        self._record(recorder, "target", 99.0)
+        record = recorder.lookup("target")
+        assert record is not None and record["latency_ms"] == 99.0
+        lines = recorder.dump_jsonl().strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["request_id"] == "target"
+        assert parsed[0]["spans"] == [{"name": "serve.request"}]
+
+
+# ----------------------------------------------------------------------
+# Sampling profiler
+# ----------------------------------------------------------------------
+class TestSamplingProfiler:
+    def test_captures_other_threads_stacks(self):
+        stop = threading.Event()
+
+        def spin():
+            while not stop.is_set():
+                math.sqrt(123.0)
+
+        thread = threading.Thread(target=spin, name="spinner")
+        thread.start()
+        try:
+            report = SamplingProfiler(interval_s=0.002).run_for(0.1)
+        finally:
+            stop.set()
+            thread.join()
+        assert report["samples"] > 5
+        locations = " ".join(f["location"] for f in report["functions"])
+        assert "spin" in locations
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler().run_for(0)
+
+
+# ----------------------------------------------------------------------
+# Logging: request stamping + JSON safety
+# ----------------------------------------------------------------------
+class TestJsonLogging:
+    def _emit(self, message, obs_extra=None):
+        logger = logging.getLogger("repro.test.telemetry")
+        logger.setLevel(logging.INFO)
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonLinesFormatter())
+        logger.addHandler(handler)
+        try:
+            logger.info(message, extra={"obs": obs_extra or {}})
+        finally:
+            logger.removeHandler(handler)
+        return json.loads(stream.getvalue())
+
+    def test_stamps_request_and_trace_ids_inside_scope(self):
+        with obs_context.request_scope("req-77") as ctx:
+            line = self._emit("hello")
+        assert line["request_id"] == "req-77"
+        assert line["trace_id"] == ctx.trace_id
+
+    def test_no_ids_outside_scope(self):
+        line = self._emit("hello")
+        assert "request_id" not in line
+
+    def test_non_serializable_and_nan_values_are_coerced(self):
+        line = self._emit(
+            "weird",
+            {"nan": float("nan"), "inf": float("inf"), "obj": object(), "ok": 1},
+        )
+        assert line["nan"] == "NaN"
+        assert line["inf"] == "Infinity"
+        assert "object object" in line["obj"]
+        assert line["ok"] == 1
+
+    def test_json_safe_handles_nested_containers(self):
+        safe = _json_safe({"a": [float("nan"), {"b": object()}], 1: "x"})
+        json.dumps(safe, allow_nan=False)
+        assert safe["1"] == "x"
+
+
+# ----------------------------------------------------------------------
+# obs top dashboard
+# ----------------------------------------------------------------------
+class TestObsTop:
+    def _metrics(self, total):
+        return {
+            "counters": {
+                f'serve.requests{{endpoint="/recommend",outcome="ok"}}': total,
+                'serve.tier.answers{tier="lda"}': 9.0,
+                'serve.tier.answers{tier="popularity"}': 1.0,
+            },
+            "gauges": {'serve.inflight{endpoint="/recommend"}': 2.0},
+            "histograms": {
+                'serve.latency.ms{endpoint="/recommend"}': {
+                    "count": total,
+                    "p50": 4.0,
+                    "p90": 9.0,
+                    "p99": 20.0,
+                }
+            },
+            "breakers": {"lda": {"state": "closed"}},
+            "flight": {"failed_kept": 1, "slow_kept": 3, "offered": 10},
+        }
+
+    def test_parse_series_key(self):
+        name, labels = parse_series_key('m{a="1",b="x y"}')
+        assert name == "m" and labels == {"a": "1", "b": "x y"}
+        assert parse_series_key("bare") == ("bare", {})
+
+    def test_sum_counters_filters_by_labels(self):
+        counters = self._metrics(10.0)["counters"]
+        assert sum_counters(counters, "serve.tier.answers") == 10.0
+        assert sum_counters(counters, "serve.tier.answers", tier="lda") == 9.0
+
+    def test_render_dashboard_shows_rates_and_tiers(self):
+        slo = {
+            "objectives": {
+                "availability": {
+                    "target": 0.999,
+                    "alerting": True,
+                    "fast": {"burn_rate": 20.0},
+                    "slow": {"burn_rate": 15.0},
+                }
+            }
+        }
+        frame = render_dashboard(
+            self._metrics(30.0), self._metrics(10.0), 2.0, slo=slo, source="x"
+        )
+        assert "/recommend" in frame
+        assert "10.0" in frame  # (30-10)/2 rps
+        assert "lda 90%" in frame
+        assert "ALERT" in frame
+        assert "failed 1" in frame
+
+    def test_run_top_polls_fetcher(self):
+        frames = []
+
+        def fetch(url, timeout):
+            if url.endswith("/slo"):
+                return {"objectives": {}}
+            frames.append(url)
+            return self._metrics(float(len(frames)))
+
+        out = io.StringIO()
+        code = run_top(
+            "http://x",
+            interval=0.0,
+            count=3,
+            clear=False,
+            out=out,
+            fetch=fetch,
+            sleep=lambda s: None,
+        )
+        assert code == 0
+        assert len(frames) == 3
+        assert out.getvalue().count("repro obs top") == 3
+
+    def test_run_top_reports_fetch_failure(self):
+        def fetch(url, timeout):
+            raise OSError("connection refused")
+
+        out = io.StringIO()
+        assert run_top("http://x", count=1, out=out, fetch=fetch) == 1
+        assert "cannot fetch" in out.getvalue()

@@ -19,14 +19,24 @@ service's core contract end to end:
   recorder via ``/admin/debug``, and a crash burst against the primary
   tier trips the **fast-window SLO burn alert** on ``/slo``;
 * request-scoped telemetry costs ≤ 10 % of p50 ``/recommend`` latency
-  (the overhead gate, recorded into ``BENCH_METRICS.json``).
+  (the overhead gate, recorded into ``BENCH_METRICS.json``);
+* micro-batching **coalesces** under 32-way concurrency: batched p50 <
+  single-path p50, with the batched path provably taken
+  (``serve.path{path="batched"}`` > 0) and zero degraded answers;
+* the LSH similarity index hits **recall@10 ≥ 0.95** at a ≥ 10× speedup
+  over brute force on a 100k-company vector set (smoke mode shrinks the
+  set and relaxes the speedup floor, never the recall floor);
+* a hot-swap **invalidates the top-k result cache**: the first request
+  after a promotion is recomputed against the new model, then re-cached
+  under the new generation.
 
 Run directly (CI's serve-smoke job does)::
 
     PYTHONPATH=src python benchmarks/bench_serve.py --inject-faults \
         --json serve-summary.json
 
-or under pytest along with the other benchmarks.
+or under pytest along with the other benchmarks.  ``REPRO_BENCH_SMOKE=1``
+shrinks the coalescing/ANN phases to CI scale.
 """
 
 from __future__ import annotations
@@ -46,13 +56,19 @@ from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
+import numpy as np
+
+from repro.analysis.similarity import top_k_from_scores
 from repro.data.duns import DunsNumber
 from repro.obs import metrics as obs_metrics
 from repro.obs import prom as obs_prom
 from repro.obs.top import sum_counters
 from repro.runtime import faults
-from repro.serve import ServiceConfig, build_demo_service, start_server
+from repro.serve import LSHIndex, ServiceConfig, build_demo_service, start_server
+from repro.serve.ann import unit_rows
 from repro.serve.service import RecommendationService
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 #: Sequence far beyond any synthetic corpus size: valid check digit,
 #: guaranteed absent from the similarity index.
@@ -528,6 +544,282 @@ def run_overhead_gate(
     return result
 
 
+def run_coalescing_gate(
+    *,
+    companies: int = 150,
+    seed: int = 7,
+    concurrency: int = 32,
+    rounds: int = 3,
+    per_round: int = 256,
+    window_ms: float = 4.0,
+    slack_ms: float = 0.0,
+) -> dict:
+    """Gate: micro-batched p50 beats the single path at high concurrency.
+
+    One fitted stack, two service shells: batching off versus a
+    ``window_ms`` coalescing window sized to the concurrency.  Each side
+    serves ``per_round`` ``/recommend`` requests from a ``concurrency``-
+    wide pool via direct ``handle()`` calls; rounds are interleaved and
+    the best (minimum) round median is kept per side.  Besides the
+    latency gate, the phase proves coalescing actually happened
+    (``serve.path{path="batched"}`` > 0) and that batching never degraded
+    an answer — the no-degradable-5xx contract extends to batches.
+    """
+    if SMOKE:
+        rounds, per_round = 2, 128
+    base = build_demo_service(companies, seed=seed)
+    quiet = dict(telemetry=False, request_spans=False, max_inflight=4 * concurrency)
+
+    def shell(config: ServiceConfig) -> RecommendationService:
+        return RecommendationService(
+            corpus=base.corpus,
+            registry=base.registry,
+            tiers=("lda", "ngram"),
+            config=config,
+        )
+
+    single = shell(ServiceConfig(**quiet))
+    batched = shell(
+        ServiceConfig(
+            **quiet, batch_window_ms=window_ms, batch_max=concurrency
+        )
+    )
+    vocabulary = list(base.corpus.vocabulary)
+    rng = random.Random(seed)
+    payloads = [
+        json.dumps(
+            {
+                "history": rng.sample(
+                    vocabulary, rng.randint(1, min(5, len(vocabulary)))
+                ),
+                "deadline_ms": 4000,
+            }
+        ).encode()
+        for _ in range(64)
+    ]
+
+    def p50_ms(service: RecommendationService, n: int) -> float:
+        def one(i: int) -> float:
+            started = time.perf_counter()
+            response = service.handle(
+                "POST", "/recommend", payloads[i % len(payloads)]
+            )
+            elapsed = (time.perf_counter() - started) * 1000.0
+            assert response.status == 200, (response.status, response.body)
+            assert response.body["degraded"] is False, response.body
+            return elapsed
+
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            return statistics.median(pool.map(one, range(n)))
+
+    try:
+        for service in (single, batched):  # warm model/instrument caches
+            p50_ms(service, concurrency)
+        single_medians, batched_medians = [], []
+        for _ in range(rounds):
+            single_medians.append(p50_ms(single, per_round))
+            batched_medians.append(p50_ms(batched, per_round))
+    finally:
+        batched.close()
+    p50_single, p50_batched = min(single_medians), min(batched_medians)
+    counters = batched.metrics_snapshot()["counters"]
+    batched_answers = sum_counters(counters, "serve.path", path="batched")
+    total_answers = sum_counters(counters, "serve.path", endpoint="/recommend")
+    result = {
+        "concurrency": concurrency,
+        "requests_per_side": rounds * per_round,
+        "window_ms": window_ms,
+        "p50_single_ms": round(p50_single, 4),
+        "p50_batched_ms": round(p50_batched, 4),
+        "speedup": round(p50_single / p50_batched, 4) if p50_batched else 1.0,
+        "batched_answers": int(batched_answers),
+        "batched_fraction": round(batched_answers / total_answers, 4)
+        if total_answers
+        else 0.0,
+        "smoke": SMOKE,
+    }
+    registry = obs_metrics.get_registry()
+    for key in ("p50_single_ms", "p50_batched_ms", "speedup", "batched_fraction"):
+        registry.gauge(f"bench.serve.batch.{key}").set(result[key])
+    assert batched_answers > 0, "no request was ever answered by a batch"
+    assert p50_batched < p50_single + slack_ms, (
+        f"coalescing gate failed: batched p50 {p50_batched:.3f}ms vs "
+        f"single p50 {p50_single:.3f}ms at {concurrency}-way concurrency"
+    )
+    return result
+
+
+def run_ann_gate(
+    *,
+    n_vectors: int = 250_000,
+    dim: int = 32,
+    cluster_size: int = 256,
+    seed: int = 7,
+    k: int = 10,
+    n_queries: int = 50,
+    min_recall: float = 0.95,
+    min_speedup: float = 10.0,
+) -> dict:
+    """Gate: LSH recall@k ≥ 0.95 at ≥ ``min_speedup``× over brute force.
+
+    Indexes a clustered synthetic vector set well past the 100k-company
+    scale the exact path stops being sub-millisecond at, then measures
+    per-query wall time of the full brute-force ranking (one
+    matrix–vector product over every company + argpartition top-k)
+    against the LSH probe path.  The number of clusters scales with the
+    corpus (fixed ~``cluster_size`` companies per segment) so candidate
+    pools stay bounded as the universe grows, mirroring real segment
+    density.  Recall is computed against the exact answer on the same
+    queries.  Smoke mode shrinks the set and relaxes the speedup floor —
+    never the recall floor.
+    """
+    if SMOKE:
+        n_vectors, min_speedup, n_queries = 40_000, 2.0, 25
+    rng = np.random.default_rng(seed)
+    n_centers = max(64, n_vectors // cluster_size)
+    centers = rng.normal(size=(n_centers, dim))
+    assignments = rng.integers(0, n_centers, size=n_vectors)
+    features = centers[assignments] + 0.25 * rng.normal(size=(n_vectors, dim))
+
+    build_started = time.perf_counter()
+    index = LSHIndex.build(
+        features,
+        n_tables=12,
+        n_bits=14,
+        seed=seed,
+        min_candidates=96,
+        check_recall_queries=0,
+    )
+    build_s = time.perf_counter() - build_started
+    unit = unit_rows(features)
+    queries = rng.choice(n_vectors, size=n_queries, replace=False)
+
+    def brute(q: int) -> set[int]:
+        scores = unit @ unit[q]
+        return {int(i) for i in top_k_from_scores(scores, k, exclude=int(q))}
+
+    def approx(q: int) -> set[int]:
+        return {i for i, _ in index.search(unit[q], k, exclude=int(q))}
+
+    # Timing: best-of-2 sweeps per path, recall from the final sweep.
+    brute_s = min(
+        _timed(lambda: [brute(int(q)) for q in queries]) for _ in range(2)
+    )
+    ann_s = min(
+        _timed(lambda: [approx(int(q)) for q in queries]) for _ in range(2)
+    )
+    hits = sum(len(brute(int(q)) & approx(int(q))) for q in queries)
+    recall = hits / (n_queries * k)
+    speedup = brute_s / ann_s if ann_s else float("inf")
+    result = {
+        "n_vectors": n_vectors,
+        "dim": dim,
+        "k": k,
+        "n_queries": n_queries,
+        "build_s": round(build_s, 3),
+        "bruteforce_ms_per_query": round(brute_s / n_queries * 1000.0, 4),
+        "ann_ms_per_query": round(ann_s / n_queries * 1000.0, 4),
+        "speedup": round(speedup, 2),
+        "recall_at_k": round(recall, 4),
+        "min_recall": min_recall,
+        "min_speedup": min_speedup,
+        "smoke": SMOKE,
+    }
+    registry = obs_metrics.get_registry()
+    for key in (
+        "recall_at_k",
+        "speedup",
+        "bruteforce_ms_per_query",
+        "ann_ms_per_query",
+    ):
+        registry.gauge(f"bench.serve.ann.{key}").set(result[key])
+    assert recall >= min_recall, (
+        f"ANN recall@{k} {recall:.4f} below the {min_recall} floor"
+    )
+    assert speedup >= min_speedup, (
+        f"ANN speedup {speedup:.2f}x below the {min_speedup}x floor "
+        f"(brute {result['bruteforce_ms_per_query']}ms vs "
+        f"ann {result['ann_ms_per_query']}ms per query)"
+    )
+    return result
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def run_cache_swap_contract(*, companies: int = 120, seed: int = 7) -> dict:
+    """Contract: a promoted hot-swap invalidates the top-k result cache.
+
+    The same payload is served three times around a promotion: computed,
+    then cached, then — after the swap bumps the registry generation —
+    recomputed against the new model and re-cached under the new
+    generation.  Also checks the similarity tool's features were
+    refreshed to the promoted model's generation.
+    """
+    service = build_demo_service(
+        companies, seed=seed, config=ServiceConfig(topk_cache_size=64)
+    )
+    vocabulary = list(service.corpus.vocabulary)
+    payload = {"history": [vocabulary[0], vocabulary[1]], "top_n": 5}
+
+    first = service.handle("POST", "/recommend", payload)
+    second = service.handle("POST", "/recommend", payload)
+    assert first.status == second.status == 200
+    assert first.body["path"] == "single", first.body
+    assert second.body["path"] == "cached", second.body
+    assert second.body["recommendations"] == first.body["recommendations"]
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-cache-") as tmp:
+        path = Path(tmp) / "promoted-lda.npz"
+        service.registry.model("lda").save(path)
+        swap = service.handle(
+            "POST", "/admin/hotswap", {"name": "lda", "path": str(path)}
+        )
+        assert swap.status == 200 and swap.body["status"] == "promoted", swap.body
+
+    third = service.handle("POST", "/recommend", payload)
+    fourth = service.handle("POST", "/recommend", payload)
+    assert third.body["path"] == "single", (
+        f"stale cache served across a hot-swap: {third.body['path']}"
+    )
+    assert third.body["model_versions"]["lda"] == 2, third.body
+    assert fourth.body["path"] == "cached", fourth.body
+    assert service.tool.model_version == service.registry.generation
+    counters = service.metrics_snapshot()["counters"]
+    result = {
+        "paths": [r.body["path"] for r in (first, second, third, fourth)],
+        "promoted_version": swap.body["version"],
+        "generation": service.registry.generation,
+        "cache": service.topk_cache.stats(),
+        "invalidated": sum_counters(counters, "serve.cache.invalidate"),
+    }
+    assert result["invalidated"] >= 1, counters
+    return result
+
+
+def test_serve_coalescing_gate():
+    """Pytest entry point: batched p50 < single p50 at 32-way concurrency."""
+    result = run_coalescing_gate()
+    assert result["p50_batched_ms"] < result["p50_single_ms"]
+    assert result["batched_answers"] > 0
+
+
+def test_serve_ann_gate():
+    """Pytest entry point: ANN recall/speedup floors at 100k scale."""
+    result = run_ann_gate()
+    assert result["recall_at_k"] >= result["min_recall"]
+    assert result["speedup"] >= result["min_speedup"]
+
+
+def test_serve_cache_swap_contract():
+    """Pytest entry point: hot-swap invalidates the top-k cache."""
+    result = run_cache_swap_contract()
+    assert result["paths"] == ["single", "cached", "single", "cached"]
+
+
 def test_serve_load_harness():
     """Pytest entry point: the full harness at smoke scale."""
     summary = run_harness(companies=150, requests=30, inject=True)
@@ -560,6 +852,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also run the p50 telemetry-overhead gate (adds ~30s)",
     )
+    parser.add_argument(
+        "--coalescing-gate",
+        action="store_true",
+        help="also run the micro-batching p50 gate at 32-way concurrency",
+    )
+    parser.add_argument(
+        "--ann-gate",
+        action="store_true",
+        help="also run the LSH recall/speedup gate at 100k-company scale",
+    )
+    parser.add_argument(
+        "--cache-contract",
+        action="store_true",
+        help="also assert a hot-swap invalidates the top-k result cache",
+    )
     args = parser.parse_args(argv)
     summary = run_harness(
         companies=args.companies,
@@ -572,10 +879,23 @@ def main(argv: list[str] | None = None) -> int:
         summary["telemetry_overhead"] = run_overhead_gate(
             companies=args.companies, seed=args.seed
         )
-        if args.json:
-            Path(args.json).write_text(
-                json.dumps(summary, indent=2) + "\n", encoding="utf-8"
-            )
+    if args.coalescing_gate:
+        summary["coalescing"] = run_coalescing_gate(
+            companies=args.companies, seed=args.seed
+        )
+    if args.ann_gate:
+        summary["ann"] = run_ann_gate(seed=args.seed)
+    if args.cache_contract:
+        summary["cache_swap"] = run_cache_swap_contract(seed=args.seed)
+    if args.json and (
+        args.overhead_gate
+        or args.coalescing_gate
+        or args.ann_gate
+        or args.cache_contract
+    ):
+        Path(args.json).write_text(
+            json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+        )
     print(json.dumps(summary, indent=2))
     print("\nserve load harness: all contracts held (0 uncaught, 0 server 5xx)")
     return 0

@@ -311,6 +311,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable per-request span capture (flight records lose spans)",
     )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batching window coalescing concurrent /recommend "
+        "scoring into one batched GEMM (0 disables batching)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        metavar="N",
+        help="hard cap on coalesced batch size",
+    )
+    serve.add_argument(
+        "--topk-cache",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="entries in the generation-keyed top-k result cache "
+        "(0 disables caching)",
+    )
+    serve.add_argument(
+        "--similarity",
+        choices=["exact", "ann"],
+        default="exact",
+        help="backend answering /similar: exact cosine or LSH with "
+        "exact re-ranking",
+    )
 
     obs_cmd = sub.add_parser(
         "obs",
@@ -556,6 +586,10 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         slo_slow_window_s=args.slo_slow_window,
         flight_capacity=args.flight_capacity,
         request_spans=not args.no_request_spans,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
+        topk_cache_size=args.topk_cache,
+        similarity=args.similarity,
     )
     service = build_demo_service(args.companies, seed=args.seed, config=config)
     server = ServiceHTTPServer((args.host, args.port), service)

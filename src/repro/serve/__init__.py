@@ -10,6 +10,9 @@ while never answering a degradable failure with a 5xx:
 * :mod:`repro.serve.ladder` — LDA → n-gram → popularity degradation ladder
   under per-request deadline budgets;
 * :mod:`repro.serve.registry` — DriftMonitor-gated, atomic model hot-swap;
+* :mod:`repro.serve.batch` — deadline-aware micro-batching of /recommend;
+* :mod:`repro.serve.ann` — LSH similarity index with exact re-ranking;
+* :mod:`repro.serve.topk_cache` — generation-keyed LRU of top-k results;
 * :mod:`repro.serve.service` — the transport-agnostic request core;
 * :mod:`repro.serve.http` — stdlib ``ThreadingHTTPServer`` transport;
 * :mod:`repro.serve.bootstrap` — the standard demo stack builder.
@@ -18,18 +21,25 @@ while never answering a degradable failure with a 5xx:
 from __future__ import annotations
 
 from repro.serve.admission import AdmissionError, AdmissionPolicy, QuarantineLog, ValidatedRequest
+from repro.serve.ann import LSHIndex
+from repro.serve.batch import BatchedAnswer, MicroBatcher
 from repro.serve.bootstrap import build_demo_service
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.serve.http import ServiceHTTPServer, start_server
 from repro.serve.ladder import DegradationLadder, LadderResult, Tier, TierOutcome
 from repro.serve.registry import ModelRegistry, SwapReport
 from repro.serve.service import RecommendationService, ServiceConfig, ServiceResponse
+from repro.serve.topk_cache import TopKCache
 
 __all__ = [
     "AdmissionError",
     "AdmissionPolicy",
     "QuarantineLog",
     "ValidatedRequest",
+    "BatchedAnswer",
+    "MicroBatcher",
+    "LSHIndex",
+    "TopKCache",
     "CircuitBreaker",
     "CLOSED",
     "OPEN",

@@ -1,0 +1,326 @@
+"""Approximate nearest-neighbor search over company vectors (pure numpy).
+
+Serving's ``/similar`` endpoint must answer "which companies look like this
+one" from topic/embedding vectors at corpus scales where the brute-force
+matrix–vector product stops being sub-millisecond.  :class:`LSHIndex` is a
+random-hyperplane (signed random projection) locality-sensitive hash over
+cosine similarity:
+
+* each of ``n_tables`` hash tables assigns every company a ``n_bits``-bit
+  signature — the signs of its projections onto seeded Gaussian
+  hyperplanes — and buckets companies by signature;
+* a query gathers the candidates sharing its bucket in any table, widening
+  through multi-probing (signatures at Hamming distance 1, then 2) until
+  enough candidates are in hand;
+* the candidate set is **exactly re-ranked** with the true cosine scores,
+  so the returned similarities are identical to the brute-force path for
+  every company the probe reached — the approximation is only in recall,
+  never in the reported scores.
+
+The index is deterministic in ``(dim, n_tables, n_bits, seed)``: the
+hyperplanes are drawn once from a seeded generator, so rebuilding after a
+model hot-swap (same shape, new vectors) reuses them and an index built
+incrementally via :meth:`add` is query-identical to one built in a single
+shot.  :meth:`recall_at_k` is the build-time self-check against the exact
+path that the serving bootstrap runs before trusting the index.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import check_matrix, check_positive_int
+from repro.analysis.similarity import top_k_from_scores
+from repro.obs.logging import get_logger
+
+__all__ = ["LSHIndex", "unit_rows"]
+
+
+def unit_rows(features: np.ndarray) -> np.ndarray:
+    """Rows scaled to unit L2 norm; zero rows stay zero (dissimilar to all)."""
+    matrix = check_matrix(features, "features")
+    norms = np.linalg.norm(matrix, axis=1)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return matrix / safe[:, None]
+
+
+class LSHIndex:
+    """Multi-table random-hyperplane LSH with exact candidate re-ranking.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the indexed vectors.
+    n_tables:
+        Independent hash tables; each adds a chance to catch a neighbor.
+    n_bits:
+        Signature bits per table; buckets hold ``~N / 2**n_bits`` rows.
+    seed:
+        Seeds the hyperplane draw — the whole index layout is a pure
+        function of ``(dim, n_tables, n_bits, seed)`` plus the add order.
+    min_candidates:
+        Probing widens (radius 0 → 1 → 2 → full scan) until at least this
+        many candidates are gathered, so sparse buckets degrade to more
+        work, never to an empty answer.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        n_tables: int = 8,
+        n_bits: int = 12,
+        seed: int = 0,
+        min_candidates: int = 64,
+    ) -> None:
+        check_positive_int(dim, "dim")
+        check_positive_int(n_tables, "n_tables")
+        check_positive_int(n_bits, "n_bits")
+        if n_bits > 62:
+            raise ValueError(f"n_bits must fit an int64 signature, got {n_bits}")
+        check_positive_int(min_candidates, "min_candidates")
+        self.dim = dim
+        self.n_tables = n_tables
+        self.n_bits = n_bits
+        self.seed = seed
+        self.min_candidates = min_candidates
+        rng = np.random.default_rng(seed)
+        #: ``(n_tables * n_bits, dim)`` hyperplane normals, fixed for life.
+        self._planes = rng.standard_normal((n_tables * n_bits, dim))
+        self._bit_values = (1 << np.arange(n_bits, dtype=np.int64))
+        self._tables: list[dict[int, np.ndarray]] = [{} for _ in range(n_tables)]
+        self._unit = np.zeros((0, dim), dtype=np.float64)
+        #: Version of the model whose vectors are indexed (hot-swap stamp).
+        self.model_version = 0
+        self.build_recall: float | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        features: np.ndarray,
+        *,
+        n_tables: int = 8,
+        n_bits: int = 12,
+        seed: int = 0,
+        min_candidates: int = 64,
+        model_version: int = 0,
+        check_recall_k: int = 10,
+        check_recall_queries: int = 32,
+        min_recall: float | None = None,
+    ) -> "LSHIndex":
+        """Index a feature matrix and run the recall self-check.
+
+        ``min_recall`` turns the self-check into a gate: a build whose
+        sampled recall@``check_recall_k`` falls below it raises
+        :class:`ValueError` instead of silently serving bad neighbors.
+        """
+        matrix = check_matrix(features, "features")
+        index = cls(
+            matrix.shape[1],
+            n_tables=n_tables,
+            n_bits=n_bits,
+            seed=seed,
+            min_candidates=min_candidates,
+        )
+        index.model_version = model_version
+        index.add(matrix)
+        if check_recall_queries > 0 and index.size > check_recall_k + 1:
+            index.build_recall = index.recall_at_k(
+                k=check_recall_k, n_queries=check_recall_queries, seed=seed
+            )
+            get_logger("serve.ann").info(
+                "LSH index built: %d vectors, %d tables x %d bits, "
+                "recall@%d self-check %.4f",
+                index.size,
+                n_tables,
+                n_bits,
+                check_recall_k,
+                index.build_recall,
+            )
+            if min_recall is not None and index.build_recall < min_recall:
+                raise ValueError(
+                    f"LSH build-time recall@{check_recall_k} "
+                    f"{index.build_recall:.4f} is below the required "
+                    f"{min_recall:.4f}; raise n_tables/n_bits/min_candidates"
+                )
+        return index
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return self._unit.shape[0]
+
+    def _signatures(self, unit: np.ndarray) -> np.ndarray:
+        """``(rows, n_tables)`` int64 signatures of unit-normalized rows."""
+        bits = (unit @ self._planes.T) >= 0.0
+        bits = bits.reshape(unit.shape[0], self.n_tables, self.n_bits)
+        return bits @ self._bit_values
+
+    def add(self, features: np.ndarray) -> np.ndarray:
+        """Append rows to the index; returns the assigned row ids.
+
+        This is the incremental path a hot-swap or corpus growth uses: the
+        hyperplanes never change, so an index grown by repeated ``add``
+        calls answers queries identically to one built in a single shot.
+        """
+        matrix = check_matrix(features, "features")
+        if matrix.shape[1] != self.dim:
+            raise ValueError(
+                f"vectors have dim {matrix.shape[1]}, index expects {self.dim}"
+            )
+        unit = unit_rows(matrix)
+        n = unit.shape[0]
+        ids = np.arange(self.size, self.size + n, dtype=np.int64)
+        signatures = self._signatures(unit)
+        for t in range(self.n_tables):
+            column = signatures[:, t]
+            order = np.argsort(column, kind="stable")
+            keys, starts = np.unique(column[order], return_index=True)
+            bounds = np.append(starts, n)
+            table = self._tables[t]
+            for j, key in enumerate(keys):
+                chunk = ids[order[starts[j] : bounds[j + 1]]]
+                previous = table.get(int(key))
+                table[int(key)] = (
+                    chunk if previous is None else np.concatenate([previous, chunk])
+                )
+        self._unit = np.vstack([self._unit, unit]) if self.size else unit
+        return ids
+
+    def rebuild(self, features: np.ndarray, *, model_version: int | None = None) -> None:
+        """Re-index a fresh vector set under the *same* hyperplanes.
+
+        The hot-swap path: a promoted model publishes new company vectors;
+        the bucket layout is recomputed through the incremental
+        :meth:`add` machinery while the seeded hyperplanes stay fixed.
+        """
+        self._tables = [{} for _ in range(self.n_tables)]
+        self._unit = np.zeros((0, self.dim), dtype=np.float64)
+        self.add(features)
+        if model_version is not None:
+            self.model_version = model_version
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def _candidates(self, signatures: np.ndarray, need: int) -> np.ndarray:
+        """Candidate ids for one query, widening probes until ``need`` found."""
+        parts: list[np.ndarray] = []
+        total = 0
+        for t in range(self.n_tables):
+            bucket = self._tables[t].get(int(signatures[t]))
+            if bucket is not None:
+                parts.append(bucket)
+                total += len(bucket)
+        if total < need:  # radius-1 multi-probe: flip each signature bit
+            for t in range(self.n_tables):
+                signature = int(signatures[t])
+                table = self._tables[t]
+                for b in range(self.n_bits):
+                    bucket = table.get(signature ^ (1 << b))
+                    if bucket is not None:
+                        parts.append(bucket)
+                        total += len(bucket)
+        if total < need:  # radius-2: flip bit pairs (rare; sparse tables)
+            for t in range(self.n_tables):
+                signature = int(signatures[t])
+                table = self._tables[t]
+                for b1 in range(self.n_bits):
+                    flipped = signature ^ (1 << b1)
+                    for b2 in range(b1 + 1, self.n_bits):
+                        bucket = table.get(flipped ^ (1 << b2))
+                        if bucket is not None:
+                            parts.append(bucket)
+                            total += len(bucket)
+        if total < min(need, self.size):  # degenerate layout: scan everything
+            return np.arange(self.size, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def search(
+        self,
+        vector: np.ndarray,
+        k: int,
+        *,
+        exclude: int | Sequence[int] | None = None,
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` indexed rows by cosine similarity to ``vector``.
+
+        Candidates come from the hash tables; scores come from an exact
+        dot product against the stored unit vectors, ranked with the same
+        deterministic tie-breaking as the brute-force path.  ``exclude``
+        removes row ids (typically the query company itself).
+        """
+        check_positive_int(k, "k")
+        query = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise ValueError(f"query has dim {query.shape[0]}, index expects {self.dim}")
+        if self.size == 0:
+            return []
+        norm = float(np.linalg.norm(query))
+        if norm == 0.0:
+            return []
+        query = query / norm
+        signatures = self._signatures(query[None, :])[0]
+        need = max(self.min_candidates, 4 * k)
+        candidates = self._candidates(signatures, need)
+        if exclude is not None:
+            drop = np.atleast_1d(np.asarray(exclude, dtype=np.int64))
+            candidates = candidates[~np.isin(candidates, drop)]
+        if len(candidates) == 0:
+            return []
+        scores = self._unit[candidates] @ query
+        top = top_k_from_scores(scores, min(k, len(candidates)))
+        return [(int(candidates[i]), float(scores[i])) for i in top]
+
+    # ------------------------------------------------------------------
+    # Self-check
+    # ------------------------------------------------------------------
+    def recall_at_k(self, *, k: int = 10, n_queries: int = 32, seed: int = 0) -> float:
+        """Mean recall@``k`` of the probe path against exact brute force.
+
+        Queries are sampled from the indexed vectors themselves; the exact
+        answer is the full matrix–vector product over the stored unit
+        matrix.  This is the build-time self-check, also exposed for tests
+        and the benchmark gate.
+        """
+        check_positive_int(k, "k")
+        check_positive_int(n_queries, "n_queries")
+        if self.size <= k:
+            raise ValueError(f"need more than k={k} indexed vectors, have {self.size}")
+        rng = np.random.default_rng(seed)
+        queries = rng.choice(self.size, size=min(n_queries, self.size), replace=False)
+        hits = 0
+        for q in queries:
+            scores = self._unit @ self._unit[q]
+            exact = {int(i) for i in top_k_from_scores(scores, k, exclude=int(q))}
+            approx = {i for i, _ in self.search(self._unit[q], k, exclude=int(q))}
+            hits += len(exact & approx)
+        return hits / (len(queries) * k)
+
+    def bench_query_s(self, vector: np.ndarray, k: int, *, repeats: int = 10) -> float:
+        """Best-of-``repeats`` wall time of one :meth:`search` call."""
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            self.search(vector, k)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def stats(self) -> dict[str, float | int]:
+        """Occupancy summary for logs and ``/metrics`` style snapshots."""
+        bucket_sizes = [len(b) for table in self._tables for b in table.values()]
+        return {
+            "size": self.size,
+            "tables": self.n_tables,
+            "bits": self.n_bits,
+            "buckets": len(bucket_sizes),
+            "mean_bucket": float(np.mean(bucket_sizes)) if bucket_sizes else 0.0,
+            "max_bucket": max(bucket_sizes) if bucket_sizes else 0,
+            "model_version": self.model_version,
+        }

@@ -1,0 +1,320 @@
+"""Request micro-batching: coalesce concurrent scoring into one GEMM.
+
+At low request rates, scoring one request at a time is optimal — there is
+nothing to coalesce and any wait is pure added latency.  Under concurrency
+the picture flips: N threads each running a tiny fold-in fight over the
+GIL and launch N separate numpy kernels, while a single batched
+``batch_next_product_proba`` call scores all N histories in one GEMM.
+:class:`MicroBatcher` switches between the two regimes automatically:
+
+* a request arriving while the batcher is **idle** (nothing queued,
+  nothing executing) runs the single-request path immediately — zero
+  added latency at low RPS, answers bit-identical to an unbatched
+  service;
+* requests arriving while work is in flight queue up; a collector thread
+  drains them into batches of up to ``batch_max``, waiting at most the
+  batching window — and never past any queued request's deadline
+  allowance (``wait_fraction`` of its budget), so a request never burns
+  its deadline waiting for batch-mates;
+* a drained batch of one runs the single-request path (bit-identical by
+  construction); larger batches run the batched ladder walk under the
+  *minimum* remaining budget of their members;
+* if the batched path fails for any reason, every member **individually**
+  falls back to the single-request path under its own remaining budget —
+  a batch failure degrades per-request through the ladder and never takes
+  batch-mates down with it.
+
+The returned :class:`BatchedAnswer` reports which path answered
+(``single`` or ``batched``), the batch size, and the queue wait, feeding
+the service's audit trail and the ``serve.path{...}`` counters the bench
+harness uses to prove coalescing actually happened.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.obs.logging import get_logger
+
+__all__ = ["BatchedAnswer", "MicroBatcher"]
+
+#: Single-request scorer: (history, threshold, top_n, deadline_s) -> result.
+SingleScorer = Callable[[list[int], float | None, int, float], object]
+#: Batched scorer: (histories, thresholds, top_ns, budget_s) -> results.
+BatchScorer = Callable[
+    [list[list[int]], list[float | None], list[int], float], list[object]
+]
+
+#: Floor budget handed to fallback scoring when a deadline is nearly spent;
+#: the ladder's popularity floor still answers inside it.
+_MIN_BUDGET_S = 1e-4
+
+
+@dataclass(frozen=True)
+class BatchedAnswer:
+    """One request's result plus the coalescing audit trail."""
+
+    result: object
+    path: str  # "single" | "batched"
+    batch_size: int
+    waited_ms: float
+
+
+@dataclass
+class _Pending:
+    """A queued request waiting to be drained into a batch."""
+
+    history: list[int]
+    threshold: float | None
+    top_n: int
+    deadline_s: float
+    enqueued: float
+    #: Collection must start by this instant, whatever the window says.
+    latest_start: float
+    done: threading.Event = field(default_factory=threading.Event)
+    result: object | None = None
+    error: BaseException | None = None
+    path: str = "single"
+    batch_size: int = 1
+    waited_s: float = 0.0
+
+
+class MicroBatcher:
+    """Window-bounded, deadline-aware coalescing of scoring requests.
+
+    Parameters
+    ----------
+    score_single:
+        The unbatched scoring path (the ladder's per-request walk).
+    score_batch:
+        The batched scoring path; must return one result per history, in
+        order.
+    window_s:
+        Longest a batch collects before executing.
+    batch_max:
+        Hard cap on batch size; a full batch executes immediately.
+    wait_fraction:
+        Fraction of a request's deadline budget it may spend waiting for
+        batch-mates (the rest is reserved for execution).
+    clock:
+        Monotonic seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        score_single: SingleScorer,
+        score_batch: BatchScorer,
+        *,
+        window_s: float = 0.002,
+        batch_max: int = 16,
+        wait_fraction: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if not 0.0 < wait_fraction <= 1.0:
+            raise ValueError(f"wait_fraction must be in (0, 1], got {wait_fraction}")
+        self._score_single = score_single
+        self._score_batch = score_batch
+        self.window_s = window_s
+        self.batch_max = batch_max
+        self.wait_fraction = wait_fraction
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._queue: deque[_Pending] = deque()
+        self._inflight = 0  # executions in progress (direct + batched)
+        self._closed = False
+        self._log = get_logger("serve.batch")
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="serve-batch-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # Submission (request threads)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        history: list[int],
+        threshold: float | None,
+        top_n: int,
+        deadline_s: float,
+    ) -> BatchedAnswer:
+        """Score one request, coalescing with concurrent arrivals.
+
+        Blocks until the result is ready; total time is bounded by the
+        queue wait allowance plus the request's own deadline budget.
+        """
+        now = self._clock()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            if self._inflight == 0 and not self._queue:
+                # Idle: the single-request fall-through, zero added latency.
+                self._inflight += 1
+                direct = True
+            else:
+                direct = False
+                pending = _Pending(
+                    history=list(history),
+                    threshold=threshold,
+                    top_n=top_n,
+                    deadline_s=deadline_s,
+                    enqueued=now,
+                    latest_start=now
+                    + min(self.window_s, self.wait_fraction * deadline_s),
+                )
+                self._queue.append(pending)
+                self._cond.notify_all()
+        if direct:
+            try:
+                result = self._score_single(list(history), threshold, top_n, deadline_s)
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
+            return BatchedAnswer(result, "single", 1, 0.0)
+        # Generous timeout: the collector starts the batch within the wait
+        # allowance and execution is deadline-bounded; the margin only
+        # matters if the collector thread itself is wedged.
+        if not pending.done.wait(timeout=self.window_s + deadline_s + 30.0):
+            self._log.error("batch collector unresponsive; scoring request solo")
+            with self._cond:
+                try:
+                    self._queue.remove(pending)
+                except ValueError:
+                    pass  # already drained; keep waiting for its result
+            if not pending.done.is_set():
+                remaining = max(
+                    deadline_s - (self._clock() - pending.enqueued), _MIN_BUDGET_S
+                )
+                pending.result = self._score_single(
+                    list(history), threshold, top_n, remaining
+                )
+                pending.done.set()
+            pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        return BatchedAnswer(
+            pending.result, pending.path, pending.batch_size, pending.waited_s * 1000.0
+        )
+
+    # ------------------------------------------------------------------
+    # Collection (dedicated thread)
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    for pending in self._queue:
+                        pending.error = RuntimeError("MicroBatcher closed")
+                        pending.done.set()
+                    self._queue.clear()
+                    return
+                # Collect until the batch fills or the earliest wait
+                # allowance among queued requests expires.
+                while len(self._queue) < self.batch_max:
+                    now = self._clock()
+                    wake = min(p.latest_start for p in self._queue)
+                    if now >= wake:
+                        break
+                    self._cond.wait(timeout=min(wake - now, 0.05))
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), self.batch_max))
+                ]
+                self._inflight += 1
+            try:
+                self._execute(batch)
+            except BaseException:  # noqa: BLE001 - collector must survive
+                self._log.error("batch execution failed unexpectedly", exc_info=True)
+                for pending in batch:
+                    if not pending.done.is_set():
+                        pending.error = RuntimeError("batch execution failed")
+                        pending.done.set()
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
+
+    def _remaining(self, pending: _Pending, now: float) -> float:
+        return pending.deadline_s - (now - pending.enqueued)
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        now = self._clock()
+        for pending in batch:
+            pending.waited_s = now - pending.enqueued
+        if len(batch) == 1:
+            # A lone request takes the exact single-request path: batch-of-1
+            # is bit-identical to an unbatched service by construction.
+            self._solo(batch[0])
+            return
+        budget = max(min(self._remaining(p, now) for p in batch), _MIN_BUDGET_S)
+        results: list[object] | None = None
+        try:
+            results = self._score_batch(
+                [list(p.history) for p in batch],
+                [p.threshold for p in batch],
+                [p.top_n for p in batch],
+                budget,
+            )
+            if results is not None and len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch scorer returned {len(results)} results for "
+                    f"{len(batch)} requests"
+                )
+        except BaseException:  # noqa: BLE001 - degrade per-request below
+            self._log.warning(
+                "batched scoring failed; degrading %d requests to the "
+                "single-request path",
+                len(batch),
+                exc_info=True,
+            )
+            results = None
+        if results is not None:
+            for pending, result in zip(batch, results):
+                pending.result = result
+                pending.path = "batched"
+                pending.batch_size = len(batch)
+                pending.done.set()
+            return
+        # Batch failure never fails batch-mates: each member degrades
+        # through the ladder on its own remaining budget.
+        for pending in batch:
+            self._solo(pending)
+
+    def _solo(self, pending: _Pending) -> None:
+        remaining = max(
+            self._remaining(pending, self._clock()), _MIN_BUDGET_S
+        )
+        try:
+            pending.result = self._score_single(
+                list(pending.history), pending.threshold, pending.top_n, remaining
+            )
+            pending.path = "single"
+            pending.batch_size = 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            pending.error = exc
+        finally:
+            pending.done.set()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the collector; queued requests fail, new submits raise."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._collector.join(timeout=5.0)
+
+    def stats(self) -> dict[str, int]:
+        """Point-in-time queue depth and in-flight executions."""
+        with self._cond:
+            return {"queued": len(self._queue), "inflight": self._inflight}

@@ -32,14 +32,27 @@ __all__ = ["Tier", "TierOutcome", "LadderResult", "DegradationLadder"]
 #: ``[(token, score), ...]`` best-first.
 Scorer = Callable[[list[int], float | None, int], list[tuple[int, float]]]
 
+#: Batched scorer signature: (histories, thresholds, top_ns) -> one ranked
+#: list per history, in order.
+BatchScorer = Callable[
+    [list[list[int]], list[float | None], list[int]],
+    list[list[tuple[int, float]]],
+]
+
 
 @dataclass
 class Tier:
-    """One rung of the ladder: a named scorer behind an optional breaker."""
+    """One rung of the ladder: a named scorer behind an optional breaker.
+
+    ``batch_scorer``, when present, answers a whole coalesced batch in one
+    call (one GEMM); tiers without one are looped per-request inside the
+    same guarded worker when a batch reaches them.
+    """
 
     name: str
     scorer: Scorer
     breaker: CircuitBreaker | None = None
+    batch_scorer: BatchScorer | None = None
 
 
 @dataclass(frozen=True)
@@ -201,3 +214,150 @@ class DegradationLadder:
             degraded=bool(self.tiers),
             outcomes=tuple(outcomes),
         )
+
+    # ------------------------------------------------------------------
+    # Batched walk
+    # ------------------------------------------------------------------
+    def _run_guarded_batch(
+        self,
+        tier: Tier,
+        histories: list[list[int]],
+        thresholds: list[float | None],
+        top_ns: list[int],
+        budget_s: float,
+    ) -> tuple[str, list[list[tuple[int, float]]] | None, float, str | None]:
+        """Run one tier over a whole batch in a worker thread under budget.
+
+        One guarded call answers every batch member: the tier's
+        ``batch_scorer`` when it has one (the single-GEMM path), otherwise
+        the per-request scorer looped inside the same worker.  Timeout and
+        error semantics match :meth:`_run_guarded` — the whole batch
+        degrades to the next tier together; it can never half-answer.
+        """
+        box: dict[str, object] = {}
+        done = threading.Event()
+        context = contextvars.copy_context()
+
+        def worker() -> None:
+            try:
+                faults.inject(f"serve/score/{tier.name}")
+                if tier.batch_scorer is not None:
+                    value = context.run(
+                        tier.batch_scorer, histories, thresholds, top_ns
+                    )
+                else:
+                    value = [
+                        context.run(tier.scorer, history, threshold, top_n)
+                        for history, threshold, top_n in zip(
+                            histories, thresholds, top_ns
+                        )
+                    ]
+                if len(value) != len(histories):
+                    raise RuntimeError(
+                        f"tier {tier.name} returned {len(value)} rankings for "
+                        f"{len(histories)} histories"
+                    )
+                box["value"] = value
+            except BaseException as exc:  # noqa: BLE001 - reported, never raised
+                box["error"] = exc
+            finally:
+                done.set()
+
+        started = self._clock()
+        thread = threading.Thread(
+            target=worker, name=f"serve-score-batch-{tier.name}", daemon=True
+        )
+        thread.start()
+        finished = done.wait(budget_s)
+        latency = self._clock() - started
+        if not finished:
+            return "timeout", None, latency, f"exceeded budget of {budget_s:.3f}s"
+        if "error" in box:
+            error = box["error"]
+            return "error", None, latency, f"{type(error).__name__}: {error}"
+        return "ok", box["value"], latency, None  # type: ignore[return-value]
+
+    def score_batch(
+        self,
+        histories: list[list[int]],
+        *,
+        deadline_s: float,
+        thresholds: list[float | None] | None = None,
+        top_ns: list[int] | None = None,
+    ) -> list[LadderResult]:
+        """Answer a coalesced batch from the strongest tier available.
+
+        ``deadline_s`` is the batch's shared budget — the coalescing layer
+        passes the *minimum* remaining budget of the batch members, so no
+        member is held past its own deadline.  Tier skips, timeouts and
+        errors degrade the whole batch to the next tier together; the
+        popularity floor answers each member individually, so every
+        admitted request in the batch always gets an answer.  Each result
+        carries the same per-tier audit trail the single path reports.
+        """
+        n = len(histories)
+        if n == 0:
+            return []
+        if thresholds is None:
+            thresholds = [None] * n
+        if top_ns is None:
+            top_ns = [5] * n
+        if len(thresholds) != n or len(top_ns) != n:
+            raise ValueError("thresholds and top_ns must match the batch size")
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        started = self._clock()
+        outcomes: list[TierOutcome] = []
+        for tier in self.tiers:
+            breaker = tier.breaker
+            if breaker is not None and not breaker.allow():
+                outcomes.append(TierOutcome(tier.name, "breaker_open"))
+                continue
+            remaining = deadline_s - (self._clock() - started)
+            if remaining <= 0:
+                if breaker is not None:
+                    breaker.cancel()
+                outcomes.append(TierOutcome(tier.name, "no_budget"))
+                continue
+            with trace.span(f"serve.score_batch.{tier.name}"):
+                status, results, latency, error = self._run_guarded_batch(
+                    tier, histories, thresholds, top_ns, remaining
+                )
+            if status == "ok":
+                if breaker is not None:
+                    breaker.record_success(latency)
+                outcomes.append(TierOutcome(tier.name, "ok", latency))
+                assert results is not None
+                shared = tuple(outcomes)
+                degraded = tier is not self.tiers[0]
+                return [
+                    LadderResult(
+                        tier=tier.name,
+                        recommendations=results[i][: top_ns[i]],
+                        degraded=degraded,
+                        outcomes=shared,
+                    )
+                    for i in range(n)
+                ]
+            if breaker is not None:
+                breaker.record_failure(latency, reason=status)
+            outcomes.append(TierOutcome(tier.name, status, latency, error))
+        with trace.span(f"serve.score_batch.{self.floor.name}"):
+            floor_started = self._clock()
+            floor_results = [
+                self.floor.scorer(history, threshold, top_n)
+                for history, threshold, top_n in zip(histories, thresholds, top_ns)
+            ]
+            outcomes.append(
+                TierOutcome(self.floor.name, "ok", self._clock() - floor_started)
+            )
+        shared = tuple(outcomes)
+        return [
+            LadderResult(
+                tier=self.floor.name,
+                recommendations=floor_results[i][: top_ns[i]],
+                degraded=bool(self.tiers),
+                outcomes=shared,
+            )
+            for i in range(n)
+        ]

@@ -45,6 +45,9 @@ class SwapReport:
     candidate_perplexity: float | None = None
     baseline_perplexity: float | None = None
     tolerance: float | None = None
+    #: Registry-wide monotonic generation after this attempt; bumped only
+    #: by promotions, so it names the model era an answer came from.
+    generation: int = 0
 
     def as_dict(self) -> dict[str, object]:
         """JSON-encodable view for the admin endpoint response."""
@@ -56,6 +59,7 @@ class SwapReport:
             "candidate_perplexity": self.candidate_perplexity,
             "baseline_perplexity": self.baseline_perplexity,
             "tolerance": self.tolerance,
+            "generation": self.generation,
         }
 
 
@@ -102,6 +106,8 @@ class ModelRegistry:
         self._records: dict[str, _Record] = {}
         self._swap_lock = threading.Lock()
         self.history: list[SwapReport] = []
+        self._generation = 0
+        self._subscribers: list[Callable[[SwapReport], None]] = []
         self._log = get_logger("serve.registry")
 
     # ------------------------------------------------------------------
@@ -132,6 +138,42 @@ class ModelRegistry:
     def version(self, name: str) -> int:
         """Monotonic version of a slot; bumped on every promotion."""
         return self._record(name).version
+
+    @property
+    def generation(self) -> int:
+        """Registry-wide monotonic model generation.
+
+        Bumped on every install and every promotion — never on a
+        rejection.  Consumers that must not outlive a model era (the top-k
+        result cache, the ANN index) key or stamp their state with this
+        value, so a hot-swap atomically orphans anything derived from the
+        previous serving set.
+        """
+        return self._generation
+
+    def subscribe(self, callback: Callable[[SwapReport], None]) -> None:
+        """Register a callback fired after every successful promotion.
+
+        Callbacks run synchronously inside the swap (before the admin
+        response is returned), so cache invalidation and index refreshes
+        are complete by the time the promotion is acknowledged.  Callback
+        exceptions are logged, never propagated — a misbehaving consumer
+        cannot turn a valid promotion into a failure.
+        """
+        self._subscribers.append(callback)
+
+    def _notify(self, report: SwapReport) -> None:
+        for callback in list(self._subscribers):
+            try:
+                callback(report)
+            except Exception:  # noqa: BLE001 - consumers must not break swaps
+                self._log.error(
+                    "swap subscriber %r failed for %s v%d",
+                    callback,
+                    report.name,
+                    report.version,
+                    exc_info=True,
+                )
 
     def serving_perplexity(self, name: str) -> float:
         """The serving model's perplexity on the reference slice."""
@@ -174,6 +216,7 @@ class ModelRegistry:
                 f"reference slice's {self.reference.n_products} products"
             )
         self._records[name] = self._build_record(model, version=1)
+        self._generation += 1
 
     def _load_candidate(self, source: GenerativeModel | str | Path) -> GenerativeModel:
         if isinstance(source, GenerativeModel):
@@ -203,6 +246,7 @@ class ModelRegistry:
                     candidate_perplexity=candidate_ppl,
                     baseline_perplexity=baseline,
                     tolerance=tolerance,
+                    generation=self._generation,
                 )
                 self.history.append(report)
                 self._log.warning(
@@ -249,6 +293,7 @@ class ModelRegistry:
                 return rejected(f"promotion failed, rolled back: {type(exc).__name__}: {exc}",
                                 candidate_ppl)
             self._records[name] = record
+            self._generation += 1
             report = SwapReport(
                 name=name,
                 status="promoted",
@@ -257,13 +302,17 @@ class ModelRegistry:
                 candidate_perplexity=candidate_ppl,
                 baseline_perplexity=baseline,
                 tolerance=tolerance,
+                generation=self._generation,
             )
             self.history.append(report)
             self._log.info(
-                "hot-swap of %s promoted to v%d (perplexity %.3f vs baseline %.3f)",
+                "hot-swap of %s promoted to v%d, generation %d "
+                "(perplexity %.3f vs baseline %.3f)",
                 name,
                 record.version,
+                self._generation,
                 candidate_ppl,
                 baseline,
             )
+            self._notify(report)
             return report

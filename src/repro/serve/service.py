@@ -52,6 +52,8 @@ import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+import numpy as np
+
 from repro.data.corpus import Corpus
 from repro.obs import context as obs_context
 from repro.obs import prom, trace
@@ -61,9 +63,11 @@ from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
 from repro.obs.profile import SamplingProfiler
 from repro.obs.slo import Objective, SLOMonitor
 from repro.serve.admission import AdmissionError, AdmissionPolicy, QuarantineLog
+from repro.serve.batch import MicroBatcher
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.ladder import DegradationLadder, Tier
-from repro.serve.registry import ModelRegistry
+from repro.serve.registry import ModelRegistry, SwapReport
+from repro.serve.topk_cache import TopKCache
 
 __all__ = ["ServiceConfig", "ServiceResponse", "RecommendationService"]
 
@@ -118,6 +122,23 @@ class ServiceConfig:
     swap_tolerance: float = 1.25
     #: Optional JSONL file quarantined payloads are appended to.
     quarantine_path: str | None = None
+
+    # -- serving speed --------------------------------------------------
+    #: Micro-batching window for coalescing concurrent /recommend scoring
+    #: into one batched GEMM.  0 disables batching entirely: every request
+    #: scores on the single path, bit-identical to the historical service.
+    batch_window_ms: float = 0.0
+    #: Hard cap on coalesced batch size; a full batch executes at once.
+    batch_max: int = 16
+    #: Fraction of a request's deadline budget it may spend queued waiting
+    #: for batch-mates (the rest is reserved for scoring).
+    batch_wait_fraction: float = 0.5
+    #: Entries in the top-k result cache; 0 disables caching.
+    topk_cache_size: int = 0
+    #: Similarity backend answering /similar: ``exact`` (true cosine, one
+    #: matrix–vector product) or ``ann`` (LSH probe + exact re-rank; falls
+    #: back to exact when the tool carries no index).
+    similarity: str = "exact"
 
     # -- request-scoped telemetry --------------------------------------
     #: Master switch for per-request accounting (labelled metrics, SLO
@@ -189,6 +210,10 @@ class RecommendationService:
     tool:
         Optional :class:`~repro.app.tool.SalesRecommendationTool` backing
         ``/similar``.
+    feature_slot:
+        Name of the registry slot whose model produced ``tool``'s company
+        features.  When that slot is hot-swapped, the tool's features (and
+        its ANN index, if built) are refreshed from the promoted model.
     config, clock, metrics:
         Tunables, injectable monotonic clock, and the metrics registry
         (the service owns its own by default so counters always record).
@@ -201,6 +226,7 @@ class RecommendationService:
         registry: ModelRegistry,
         tiers: tuple[str, ...] = ("lda", "ngram"),
         tool: Any = None,
+        feature_slot: str | None = None,
         config: ServiceConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
         metrics: MetricsRegistry | None = None,
@@ -208,7 +234,12 @@ class RecommendationService:
         self.corpus = corpus
         self.registry = registry
         self.tool = tool
+        self.feature_slot = feature_slot
         self.config = config or ServiceConfig()
+        if self.config.similarity not in ("exact", "ann"):
+            raise ValueError(
+                f"similarity must be 'exact' or 'ann', got {self.config.similarity!r}"
+            )
         self._clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._log = get_logger("serve.service")
@@ -266,6 +297,7 @@ class RecommendationService:
                         clock=clock,
                         on_transition=self._on_breaker_transition,
                     ),
+                    batch_scorer=self._tier_batch_scorer(name),
                 )
                 for name in tiers
             ],
@@ -273,12 +305,36 @@ class RecommendationService:
             clock=clock,
         )
 
+        self.topk_cache = (
+            TopKCache(self.config.topk_cache_size)
+            if self.config.topk_cache_size > 0
+            else None
+        )
+        self.batcher = (
+            MicroBatcher(
+                self._score_single,
+                self._score_batched,
+                window_s=self.config.batch_window_ms / 1000.0,
+                batch_max=self.config.batch_max,
+                wait_fraction=self.config.batch_wait_fraction,
+                clock=clock,
+            )
+            if self.config.batch_window_ms > 0
+            else None
+        )
+        registry.subscribe(self._on_model_swap)
+
         self._instrument_cache: dict[tuple, Any] = {}
         self._inflight = 0
         self._inflight_by_endpoint: dict[str, int] = {}
         self._inflight_lock = threading.Lock()
         self._ready = True
         self._started_at = self._clock()
+
+    def close(self) -> None:
+        """Release background resources (the batch collector thread)."""
+        if self.batcher is not None:
+            self.batcher.close()
 
     # ------------------------------------------------------------------
     # Metrics plumbing.  Instruments carry their own locks (see
@@ -366,6 +422,115 @@ class RecommendationService:
             ]
 
         return scorer
+
+    def _tier_batch_scorer(self, name: str):
+        """Batched twin of :meth:`_tier_scorer`: one GEMM, per-row ranking.
+
+        ``batch_next_product_proba`` scores every history in a single
+        model call (LDA's batched fold-in is one matrix product); the
+        per-row thresholding/ranking then mirrors
+        ``ThresholdRecommender.recommend_scored`` / ``top_k`` exactly —
+        same eligibility rule, same stable tie-break — so a batched answer
+        is bit-identical to the single-request path's.
+        """
+
+        def batch_scorer(
+            histories: list[list[int]],
+            thresholds: list[float | None],
+            top_ns: list[int],
+        ) -> list[list[tuple[int, float]]]:
+            recommender = self.registry.recommender(name)
+            model = recommender.model
+            clean = [model.validate_history(list(h)) for h in histories]
+            matrix = model.batch_next_product_proba(clean)
+            results: list[list[tuple[int, float]]] = []
+            for i, history in enumerate(clean):
+                scores = matrix[i]
+                phi = (
+                    recommender.threshold
+                    if thresholds[i] is None
+                    else thresholds[i]
+                )
+                owned = np.zeros(scores.shape[0], dtype=bool)
+                if history:
+                    owned[np.asarray(history, dtype=np.intp)] = True
+                eligible = np.flatnonzero((scores >= phi) & ~owned)
+                if len(eligible) == 0:
+                    # Nothing above phi: same best-unowned fallback as the
+                    # single path, so the tier never goes silent.
+                    eligible = np.flatnonzero(~owned)
+                order = np.argsort(-scores[eligible], kind="stable")
+                ranked = eligible[order][: top_ns[i]]
+                results.append([(int(t), float(scores[t])) for t in ranked])
+            return results
+
+        return batch_scorer
+
+    # ------------------------------------------------------------------
+    # Batching entry points (MicroBatcher callbacks)
+    # ------------------------------------------------------------------
+    def _score_single(
+        self,
+        history: list[int],
+        threshold: float | None,
+        top_n: int,
+        deadline_s: float,
+    ):
+        return self.ladder.score(
+            history, deadline_s=deadline_s, threshold=threshold, top_n=top_n
+        )
+
+    def _score_batched(
+        self,
+        histories: list[list[int]],
+        thresholds: list[float | None],
+        top_ns: list[int],
+        budget_s: float,
+    ):
+        return self.ladder.score_batch(
+            histories, deadline_s=budget_s, thresholds=thresholds, top_ns=top_ns
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-swap consumers
+    # ------------------------------------------------------------------
+    def _on_model_swap(self, report: SwapReport) -> None:
+        """Registry promotion hook: drop stale caches, refresh features.
+
+        The top-k cache is generation-keyed, so stale entries are already
+        unreachable — clearing reclaims their memory.  When the promoted
+        slot is the one whose model produced the similarity features, the
+        tool's feature matrix (and ANN index) is rebuilt from the new
+        model, stamped with the new generation.
+        """
+        if self.topk_cache is not None:
+            dropped = self.topk_cache.invalidate()
+            if dropped:
+                self._inc(
+                    "serve.cache.invalidate", {"endpoint": "/recommend"}, dropped
+                )
+        if self.tool is None or report.name != self.feature_slot:
+            return
+        model = self.registry.model(report.name)
+        company_features = getattr(model, "company_features", None)
+        refresh = getattr(self.tool, "refresh_features", None)
+        if company_features is None or refresh is None:
+            self._log.warning(
+                "slot %s promoted but its model exposes no company_features; "
+                "the similarity tool keeps serving generation %d features",
+                report.name,
+                self.tool.model_version if hasattr(self.tool, "model_version") else -1,
+            )
+            return
+        refresh(
+            company_features(self.tool.corpus), model_version=report.generation
+        )
+        self._log.info(
+            "similarity features refreshed from %s v%d (generation %d)",
+            report.name,
+            report.version,
+            report.generation,
+        )
 
     def _popularity_scorer(self):
         counts = self.corpus.binary_matrix().sum(axis=0)
@@ -690,18 +855,61 @@ class RecommendationService:
 
     def _recommend(self, payload: Any) -> ServiceResponse:
         request = self.policy.validate_recommend(payload)
-        result = self.ladder.score(
-            list(request.history),
-            deadline_s=request.deadline_s,
-            threshold=request.threshold,
-            top_n=request.top_n,
-        )
+        history = list(request.history)
+        cache_key = None
+        result = None
+        path = "single"
+        batch_size = 1
+        waited_ms = 0.0
+        if self.topk_cache is not None:
+            # Generation in the key makes a hot-swap atomically orphan
+            # every entry computed against the previous serving set.
+            cache_key = (
+                self.registry.generation,
+                tuple(history),
+                request.threshold,
+                request.top_n,
+            )
+            result = self.topk_cache.get(cache_key)
+            if result is not None:
+                path = "cached"
+                self._inc("serve.cache.hit", {"endpoint": "/recommend"})
+            else:
+                self._inc("serve.cache.miss", {"endpoint": "/recommend"})
+        if result is None:
+            if self.batcher is not None:
+                answer = self.batcher.submit(
+                    history, request.threshold, request.top_n, request.deadline_s
+                )
+                result = answer.result
+                path = answer.path
+                batch_size = answer.batch_size
+                waited_ms = answer.waited_ms
+            else:
+                result = self.ladder.score(
+                    history,
+                    deadline_s=request.deadline_s,
+                    threshold=request.threshold,
+                    top_n=request.top_n,
+                )
+            if cache_key is not None and not result.degraded:
+                # Degraded answers reflect a transient outage, not the
+                # model — they must not outlive the condition.
+                evicted = self.topk_cache.put(cache_key, result)
+                if evicted:
+                    self._inc(
+                        "serve.cache.evict", {"endpoint": "/recommend"}, evicted
+                    )
         self._inc("serve.tier.answers", {"tier": result.tier})
+        self._inc("serve.path", {"endpoint": "/recommend", "path": path})
         return ServiceResponse(
             200,
             {
                 "tier": result.tier,
                 "degraded": result.degraded,
+                "path": path,
+                "batch_size": batch_size,
+                "queue_wait_ms": round(waited_ms, 3),
                 "recommendations": [
                     {
                         "token": token,
@@ -732,14 +940,21 @@ class RecommendationService:
                 404, "not_configured", "this deployment has no similarity index"
             )
         duns, k = self.policy.validate_similar(payload)
+        detail = getattr(self.tool, "similar_companies_detail", None)
         try:
-            hits = self.tool.similar_companies(duns, k=k)
+            if detail is not None:
+                hits, backend = detail(duns, k=k, backend=self.config.similarity)
+            else:
+                hits = self.tool.similar_companies(duns, k=k)
+                backend = "exact"
         except KeyError:
             raise AdmissionError(404, "unknown_company", f"company {duns} is not in the corpus")
+        self._inc("serve.path", {"endpoint": "/similar", "path": backend})
         return ServiceResponse(
             200,
             {
                 "duns": duns,
+                "backend": backend,
                 "similar": [
                     {"duns": hit.duns, "name": hit.name, "similarity": round(hit.similarity, 6)}
                     for hit in hits
@@ -792,4 +1007,11 @@ class RecommendationService:
         snapshot["models"] = self.registry.snapshot()
         snapshot["tiers"] = self.ladder.tier_names
         snapshot["flight"] = self.flight.stats()
+        if self.topk_cache is not None:
+            snapshot["topk_cache"] = self.topk_cache.stats()
+        if self.batcher is not None:
+            snapshot["batcher"] = self.batcher.stats()
+        ann = getattr(self.tool, "ann_index", None) if self.tool is not None else None
+        if ann is not None:
+            snapshot["ann"] = ann.stats()
         return snapshot

@@ -1,0 +1,93 @@
+"""Bounded LRU cache of precomputed top-k recommendation results.
+
+Head traffic is heavy-tailed: the same short install-base histories arrive
+again and again, and recomputing an identical fold-in + ranking for each
+arrival is pure waste.  :class:`TopKCache` memoizes finished ladder results
+keyed by ``(model generation, history fingerprint, threshold, top_n)``:
+
+* the **model generation** — the registry's global monotonic counter,
+  bumped on every promotion — is part of the key, so a hot-swap makes
+  every previously cached entry unreachable *atomically*: there is no
+  window in which a stale-model answer can be served;
+* on top of the key-level guarantee, the service also clears the cache on
+  swap (via the registry's subscription hook) so dead-generation entries
+  do not squat in the LRU ring;
+* only **primary-tier, non-degraded** answers are cached by the service —
+  an answer produced while a tier was broken or out of budget reflects a
+  transient condition, not the model, and must not outlive it.
+
+The cache itself is a plain lock-guarded ordered dict with
+move-to-front-on-hit semantics; hit/miss/evict totals are exposed for the
+service's ``serve.cache.{hit,miss,evict}`` labelled counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["TopKCache"]
+
+
+class TopKCache:
+    """Thread-safe bounded LRU keyed by hashable request fingerprints."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, refreshed to most-recently-used, or ``None``."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> int:
+        """Store a value; returns how many entries were evicted (0 or 1)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return 0
+            self._entries[key] = value
+            evicted = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+            return evicted
+
+    def invalidate(self) -> int:
+        """Drop every entry (hot-swap hook); returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime hit/miss/evict totals plus the current size."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

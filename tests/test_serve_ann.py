@@ -1,0 +1,389 @@
+"""ANN index, argpartition top-k, result cache and swap-generation tests.
+
+Covers the serving speed layer's correctness obligations:
+
+* ``top_k_from_scores`` (argpartition selection) is bit-identical to the
+  stable full-sort ranking it replaced, including forced score ties;
+* the LSH index is deterministic in its seed, its incremental ``add``
+  path is query-identical to a single-shot build, and its recall@10 on
+  real LDA company features clears the serving floor;
+* the top-k cache is a correct LRU keyed by the registry generation, so
+  a hot-swap atomically invalidates every cached answer;
+* the registry publishes a monotonic generation and fires promotion
+  subscribers (exceptions contained);
+* ``/similar`` and ``/recommend`` report the answering backend/path in
+  their bodies and ``serve.path{...}`` counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.similarity import top_k_from_scores, top_k_similar
+from repro.app.filters import FirmographicFilter
+from repro.app.tool import SalesRecommendationTool
+from repro.data.internal import InternalSalesDatabase
+from repro.models.ngram import NGramModel
+from repro.serve import (
+    LSHIndex,
+    ModelRegistry,
+    RecommendationService,
+    ServiceConfig,
+    TopKCache,
+)
+from repro.serve.ann import unit_rows
+
+
+# ----------------------------------------------------------------------
+# argpartition top-k == stable full sort (satellite 1)
+# ----------------------------------------------------------------------
+class TestTopKFromScores:
+    def _reference(self, scores, k, exclude=None, candidate_mask=None):
+        """The old implementation: stable argsort over the full array."""
+        eligible = np.ones(len(scores), dtype=bool)
+        if candidate_mask is not None:
+            eligible &= candidate_mask
+        if exclude is not None:
+            eligible[exclude] = False
+        candidates = np.flatnonzero(eligible)
+        order = np.argsort(-scores[candidates], kind="stable")
+        return candidates[order][:k]
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (7, 3), (50, 10), (50, 50), (50, 80)])
+    def test_matches_stable_sort_on_random_scores(self, rng, n, k):
+        scores = rng.normal(size=n)
+        got = top_k_from_scores(scores, k)
+        want = self._reference(scores, k)
+        assert np.array_equal(got, want)
+
+    def test_matches_stable_sort_with_forced_ties(self, rng):
+        # Quantized scores force large tie groups: the boundary of the
+        # partition must resolve them smallest-index-first, exactly like
+        # the stable sort did.
+        for trial in range(20):
+            scores = np.round(rng.normal(size=60), 1)
+            for k in (1, 5, 17, 59):
+                got = top_k_from_scores(scores, k)
+                want = self._reference(scores, k)
+                assert np.array_equal(got, want), (trial, k)
+
+    def test_all_equal_scores(self):
+        scores = np.full(12, 0.5)
+        assert np.array_equal(top_k_from_scores(scores, 4), [0, 1, 2, 3])
+
+    def test_exclude_and_mask(self, rng):
+        scores = np.round(rng.normal(size=40), 1)
+        mask = rng.random(40) < 0.6
+        mask[3] = True
+        got = top_k_from_scores(scores, 5, exclude=3, candidate_mask=mask)
+        want = self._reference(scores, 5, exclude=3, candidate_mask=mask)
+        assert np.array_equal(got, want)
+
+    def test_top_k_similar_unchanged_by_rewrite(self, rng):
+        # The public helper must rank exactly as before the argpartition
+        # rewrite: unit-cosine scores, stable ties, query excluded.
+        features = rng.normal(size=(30, 4))
+        features[5] = 0.0  # zero-norm row stays dissimilar to everything
+        hits = top_k_similar(features, 2, 10)
+        unit = unit_rows(features)
+        scores = unit @ unit[2]
+        scores[5] = 0.0
+        want = self._reference(scores, 10, exclude=2)
+        assert [i for i, _ in hits] == list(want)
+        for i, score in hits:
+            assert score == pytest.approx(float(scores[i]))
+
+
+# ----------------------------------------------------------------------
+# LSH index
+# ----------------------------------------------------------------------
+class TestLSHIndex:
+    @pytest.fixture(scope="class")
+    def vectors(self):
+        rng = np.random.default_rng(42)
+        centers = rng.normal(size=(8, 6))
+        assignments = rng.integers(0, 8, size=400)
+        return centers[assignments] + 0.15 * rng.normal(size=(400, 6))
+
+    def test_seeded_build_is_reproducible(self, vectors):
+        a = LSHIndex.build(vectors, seed=3)
+        b = LSHIndex.build(vectors, seed=3)
+        for q in (0, 17, 399):
+            assert a.search(vectors[q], 10) == b.search(vectors[q], 10)
+        assert a.build_recall == b.build_recall
+
+    def test_incremental_add_matches_single_shot_build(self, vectors):
+        whole = LSHIndex.build(vectors, seed=3, check_recall_queries=0)
+        grown = LSHIndex(vectors.shape[1], seed=3)
+        grown.add(vectors[:150])
+        grown.add(vectors[150:])
+        assert grown.size == whole.size
+        for q in (1, 77, 250):
+            assert grown.search(vectors[q], 10) == whole.search(vectors[q], 10)
+
+    def test_rebuild_reuses_planes_and_stamps_version(self, vectors):
+        index = LSHIndex.build(vectors, seed=3, check_recall_queries=0)
+        before = index.search(vectors[5], 10)
+        index.rebuild(vectors, model_version=7)
+        assert index.search(vectors[5], 10) == before
+        assert index.model_version == 7
+
+    def test_scores_are_exact_cosine(self, vectors):
+        index = LSHIndex.build(vectors, seed=3, check_recall_queries=0)
+        unit = unit_rows(vectors)
+        for i, score in index.search(vectors[9], 10, exclude=9):
+            assert score == pytest.approx(float(unit[i] @ unit[9]))
+            assert i != 9
+
+    def test_recall_floor_on_lda_company_features(self, corpus, fitted_lda):
+        features = fitted_lda.company_features(corpus)
+        index = LSHIndex.build(features, seed=0)
+        recall = index.recall_at_k(k=10, n_queries=32, seed=0)
+        assert recall >= 0.95
+        assert index.build_recall is not None and index.build_recall >= 0.95
+
+    def test_min_recall_gate_raises_on_weak_build(self, vectors):
+        # One table, one bit, one candidate: recall collapses, the gate
+        # must refuse to serve the index.
+        with pytest.raises(ValueError, match="recall"):
+            LSHIndex.build(
+                vectors, n_tables=1, n_bits=16, min_candidates=1, min_recall=0.999
+            )
+
+    def test_zero_query_and_empty_index(self, vectors):
+        index = LSHIndex.build(vectors, seed=3, check_recall_queries=0)
+        assert index.search(np.zeros(vectors.shape[1]), 5) == []
+        assert LSHIndex(4).search(np.ones(4), 5) == []
+
+    def test_dimension_mismatch_raises(self, vectors):
+        index = LSHIndex.build(vectors, seed=3, check_recall_queries=0)
+        with pytest.raises(ValueError, match="dim"):
+            index.add(np.ones((3, vectors.shape[1] + 1)))
+        with pytest.raises(ValueError, match="dim"):
+            index.search(np.ones(vectors.shape[1] + 1), 5)
+
+
+# ----------------------------------------------------------------------
+# Tool backends
+# ----------------------------------------------------------------------
+class TestToolBackends:
+    @pytest.fixture(scope="class")
+    def tool(self, corpus, fitted_lda, universe):
+        internal = InternalSalesDatabase(corpus.companies, seed=7)
+        tool = SalesRecommendationTool(
+            corpus, fitted_lda.company_features(corpus), internal
+        )
+        tool.enable_ann(seed=0)
+        return tool
+
+    def test_ann_results_are_exactly_reranked(self, tool):
+        duns = tool.corpus.companies[0].duns.value
+        exact, used_exact = tool.similar_companies_detail(duns, k=5, backend="exact")
+        approx, used_ann = tool.similar_companies_detail(duns, k=5, backend="ann")
+        assert used_exact == "exact" and used_ann == "ann"
+        exact_scores = {h.duns: h.similarity for h in exact}
+        for hit in approx:
+            if hit.duns in exact_scores:  # shared hits carry exact scores
+                assert hit.similarity == pytest.approx(exact_scores[hit.duns])
+
+    def test_filters_fall_back_to_exact(self, tool):
+        duns = tool.corpus.companies[0].duns.value
+        filters = FirmographicFilter(country="US")
+        hits, used = tool.similar_companies_detail(
+            duns, k=5, filters=filters, backend="ann"
+        )
+        assert used == "exact"
+
+    def test_missing_index_falls_back_to_exact(self, corpus, fitted_lda):
+        internal = InternalSalesDatabase(corpus.companies, seed=7)
+        bare = SalesRecommendationTool(
+            corpus, fitted_lda.company_features(corpus), internal
+        )
+        duns = corpus.companies[0].duns.value
+        hits, used = bare.similar_companies_detail(duns, k=5, backend="ann")
+        assert used == "exact" and len(hits) == 5
+
+    def test_unknown_backend_rejected(self, tool):
+        with pytest.raises(ValueError, match="backend"):
+            tool.similar_companies(
+                tool.corpus.companies[0].duns.value, k=3, backend="fancy"
+            )
+
+    def test_refresh_features_rebuilds_index(self, corpus, fitted_lda):
+        internal = InternalSalesDatabase(corpus.companies, seed=7)
+        features = fitted_lda.company_features(corpus)
+        tool = SalesRecommendationTool(corpus, features, internal)
+        tool.enable_ann(seed=0)
+        duns = corpus.companies[3].duns.value
+        before = tool.similar_companies(duns, k=5, backend="ann")
+        tool.refresh_features(features[:, ::-1].copy(), model_version=9)
+        after = tool.similar_companies(duns, k=5, backend="ann")
+        assert tool.model_version == 9
+        assert tool.ann_index.model_version == 9
+        # Reversed topic order preserves cosine geometry: same neighbors.
+        assert [h.duns for h in after] == [h.duns for h in before]
+
+
+# ----------------------------------------------------------------------
+# Top-k LRU cache
+# ----------------------------------------------------------------------
+class TestTopKCache:
+    def test_lru_eviction_order(self):
+        cache = TopKCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a" to most-recent
+        assert cache.put("c", 3) == 1  # evicts "b", the least-recent
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_stats_and_invalidate(self):
+        cache = TopKCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("ghost")
+        assert cache.stats() == {
+            "size": 1, "capacity": 4, "hits": 1, "misses": 1, "evictions": 0,
+        }
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = TopKCache(1)
+        cache.put("a", 1)
+        assert cache.put("a", 2) == 0
+        assert cache.get("a") == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TopKCache(0)
+
+
+# ----------------------------------------------------------------------
+# Registry generation + promotion subscribers
+# ----------------------------------------------------------------------
+class TestRegistryGeneration:
+    def test_generation_monotonic_over_installs_and_swaps(self, split, fitted_lda):
+        registry = ModelRegistry(split.validation, perplexity_tolerance=1.5)
+        assert registry.generation == 0
+        registry.install("lda", fitted_lda)
+        assert registry.generation == 1
+        registry.install("ngram", NGramModel(order=2).fit(split.train))
+        assert registry.generation == 2
+        report = registry.swap("ngram", NGramModel(order=2).fit(split.train))
+        assert report.status == "promoted"
+        assert report.generation == registry.generation == 3
+        rejected = registry.swap("ngram", NGramModel())
+        assert rejected.status == "rejected"
+        assert registry.generation == 3  # rejections never bump
+
+    def test_subscribers_fire_on_promotion_only(self, split, fitted_lda):
+        registry = ModelRegistry(split.validation, perplexity_tolerance=1.5)
+        registry.install("lda", fitted_lda)
+        seen = []
+        registry.subscribe(lambda report: seen.append(report.generation))
+        registry.swap("lda", NGramModel())  # rejected: no notification
+        assert seen == []
+        registry.swap("lda", fitted_lda)
+        assert seen == [2]
+
+    def test_subscriber_exception_does_not_break_swap(self, split, fitted_lda):
+        registry = ModelRegistry(split.validation, perplexity_tolerance=1.5)
+        registry.install("lda", fitted_lda)
+
+        def bad_subscriber(report):
+            raise RuntimeError("consumer bug")
+
+        registry.subscribe(bad_subscriber)
+        report = registry.swap("lda", fitted_lda)
+        assert report.status == "promoted"
+
+
+# ----------------------------------------------------------------------
+# Service: cache keyed by generation, swap invalidation, path audit
+# ----------------------------------------------------------------------
+class TestServiceCacheAndBackends:
+    @pytest.fixture()
+    def service(self, corpus, split, fitted_lda):
+        registry = ModelRegistry(split.validation, perplexity_tolerance=1.5)
+        registry.install("lda", fitted_lda)
+        registry.install("ngram", NGramModel(order=2).fit(split.train))
+        internal = InternalSalesDatabase(corpus.companies, seed=7)
+        tool = SalesRecommendationTool(
+            corpus, fitted_lda.company_features(corpus), internal
+        )
+        tool.model_version = registry.generation
+        tool.enable_ann(seed=0)
+        return RecommendationService(
+            corpus=corpus,
+            registry=registry,
+            tiers=("lda", "ngram"),
+            tool=tool,
+            feature_slot="lda",
+            config=ServiceConfig(topk_cache_size=32, similarity="ann"),
+        )
+
+    def test_repeat_request_is_served_from_cache(self, service, corpus):
+        payload = {"history": [corpus.vocabulary[0]], "top_n": 4}
+        first = service.handle("POST", "/recommend", payload).body
+        second = service.handle("POST", "/recommend", payload).body
+        assert first["path"] == "single"
+        assert second["path"] == "cached"
+        assert second["recommendations"] == first["recommendations"]
+        assert second["tier"] == first["tier"]
+        counters = service.metrics_snapshot()["counters"]
+        assert counters['serve.cache.hit{endpoint="/recommend"}'] == 1
+        assert counters['serve.cache.miss{endpoint="/recommend"}'] == 1
+        # Cache hits still count as tier answers: the accounting
+        # invariant (tier answers == 2xx responses carrying a tier).
+        assert counters['serve.tier.answers{tier="lda"}'] == 2
+
+    def test_hotswap_invalidates_cache_atomically(self, service, corpus, fitted_lda):
+        payload = {"history": [corpus.vocabulary[1]], "top_n": 3}
+        service.handle("POST", "/recommend", payload)
+        assert service.handle("POST", "/recommend", payload).body["path"] == "cached"
+        generation_before = service.registry.generation
+        swap = service.handle(
+            "POST", "/admin/hotswap", {"name": "ngram", "path": "unused"}
+        )
+        # The admin endpoint stages from a path; stage failure is a
+        # rejection and must NOT invalidate. Promote through the registry.
+        assert swap.status == 409
+        assert service.handle("POST", "/recommend", payload).body["path"] == "cached"
+        report = service.registry.swap("lda", fitted_lda)
+        assert report.status == "promoted"
+        assert service.registry.generation == generation_before + 1
+        after = service.handle("POST", "/recommend", payload).body
+        assert after["path"] == "single"  # generation changed: cache miss
+        assert after["model_versions"]["lda"] == 2
+        assert len(service.topk_cache) == 1  # old entries were dropped
+
+    def test_promotion_refreshes_tool_features(self, service, fitted_lda):
+        tool = service.tool
+        version_before = tool.model_version
+        report = service.registry.swap("lda", fitted_lda)
+        assert report.status == "promoted"
+        assert tool.model_version == report.generation > version_before
+        assert tool.ann_index.model_version == report.generation
+
+    def test_similar_reports_ann_backend_and_path_counter(self, service, corpus):
+        duns = corpus.companies[0].duns.value
+        body = service.handle("POST", "/similar", {"duns": duns, "k": 5}).body
+        assert body["backend"] == "ann"
+        assert len(body["similar"]) == 5
+        counters = service.metrics_snapshot()["counters"]
+        assert counters['serve.path{endpoint="/similar",path="ann"}'] == 1
+
+    def test_degraded_answers_are_not_cached(self, service, corpus, monkeypatch):
+        payload = {"history": [corpus.vocabulary[2]], "top_n": 3}
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "crash:serve/score/lda,crash:serve/score/ngram"
+        )
+        degraded = service.handle("POST", "/recommend", payload).body
+        assert degraded["degraded"] is True
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert len(service.topk_cache) == 0
+        fresh = service.handle("POST", "/recommend", payload).body
+        assert fresh["path"] == "single"  # a miss, not a stale degraded hit
+        assert fresh["degraded"] is False

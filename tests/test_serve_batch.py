@@ -1,0 +1,380 @@
+"""Micro-batching tests: coalescing, deadlines, bit-identity, fallback.
+
+The batching contract (`repro.serve.batch`):
+
+* an idle batcher adds **zero latency** — a lone request takes the exact
+  single-request path;
+* a queued request never waits for batch-mates past its deadline
+  allowance (``wait_fraction`` of its budget, capped by the window);
+* a batch of one routes through the single path, so it is bit-identical
+  to an unbatched service by construction; larger batches produce the
+  same rankings as the single path because the batched tier scorer
+  mirrors ``ThresholdRecommender`` exactly;
+* a failing batched path degrades **per request** — every member falls
+  back to its own single-path walk; batch-mates never share a failure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.ngram import NGramModel
+from repro.serve import (
+    DegradationLadder,
+    MicroBatcher,
+    ModelRegistry,
+    RecommendationService,
+    ServiceConfig,
+    Tier,
+)
+
+
+def _echo_single(history, threshold, top_n, deadline_s):
+    return ("single", tuple(history), threshold, top_n)
+
+
+def _echo_batch(histories, thresholds, top_ns, budget_s):
+    return [
+        ("batched", tuple(h), t, n)
+        for h, t, n in zip(histories, thresholds, top_ns)
+    ]
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher unit behaviour
+# ----------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_idle_request_takes_single_path(self):
+        batcher = MicroBatcher(_echo_single, _echo_batch, window_s=0.05)
+        try:
+            answer = batcher.submit([1, 2], None, 5, 1.0)
+            assert answer.path == "single"
+            assert answer.batch_size == 1
+            assert answer.waited_ms == 0.0
+            assert answer.result == ("single", (1, 2), None, 5)
+        finally:
+            batcher.close()
+
+    def test_concurrent_requests_coalesce_into_one_batch(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocking_single(history, threshold, top_n, deadline_s):
+            started.set()
+            release.wait(5.0)
+            return _echo_single(history, threshold, top_n, deadline_s)
+
+        batcher = MicroBatcher(
+            blocking_single, _echo_batch, window_s=0.05, batch_max=8
+        )
+        try:
+            with ThreadPoolExecutor(max_workers=5) as pool:
+                blocker = pool.submit(batcher.submit, [0], None, 5, 5.0)
+                assert started.wait(2.0)
+                # These arrive while the blocker is in flight: they queue.
+                followers = [
+                    pool.submit(batcher.submit, [i], None, 5, 5.0)
+                    for i in range(1, 5)
+                ]
+                answers = [f.result(timeout=5.0) for f in followers]
+                release.set()
+                blocker.result(timeout=5.0)
+            batched = [a for a in answers if a.path == "batched"]
+            assert len(batched) >= 2  # they coalesced, not one-by-one
+            sizes = {a.batch_size for a in batched}
+            assert all(size >= 2 for size in sizes)
+            for i, answer in enumerate(answers, start=1):
+                expected = ("batched", (i,), None, 5)
+                if answer.path == "single":
+                    expected = ("single", (i,), None, 5)
+                assert answer.result == expected
+        finally:
+            batcher.close()
+
+    def test_batch_of_one_routes_through_single_path(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocking_single(history, threshold, top_n, deadline_s):
+            if tuple(history) == (0,):
+                started.set()
+                release.wait(5.0)
+            return _echo_single(history, threshold, top_n, deadline_s)
+
+        batcher = MicroBatcher(blocking_single, _echo_batch, window_s=0.02)
+        try:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                blocker = pool.submit(batcher.submit, [0], None, 5, 5.0)
+                assert started.wait(2.0)
+                lone = pool.submit(batcher.submit, [9], None, 5, 5.0)
+                answer = lone.result(timeout=5.0)
+                release.set()
+                blocker.result(timeout=5.0)
+            # The lone queued request drained into a batch of one and ran
+            # the single-request path: bit-identical by construction.
+            assert answer.path == "single"
+            assert answer.batch_size == 1
+            assert answer.result == ("single", (9,), None, 5)
+        finally:
+            batcher.close()
+
+    def test_batch_failure_degrades_per_request_not_batch_mates(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocking_single(history, threshold, top_n, deadline_s):
+            if tuple(history) == (0,):
+                started.set()
+                release.wait(5.0)
+            return _echo_single(history, threshold, top_n, deadline_s)
+
+        def broken_batch(histories, thresholds, top_ns, budget_s):
+            raise RuntimeError("GEMM exploded")
+
+        batcher = MicroBatcher(
+            blocking_single, broken_batch, window_s=0.02, batch_max=8
+        )
+        try:
+            with ThreadPoolExecutor(max_workers=5) as pool:
+                blocker = pool.submit(batcher.submit, [0], None, 5, 5.0)
+                assert started.wait(2.0)
+                followers = [
+                    pool.submit(batcher.submit, [i], None, 5, 5.0)
+                    for i in range(1, 5)
+                ]
+                answers = [f.result(timeout=5.0) for f in followers]
+                release.set()
+                blocker.result(timeout=5.0)
+            # Every member was answered by its own solo fallback; the
+            # batch failure never surfaced to any caller.
+            for i, answer in enumerate(answers, start=1):
+                assert answer.path == "single"
+                assert answer.result == ("single", (i,), None, 5)
+        finally:
+            batcher.close()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="window_s"):
+            MicroBatcher(_echo_single, _echo_batch, window_s=0.0)
+        with pytest.raises(ValueError, match="batch_max"):
+            MicroBatcher(_echo_single, _echo_batch, batch_max=0)
+        with pytest.raises(ValueError, match="wait_fraction"):
+            MicroBatcher(_echo_single, _echo_batch, wait_fraction=1.5)
+
+    def test_closed_batcher_rejects_submissions(self):
+        batcher = MicroBatcher(_echo_single, _echo_batch)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit([1], None, 5, 1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        deadline_s=st.floats(min_value=0.01, max_value=0.5),
+        window_s=st.floats(min_value=0.005, max_value=0.2),
+        wait_fraction=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_queued_wait_never_exceeds_deadline_allowance(
+        self, deadline_s, window_s, wait_fraction
+    ):
+        """Property: queue wait <= min(window, wait_fraction * deadline).
+
+        A blocker occupies the direct path for longer than any allowance,
+        so the queued request *must* be drained by the collector at its
+        ``latest_start`` — if the deadline cap were ignored, the measured
+        wait would stretch to the blocker's full duration.
+        """
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocking_single(history, threshold, top_n, budget_s):
+            if tuple(history) == (0,):
+                started.set()
+                release.wait(10.0)
+            return _echo_single(history, threshold, top_n, budget_s)
+
+        batcher = MicroBatcher(
+            blocking_single,
+            _echo_batch,
+            window_s=window_s,
+            wait_fraction=wait_fraction,
+        )
+        try:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                blocker = pool.submit(batcher.submit, [0], None, 5, 20.0)
+                assert started.wait(2.0)
+                begun = time.monotonic()
+                answer = pool.submit(batcher.submit, [7], None, 5, deadline_s).result(
+                    timeout=10.0
+                )
+                elapsed = time.monotonic() - begun
+                release.set()
+                blocker.result(timeout=5.0)
+            allowance = min(window_s, wait_fraction * deadline_s)
+            # Generous scheduling slack: the property under test is that
+            # the wait tracks the *allowance*, not the blocker's 10 s.
+            assert elapsed <= allowance + 0.25
+            assert answer.waited_ms / 1000.0 <= allowance + 0.25
+        finally:
+            batcher.close()
+
+
+# ----------------------------------------------------------------------
+# Batched ladder walk
+# ----------------------------------------------------------------------
+class TestLadderScoreBatch:
+    def _ladder(self, tiers):
+        return DegradationLadder(
+            tiers,
+            floor=Tier(
+                "floor",
+                lambda history, threshold, top_n: [(99, 0.5)][:top_n],
+            ),
+        )
+
+    def test_batch_matches_single_walk(self):
+        def scorer(history, threshold, top_n):
+            return [(h * 10, 1.0 - 0.1 * i) for i, h in enumerate(history)][:top_n]
+
+        def batch_scorer(histories, thresholds, top_ns):
+            return [
+                scorer(h, t, n)
+                for h, t, n in zip(histories, thresholds, top_ns)
+            ]
+
+        ladder = self._ladder(
+            [Tier("model", scorer, batch_scorer=batch_scorer)]
+        )
+        histories = [[1, 2], [3], [4, 5, 6]]
+        batch = ladder.score_batch(histories, deadline_s=1.0, top_ns=[2, 2, 2])
+        for history, result in zip(histories, batch):
+            single = ladder.score(history, deadline_s=1.0, top_n=2)
+            assert result.tier == single.tier == "model"
+            assert result.recommendations == single.recommendations
+            assert result.degraded is False
+
+    def test_batch_without_batch_scorer_loops_single_scorer(self):
+        calls = []
+
+        def scorer(history, threshold, top_n):
+            calls.append(list(history))
+            return [(len(history), 1.0)]
+
+        ladder = self._ladder([Tier("model", scorer)])
+        results = ladder.score_batch([[1], [2, 3]], deadline_s=1.0)
+        assert [r.recommendations for r in results] == [[(1, 1.0)], [(2, 1.0)]]
+        assert calls == [[1], [2, 3]]
+
+    def test_batch_error_degrades_whole_batch_with_audit(self):
+        def broken(history, threshold, top_n):
+            raise RuntimeError("tier down")
+
+        ladder = self._ladder([Tier("model", broken)])
+        results = ladder.score_batch([[1], [2]], deadline_s=1.0)
+        for result in results:
+            assert result.tier == "floor"
+            assert result.degraded is True
+            assert result.recommendations == [(99, 0.5)]
+            statuses = {o.tier: o.status for o in result.outcomes}
+            assert statuses == {"model": "error", "floor": "ok"}
+
+    def test_batch_timeout_degrades_to_floor(self):
+        def slow_batch(histories, thresholds, top_ns):
+            time.sleep(0.5)
+            return [[(1, 1.0)] for _ in histories]
+
+        def scorer(history, threshold, top_n):
+            time.sleep(0.5)
+            return [(1, 1.0)]
+
+        ladder = self._ladder(
+            [Tier("model", scorer, batch_scorer=slow_batch)]
+        )
+        results = ladder.score_batch([[1], [2]], deadline_s=0.02)
+        for result in results:
+            assert result.tier == "floor"
+            statuses = {o.tier: o.status for o in result.outcomes}
+            assert statuses["model"] == "timeout"
+
+    def test_wrong_length_from_batch_scorer_is_an_error_outcome(self):
+        ladder = self._ladder(
+            [
+                Tier(
+                    "model",
+                    lambda h, t, n: [(1, 1.0)],
+                    batch_scorer=lambda hs, ts, ns: [[(1, 1.0)]],  # short
+                )
+            ]
+        )
+        results = ladder.score_batch([[1], [2]], deadline_s=1.0)
+        assert all(r.tier == "floor" for r in results)
+
+    def test_empty_batch(self):
+        ladder = self._ladder([])
+        assert ladder.score_batch([], deadline_s=1.0) == []
+
+
+# ----------------------------------------------------------------------
+# Service-level bit-identity: batched answers == unbatched answers
+# ----------------------------------------------------------------------
+class TestServiceBatching:
+    @pytest.fixture()
+    def services(self, corpus, split, fitted_lda):
+        """An unbatched and a batched service sharing fitted models."""
+        def build(config):
+            registry = ModelRegistry(split.validation, perplexity_tolerance=1.5)
+            registry.install("lda", fitted_lda)
+            registry.install("ngram", NGramModel(order=2).fit(split.train))
+            return RecommendationService(
+                corpus=corpus,
+                registry=registry,
+                tiers=("lda", "ngram"),
+                config=config,
+            )
+
+        plain = build(ServiceConfig())
+        batched = build(
+            ServiceConfig(batch_window_ms=50.0, batch_max=8, max_inflight=64)
+        )
+        yield plain, batched
+        batched.close()
+
+    def test_batched_responses_bit_identical_to_single(self, services, corpus):
+        plain, batched = services
+        payloads = [
+            {"history": [corpus.vocabulary[i % 5]], "top_n": 4, "deadline_ms": 2000}
+            for i in range(12)
+        ]
+        expected = [
+            plain.handle("POST", "/recommend", p).body for p in payloads
+        ]
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            got = list(
+                pool.map(
+                    lambda p: batched.handle("POST", "/recommend", p).body,
+                    payloads,
+                )
+            )
+        saw_batched = False
+        for want, have in zip(expected, got):
+            assert have["tier"] == want["tier"]
+            assert have["degraded"] is False
+            assert have["recommendations"] == want["recommendations"]
+            saw_batched = saw_batched or have["path"] == "batched"
+        assert saw_batched, "concurrent load never coalesced a batch"
+        counters = batched.metrics_snapshot()["counters"]
+        assert counters.get('serve.path{endpoint="/recommend",path="batched"}', 0) > 0
+
+    def test_sequential_requests_stay_on_single_path(self, services, corpus):
+        _, batched = services
+        body = batched.handle(
+            "POST", "/recommend", {"history": [corpus.vocabulary[0]]}
+        ).body
+        assert body["path"] == "single"
+        assert body["batch_size"] == 1
+        assert body["queue_wait_ms"] == 0.0

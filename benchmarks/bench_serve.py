@@ -28,7 +28,16 @@ service's core contract end to end:
   set and relaxes the speedup floor, never the recall floor);
 * a hot-swap **invalidates the top-k result cache**: the first request
   after a promotion is recomputed against the new model, then re-cached
-  under the new generation.
+  under the new generation;
+* the pre-fork **fleet gate**: a sustained closed-loop load phase against
+  the shared SO_REUSEPORT port proves fleet RPS ≥ 3× a single worker at
+  equal-or-better p99 (the floor derates honestly when the host has
+  fewer cores than workers, and smoke mode shortens the phases), every
+  worker memory-maps the model artifact (``/proc/<pid>/maps`` evidence),
+  a worker SIGKILLed mid-load is restarted with **zero client-visible
+  5xx**, a generation published mid-load converges on every worker with
+  bit-identical answers, and no worker's flight recorder holds an
+  unexplained failed request.
 
 Run directly (CI's serve-smoke job does)::
 
@@ -800,6 +809,400 @@ def run_cache_swap_contract(*, companies: int = 120, seed: int = 7) -> dict:
     return result
 
 
+def _percentile(sorted_ms: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted latency list."""
+    if not sorted_ms:
+        return 0.0
+    rank = max(0, min(len(sorted_ms) - 1, int(round(q * (len(sorted_ms) - 1)))))
+    return sorted_ms[rank]
+
+
+def run_closed_loop(
+    base_url: str,
+    payloads: list[bytes],
+    *,
+    threads: int = 8,
+    duration_s: float = 5.0,
+    extended_percentiles: bool = False,
+) -> dict:
+    """Sustained closed-loop load: ``threads`` clients, keep-alive, no sleep.
+
+    Each client thread drives its own persistent connection as fast as
+    the server answers for ``duration_s`` (closed loop: a new request is
+    issued the moment the previous response lands).  A broken connection
+    — e.g. its pinned SO_REUSEPORT worker was killed — is reconnected
+    and counted as a retry, never as a failure: the contract under fault
+    is zero client-visible 5xx, and connection-level resets of idle
+    keep-alive sockets are the kernel's business, not the service's.
+
+    Returns RPS, latency percentiles (p99.9/max with
+    ``extended_percentiles``), the status histogram and the retry count.
+    """
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(base_url)
+    host, port = parts.hostname, parts.port
+    stop_at = time.monotonic() + duration_s
+    lock = threading.Lock()
+    latencies: list[float] = []
+    statuses: Counter[int] = Counter()
+    retries = 0
+
+    def loop(worker_index: int) -> None:
+        nonlocal retries
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        sent = worker_index  # offset so threads don't sync on one payload
+        local_lat: list[float] = []
+        local_status: Counter[int] = Counter()
+        local_retries = 0
+        while time.monotonic() < stop_at:
+            body = payloads[sent % len(payloads)]
+            sent += 1
+            started = time.perf_counter()
+            try:
+                conn.request(
+                    "POST",
+                    "/recommend",
+                    body,
+                    {"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                response.read()
+            except (OSError, http.client.HTTPException):
+                conn.close()
+                conn = http.client.HTTPConnection(host, port, timeout=30)
+                local_retries += 1
+                continue
+            local_lat.append((time.perf_counter() - started) * 1000.0)
+            local_status[response.status] += 1
+        conn.close()
+        with lock:
+            latencies.extend(local_lat)
+            statuses.update(local_status)
+            retries += local_retries
+
+    pool = [
+        threading.Thread(target=loop, args=(i,), daemon=True)
+        for i in range(threads)
+    ]
+    started = time.monotonic()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=duration_s + 60)
+    elapsed = time.monotonic() - started
+    latencies.sort()
+    report = {
+        "requests": len(latencies),
+        "duration_s": round(elapsed, 3),
+        "rps": round(len(latencies) / elapsed, 2) if elapsed > 0 else 0.0,
+        "threads": threads,
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "connection_retries": retries,
+    }
+    if extended_percentiles:
+        report["p999_ms"] = round(_percentile(latencies, 0.999), 3)
+        report["max_ms"] = round(latencies[-1] if latencies else 0.0, 3)
+    return report
+
+
+def _worker_memory_evidence(pids: list[int], artifact_root: str) -> dict:
+    """Per-worker RSS and artifact-mapping evidence from ``/proc``.
+
+    ``artifact_mapped_bytes`` counts address-space bytes backed by files
+    under the artifact store — the same inode in every worker's maps is
+    the proof the fleet shares one page-cache copy of the model weights.
+    """
+    evidence: dict[str, dict] = {}
+    for pid in pids:
+        info: dict[str, int] = {}
+        try:
+            for line in Path(f"/proc/{pid}/smaps_rollup").read_text().splitlines():
+                name, _, rest = line.partition(":")
+                if name in ("Rss", "Pss", "Shared_Clean"):
+                    info[f"{name.lower()}_kb"] = int(rest.split()[0])
+        except (OSError, ValueError):
+            pass
+        mapped = 0
+        try:
+            for line in Path(f"/proc/{pid}/maps").read_text().splitlines():
+                if artifact_root in line:
+                    span = line.split()[0]
+                    start, _, end = span.partition("-")
+                    mapped += int(end, 16) - int(start, 16)
+        except (OSError, ValueError):
+            pass
+        info["artifact_mapped_bytes"] = mapped
+        evidence[str(pid)] = info
+    return evidence
+
+
+def _flight_failed_records(direct_url: str) -> list[dict]:
+    """Every record in one worker's failed-request flight ring."""
+    client = _Client(direct_url)
+    status, text, _ = client.get_raw("/admin/debug?section=failed")
+    if status != 200:
+        return [{"status": -1, "detail": f"debug scrape failed with {status}"}]
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def run_fleet_gate(
+    *,
+    companies: int = 200,
+    seed: int = 7,
+    workers: int = 4,
+    shards: int = 2,
+    threads: int = 8,
+    duration_s: float | None = None,
+    min_speedup: float | None = None,
+    p99_slack: float | None = None,
+    kill_worker: bool = False,
+    hotswap_under_load: bool = False,
+    extended_percentiles: bool = False,
+) -> dict:
+    """Gate: the pre-fork fleet sustains ≥ ``min_speedup``× one worker's RPS.
+
+    Publishes the demo models to an artifact store once, then runs the
+    same closed-loop load twice — against a 1-worker fleet (the
+    single-process baseline, measured in its own process exactly like
+    the fleet workers) and against a ``workers``-wide fleet on the
+    shared SO_REUSEPORT port.  The full-scale floor is 3×; because N
+    workers cannot beat one by 3× without ≥ 3 extra cores, the floor
+    derates with the host's effective parallelism
+    (``min(workers, cpu_count)``) and is further relaxed — never the
+    correctness checks — in ``REPRO_BENCH_SMOKE`` mode.
+
+    Correctness rides along under load: every worker must map the
+    artifact file into its address space (shared page cache), no
+    client-visible 5xx is tolerated (including while a worker is
+    SIGKILLed and restarted with ``kill_worker``), a generation
+    published mid-load (``hotswap_under_load``) must converge on every
+    worker with bit-identical per-worker answers, and no worker's
+    flight recorder may hold an unexplained failed request.
+    """
+    import signal as _signal
+
+    from repro.serve import (
+        ArtifactStore,
+        FleetSupervisor,
+        build_demo_models,
+        demo_service_factory,
+        publish_demo_artifacts,
+    )
+
+    cores = os.cpu_count() or 1
+    effective = min(workers, cores)
+    if duration_s is None:
+        duration_s = 2.5 if SMOKE else 8.0
+    if min_speedup is None:
+        min_speedup = 3.0 if effective >= 4 else 0.75 * effective
+        if SMOKE:
+            min_speedup *= 0.6
+    if p99_slack is None:
+        p99_slack = 1.0 if effective >= 4 and not SMOKE else 3.0
+    if SMOKE:
+        companies = min(companies, 120)
+    lda_iterations = 15 if SMOKE else 60
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
+        store = ArtifactStore(Path(tmp) / "artifacts")
+        publish_demo_artifacts(
+            store, companies, seed=seed, lda_iterations=lda_iterations
+        )
+        config = ServiceConfig(reuse_port=True, max_inflight=4 * threads)
+        factory = demo_service_factory(store, companies, seed=seed, config=config)
+        rng = random.Random(seed)
+        data_vocab: list[str] | None = None
+
+        def payload_set(service_vocab: list[str]) -> list[bytes]:
+            return [
+                json.dumps(
+                    {
+                        "history": rng.sample(
+                            service_vocab,
+                            rng.randint(1, min(5, len(service_vocab))),
+                        ),
+                        "deadline_ms": 4000,
+                    }
+                ).encode()
+                for _ in range(64)
+            ]
+
+        from repro.experiments.common import make_experiment_data
+
+        data_vocab = list(make_experiment_data(companies, seed=seed).corpus.vocabulary)
+        payloads = payload_set(data_vocab)
+
+        # ---- phase 1: single-worker baseline, own process ----------------
+        with FleetSupervisor(
+            factory,
+            n_workers=1,
+            shards=1,
+            state_dir=Path(tmp) / "state-single",
+            store=store,
+        ) as single:
+            single.wait_ready(timeout=120)
+            single_report = run_closed_loop(
+                single.fleet_url,
+                payloads,
+                threads=threads,
+                duration_s=duration_s,
+                extended_percentiles=extended_percentiles,
+            )
+
+        # ---- phase 2: the fleet, same load, faults riding along ----------
+        supervisor = FleetSupervisor(
+            factory,
+            n_workers=workers,
+            shards=shards,
+            state_dir=Path(tmp) / "state-fleet",
+            store=store,
+            poll_interval=0.1,
+        )
+        supervisor.start()
+        try:
+            supervisor.wait_ready(timeout=120)
+            fleet_report: dict = {}
+            chaos_notes: dict = {}
+
+            def load() -> None:
+                fleet_report.update(
+                    run_closed_loop(
+                        supervisor.fleet_url,
+                        payloads,
+                        threads=threads,
+                        duration_s=duration_s,
+                        extended_percentiles=extended_percentiles,
+                    )
+                )
+
+            loader = threading.Thread(target=load, daemon=True)
+            loader.start()
+            time.sleep(duration_s * 0.25)
+            memory = _worker_memory_evidence(
+                list(supervisor.live_pids().values()), str(store.root)
+            )
+            if kill_worker:
+                victim = next(iter(supervisor.live_pids().values()))
+                os.kill(victim, _signal.SIGKILL)
+                chaos_notes["killed_pid"] = victim
+            if hotswap_under_load:
+                _, models = build_demo_models(
+                    companies, seed=seed, lda_iterations=lda_iterations
+                )
+                published = supervisor.publish(models)
+                chaos_notes["published_generation"] = published.number
+            loader.join(timeout=duration_s + 120)
+
+            if kill_worker:
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if (
+                        supervisor.restarts >= 1
+                        and len(supervisor.live_pids()) == workers
+                    ):
+                        break
+                    time.sleep(0.1)
+                chaos_notes["restarts"] = supervisor.restarts
+                assert supervisor.restarts >= 1, "killed worker never restarted"
+                assert len(supervisor.live_pids()) == workers, supervisor.live_pids()
+            if hotswap_under_load:
+                states = supervisor.wait_generation(
+                    chaos_notes["published_generation"], timeout=60
+                )
+                probe = payloads[0]
+                answers = []
+                for state in states:
+                    status, body, _ = _Client(state.direct_url).post(
+                        "/recommend", probe
+                    )
+                    assert status == 200, (state.index, status, body)
+                    answers.append(
+                        (body["recommendations"], body["model_versions"])
+                    )
+                assert all(a == answers[0] for a in answers), (
+                    "post-swap answers diverged across workers"
+                )
+                chaos_notes["post_swap_bit_identical"] = True
+
+            # Flight-recorder audit: the load sends only valid payloads,
+            # so the only explicable failed records are 429 sheds.
+            unexplained: list[dict] = []
+            for state in supervisor.workers():
+                for record in _flight_failed_records(state.direct_url):
+                    if record.get("status") != 429:
+                        unexplained.append(record)
+            assert not unexplained, (
+                f"unexplained failed requests in worker flight recorders: "
+                f"{unexplained[:5]}"
+            )
+        finally:
+            supervisor.stop()
+
+    speedup = (
+        fleet_report["rps"] / single_report["rps"]
+        if single_report.get("rps")
+        else 0.0
+    )
+    server_5xx = [
+        s
+        for report in (single_report, fleet_report)
+        for s in report["statuses"]
+        if int(s) >= 500
+    ]
+    result = {
+        "workers": workers,
+        "shards": shards,
+        "threads": threads,
+        "cores": cores,
+        "effective_parallelism": effective,
+        "duration_s": duration_s,
+        "single": single_report,
+        "fleet": fleet_report,
+        "speedup": round(speedup, 3),
+        "min_speedup": round(min_speedup, 3),
+        "p99_slack": p99_slack,
+        "memory": memory,
+        "chaos": chaos_notes,
+        "smoke": SMOKE,
+    }
+    registry = obs_metrics.get_registry()
+    registry.gauge("bench.serve.fleet.single_rps").set(single_report["rps"])
+    registry.gauge("bench.serve.fleet.fleet_rps").set(fleet_report["rps"])
+    registry.gauge("bench.serve.fleet.speedup").set(result["speedup"])
+    registry.gauge("bench.serve.fleet.min_speedup").set(result["min_speedup"])
+    registry.gauge("bench.serve.fleet.single_p99_ms").set(single_report["p99_ms"])
+    registry.gauge("bench.serve.fleet.fleet_p99_ms").set(fleet_report["p99_ms"])
+    registry.gauge("bench.serve.fleet.workers").set(workers)
+    mapped = [m["artifact_mapped_bytes"] for m in memory.values()]
+    registry.gauge("bench.serve.fleet.artifact_mapped_mb").set(
+        round(sum(mapped) / max(1, len(mapped)) / 1e6, 3)
+    )
+    rss = [m.get("rss_kb", 0) for m in memory.values() if "rss_kb" in m]
+    if rss:
+        registry.gauge("bench.serve.fleet.worker_rss_mb_mean").set(
+            round(sum(rss) / len(rss) / 1024.0, 2)
+        )
+
+    assert not server_5xx, f"client-visible 5xx under fleet load: {server_5xx}"
+    assert all(m["artifact_mapped_bytes"] > 0 for m in memory.values()), (
+        f"a worker is not memory-mapping the model artifact: {memory}"
+    )
+    assert speedup >= min_speedup, (
+        f"fleet RPS {fleet_report['rps']} is only {speedup:.2f}x the single "
+        f"worker's {single_report['rps']} (floor {min_speedup:.2f}x at "
+        f"{effective} effective cores)"
+    )
+    assert fleet_report["p99_ms"] <= single_report["p99_ms"] * p99_slack, (
+        f"fleet p99 {fleet_report['p99_ms']}ms worse than single worker's "
+        f"{single_report['p99_ms']}ms (slack {p99_slack}x)"
+    )
+    return result
+
+
 def test_serve_coalescing_gate():
     """Pytest entry point: batched p50 < single p50 at 32-way concurrency."""
     result = run_coalescing_gate()
@@ -836,6 +1239,20 @@ def test_serve_telemetry_overhead():
     )
 
 
+def test_serve_fleet_gate():
+    """Pytest entry point: fleet throughput + kill/hot-swap under load."""
+    result = run_fleet_gate(
+        workers=3,
+        shards=2,
+        kill_worker=True,
+        hotswap_under_load=True,
+        extended_percentiles=True,
+    )
+    assert result["speedup"] >= result["min_speedup"]
+    assert result["chaos"].get("restarts", 0) >= 1
+    assert result["chaos"].get("post_swap_bit_identical") is True
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--companies", type=int, default=200)
@@ -867,6 +1284,41 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also assert a hot-swap invalidates the top-k result cache",
     )
+    parser.add_argument(
+        "--fleet-gate",
+        action="store_true",
+        help="also run the pre-fork fleet throughput gate (sustained "
+        "closed-loop load against the shared SO_REUSEPORT port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="fleet width for --fleet-gate"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, help="shard groups for --fleet-gate"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds per closed-loop load phase (default: mode-dependent)",
+    )
+    parser.add_argument(
+        "--fleet-kill",
+        action="store_true",
+        help="SIGKILL one worker mid-load and assert restart with 0 5xx",
+    )
+    parser.add_argument(
+        "--fleet-hotswap",
+        action="store_true",
+        help="publish a model generation mid-load and assert bit-identical "
+        "convergence on every worker",
+    )
+    parser.add_argument(
+        "--percentiles",
+        action="store_true",
+        help="report p99.9 and max alongside p50/p99 in load reports",
+    )
     args = parser.parse_args(argv)
     summary = run_harness(
         companies=args.companies,
@@ -887,11 +1339,23 @@ def main(argv: list[str] | None = None) -> int:
         summary["ann"] = run_ann_gate(seed=args.seed)
     if args.cache_contract:
         summary["cache_swap"] = run_cache_swap_contract(seed=args.seed)
+    if args.fleet_gate:
+        summary["fleet"] = run_fleet_gate(
+            companies=args.companies,
+            seed=args.seed,
+            workers=args.workers,
+            shards=args.shards,
+            duration_s=args.duration,
+            kill_worker=args.fleet_kill,
+            hotswap_under_load=args.fleet_hotswap,
+            extended_percentiles=args.percentiles,
+        )
     if args.json and (
         args.overhead_gate
         or args.coalescing_gate
         or args.ann_gate
         or args.cache_contract
+        or args.fleet_gate
     ):
         Path(args.json).write_text(
             json.dumps(summary, indent=2) + "\n", encoding="utf-8"

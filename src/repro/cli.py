@@ -341,6 +341,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend answering /similar: exact cosine or LSH with "
         "exact re-ranking",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pre-fork worker processes; >1 starts a shared-nothing fleet "
+        "(SO_REUSEPORT kernel load-balancing) plus a shard router",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="company shard groups (workers assigned round-robin; the "
+        "router pins each company's /similar traffic to its shard)",
+    )
+    serve.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="DIR",
+        help="generation-numbered artifact store workers mmap models from "
+        "(fleet mode; default: a temp dir, freshly published)",
+    )
+    serve.add_argument(
+        "--router-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="fleet router bind port (0 picks a free one)",
+    )
 
     obs_cmd = sub.add_parser(
         "obs",
@@ -591,6 +621,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         topk_cache_size=args.topk_cache,
         similarity=args.similarity,
     )
+    if args.workers > 1:
+        _serve_fleet(args, config)
+        return
     service = build_demo_service(args.companies, seed=args.seed, config=config)
     server = ServiceHTTPServer((args.host, args.port), service)
     host, port = server.server_address[:2]
@@ -611,6 +644,74 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     print("\nfinal counters:")
     for name, value in counters.items():
         print(f"  {name}: {value}")
+
+
+def _serve_fleet(args: argparse.Namespace, config) -> None:
+    """The `repro serve --workers N` path: pre-fork fleet + shard router."""
+    import dataclasses
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import (
+        ArtifactStore,
+        FleetSupervisor,
+        demo_service_factory,
+        publish_demo_artifacts,
+    )
+    from repro.serve.router import start_router
+
+    artifact_root = args.artifact_dir or tempfile.mkdtemp(prefix="repro-artifacts-")
+    store = ArtifactStore(artifact_root)
+    if store.generation() is None:
+        print(f"publishing demo models to {artifact_root} ...")
+        publish_demo_artifacts(store, args.companies, seed=args.seed)
+    state_dir = Path(artifact_root) / "fleet-state"
+    worker_config = dataclasses.replace(config, reuse_port=True)
+    supervisor = FleetSupervisor(
+        demo_service_factory(
+            store, args.companies, seed=args.seed, config=worker_config
+        ),
+        n_workers=args.workers,
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        state_dir=state_dir,
+        store=store,
+    )
+    supervisor.start()
+    router_server = None
+    try:
+        states = supervisor.wait_ready()
+        router_server, _thread = start_router(
+            state_dir, shards=args.shards, host=args.host, port=args.router_port
+        )
+        router_host, router_port = router_server.server_address[:2]
+        print(
+            f"fleet of {args.workers} workers ({args.shards} shard group(s)) "
+            f"on {supervisor.fleet_url} (Ctrl-C to stop)"
+        )
+        for state in states:
+            print(
+                f"  worker {state.index}: pid {state.pid}, shard {state.shard}, "
+                f"direct {state.direct_url}, model generation {state.generation}"
+            )
+        print(f"router on http://{router_host}:{router_port} "
+              "(GET /metrics /healthz /readyz /slo /fleet; POST routed)")
+        print(f"dashboard: repro obs top --url http://{router_host}:{router_port}")
+        print(f"hot-swap: publish a generation under {artifact_root} "
+              "(workers poll the bump file; SIGHUP forces a re-check)")
+        while True:
+            import time
+
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if router_server is not None:
+            router_server.shutdown()
+            router_server.server_close()
+        supervisor.stop()
+    print(f"fleet drained ({supervisor.restarts} worker restart(s) during run)")
 
 
 def _cmd_obs(args: argparse.Namespace) -> None:

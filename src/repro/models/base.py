@@ -35,11 +35,76 @@ import numpy as np
 from repro.data.corpus import Corpus
 from repro.obs.instrument import InstrumentedModel
 
-__all__ = ["GenerativeModel", "NotFittedError"]
+__all__ = ["GenerativeModel", "NotFittedError", "mmap_npz_arrays"]
 
 
 class NotFittedError(RuntimeError):
     """Raised when a model is used before :meth:`GenerativeModel.fit`."""
+
+
+def mmap_npz_arrays(
+    path: str | Path, mode: str = "r"
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Memory-map every array member of an uncompressed ``.npz`` in place.
+
+    ``np.savez`` stores members with ``ZIP_STORED`` (no compression), so
+    each embedded ``.npy`` payload sits contiguously in the archive and
+    can be mapped read-only at its absolute offset — N processes loading
+    the same artifact then share one page-cache copy of the weights
+    instead of N heap copies.  Returns ``(meta, arrays)`` where ``meta``
+    is the parsed ``__meta__`` JSON header and ``arrays`` maps member
+    names to :class:`numpy.memmap` views.
+
+    Raises :class:`ValueError` for compressed members, object dtypes, or
+    a missing ``__meta__`` — callers fall back to the eager loader.
+    """
+    storage = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict[str, Any] | None = None
+    with zipfile.ZipFile(storage) as bundle:
+        with open(storage, "rb") as raw:
+            for info in bundle.infolist():
+                name = info.filename
+                name = name[:-4] if name.endswith(".npy") else name
+                if name == "__meta__":
+                    meta = json.loads(str(np.load(bundle.open(info.filename))))
+                    continue
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise ValueError(
+                        f"member {name!r} of {storage} is compressed; "
+                        "only np.savez (stored) archives can be memory-mapped"
+                    )
+                # Local file header: 30 fixed bytes + name + extra field.
+                # The central directory's sizes can differ from the local
+                # header's extra length, so read it from the local record.
+                raw.seek(info.header_offset)
+                local = raw.read(30)
+                if local[:4] != b"PK\x03\x04":
+                    raise ValueError(f"bad local header for {name!r} in {storage}")
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                payload = info.header_offset + 30 + name_len + extra_len
+                raw.seek(payload)
+                version = np.lib.format.read_magic(raw)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+                else:
+                    raise ValueError(f"unsupported .npy version {version} for {name!r}")
+                if dtype.hasobject:
+                    raise ValueError(f"member {name!r} has object dtype; cannot map")
+                arrays[name] = np.memmap(
+                    storage,
+                    dtype=dtype,
+                    mode=mode,
+                    offset=raw.tell(),
+                    shape=tuple(shape),
+                    order="F" if fortran else "C",
+                )
+    if meta is None:
+        raise ValueError(f"{storage} carries no __meta__ member")
+    return meta, arrays
 
 
 class GenerativeModel(InstrumentedModel, abc.ABC):
@@ -208,35 +273,54 @@ class GenerativeModel(InstrumentedModel, abc.ABC):
         np.savez(self._storage_path(path), __meta__=np.array(meta), **arrays)
 
     @classmethod
-    def load(cls, path: str | Path) -> "GenerativeModel":
+    def load(cls, path: str | Path, *, mmap_mode: str | None = None) -> "GenerativeModel":
         """Load a model saved by :meth:`save`.
 
         Must be called on the concrete class that was saved; loading through
         the wrong class raises :class:`ValueError`.
+
+        ``mmap_mode="r"`` maps the arrays read-only in place instead of
+        copying them onto the heap (see :func:`mmap_npz_arrays`) — the
+        serving path uses this so a fleet of workers shares one page-cache
+        copy of the weights.  Scores and perplexities are bit-identical to
+        the eager load; the arrays simply stay lazily mapped.
         """
-        with np.load(cls._storage_path(path), allow_pickle=False) as bundle:
-            meta = json.loads(str(bundle["__meta__"]))
+        storage = cls._storage_path(path)
+        if mmap_mode is not None:
+            meta, arrays = mmap_npz_arrays(storage, mode=mmap_mode)
             if meta["class"] != cls.__name__:
                 raise ValueError(
                     f"file contains a {meta['class']}, not a {cls.__name__}"
                 )
             state: dict[str, Any] = dict(meta["scalars"])
-            for key in bundle.files:
-                if key != "__meta__":
-                    state[key] = bundle[key]
+            state.update(arrays)
+        else:
+            with np.load(storage, allow_pickle=False) as bundle:
+                meta = json.loads(str(bundle["__meta__"]))
+                if meta["class"] != cls.__name__:
+                    raise ValueError(
+                        f"file contains a {meta['class']}, not a {cls.__name__}"
+                    )
+                state = dict(meta["scalars"])
+                for key in bundle.files:
+                    if key != "__meta__":
+                        state[key] = bundle[key]
         model = cls.__new__(cls)
         GenerativeModel.__init__(model)
         model._set_state(state)
         return model
 
     @staticmethod
-    def load_any(path: str | Path) -> "GenerativeModel":
+    def load_any(
+        path: str | Path, *, mmap_mode: str | None = None
+    ) -> "GenerativeModel":
         """Load a saved model, dispatching on the class recorded in the file.
 
         The serving layer's hot-swap endpoint receives bare artifact paths;
         this reads the ``__meta__`` class name and delegates to the matching
         concrete subclass's :meth:`load`.  Unknown classes and unreadable
-        or corrupted files raise :class:`ValueError`.
+        or corrupted files raise :class:`ValueError`.  ``mmap_mode`` is
+        forwarded to :meth:`load` for shared read-only weight mapping.
         """
         storage = GenerativeModel._storage_path(path)
         try:
@@ -251,4 +335,4 @@ class GenerativeModel(InstrumentedModel, abc.ABC):
                 f"file contains unknown model class {class_name!r}; known: "
                 f"{sorted(GenerativeModel._registry)}"
             )
-        return target.load(storage)
+        return target.load(storage, mmap_mode=mmap_mode)

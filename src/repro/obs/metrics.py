@@ -58,6 +58,7 @@ __all__ = [
     "observe",
     "set_gauge",
     "snapshot",
+    "merge_snapshots",
     "reset",
 ]
 
@@ -456,6 +457,62 @@ def set_gauge(
 def snapshot() -> dict[str, Any]:
     """Snapshot of the default registry."""
     return _default.snapshot()
+
+
+#: Gauge families where a fleet-wide view wants the worst worker, not the
+#: sum (summing breaker-state enum values would be meaningless).
+_MERGE_MAX_GAUGES = frozenset({"serve.breaker.state"})
+
+
+def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-worker metric snapshots into one fleet-level snapshot.
+
+    The scrape aggregation of the fleet router and ``repro obs top``:
+
+    * **counters** are summed per series key — totals across the fleet;
+    * **gauges** are summed (in-flight, occupancy) except families in
+      :data:`_MERGE_MAX_GAUGES`, where the max (worst worker) is kept;
+    * **histograms** merge exactly for ``count``/``sum``/``mean``/``min``/
+      ``max``; quantiles cannot be merged exactly from summaries, so the
+      fleet ``p50``/``p90``/``p99`` are the **max across workers** — a
+      conservative upper bound (the fleet p99 is never better than its
+      worst worker's).
+
+    Input snapshots missing a section are treated as empty; the result
+    carries ``workers`` (how many snapshots merged).
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for snap in snapshots:
+        for key, value in (snap.get("counters") or {}).items():
+            counters[key] = counters.get(key, 0.0) + float(value)
+        for key, value in (snap.get("gauges") or {}).items():
+            family = key.partition("{")[0]
+            if family in _MERGE_MAX_GAUGES:
+                gauges[key] = max(gauges.get(key, float("-inf")), float(value))
+            else:
+                gauges[key] = gauges.get(key, 0.0) + float(value)
+        for key, summary in (snap.get("histograms") or {}).items():
+            if not isinstance(summary, dict) or not summary.get("count"):
+                continue
+            merged = histograms.get(key)
+            if merged is None:
+                histograms[key] = dict(summary)
+                continue
+            merged["count"] += summary["count"]
+            merged["sum"] += summary["sum"]
+            merged["mean"] = merged["sum"] / merged["count"]
+            for stat, op in (("min", min), ("max", max), ("p50", max),
+                             ("p90", max), ("p99", max)):
+                if stat in merged and stat in summary:
+                    merged[stat] = op(merged[stat], summary[stat])
+    return {
+        "workers": len(snapshots),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
 
 
 def reset() -> None:

@@ -16,18 +16,41 @@ while never answering a degradable failure with a 5xx:
 * :mod:`repro.serve.service` — the transport-agnostic request core;
 * :mod:`repro.serve.http` — stdlib ``ThreadingHTTPServer`` transport;
 * :mod:`repro.serve.bootstrap` — the standard demo stack builder.
+
+Scale-out serving stacks the same core across processes:
+
+* :mod:`repro.serve.artifact` — generation-numbered mmap'd model store
+  with atomic symlink publish;
+* :mod:`repro.serve.fleet` — pre-fork supervisor, SO_REUSEPORT workers,
+  per-worker artifact watcher;
+* :mod:`repro.serve.router` — consistent-hash shard router and fleet
+  metrics/health aggregation.
 """
 
 from __future__ import annotations
 
 from repro.serve.admission import AdmissionError, AdmissionPolicy, QuarantineLog, ValidatedRequest
 from repro.serve.ann import LSHIndex
+from repro.serve.artifact import ArtifactStore, PublishedGeneration
 from repro.serve.batch import BatchedAnswer, MicroBatcher
-from repro.serve.bootstrap import build_demo_service
+from repro.serve.bootstrap import (
+    build_demo_models,
+    build_demo_service,
+    demo_service_factory,
+    publish_demo_artifacts,
+)
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.fleet import (
+    ArtifactWatcher,
+    FleetSupervisor,
+    WorkerState,
+    read_fleet_state,
+    run_worker,
+)
 from repro.serve.http import ServiceHTTPServer, start_server
 from repro.serve.ladder import DegradationLadder, LadderResult, Tier, TierOutcome
 from repro.serve.registry import ModelRegistry, SwapReport
+from repro.serve.router import ConsistentHashRing, FleetRouter, RouterHTTPServer, start_router
 from repro.serve.service import RecommendationService, ServiceConfig, ServiceResponse
 from repro.serve.topk_cache import TopKCache
 
@@ -55,5 +78,19 @@ __all__ = [
     "ServiceResponse",
     "ServiceHTTPServer",
     "start_server",
+    "build_demo_models",
     "build_demo_service",
+    "demo_service_factory",
+    "publish_demo_artifacts",
+    "ArtifactStore",
+    "PublishedGeneration",
+    "ArtifactWatcher",
+    "FleetSupervisor",
+    "WorkerState",
+    "read_fleet_state",
+    "run_worker",
+    "ConsistentHashRing",
+    "FleetRouter",
+    "RouterHTTPServer",
+    "start_router",
 ]

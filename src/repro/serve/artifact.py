@@ -1,0 +1,245 @@
+"""Generation-numbered, mmap-shareable model artifact store.
+
+The fleet's workers never receive model objects — they receive a
+directory.  :class:`ArtifactStore` publishes a set of fitted models as one
+immutable *generation* directory of ``.npz`` files, then atomically flips
+a ``current`` symlink and bumps a fsynced ``GENERATION`` file.  Workers
+poll the bump file (or get a SIGHUP) and remap: each slot's weights are
+loaded with ``mmap_mode="r"`` (see
+:func:`repro.models.base.mmap_npz_arrays`), so N worker processes share
+one page-cache copy of the parameters instead of N heap copies.
+
+Torn-swap safety comes from immutability plus ordering: a generation
+directory is fully written and fsynced *before* the symlink flips, the
+symlink flip is a single ``rename`` (readers see wholly old or wholly new),
+and published directories are never modified — a worker that resolved
+``current`` a microsecond before the flip keeps reading a complete old
+generation.  Validation stays per worker: remapping goes through the
+registry's DriftMonitor gate, so a bad published candidate is rejected by
+every worker identically and the incumbent keeps serving.
+
+Layout::
+
+    root/
+      GENERATION          # latest published generation number (fsynced)
+      current -> gen-000002
+      gen-000001/
+        lda.npz
+        ngram.npz
+        manifest.json     # slots, classes, source generation metadata
+      gen-000002/
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Mapping
+
+from repro.models.base import GenerativeModel
+from repro.obs.logging import get_logger
+
+__all__ = ["ArtifactStore", "PublishedGeneration"]
+
+_GEN_PREFIX = "gen-"
+_BUMP_FILE = "GENERATION"
+_CURRENT = "current"
+
+
+class PublishedGeneration:
+    """Handle to one immutable published generation."""
+
+    def __init__(self, root: Path, number: int) -> None:
+        self.root = root
+        self.number = number
+        self.path = root / f"{_GEN_PREFIX}{number:06d}"
+
+    def slot_path(self, slot: str) -> Path:
+        """The ``.npz`` artifact of one serving slot."""
+        return self.path / f"{slot}.npz"
+
+    def manifest(self) -> dict:
+        """The generation's manifest (slots, classes, publish time)."""
+        return json.loads((self.path / "manifest.json").read_text(encoding="utf-8"))
+
+    def slots(self) -> list[str]:
+        """Slot names published in this generation."""
+        return sorted(self.manifest()["slots"])
+
+    def load(self, slot: str, *, mmap_mode: str | None = "r") -> GenerativeModel:
+        """Load one slot's model, read-only memory-mapped by default."""
+        return GenerativeModel.load_any(self.slot_path(slot), mmap_mode=mmap_mode)
+
+
+class ArtifactStore:
+    """Filesystem-backed publish/subscribe point for serving weights.
+
+    Parameters
+    ----------
+    root:
+        Directory holding every generation; created if missing.
+    keep:
+        Completed generations retained besides the current one; older
+        directories are pruned after a successful publish (a worker still
+        mapping a pruned generation keeps its pages — POSIX unlink only
+        removes the name, the mapping stays valid until remap).
+    """
+
+    def __init__(self, root: str | Path, *, keep: int = 2) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self._log = get_logger("serve.artifact")
+
+    # ------------------------------------------------------------------
+    # Read side (workers)
+    # ------------------------------------------------------------------
+    def generation(self) -> int | None:
+        """The latest published generation number, or None when empty.
+
+        Reads the bump file — one small read, safe to poll at a high
+        frequency from every worker.  A torn read (publish in progress)
+        degrades to the previous value or None, never an exception.
+        """
+        try:
+            text = (self.root / _BUMP_FILE).read_text(encoding="utf-8").strip()
+            return int(text) if text else None
+        except (OSError, ValueError):
+            return None
+
+    def current(self) -> PublishedGeneration | None:
+        """Handle to the currently published generation, or None."""
+        number = self.generation()
+        if number is None:
+            return None
+        published = PublishedGeneration(self.root, number)
+        return published if published.path.is_dir() else None
+
+    def current_path(self) -> Path:
+        """The ``current`` symlink path (for transports that resolve it)."""
+        return self.root / _CURRENT
+
+    def generations(self) -> list[int]:
+        """Every generation directory present, ascending."""
+        numbers = []
+        for entry in self.root.iterdir():
+            if entry.is_dir() and entry.name.startswith(_GEN_PREFIX):
+                try:
+                    numbers.append(int(entry.name[len(_GEN_PREFIX):]))
+                except ValueError:
+                    continue
+        return sorted(numbers)
+
+    # ------------------------------------------------------------------
+    # Write side (the publisher / supervisor)
+    # ------------------------------------------------------------------
+    def publish(self, models: Mapping[str, GenerativeModel]) -> PublishedGeneration:
+        """Publish a new generation of fitted models atomically.
+
+        Writes every slot into a fresh generation directory, fsyncs the
+        files, then flips ``current`` (rename of a pre-built symlink) and
+        bumps the ``GENERATION`` file last — a reader that observes the
+        new number is guaranteed a complete directory behind it.
+        """
+        if not models:
+            raise ValueError("cannot publish an empty model set")
+        numbers = self.generations()
+        number = (numbers[-1] if numbers else 0) + 1
+        published = PublishedGeneration(self.root, number)
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".staging-{number:06d}-", dir=self.root)
+        )
+        try:
+            manifest = {
+                "generation": number,
+                "published_at": time.time(),
+                "slots": {},
+            }
+            for slot, model in sorted(models.items()):
+                if not isinstance(model, GenerativeModel) or not model.is_fitted:
+                    raise ValueError(f"slot {slot!r} needs a fitted GenerativeModel")
+                target = staging / f"{slot}.npz"
+                model.save(target)
+                self._fsync(target)
+                manifest["slots"][slot] = {
+                    "class": type(model).__name__,
+                    "bytes": target.stat().st_size,
+                }
+            manifest_path = staging / "manifest.json"
+            manifest_path.write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            self._fsync(manifest_path)
+            os.rename(staging, published.path)
+        except BaseException:
+            if staging.is_dir():
+                for leftover in staging.glob("*"):
+                    leftover.unlink(missing_ok=True)
+                staging.rmdir()
+            raise
+        self._fsync_dir(self.root)
+        self._flip_current(published.path.name)
+        self._bump(number)
+        self._log.info(
+            "published generation %d: %s", number, sorted(manifest["slots"])
+        )
+        self._prune(keep_latest=number)
+        return published
+
+    def _flip_current(self, target_name: str) -> None:
+        """Atomically repoint ``current`` via a temp symlink + rename."""
+        temp = self.root / f".{_CURRENT}.tmp.{os.getpid()}"
+        temp.unlink(missing_ok=True)
+        os.symlink(target_name, temp)
+        os.replace(temp, self.root / _CURRENT)
+        self._fsync_dir(self.root)
+
+    def _bump(self, number: int) -> None:
+        """Write the generation number with an atomic, fsynced replace."""
+        temp = self.root / f".{_BUMP_FILE}.tmp.{os.getpid()}"
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(f"{number}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.root / _BUMP_FILE)
+        self._fsync_dir(self.root)
+
+    def _prune(self, keep_latest: int) -> None:
+        """Drop generation directories older than the retention window."""
+        keep_from = keep_latest - self.keep
+        for number in self.generations():
+            if number >= keep_from:
+                continue
+            victim = PublishedGeneration(self.root, number).path
+            try:
+                for leftover in victim.iterdir():
+                    leftover.unlink()
+                victim.rmdir()
+            except OSError:
+                self._log.warning("could not prune generation %d", number, exc_info=True)
+
+    @staticmethod
+    def _fsync(path: Path) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)

@@ -6,6 +6,14 @@ slice for swap validation, the internal sales database, and a
 :class:`~repro.serve.service.RecommendationService` wired through a
 :class:`~repro.serve.registry.ModelRegistry`.  This module is that one
 recipe, deterministic in ``(n_companies, seed)``.
+
+The recipe is split so the pre-fork fleet can share work: model fitting
+(:func:`build_demo_models`) is the expensive part and runs once in the
+parent, which publishes the weights to an
+:class:`~repro.serve.artifact.ArtifactStore`; each forked worker then
+runs :func:`demo_service_factory`'s closure, rebuilding the cheap
+deterministic data and memory-mapping the published weights read-only —
+N workers, one page-cache copy.
 """
 
 from __future__ import annotations
@@ -13,13 +21,45 @@ from __future__ import annotations
 from repro.app.tool import SalesRecommendationTool
 from repro.data.internal import InternalSalesDatabase
 from repro.experiments.common import make_experiment_data
+from repro.models.base import GenerativeModel
 from repro.models.lda import LatentDirichletAllocation
 from repro.models.ngram import NGramModel
 from repro.obs.logging import get_logger
+from repro.serve.artifact import ArtifactStore, PublishedGeneration
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import RecommendationService, ServiceConfig
+from typing import Callable
 
-__all__ = ["build_demo_service"]
+__all__ = [
+    "build_demo_models",
+    "build_demo_service",
+    "publish_demo_artifacts",
+    "demo_service_factory",
+]
+
+
+def build_demo_models(
+    n_companies: int = 300,
+    *,
+    seed: int = 7,
+    lda_topics: int = 3,
+    lda_iterations: int = 60,
+):
+    """Fit the demo ladder's model set once.
+
+    Returns ``(data, models)`` where ``models`` maps registry slot names
+    to fitted models.  Deterministic in ``(n_companies, seed)`` — two
+    processes calling this with the same arguments fit bit-identical
+    models, which is what lets workers rebuild the corpus locally while
+    the weights come from a shared artifact.
+    """
+    data = make_experiment_data(n_companies, seed=seed)
+    train = data.split.train
+    lda = LatentDirichletAllocation(
+        n_topics=lda_topics, inference="variational", n_iter=lda_iterations, seed=0
+    ).fit(train)
+    ngram = NGramModel(order=2).fit(train)
+    return data, {"lda": lda, "ngram": ngram}
 
 
 def build_demo_service(
@@ -30,31 +70,37 @@ def build_demo_service(
     lda_topics: int = 3,
     lda_iterations: int = 60,
     with_tool: bool = True,
+    models: dict[str, GenerativeModel] | None = None,
 ) -> RecommendationService:
     """Build the standard LDA → n-gram → popularity serving stack.
 
     Models are fitted on the train split; the validation split is the
     registry's reference slice for hot-swap gating.  Deterministic in
-    ``(n_companies, seed)``.
+    ``(n_companies, seed)``.  Passing ``models`` (slot name → fitted
+    model, e.g. memory-mapped from an artifact store) skips the fit and
+    installs those instead — the data is still rebuilt locally.
     """
     config = config or ServiceConfig()
     log = get_logger("serve.bootstrap")
-    data = make_experiment_data(n_companies, seed=seed)
-    train = data.split.train
+    if models is None:
+        data, models = build_demo_models(
+            n_companies,
+            seed=seed,
+            lda_topics=lda_topics,
+            lda_iterations=lda_iterations,
+        )
+    else:
+        data = make_experiment_data(n_companies, seed=seed)
     reference = data.split.validation
-
-    lda = LatentDirichletAllocation(
-        n_topics=lda_topics, inference="variational", n_iter=lda_iterations, seed=0
-    ).fit(train)
-    ngram = NGramModel(order=2).fit(train)
+    lda = models["lda"]
 
     registry = ModelRegistry(
         reference,
         perplexity_tolerance=config.swap_tolerance,
         threshold=config.default_threshold,
     )
-    registry.install("lda", lda)
-    registry.install("ngram", ngram)
+    for slot, model in models.items():
+        registry.install(slot, model)
     log.info(
         "serving stack ready: %d companies, %d products, lda ppl %.2f, ngram ppl %.2f",
         data.corpus.n_companies,
@@ -81,8 +127,60 @@ def build_demo_service(
     return RecommendationService(
         corpus=data.corpus,
         registry=registry,
-        tiers=("lda", "ngram"),
+        tiers=tuple(slot for slot in ("lda", "ngram") if slot in models),
         tool=tool,
         feature_slot="lda" if with_tool else None,
         config=config,
     )
+
+
+def publish_demo_artifacts(
+    store: ArtifactStore,
+    n_companies: int = 300,
+    *,
+    seed: int = 7,
+    lda_topics: int = 3,
+    lda_iterations: int = 60,
+) -> PublishedGeneration:
+    """Fit the demo models once and publish them as a new generation."""
+    _data, models = build_demo_models(
+        n_companies, seed=seed, lda_topics=lda_topics, lda_iterations=lda_iterations
+    )
+    return store.publish(models)
+
+
+def demo_service_factory(
+    store: ArtifactStore,
+    n_companies: int = 300,
+    *,
+    seed: int = 7,
+    config: ServiceConfig | None = None,
+    with_tool: bool = True,
+) -> Callable[[int], RecommendationService]:
+    """A fleet ``service_factory`` serving mmap'd models from ``store``.
+
+    The returned closure runs inside each forked worker: it memory-maps
+    every slot of the store's current generation read-only (sharing one
+    page-cache copy of the weights across the fleet) and rebuilds the
+    deterministic corpus/reference data locally.
+    """
+
+    def factory(index: int) -> RecommendationService:
+        del index  # every worker serves the identical stack
+        published = store.current()
+        if published is None:
+            raise RuntimeError(
+                f"artifact store at {store.root} has no published generation"
+            )
+        models = {
+            slot: published.load(slot, mmap_mode="r") for slot in published.slots()
+        }
+        return build_demo_service(
+            n_companies,
+            seed=seed,
+            config=config,
+            with_tool=with_tool,
+            models=models,
+        )
+
+    return factory

@@ -9,14 +9,29 @@ extra headers (``Retry-After``, ``Allow``, ``X-Request-Id``) and content
 type the core attached.  No framework, no dependency: the paper's tool is
 a deployed service and this layer is what lets the reproduction answer
 real sockets.
+
+Transport tuning comes from :class:`~repro.serve.service.ServiceConfig`:
+``listen_backlog`` (socketserver's default of 5 resets connections under
+bursts), ``reuse_address``, and ``reuse_port`` — SO_REUSEPORT lets every
+worker of a pre-fork fleet bind the same port so the kernel spreads
+accepts across processes (:mod:`repro.serve.fleet`).  Where SO_REUSEPORT
+is unavailable, the fleet passes an already-bound socket instead and the
+server adopts it.
+
+The transport also guarantees the accepted socket is closed when a
+handler crashes (fault site ``serve/http/handler``): the crash is
+answered with a best-effort 500 and the connection torn down, so a
+misbehaving handler can never leak file descriptors.
 """
 
 from __future__ import annotations
 
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs.logging import get_logger
+from repro.runtime import faults
 from repro.serve.service import RecommendationService
 
 __all__ = ["ServiceHTTPServer", "start_server"]
@@ -52,15 +67,36 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def _dispatch(self, body: bytes | None) -> None:
-        response = self.service.handle(
-            self.command, self.path, body, dict(self.headers.items())
-        )
-        self._respond(
-            response.status,
-            response.payload(),
-            response.headers,
-            response.content_type,
-        )
+        try:
+            faults.inject("serve/http/handler")
+            response = self.service.handle(
+                self.command, self.path, body, dict(self.headers.items())
+            )
+        except Exception:  # noqa: BLE001 - transport crash: close, never leak
+            get_logger("serve.http").error(
+                "transport handler crashed", exc_info=True
+            )
+            self.close_connection = True
+            try:
+                self._respond(
+                    500,
+                    b'{"error": "internal", "detail": "transport handler crashed"}',
+                    {},
+                )
+            except OSError:
+                pass  # client already gone; the finally in socketserver closes
+            return
+        try:
+            self._respond(
+                response.status,
+                response.payload(),
+                response.headers,
+                response.content_type,
+            )
+        except OSError:
+            # The client hung up mid-write; drop the connection so the
+            # thread (and its socket) is reclaimed immediately.
+            self.close_connection = True
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
         self._dispatch(None)
@@ -87,17 +123,49 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to one :class:`RecommendationService`."""
+    """Threaded HTTP server bound to one :class:`RecommendationService`.
+
+    Listen-socket tuning (backlog, SO_REUSEADDR, SO_REUSEPORT) comes from
+    the service's :class:`~repro.serve.service.ServiceConfig`.  Passing
+    ``sock`` adopts an already-bound listening socket instead of binding
+    ``address`` — the pre-fork fleet's inherited-FD path on platforms
+    without SO_REUSEPORT.
+    """
 
     daemon_threads = True
-    #: The socketserver default backlog of 5 resets connections under a
-    #: burst of simultaneous connects; admission control (shed with 429)
-    #: is the service's overload story, not TCP-level resets.
-    request_queue_size = 128
 
-    def __init__(self, address: tuple[str, int], service: RecommendationService) -> None:
-        super().__init__(address, _Handler)
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: RecommendationService,
+        *,
+        sock: socket.socket | None = None,
+    ) -> None:
+        config = service.config
+        # Instance attributes shadow the socketserver class defaults and
+        # must exist before super().__init__ triggers server_bind().
+        self.request_queue_size = config.listen_backlog
+        self.allow_reuse_address = config.reuse_address
+        self._reuse_port = config.reuse_port
         self.service = service
+        if sock is None:
+            super().__init__(address, _Handler)
+        else:
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = sock
+            self.server_address = sock.getsockname()
+            sock.listen(self.request_queue_size)
+
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError(
+                    "SO_REUSEPORT requested but unsupported on this platform; "
+                    "pass a shared pre-bound socket instead"
+                )
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
 
 def start_server(

@@ -218,17 +218,100 @@ class ModelRegistry:
         self._records[name] = self._build_record(model, version=1)
         self._generation += 1
 
-    def _load_candidate(self, source: GenerativeModel | str | Path) -> GenerativeModel:
+    def _load_candidate(
+        self,
+        source: GenerativeModel | str | Path,
+        mmap_mode: str | None = None,
+    ) -> GenerativeModel:
         if isinstance(source, GenerativeModel):
             return source
-        return GenerativeModel.load_any(source)
+        return GenerativeModel.load_any(source, mmap_mode=mmap_mode)
 
-    def swap(self, name: str, source: GenerativeModel | str | Path) -> SwapReport:
+    def _gate(
+        self,
+        name: str,
+        current: _Record,
+        source: GenerativeModel | str | Path,
+        mmap_mode: str | None,
+    ) -> tuple[GenerativeModel | None, str, float | None]:
+        """Stage + validate a candidate without committing.
+
+        Returns ``(candidate, reason, perplexity)`` — candidate is None
+        when any gate fails, with the rejection reason.
+        """
+        baseline = current.monitor.reference_perplexity
+        tolerance = self.perplexity_tolerance
+        try:
+            # The injection site lets the load harness stall or crash a
+            # swap mid-validation; both degrade to a rejection.
+            faults.inject(f"serve/swap/{name}")
+            candidate = self._load_candidate(source, mmap_mode)
+        except (ValueError, TypeError, faults.InjectedFault) as exc:
+            return None, f"stage failed: {exc}", None
+        if not isinstance(candidate, GenerativeModel) or not candidate.is_fitted:
+            return None, "candidate is not a fitted GenerativeModel", None
+        if candidate.vocab_size != self.reference.n_products:
+            return None, (
+                f"candidate vocabulary {candidate.vocab_size} does not match "
+                f"the reference slice's {self.reference.n_products} products"
+            ), None
+        try:
+            candidate_ppl = candidate.perplexity(self.reference)
+        except Exception as exc:  # noqa: BLE001 - degrade, never propagate
+            return None, (
+                f"perplexity evaluation failed: {type(exc).__name__}: {exc}"
+            ), None
+        if not math.isfinite(candidate_ppl):
+            return None, (
+                f"candidate perplexity on the reference slice is non-finite "
+                f"({candidate_ppl})"
+            ), candidate_ppl
+        if candidate_ppl > baseline * tolerance:
+            return None, (
+                f"candidate perplexity {candidate_ppl:.3f} exceeds the gate "
+                f"{baseline:.3f} * {tolerance} = {baseline * tolerance:.3f}"
+            ), candidate_ppl
+        return candidate, "validation passed", candidate_ppl
+
+    def validate(
+        self,
+        name: str,
+        source: GenerativeModel | str | Path,
+        *,
+        mmap_mode: str | None = None,
+    ) -> tuple[GenerativeModel | None, str]:
+        """Run every swap gate against a candidate WITHOUT committing.
+
+        Returns ``(candidate, reason)``: the staged (possibly mmap'd)
+        model ready to pass to :meth:`swap` when every gate passed, or
+        ``(None, reason)`` on rejection.  The fleet's artifact watcher
+        uses this to make a multi-slot generation all-or-nothing —
+        every slot is validated before any slot is promoted, so a
+        generation with one bad artifact never leaves a worker serving
+        a torn mix of old and new models.
+        """
+        if name not in self._records:
+            raise AdmissionError(404, "unknown_model", f"no serving slot named {name!r}")
+        with self._swap_lock:
+            candidate, reason, _ppl = self._gate(
+                name, self._records[name], source, mmap_mode
+            )
+        return candidate, reason
+
+    def swap(
+        self,
+        name: str,
+        source: GenerativeModel | str | Path,
+        *,
+        mmap_mode: str | None = None,
+    ) -> SwapReport:
         """Validate a staged candidate and atomically promote it.
 
         Never raises for a bad candidate: every failure mode yields a
         ``rejected`` report and the previous model keeps serving.  Unknown
         slot names raise :class:`AdmissionError` (the caller's fault).
+        ``mmap_mode="r"`` maps the candidate's weights read-only in place
+        (the fleet's shared-page path) instead of copying them.
         """
         if name not in self._records:
             raise AdmissionError(404, "unknown_model", f"no serving slot named {name!r}")
@@ -257,36 +340,11 @@ class ModelRegistry:
                 )
                 return report
 
-            try:
-                # The injection site lets the load harness stall or crash a
-                # swap mid-validation; both degrade to a rejection.
-                faults.inject(f"serve/swap/{name}")
-                candidate = self._load_candidate(source)
-            except (ValueError, TypeError, faults.InjectedFault) as exc:
-                return rejected(f"stage failed: {exc}")
-            if not isinstance(candidate, GenerativeModel) or not candidate.is_fitted:
-                return rejected("candidate is not a fitted GenerativeModel")
-            if candidate.vocab_size != self.reference.n_products:
-                return rejected(
-                    f"candidate vocabulary {candidate.vocab_size} does not match "
-                    f"the reference slice's {self.reference.n_products} products"
-                )
-            try:
-                candidate_ppl = candidate.perplexity(self.reference)
-            except Exception as exc:  # noqa: BLE001 - degrade, never propagate
-                return rejected(f"perplexity evaluation failed: {type(exc).__name__}: {exc}")
-            if not math.isfinite(candidate_ppl):
-                return rejected(
-                    f"candidate perplexity on the reference slice is non-finite "
-                    f"({candidate_ppl})",
-                    candidate_ppl,
-                )
-            if candidate_ppl > baseline * tolerance:
-                return rejected(
-                    f"candidate perplexity {candidate_ppl:.3f} exceeds the gate "
-                    f"{baseline:.3f} * {tolerance} = {baseline * tolerance:.3f}",
-                    candidate_ppl,
-                )
+            candidate, reason, candidate_ppl = self._gate(
+                name, current, source, mmap_mode
+            )
+            if candidate is None:
+                return rejected(reason, candidate_ppl)
             try:
                 record = self._build_record(candidate, version=current.version + 1)
             except Exception as exc:  # noqa: BLE001 - roll back, never propagate

@@ -123,6 +123,18 @@ class ServiceConfig:
     #: Optional JSONL file quarantined payloads are appended to.
     quarantine_path: str | None = None
 
+    # -- transport ------------------------------------------------------
+    #: Listen backlog of the accept socket.  socketserver's default of 5
+    #: resets connections under a burst of simultaneous connects;
+    #: admission control (shed with 429) is the overload story, not
+    #: TCP-level resets.
+    listen_backlog: int = 128
+    #: SO_REUSEADDR on the listen socket (fast rebinds across restarts).
+    reuse_address: bool = True
+    #: SO_REUSEPORT: every worker of a pre-fork fleet binds the same port
+    #: and the kernel spreads accepts across processes (shared-nothing).
+    reuse_port: bool = False
+
     # -- serving speed --------------------------------------------------
     #: Micro-batching window for coalescing concurrent /recommend scoring
     #: into one batched GEMM.  0 disables batching entirely: every request

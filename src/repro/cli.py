@@ -88,6 +88,14 @@ def _add_global_options(parser: argparse.ArgumentParser, *, suppress: bool) -> N
         "--seed", type=int, default=default(7), help="universe generation seed"
     )
     parser.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        default=default(None),
+        help="run from a published columnar corpus directory (memmap-backed, "
+        "bounded memory) instead of simulating; overrides --companies/--seed "
+        "for data (build one with `repro corpus build DIR`)",
+    )
+    parser.add_argument(
         "--log-level",
         default=default("warning"),
         choices=("debug", "info", "warning", "error"),
@@ -186,8 +194,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_global_options(shared, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser(
+    table1 = sub.add_parser(
         "table1", help="Table 1: minimum perplexity per method", parents=[shared]
+    )
+    table1.add_argument(
+        "--methods",
+        metavar="LIST",
+        default=None,
+        help="comma-separated subset of table rows to compute "
+        "(unigram, ngram, lstm, lda); default: all",
+    )
+
+    corpus_cmd = sub.add_parser(
+        "corpus",
+        help="build or inspect an on-disk columnar corpus",
+        parents=[shared],
+    )
+    corpus_cmd.add_argument(
+        "action", choices=["build", "info"], help="'build' simulates to DIR; "
+        "'info' prints a built corpus's manifest summary"
+    )
+    corpus_cmd.add_argument("dir", metavar="DIR", help="corpus directory")
+    corpus_cmd.add_argument(
+        "--chunk-size",
+        type=int,
+        default=50_000,
+        metavar="N",
+        help="companies simulated per streamed batch; a single-chunk build "
+        "(chunk-size >= companies) is bit-identical to the in-memory "
+        "universe of the same (companies, seed)",
     )
 
     lda = sub.add_parser(
@@ -415,17 +450,47 @@ def _build_journal(args: argparse.Namespace) -> RunJournal | None:
 
     One JSONL file per (canonical) command; the journal's meta line pins
     the corpus identity so a checkpoint from a different ``--companies`` /
-    ``--seed`` run is discarded rather than wrongly replayed.
+    ``--seed`` run is discarded rather than wrongly replayed.  With
+    ``--corpus-dir`` the identity is the corpus's content fingerprint (read
+    from its manifest), so a rebuilt-but-identical corpus still resumes and
+    a changed one invalidates the checkpoint.
     """
     if not args.checkpoint_dir:
         return None
     command = _CANONICAL_COMMANDS.get(args.command, args.command)
+    if getattr(args, "corpus_dir", None):
+        from repro.data.columnar import manifest_fingerprint
+
+        meta = {"command": command, "corpus": manifest_fingerprint(args.corpus_dir)}
+    else:
+        meta = {"command": command, "companies": args.companies, "seed": args.seed}
     os.makedirs(args.checkpoint_dir, exist_ok=True)
     return RunJournal(
         os.path.join(args.checkpoint_dir, f"{command}.journal.jsonl"),
-        meta={"command": command, "companies": args.companies, "seed": args.seed},
+        meta=meta,
         resume=args.resume,
     )
+
+
+def _experiment_data(args: argparse.Namespace, *, needs_universe: bool = False):
+    """The command's data: a memmap-backed load or an in-memory simulation.
+
+    ``--corpus-dir`` opens the published columnar corpus (streamed,
+    bounded memory).  Commands that consume simulator ground truth
+    (``needs_universe=True``) cannot run from a published corpus — the
+    manifest stores no latent mixtures — and reject the flag.
+    """
+    if getattr(args, "corpus_dir", None):
+        if needs_universe:
+            raise SystemExit(
+                f"repro {args.command}: --corpus-dir is not supported here — "
+                "this command needs simulator ground truth, which a published "
+                "corpus does not carry; rerun with --companies/--seed"
+            )
+        from repro.experiments import load_corpus_data
+
+        return load_corpus_data(args.corpus_dir)
+    return make_experiment_data(args.companies, seed=args.seed)
 
 
 def _runtime_kwargs(args: argparse.Namespace) -> dict[str, object]:
@@ -441,12 +506,61 @@ def _runtime_kwargs(args: argparse.Namespace) -> dict[str, object]:
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
-    data = make_experiment_data(args.companies, seed=args.seed)
-    print(format_table(run_perplexity_table(data, **_runtime_kwargs(args))))
+    data = _experiment_data(args)
+    methods = None
+    if args.methods:
+        methods = tuple(
+            name.strip() for name in args.methods.split(",") if name.strip()
+        )
+    try:
+        results = run_perplexity_table(data, methods=methods, **_runtime_kwargs(args))
+    except ValueError as exc:
+        if "table1 method" in str(exc):
+            raise SystemExit(f"repro table1: {exc}") from exc
+        raise
+    print(format_table(results))
+
+
+def _cmd_corpus(args: argparse.Namespace) -> None:
+    from repro.data.columnar import open_corpus, simulate_to_columnar
+
+    if args.action == "build":
+        started = time.perf_counter()
+        manifest = simulate_to_columnar(
+            args.dir,
+            n_companies=args.companies,
+            seed=args.seed,
+            chunk_size=args.chunk_size,
+        )
+        elapsed = time.perf_counter() - started
+        rate = manifest["n_companies"] / elapsed if elapsed > 0 else float("inf")
+        print(f"built corpus at {args.dir}")
+        print(f"  companies:   {manifest['n_companies']}")
+        print(f"  tokens:      {manifest['n_tokens']}")
+        print(f"  vocabulary:  {len(manifest['vocabulary'])} products")
+        print(f"  fingerprint: {manifest['fingerprint']}")
+        print(f"  build time:  {elapsed:.1f}s ({rate:,.0f} companies/s)")
+        return
+    from repro.data.columnar import MANIFEST_NAME
+
+    corpus = open_corpus(args.dir)
+    with open(os.path.join(args.dir, MANIFEST_NAME), encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    total_bytes = sum(
+        os.path.getsize(os.path.join(args.dir, spec["file"]))
+        for spec in manifest["columns"].values()
+    )
+    print(f"corpus at {args.dir}")
+    print(f"  companies:   {corpus.n_companies}")
+    print(f"  tokens:      {manifest['n_tokens']}")
+    print(f"  vocabulary:  {corpus.n_products} products")
+    print(f"  fingerprint: {corpus.fingerprint()}")
+    print(f"  on disk:     {total_bytes / 1e6:.1f} MB across "
+          f"{len(manifest['columns'])} columns")
 
 
 def _cmd_lda_sweep(args: argparse.Namespace) -> None:
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args)
     rows = run_lda_sweep(data, n_iter=args.iterations, **_runtime_kwargs(args))
     print(f"{'input':<8} {'topics':>6} {'perplexity':>11} {'params':>7}")
     for row in rows:
@@ -457,7 +571,7 @@ def _cmd_lda_sweep(args: argparse.Namespace) -> None:
 
 
 def _cmd_lstm_grid(args: argparse.Namespace) -> None:
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args)
     rows = run_lstm_grid(
         data, n_epochs=args.epochs, dtype=args.dtype, **_runtime_kwargs(args)
     )
@@ -470,7 +584,7 @@ def _cmd_lstm_grid(args: argparse.Namespace) -> None:
 
 
 def _cmd_recommend(args: argparse.Namespace) -> None:
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args)
     curves = run_recommendation_accuracy(
         data,
         spec=SlidingWindowSpec(n_windows=args.windows),
@@ -481,7 +595,7 @@ def _cmd_recommend(args: argparse.Namespace) -> None:
 
 
 def _cmd_bpmf(args: argparse.Namespace) -> None:
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args)
     result = run_bpmf_analysis(
         data,
         fit_cache=FitCache(args.cache_dir) if args.cache_dir else None,
@@ -504,7 +618,7 @@ def _cmd_bpmf(args: argparse.Namespace) -> None:
 
 
 def _cmd_silhouette(args: argparse.Namespace) -> None:
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args)
     rows = run_silhouette_curves(data)
     print(f"{'representation':<14} {'clusters':>8} {'silhouette':>11}")
     for row in rows:
@@ -515,7 +629,7 @@ def _cmd_silhouette(args: argparse.Namespace) -> None:
 
 
 def _cmd_tsne(args: argparse.Namespace) -> None:
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args, needs_universe=True)
     result = run_tsne_projection(data, n_topics=args.topics)
     print(f"t-SNE of LDA{args.topics} product embeddings (Figures 8/9):")
     for category, (x, y) in sorted(result["coordinates"].items()):
@@ -526,7 +640,7 @@ def _cmd_tsne(args: argparse.Namespace) -> None:
 
 
 def _cmd_sequentiality(args: argparse.Namespace) -> None:
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args)
     reports = run_sequentiality(data)
     print(f"{'order':>5} {'significant':>11} {'distinct':>8} {'fraction':>8} {'paper':>6}")
     for order, report in reports.items():
@@ -537,7 +651,7 @@ def _cmd_sequentiality(args: argparse.Namespace) -> None:
 
 
 def _cmd_cocluster(args: argparse.Namespace) -> None:
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args, needs_universe=True)
     result = run_cocluster_baseline(data)
     print("co-cluster summaries (rows x cols, density):")
     for summary in result["summaries"]:
@@ -556,7 +670,7 @@ def _cmd_sales_demo(args: argparse.Namespace) -> None:
     from repro.data.internal import InternalSalesDatabase
     from repro.models.lda import LatentDirichletAllocation
 
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args)
     corpus = data.corpus
     lda = LatentDirichletAllocation(
         n_topics=3, inference="variational", n_iter=80, seed=0
@@ -587,7 +701,7 @@ def _cmd_ranking(args: argparse.Namespace) -> None:
     from repro.recommend.baselines import RandomRecommender
     from repro.recommend.ranking import evaluate_ranking
 
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args)
     factories = {
         "LDA3": lambda: LatentDirichletAllocation(
             n_topics=3, inference="variational", n_iter=80, seed=0
@@ -624,7 +738,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     if args.workers > 1:
         _serve_fleet(args, config)
         return
-    service = build_demo_service(args.companies, seed=args.seed, config=config)
+    service = build_demo_service(
+        args.companies, seed=args.seed, config=config, corpus_dir=args.corpus_dir
+    )
     server = ServiceHTTPServer((args.host, args.port), service)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
@@ -664,12 +780,18 @@ def _serve_fleet(args: argparse.Namespace, config) -> None:
     store = ArtifactStore(artifact_root)
     if store.generation() is None:
         print(f"publishing demo models to {artifact_root} ...")
-        publish_demo_artifacts(store, args.companies, seed=args.seed)
+        publish_demo_artifacts(
+            store, args.companies, seed=args.seed, corpus_dir=args.corpus_dir
+        )
     state_dir = Path(artifact_root) / "fleet-state"
     worker_config = dataclasses.replace(config, reuse_port=True)
     supervisor = FleetSupervisor(
         demo_service_factory(
-            store, args.companies, seed=args.seed, config=worker_config
+            store,
+            args.companies,
+            seed=args.seed,
+            config=worker_config,
+            corpus_dir=args.corpus_dir,
         ),
         n_workers=args.workers,
         shards=args.shards,
@@ -731,7 +853,7 @@ def _cmd_obs(args: argparse.Namespace) -> None:
 def _cmd_representations(args: argparse.Namespace) -> None:
     from repro.experiments import run_representation_families
 
-    data = make_experiment_data(args.companies, seed=args.seed)
+    data = _experiment_data(args, needs_universe=True)
     results = run_representation_families(data)
     print(f"{'family':<8} {'silhouette':>11} {'purity':>7}")
     for name, metrics in sorted(results.items(), key=lambda kv: -kv[1]["silhouette"]):
@@ -740,6 +862,7 @@ def _cmd_representations(args: argparse.Namespace) -> None:
 
 _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": _cmd_table1,
+    "corpus": _cmd_corpus,
     "lda-sweep": _cmd_lda_sweep,
     "lstm-grid": _cmd_lstm_grid,
     "fig1": _cmd_lstm_grid,

@@ -14,6 +14,16 @@ from repro.data.catalog import (
     Vendor,
     build_default_catalog,
 )
+from repro.data.columnar import (
+    ColumnarCorpus,
+    ColumnarStore,
+    ColumnarWriter,
+    CorpusFormatError,
+    manifest_fingerprint,
+    open_corpus,
+    simulate_to_columnar,
+    write_corpus,
+)
 from repro.data.company import Company, CompanySite, InstallRecord, aggregate_domestic
 from repro.data.corpus import Corpus, CorpusSplit
 from repro.data.duns import (
@@ -47,6 +57,14 @@ __all__ = [
     "aggregate_domestic",
     "Corpus",
     "CorpusSplit",
+    "ColumnarCorpus",
+    "ColumnarStore",
+    "ColumnarWriter",
+    "CorpusFormatError",
+    "manifest_fingerprint",
+    "open_corpus",
+    "simulate_to_columnar",
+    "write_corpus",
     "DunsNumber",
     "DunsRegistry",
     "duns_check_digit",

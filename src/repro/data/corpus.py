@@ -10,11 +10,19 @@ Section 2 of the paper defines two inputs for the models:
 :class:`Corpus` materialises both views over a shared vocabulary and knows
 how to split itself 70/10/20 into train/validation/test (Section 5) and how
 to truncate itself at a date for the sliding-window recommendation harness.
+
+Two implementations share the API: this in-memory class over
+:class:`~repro.data.company.Company` objects, and the memmap-backed
+:class:`~repro.data.columnar.ColumnarCorpus` over an on-disk columnar
+store.  Both build the matrix from the same columnar token/indptr arrays
+(the in-memory corpus derives them lazily), so the views are bit-identical
+across backends.
 """
 
 from __future__ import annotations
 
 import datetime as dt
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +43,20 @@ class CorpusSplit:
 
     def __iter__(self):
         return iter((self.train, self.validation, self.test))
+
+
+def _gather_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Flat indices covering ``[starts[i], starts[i] + lengths[i])`` per row.
+
+    The standard vectorised multi-slice gather: one ``np.arange`` over the
+    total length, rebased per row.  Returns an empty int64 array when every
+    range is empty.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    row_base = np.repeat(starts - np.concatenate(([0], np.cumsum(lengths[:-1]))), lengths)
+    return np.arange(total, dtype=np.int64) + row_base
 
 
 class Corpus:
@@ -61,6 +83,8 @@ class Corpus:
         self._companies = list(companies)
         self._vocabulary = tuple(vocabulary)
         self._token = {name: i for i, name in enumerate(self._vocabulary)}
+        self._token_cols: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._fingerprint: str | None = None
         for company in self._companies:
             unknown = company.categories - self._token.keys()
             if unknown:
@@ -68,6 +92,24 @@ class Corpus:
                     f"company {company.name!r} owns categories outside the "
                     f"vocabulary: {sorted(unknown)}"
                 )
+
+    @classmethod
+    def _from_validated(
+        cls, companies: list[Company], vocabulary: tuple[str, ...]
+    ) -> "Corpus":
+        """View over already-validated companies; empty views are allowed.
+
+        Internal constructor used by :meth:`split` / :meth:`subset` so a
+        zero-company part (a fraction of exactly zero) is representable
+        without re-running the per-company vocabulary check.
+        """
+        corpus = cls.__new__(cls)
+        corpus._companies = list(companies)
+        corpus._vocabulary = tuple(vocabulary)
+        corpus._token = {name: i for i, name in enumerate(corpus._vocabulary)}
+        corpus._token_cols = None
+        corpus._fingerprint = None
+        return corpus
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -106,21 +148,88 @@ class Corpus:
         return self._vocabulary[token]
 
     def __len__(self) -> int:
-        return len(self._companies)
+        return self.n_companies
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Corpus(n_companies={self.n_companies}, n_products={self.n_products})"
 
     # ------------------------------------------------------------------
+    # Columnar token arrays (shared substrate of the vectorised views)
+    # ------------------------------------------------------------------
+    def _row_token_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(starts, ends, tokens)``: per-row slices into a flat token column.
+
+        ``tokens[starts[i]:ends[i]]`` are row ``i``'s token ids in
+        first-seen order (date, then category name).  Built once per corpus
+        and cached; the memmap-backed corpus serves the same triple straight
+        from its on-disk columns.
+        """
+        if self._token_cols is None:
+            counts = np.fromiter(
+                (len(c.first_seen) for c in self._companies),
+                dtype=np.int64,
+                count=len(self._companies),
+            )
+            indptr = np.zeros(len(self._companies) + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            tokens = np.empty(int(indptr[-1]), dtype=np.int32)
+            dates = np.empty(int(indptr[-1]), dtype=np.int32)
+            pos = 0
+            for company in self._companies:
+                for category, date in company.sorted_categories():
+                    tokens[pos] = self._token[category]
+                    dates[pos] = date.toordinal()
+                    pos += 1
+            self._token_cols = (indptr, tokens, dates)
+        indptr, tokens, __ = self._token_cols
+        return indptr[:-1], indptr[1:], tokens
+
+    # ------------------------------------------------------------------
     # Model inputs
     # ------------------------------------------------------------------
-    def binary_matrix(self) -> np.ndarray:
-        """The matrix ``A`` of Section 2: shape (N, M), dtype float64, 0/1."""
-        matrix = np.zeros((self.n_companies, self.n_products))
-        for i, company in enumerate(self._companies):
-            for category in company.categories:
-                matrix[i, self._token[category]] = 1.0
+    def binary_matrix(self, rows: np.ndarray | list[int] | None = None) -> np.ndarray:
+        """The matrix ``A`` of Section 2: shape (N, M), dtype float64, 0/1.
+
+        ``rows`` selects a subset of matrix rows (in the given order), so
+        large corpora can be streamed in bounded-memory chunks:
+        ``corpus.binary_matrix(rows=range(0, 4096))`` materialises only that
+        chunk.  The default materialises every company, exactly as before.
+        """
+        starts, ends, tokens = self._row_token_arrays()
+        if rows is not None:
+            index = np.asarray(rows)
+            if index.dtype.kind not in "iu":
+                if index.size == 0:
+                    index = index.astype(np.int64)
+                else:
+                    raise TypeError(
+                        f"rows must be integer indices, got dtype {index.dtype}"
+                    )
+            index = index.ravel().astype(np.int64)
+            if index.size and (index.min() < 0 or index.max() >= len(starts)):
+                raise IndexError(
+                    f"rows out of range for corpus of {len(starts)} companies"
+                )
+            starts, ends = starts[index], ends[index]
+        lengths = ends - starts
+        matrix = np.zeros((len(starts), self.n_products))
+        flat = _gather_ranges(starts, lengths)
+        if flat.size:
+            row_ids = np.repeat(np.arange(len(starts)), lengths)
+            matrix[row_ids, np.asarray(tokens[flat], dtype=np.int64)] = 1.0
         return matrix
+
+    def iter_matrix_chunks(self, chunk_size: int = 8192):
+        """Yield ``(row_offset, chunk_matrix)`` pairs covering every company.
+
+        The streaming counterpart of :meth:`binary_matrix` for evaluators
+        that scan the universe without holding the dense ``(N, M)`` array.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for lo in range(0, self.n_companies, chunk_size):
+            hi = min(lo + chunk_size, self.n_companies)
+            yield lo, self.binary_matrix(rows=np.arange(lo, hi))
 
     def sequences(self) -> list[list[int]]:
         """The sequences ``A^S``: token ids sorted by first-seen date."""
@@ -148,6 +257,31 @@ class Corpus:
         return sum(len(company) for company in self._companies)
 
     # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hex digest of the corpus's full modelling content.
+
+        Covers the vocabulary (order included — it defines token ids) and,
+        per company, identity, firmographics and every install record
+        (category + first-seen date).  Two corpora with identical
+        fingerprints produce identical binary matrices, sequences and
+        truncations.  Computed once and cached (companies are not to be
+        mutated); the columnar corpus reads it from its manifest instead
+        of walking N rows.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = self._compute_fingerprint()
+        return self._fingerprint
+
+    def _compute_fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        digest.update(repr(self._vocabulary).encode())
+        for company in self._companies:
+            update_fingerprint(digest, company)
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
     # Partitioning
     # ------------------------------------------------------------------
     def split(
@@ -158,10 +292,12 @@ class Corpus:
     ) -> CorpusSplit:
         """Random 70/10/20 company-level split (Section 5's protocol).
 
-        Every resulting part shares this corpus's vocabulary.  Fractions must
-        sum to one; the validation or test part may be empty only if its
-        fraction is zero and the company count rounds it away — an empty
-        *train* part is always an error.
+        Every resulting part shares this corpus's vocabulary.  Fractions
+        must sum to one.  A part whose fraction is exactly zero comes back
+        as a true empty corpus view; a *positive* fraction that rounds to
+        zero companies raises instead — a training company is never
+        substituted into validation or test, so no part can silently
+        evaluate on a train row.
         """
         train_frac, valid_frac, __ = check_fraction_triple(fractions)
         rng = as_rng(seed)
@@ -172,23 +308,59 @@ class Corpus:
         train_idx = order[:n_train]
         valid_idx = order[n_train : n_train + n_valid]
         test_idx = order[n_train + n_valid :]
-        if len(test_idx) == 0 and fractions[2] > 0:
-            raise ValueError(
-                f"test fraction {fractions[2]} yields no companies for corpus "
-                f"of size {self.n_companies}; use a larger corpus"
-            )
+        for name, index, fraction in (
+            ("validation", valid_idx, fractions[1]),
+            ("test", test_idx, fractions[2]),
+        ):
+            if len(index) == 0 and fraction > 0:
+                raise ValueError(
+                    f"{name} fraction {fraction} yields no companies for corpus "
+                    f"of size {self.n_companies}; use a larger corpus"
+                )
         return CorpusSplit(
-            train=self.subset(train_idx),
-            validation=self.subset(valid_idx) if len(valid_idx) else self.subset(train_idx[:1]),
-            test=self.subset(test_idx) if len(test_idx) else self.subset(train_idx[:1]),
+            train=self._select(train_idx),
+            validation=self._select(valid_idx),
+            test=self._select(test_idx),
         )
 
-    def subset(self, indices: np.ndarray | list[int]) -> "Corpus":
-        """Corpus over a subset of companies, preserving the vocabulary."""
-        index_list = [int(i) for i in np.asarray(indices).ravel()]
-        if not index_list:
+    def _select(self, indices: np.ndarray) -> "Corpus":
+        """Index view over already-validated row indices (may be empty)."""
+        picked = [self._companies[int(i)] for i in indices]
+        return Corpus._from_validated(picked, self._vocabulary)
+
+    def subset(
+        self,
+        indices: np.ndarray | list[int],
+        *,
+        allow_duplicates: bool = False,
+    ) -> "Corpus":
+        """Corpus over a subset of companies, preserving the vocabulary.
+
+        Indices must be unique integers in ``[0, n_companies)``: negative
+        indices are rejected rather than Python-wrapped, and duplicates are
+        rejected so an evaluation subset can never silently double-count a
+        company.  ``allow_duplicates=True`` opts into repetition for callers
+        that genuinely want it (e.g. scoring-additivity checks).
+        """
+        array = np.asarray(indices)
+        if array.size == 0:
             raise ValueError("subset requires at least one index")
-        return Corpus([self._companies[i] for i in index_list], self._vocabulary)
+        if array.dtype.kind not in "iu":
+            raise TypeError(
+                f"subset indices must be integers, got dtype {array.dtype}"
+            )
+        array = array.ravel().astype(np.int64)
+        if int(array.min()) < 0 or int(array.max()) >= self.n_companies:
+            raise ValueError(
+                f"subset indices must be in [0, {self.n_companies}); negative "
+                "indices are not wrapped"
+            )
+        if not allow_duplicates and len(np.unique(array)) != len(array):
+            raise ValueError(
+                "subset indices contain duplicates; a company would be "
+                "double-counted (pass allow_duplicates=True to permit this)"
+            )
+        return self._select(array)
 
     def truncated_before(self, cutoff: dt.date) -> "Corpus":
         """Corpus containing only products first seen strictly before ``cutoff``.
@@ -255,3 +427,30 @@ class Corpus:
         """Build a corpus whose vocabulary is the sorted union of categories."""
         vocabulary = tuple(sorted({c for company in companies for c in company.categories}))
         return cls(companies, vocabulary)
+
+
+def update_fingerprint(digest, company: Company) -> None:
+    """Feed one company's modelling content into a corpus digest.
+
+    The canonical per-company block of the corpus fingerprint: identity,
+    firmographics and the (category, first-seen) records sorted
+    alphabetically.  Shared by the in-memory walk, the columnar writer
+    (which digests companies as they stream to disk) and the columnar
+    row walk, so all three produce byte-identical fingerprints for the
+    same content.
+    """
+    records = sorted(
+        (category, date.isoformat()) for category, date in company.first_seen.items()
+    )
+    digest.update(
+        repr(
+            (
+                company.duns.value,
+                company.name,
+                company.country,
+                company.sic2,
+                company.n_sites,
+                records,
+            )
+        ).encode()
+    )

@@ -35,6 +35,7 @@ import numpy as np
 from repro._validation import (
     as_rng,
     check_in_choices,
+    check_non_negative_int,
     check_positive_int,
     check_probability,
 )
@@ -446,6 +447,7 @@ class InstallBaseSimulator:
         seed: int | np.random.Generator | None = None,
         *,
         method: str = "auto",
+        duns_start: int = 0,
     ) -> SimulatedUniverse:
         """Generate a full universe: sites, registry, and aggregated companies.
 
@@ -458,16 +460,25 @@ class InstallBaseSimulator:
         generative process, but they consume the random stream in
         different orders, so for a given seed they produce *different,
         distributionally equivalent* universes.
+
+        ``duns_start`` offsets the D-U-N-S sequence counter so chunked
+        generation (the streaming corpus builder generating one batch of
+        companies per call) produces globally unique identifiers: pass the
+        running total of previously generated sites.  ``duns_start=0``
+        reproduces the historical output exactly.
         """
         check_in_choices(method, "method", ("auto", "loop", "batch"))
+        check_non_negative_int(duns_start, "duns_start")
         if method == "auto":
             method = "batch" if self.config.n_companies >= self._BATCH_THRESHOLD else "loop"
         rng = as_rng(seed)
         if method == "batch":
-            return self._generate_batch(rng)
-        return self._generate_loop(rng)
+            return self._generate_batch(rng, duns_start=duns_start)
+        return self._generate_loop(rng, duns_start=duns_start)
 
-    def _generate_loop(self, rng: np.random.Generator) -> SimulatedUniverse:
+    def _generate_loop(
+        self, rng: np.random.Generator, *, duns_start: int = 0
+    ) -> SimulatedUniverse:
         """Reference per-company generation (bit-stable across releases)."""
         cfg = self.config
         rankings = self._build_rankings()
@@ -482,7 +493,7 @@ class InstallBaseSimulator:
         registry = DunsRegistry()
         sites: list[CompanySite] = []
         sic2_by_ultimate: dict[str, int] = {}
-        duns_counter = 0
+        duns_counter = duns_start
 
         for i in range(cfg.n_companies):
             theta = mixtures[i]
@@ -576,7 +587,9 @@ class InstallBaseSimulator:
             config=cfg,
         )
 
-    def _generate_batch(self, rng: np.random.Generator) -> SimulatedUniverse:
+    def _generate_batch(
+        self, rng: np.random.Generator, *, duns_start: int = 0
+    ) -> SimulatedUniverse:
         """Array-wise generation: same process as the loop, drawn in bulk.
 
         Every random quantity (ownership, dates, site echoes, confidences)
@@ -723,7 +736,7 @@ class InstallBaseSimulator:
 
         # --- object construction ---------------------------------------
         total_sites = int(n_sites_arr.sum())
-        duns_values = duns_values_from_sequences(np.arange(total_sites))
+        duns_values = duns_values_from_sequences(np.arange(total_sites) + duns_start)
         site_offsets = np.concatenate([[0], np.cumsum(n_sites_arr)])
 
         registry = DunsRegistry()

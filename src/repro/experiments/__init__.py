@@ -13,7 +13,11 @@ from repro.experiments.ablations import (
     run_window_size_ablation,
 )
 from repro.experiments.cocluster_baseline import run_cocluster_baseline
-from repro.experiments.common import ExperimentData, make_experiment_data
+from repro.experiments.common import (
+    ExperimentData,
+    load_corpus_data,
+    make_experiment_data,
+)
 from repro.experiments.extensions import (
     run_representation_families,
     run_streaming_chh_accuracy,
@@ -33,6 +37,7 @@ from repro.experiments.table1 import run_perplexity_table
 
 __all__ = [
     "ExperimentData",
+    "load_corpus_data",
     "make_experiment_data",
     "run_lstm_grid",
     "run_lda_sweep",

@@ -5,19 +5,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.data.columnar import open_corpus
 from repro.data.corpus import Corpus, CorpusSplit
 from repro.data.synthetic import InstallBaseSimulator, SimulatedUniverse, SimulatorConfig
 from repro.obs import trace
 from repro.runtime import Ok, ParallelMap, RunJournal, TaskError
 
-__all__ = ["ExperimentData", "make_experiment_data", "resolve_grid_outcomes"]
+__all__ = [
+    "ExperimentData",
+    "make_experiment_data",
+    "load_corpus_data",
+    "resolve_grid_outcomes",
+]
 
 
 @dataclass
 class ExperimentData:
-    """A generated universe with its corpus and standard 70/10/20 split."""
+    """A corpus with its standard 70/10/20 split.
 
-    universe: SimulatedUniverse
+    ``universe`` carries the simulator's raw feed and ground truth when the
+    data was generated in-process; corpora loaded from a published columnar
+    directory have no universe (``None``) — drivers that need simulator
+    ground truth must generate, not load.
+    """
+
+    universe: SimulatedUniverse | None
     corpus: Corpus
     split: CorpusSplit
 
@@ -50,6 +62,30 @@ def make_experiment_data(
     with trace.span("exp.data.split"):
         split = corpus.split((0.7, 0.1, 0.2), seed=split_seed)
     return ExperimentData(universe=universe, corpus=corpus, split=split)
+
+
+def load_corpus_data(
+    corpus_dir: str,
+    *,
+    split_seed: int = 1,
+) -> ExperimentData:
+    """Open a published columnar corpus with the standard 70/10/20 split.
+
+    The memmap-backed counterpart of :func:`make_experiment_data`: the
+    corpus streams from disk, the split is an index view (no companies are
+    materialised), and ``universe`` is ``None`` because a published corpus
+    carries no simulator ground truth.  A single-chunk columnar build of
+    ``(n_companies, seed)`` loaded here yields bit-identical matrices,
+    sequences and fingerprints to ``make_experiment_data(n_companies,
+    seed=seed)`` at the same ``split_seed``.
+    """
+    with trace.span("exp.data.load"):
+        corpus = open_corpus(corpus_dir)
+        trace.add_counter("n_companies", corpus.n_companies)
+        trace.add_counter("n_products", corpus.n_products)
+    with trace.span("exp.data.split"):
+        split = corpus.split((0.7, 0.1, 0.2), seed=split_seed)
+    return ExperimentData(universe=None, corpus=corpus, split=split)
 
 
 def resolve_grid_outcomes(

@@ -34,7 +34,16 @@ from repro.runtime import (
     fit_model,
 )
 
-__all__ = ["run_perplexity_table", "PAPER_TABLE1"]
+__all__ = ["run_perplexity_table", "PAPER_TABLE1", "TABLE1_METHODS"]
+
+#: Table-row name -> the fitted configurations backing it.  ``ngram`` is
+#: the better of bigram/trigram, so selecting it fits both.
+TABLE1_METHODS: dict[str, tuple[str, ...]] = {
+    "unigram": ("unigram",),
+    "ngram": ("bigram", "trigram"),
+    "lstm": ("lstm",),
+    "lda": ("lda",),
+}
 
 #: The paper's reported minimum perplexities, for side-by-side printing.
 PAPER_TABLE1: dict[str, float] = {
@@ -73,6 +82,7 @@ def run_perplexity_table(
     retries: int = 0,
     task_timeout: float | None = None,
     journal: RunJournal | None = None,
+    methods: tuple[str, ...] | list[str] | None = None,
 ) -> dict[str, float]:
     """Fit every method's best configuration; return test perplexities.
 
@@ -87,7 +97,23 @@ def run_perplexity_table(
     ``NaN`` instead of aborting the table; ``journal`` checkpoints each
     finished cell (result or failure) and replays completed ones on
     resume, counted as ``journal.skip``.
+
+    ``methods`` restricts the table to a subset of rows (names from
+    :data:`TABLE1_METHODS`; ``None`` computes all four).  Cell keys are
+    unchanged by the selection, so a journal written by a full run replays
+    into a restricted one and vice versa.
     """
+    if methods is None:
+        selected = tuple(TABLE1_METHODS)
+    else:
+        unknown = [name for name in methods if name not in TABLE1_METHODS]
+        if unknown:
+            raise ValueError(
+                f"unknown table1 method(s) {unknown}; "
+                f"choose from {sorted(TABLE1_METHODS)}"
+            )
+        selected = tuple(name for name in TABLE1_METHODS if name in set(methods))
+    wanted = {fit for name in selected for fit in TABLE1_METHODS[name]}
     split = data.split
     factories = {
         "unigram": functools.partial(UnigramModel),
@@ -113,6 +139,8 @@ def run_perplexity_table(
     perplexities: dict[str, float] = {}
     pending: list[dict[str, Any]] = []
     for name, factory in factories.items():
+        if name not in wanted:
+            continue
         key = cell_key(
             "table1", name, seed, lstm_hidden, lstm_epochs, lda_topics, lda_iter
         )
@@ -153,12 +181,11 @@ def run_perplexity_table(
             else:
                 perplexities[payload["name"]] = float("nan")
     with trace.span("exp.table1.evaluate"):
-        results: dict[str, float] = {
-            "unigram": perplexities["unigram"],
-            "ngram": _nan_min(perplexities["bigram"], perplexities["trigram"]),
-            "lstm": perplexities["lstm"],
-            "lda": perplexities["lda"],
-        }
+        results: dict[str, float] = {}
+        for name in selected:
+            results[name] = _nan_min(
+                *(perplexities[fit] for fit in TABLE1_METHODS[name])
+            )
     return results
 
 

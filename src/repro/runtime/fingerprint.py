@@ -36,26 +36,15 @@ def fingerprint_corpus(corpus: Corpus) -> str:
     company, identity, firmographics and every install record (category +
     first-seen date).  Two corpora with identical fingerprints produce
     identical binary matrices, sequences and truncations.
+
+    Delegates to :meth:`Corpus.fingerprint`, which caches the digest and,
+    for a memmap-backed :class:`~repro.data.columnar.ColumnarCorpus`, reads
+    the fingerprint its writer recorded in the on-disk manifest instead of
+    re-walking N rows.  The digest algorithm is shared
+    (:func:`repro.data.corpus.update_fingerprint`), so the value is
+    byte-identical across backends and across releases.
     """
-    digest = hashlib.sha256()
-    digest.update(repr(corpus.vocabulary).encode())
-    for company in corpus.companies:
-        records = sorted(
-            (category, date.isoformat()) for category, date in company.first_seen.items()
-        )
-        digest.update(
-            repr(
-                (
-                    company.duns.value,
-                    company.name,
-                    company.country,
-                    company.sic2,
-                    company.n_sites,
-                    records,
-                )
-            ).encode()
-        )
-    return digest.hexdigest()
+    return corpus.fingerprint()
 
 
 def _canonical_value(value: Any) -> Any:

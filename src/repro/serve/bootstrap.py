@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.app.tool import SalesRecommendationTool
 from repro.data.internal import InternalSalesDatabase
-from repro.experiments.common import make_experiment_data
+from repro.experiments.common import load_corpus_data, make_experiment_data
 from repro.models.base import GenerativeModel
 from repro.models.lda import LatentDirichletAllocation
 from repro.models.ngram import NGramModel
@@ -38,12 +38,26 @@ __all__ = [
 ]
 
 
+def _demo_data(n_companies: int, seed: int, corpus_dir: str | None):
+    """The serving corpus: a memmap-backed load or an in-process simulation.
+
+    With ``corpus_dir`` the stack serves a published columnar corpus —
+    token columns stay on disk and every worker that opens the same
+    directory shares one page-cache copy, so bootstrap memory stays
+    bounded at any corpus size.
+    """
+    if corpus_dir:
+        return load_corpus_data(corpus_dir)
+    return make_experiment_data(n_companies, seed=seed)
+
+
 def build_demo_models(
     n_companies: int = 300,
     *,
     seed: int = 7,
     lda_topics: int = 3,
     lda_iterations: int = 60,
+    corpus_dir: str | None = None,
 ):
     """Fit the demo ladder's model set once.
 
@@ -51,9 +65,11 @@ def build_demo_models(
     to fitted models.  Deterministic in ``(n_companies, seed)`` — two
     processes calling this with the same arguments fit bit-identical
     models, which is what lets workers rebuild the corpus locally while
-    the weights come from a shared artifact.
+    the weights come from a shared artifact.  With ``corpus_dir`` the
+    corpus is opened from a published columnar directory instead
+    (determinism then keys on the directory's content fingerprint).
     """
-    data = make_experiment_data(n_companies, seed=seed)
+    data = _demo_data(n_companies, seed, corpus_dir)
     train = data.split.train
     lda = LatentDirichletAllocation(
         n_topics=lda_topics, inference="variational", n_iter=lda_iterations, seed=0
@@ -71,6 +87,7 @@ def build_demo_service(
     lda_iterations: int = 60,
     with_tool: bool = True,
     models: dict[str, GenerativeModel] | None = None,
+    corpus_dir: str | None = None,
 ) -> RecommendationService:
     """Build the standard LDA → n-gram → popularity serving stack.
 
@@ -78,7 +95,9 @@ def build_demo_service(
     registry's reference slice for hot-swap gating.  Deterministic in
     ``(n_companies, seed)``.  Passing ``models`` (slot name → fitted
     model, e.g. memory-mapped from an artifact store) skips the fit and
-    installs those instead — the data is still rebuilt locally.
+    installs those instead — the data is still rebuilt locally.  With
+    ``corpus_dir`` the corpus is memory-mapped from a published columnar
+    directory rather than simulated, keeping bootstrap memory bounded.
     """
     config = config or ServiceConfig()
     log = get_logger("serve.bootstrap")
@@ -88,9 +107,10 @@ def build_demo_service(
             seed=seed,
             lda_topics=lda_topics,
             lda_iterations=lda_iterations,
+            corpus_dir=corpus_dir,
         )
     else:
-        data = make_experiment_data(n_companies, seed=seed)
+        data = _demo_data(n_companies, seed, corpus_dir)
     reference = data.split.validation
     lda = models["lda"]
 
@@ -141,10 +161,15 @@ def publish_demo_artifacts(
     seed: int = 7,
     lda_topics: int = 3,
     lda_iterations: int = 60,
+    corpus_dir: str | None = None,
 ) -> PublishedGeneration:
     """Fit the demo models once and publish them as a new generation."""
     _data, models = build_demo_models(
-        n_companies, seed=seed, lda_topics=lda_topics, lda_iterations=lda_iterations
+        n_companies,
+        seed=seed,
+        lda_topics=lda_topics,
+        lda_iterations=lda_iterations,
+        corpus_dir=corpus_dir,
     )
     return store.publish(models)
 
@@ -156,13 +181,16 @@ def demo_service_factory(
     seed: int = 7,
     config: ServiceConfig | None = None,
     with_tool: bool = True,
+    corpus_dir: str | None = None,
 ) -> Callable[[int], RecommendationService]:
     """A fleet ``service_factory`` serving mmap'd models from ``store``.
 
     The returned closure runs inside each forked worker: it memory-maps
     every slot of the store's current generation read-only (sharing one
     page-cache copy of the weights across the fleet) and rebuilds the
-    deterministic corpus/reference data locally.
+    deterministic corpus/reference data locally — or, with ``corpus_dir``,
+    re-opens the published columnar corpus so the token columns are also
+    one shared page-cache copy.
     """
 
     def factory(index: int) -> RecommendationService:
@@ -181,6 +209,7 @@ def demo_service_factory(
             config=config,
             with_tool=with_tool,
             models=models,
+            corpus_dir=corpus_dir,
         )
 
     return factory

@@ -295,3 +295,52 @@ class TestFaultToleranceFlow:
         capsys.readouterr()
         assert "REPRO_FAULTS" not in os_module.environ
         assert "REPRO_FAULTS_STATE" not in os_module.environ
+
+
+class TestCorpusCommands:
+    def test_corpus_flags_parse(self):
+        args = build_parser().parse_args(
+            ["corpus", "build", "some-dir", "--chunk-size", "100"]
+        )
+        assert (args.command, args.action, args.dir) == ("corpus", "build", "some-dir")
+        assert args.chunk_size == 100
+        args = build_parser().parse_args(["--corpus-dir", "d", "table1"])
+        assert args.corpus_dir == "d"
+        assert build_parser().parse_args(["table1"]).corpus_dir is None
+
+    def test_build_info_and_run_round_trip(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(
+            ["--companies", "80", "--seed", "5", "corpus", "build", corpus_dir,
+             "--chunk-size", "30"]
+        ) == 0
+        built_out = capsys.readouterr().out
+        assert "fingerprint:" in built_out
+
+        assert main(["corpus", "info", corpus_dir]) == 0
+        info_out = capsys.readouterr().out
+        # info reports the identical fingerprint the build printed
+        fingerprint = [
+            line.split()[-1] for line in built_out.splitlines() if "fingerprint" in line
+        ][0]
+        assert fingerprint in info_out
+
+        assert main(
+            ["table1", "--corpus-dir", corpus_dir, "--methods", "unigram"]
+        ) == 0
+        table_out = capsys.readouterr().out
+        assert "unigram" in table_out
+
+    def test_unknown_table1_method_rejected(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(["--companies", "40", "corpus", "build", corpus_dir]) == 0
+        with pytest.raises(SystemExit, match="unknown table1 method"):
+            main(["table1", "--corpus-dir", corpus_dir, "--methods", "nope"])
+
+    def test_ground_truth_commands_reject_corpus_dir(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(["--companies", "40", "corpus", "build", corpus_dir]) == 0
+        capsys.readouterr()
+        for command in ("tsne", "cocluster", "representations"):
+            with pytest.raises(SystemExit, match="ground truth"):
+                main([command, "--corpus-dir", corpus_dir])

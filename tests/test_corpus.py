@@ -131,6 +131,55 @@ class TestSplit:
             small_corpus.split((0.9, 0.1, 0.0))  # rounds test away -> but frac 0 ok
             small_corpus.subset([0]).split((0.7, 0.1, 0.2))
 
+    def test_rounded_away_fraction_never_leaks_a_train_company(self):
+        # Regression: a positive fraction rounding to zero companies used to
+        # substitute the first *training* company into that part, so the
+        # model could be evaluated on a row it trained on.  It must raise.
+        companies = [
+            _company(i, {"OS": dt.date(2000 + i, 1, 1)}) for i in range(4)
+        ]
+        corpus = Corpus(companies, ("OS",))
+        with pytest.raises(ValueError, match="yields no companies"):
+            corpus.split((0.85, 0.05, 0.10), seed=0)
+
+    def test_zero_fraction_part_is_a_true_empty_view(self):
+        companies = [
+            _company(i, {"OS": dt.date(2000 + i, 1, 1)}) for i in range(10)
+        ]
+        corpus = Corpus(companies, ("OS",))
+        split = corpus.split((0.8, 0.2, 0.0), seed=3)
+        assert split.test.n_companies == 0
+        assert split.test.binary_matrix().shape == (0, 1)
+        assert split.test.sequences() == []
+        # ... and the zero part shares no company with train/validation.
+        train_duns = {c.duns.value for c in split.train.companies}
+        valid_duns = {c.duns.value for c in split.validation.companies}
+        assert train_duns.isdisjoint(valid_duns)
+        assert len(train_duns) + len(valid_duns) == corpus.n_companies
+
+
+class TestSubsetValidation:
+    def test_negative_indices_rejected(self, small_corpus):
+        with pytest.raises(ValueError, match="negative indices"):
+            small_corpus.subset([-1])
+
+    def test_out_of_range_indices_rejected(self, small_corpus):
+        with pytest.raises(ValueError, match=r"must be in \[0, 3\)"):
+            small_corpus.subset([0, 3])
+
+    def test_duplicate_indices_rejected_by_default(self, small_corpus):
+        with pytest.raises(ValueError, match="duplicate"):
+            small_corpus.subset([0, 0])
+
+    def test_duplicates_allowed_when_opted_in(self, small_corpus):
+        doubled = small_corpus.subset([0, 0], allow_duplicates=True)
+        assert doubled.n_companies == 2
+        assert doubled.companies[0] == doubled.companies[1]
+
+    def test_non_integer_indices_rejected(self, small_corpus):
+        with pytest.raises(TypeError, match="integer"):
+            small_corpus.subset([0.5])
+
 
 class TestSubsetAndTruncate:
     def test_subset(self, small_corpus):

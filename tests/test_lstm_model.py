@@ -102,7 +102,8 @@ class TestPrediction:
         # log-prob; stream scoring carries state across company boundaries,
         # so the agreement is near-exact rather than bitwise.
         doubled = split.test.subset(
-            list(range(split.test.n_companies)) + list(range(split.test.n_companies))
+            list(range(split.test.n_companies)) + list(range(split.test.n_companies)),
+            allow_duplicates=True,
         )
         assert fitted.log_prob(doubled) == pytest.approx(
             2.0 * fitted.log_prob(split.test), rel=1e-3
@@ -113,7 +114,8 @@ class TestPrediction:
             hidden=16, n_epochs=1, batching="company", optimizer="adam", seed=0
         ).fit(split.train)
         doubled = split.test.subset(
-            list(range(split.test.n_companies)) + list(range(split.test.n_companies))
+            list(range(split.test.n_companies)) + list(range(split.test.n_companies)),
+            allow_duplicates=True,
         )
         assert model.log_prob(doubled) == pytest.approx(
             2.0 * model.log_prob(split.test), rel=1e-12

@@ -69,6 +69,9 @@ import numpy as np
 
 from repro.analysis.similarity import top_k_from_scores
 from repro.data.duns import DunsNumber
+from repro.experiments import make_experiment_data
+from repro.models.lda import LatentDirichletAllocation
+from repro.scenarios import build_scenario
 from repro.obs import metrics as obs_metrics
 from repro.obs import prom as obs_prom
 from repro.obs.top import sum_counters
@@ -809,6 +812,97 @@ def run_cache_swap_contract(*, companies: int = 120, seed: int = 7) -> dict:
     return result
 
 
+def run_canary_gate(*, companies: int = 300, seed: int = 7, windows: int = 3) -> dict:
+    """Contract + cost of replay-gated promotion.
+
+    A canary-enabled service shadow-scores every hot-swap candidate over
+    ``windows`` replay windows.  The phase stages a drift-corrupted
+    candidate (must come back 409 with a machine-readable canary verdict
+    while /recommend keeps serving bit-identically) and a clean refit
+    (must promote, with the passing verdict attached), and times both
+    gate evaluations — the price of a guarded promotion, recorded as
+    ``bench.serve.canary.*`` gauges.
+    """
+    config = ServiceConfig(
+        canary_windows=windows,
+        # Loose perplexity gate so the canary is the deciding check.
+        swap_tolerance=6.0,
+        batch_window_ms=0.0,
+        topk_cache_size=0,
+    )
+    service = build_demo_service(companies, seed=seed, config=config)
+    vocabulary = list(service.corpus.vocabulary)
+    payload = {"history": [vocabulary[0], vocabulary[1]], "top_n": 5}
+
+    def stable_fields(response) -> dict:
+        return {
+            key: response.body[key]
+            for key in ("tier", "recommendations", "model_versions")
+        }
+
+    before = service.handle("POST", "/recommend", payload)
+    assert before.status == 200, before.body
+
+    data = make_experiment_data(companies, seed=seed)
+    drifted = LatentDirichletAllocation(
+        n_topics=3, inference="variational", n_iter=60, seed=1
+    ).fit(build_scenario(data.corpus, "drift", seed=1).corpus)
+    clean = LatentDirichletAllocation(
+        n_topics=3, inference="variational", n_iter=60, seed=1
+    ).fit(data.split.train)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-canary-") as tmp:
+        staged = Path(tmp) / "drifted-lda.npz"
+        drifted.save(staged)
+        reject_s = time.perf_counter()
+        rejected = service.handle(
+            "POST", "/admin/hotswap", {"name": "lda", "path": str(staged)}
+        )
+        reject_ms = (time.perf_counter() - reject_s) * 1000.0
+        assert rejected.status == 409, rejected.body
+        assert "canary rejected" in rejected.body["reason"], rejected.body
+        verdict = rejected.body["canary"]
+        assert verdict["passed"] is False, verdict
+
+        after = service.handle("POST", "/recommend", payload)
+        assert stable_fields(after) == stable_fields(before), (
+            "incumbent answers changed across a rejected promotion"
+        )
+
+        staged_clean = Path(tmp) / "clean-lda.npz"
+        clean.save(staged_clean)
+        promote_s = time.perf_counter()
+        promoted = service.handle(
+            "POST", "/admin/hotswap", {"name": "lda", "path": str(staged_clean)}
+        )
+        promote_ms = (time.perf_counter() - promote_s) * 1000.0
+        assert promoted.status == 200, promoted.body
+        assert promoted.body["canary"]["passed"] is True, promoted.body
+
+    result = {
+        "companies": companies,
+        "windows": windows,
+        "rejected_reason": verdict["reason"],
+        "regressed_windows": verdict["regressed_windows"],
+        "rejected_divergence": verdict["recommendation_divergence"],
+        "reject_eval_ms": round(reject_ms, 2),
+        "promote_eval_ms": round(promote_ms, 2),
+        "bit_identical_after_rejection": True,
+        "promoted_version": promoted.body["version"],
+    }
+    registry = obs_metrics.get_registry()
+    registry.gauge("bench.serve.canary.reject_eval_ms").set(result["reject_eval_ms"])
+    registry.gauge("bench.serve.canary.promote_eval_ms").set(result["promote_eval_ms"])
+    registry.gauge("bench.serve.canary.regressed_windows").set(
+        float(result["regressed_windows"])
+    )
+    if result["rejected_divergence"] is not None:
+        registry.gauge("bench.serve.canary.rejected_divergence").set(
+            result["rejected_divergence"]
+        )
+    return result
+
+
 def _percentile(sorted_ms: list[float], q: float) -> float:
     """Nearest-rank percentile of an already-sorted latency list."""
     if not sorted_ms:
@@ -1223,6 +1317,13 @@ def test_serve_cache_swap_contract():
     assert result["paths"] == ["single", "cached", "single", "cached"]
 
 
+def test_serve_canary_gate():
+    """Pytest entry point: drift rejected with 409, clean refit promoted."""
+    result = run_canary_gate(companies=300)
+    assert result["bit_identical_after_rejection"]
+    assert result["promoted_version"] == 2
+
+
 def test_serve_load_harness():
     """Pytest entry point: the full harness at smoke scale."""
     summary = run_harness(companies=150, requests=30, inject=True)
@@ -1285,6 +1386,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also assert a hot-swap invalidates the top-k result cache",
     )
     parser.add_argument(
+        "--canary-gate",
+        action="store_true",
+        help="also run the replay-gated promotion contract: drifted "
+        "candidate 409s bit-identically, clean refit promotes",
+    )
+    parser.add_argument(
         "--fleet-gate",
         action="store_true",
         help="also run the pre-fork fleet throughput gate (sustained "
@@ -1339,6 +1446,12 @@ def main(argv: list[str] | None = None) -> int:
         summary["ann"] = run_ann_gate(seed=args.seed)
     if args.cache_contract:
         summary["cache_swap"] = run_cache_swap_contract(seed=args.seed)
+    if args.canary_gate:
+        # The contract needs a validation slice large enough that the
+        # drift-corrupted candidate measurably diverges on replay.
+        summary["canary"] = run_canary_gate(
+            companies=max(args.companies, 300), seed=args.seed
+        )
     if args.fleet_gate:
         summary["fleet"] = run_fleet_gate(
             companies=args.companies,
@@ -1355,6 +1468,7 @@ def main(argv: list[str] | None = None) -> int:
         or args.coalescing_gate
         or args.ann_gate
         or args.cache_contract
+        or args.canary_gate
         or args.fleet_gate
     ):
         Path(args.json).write_text(

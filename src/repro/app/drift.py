@@ -34,10 +34,21 @@ def jensen_shannon_divergence(p: np.ndarray, q: np.ndarray) -> float:
 
     Symmetric, bounded by ln 2; zero iff the distributions coincide.
     """
-    p = np.asarray(p, dtype=np.float64)
-    q = np.asarray(q, dtype=np.float64)
+    p = np.atleast_1d(np.asarray(p, dtype=np.float64))
+    q = np.atleast_1d(np.asarray(q, dtype=np.float64))
+    if p.ndim != 1 or q.ndim != 1:
+        raise ValueError(
+            f"distributions must be 1-D, got shapes {p.shape} and {q.shape}"
+        )
     if p.shape != q.shape:
-        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+        raise ValueError(
+            f"length mismatch: {p.shape[0]} vs {q.shape[0]} bins — "
+            "distributions must share a support"
+        )
+    # NaN slips past the `< 0` check below (NaN comparisons are False)
+    # and would propagate into the result; reject it explicitly.
+    if not (np.all(np.isfinite(p)) and np.all(np.isfinite(q))):
+        raise ValueError("distributions must be finite (no NaN/inf bins)")
     if np.any(p < 0) or np.any(q < 0):
         raise ValueError("distributions must be non-negative")
     p_sum, q_sum = p.sum(), q.sum()

@@ -14,6 +14,12 @@ Every paper artifact can be regenerated from the console::
     repro sales-demo
     repro serve --companies 300 --port 8151
 
+Robustness tooling rides the same corpus flags::
+
+    repro scenario build /tmp/messy --pack messy-world --scenario-seed 3
+    repro replay --windows 6 --canary --candidate-pack drift
+    repro serve --canary 3            # replay-gated hot-swap promotion
+
 All commands accept ``--companies`` and ``--seed`` to control the synthetic
 universe, plus the observability flags ``--log-level``, ``--log-json PATH``,
 ``--trace`` and ``--profile``.  Output is plain fixed-width text; ``--trace``
@@ -225,6 +231,34 @@ def build_parser() -> argparse.ArgumentParser:
         "universe of the same (companies, seed)",
     )
 
+    scenario_cmd = sub.add_parser(
+        "scenario",
+        help="build a corrupted messy-world corpus, or list scenario packs",
+        parents=[shared],
+    )
+    scenario_cmd.add_argument(
+        "action",
+        choices=["build", "list"],
+        help="'build' corrupts the corpus and writes it to DIR with its "
+        "ground-truth manifest; 'list' prints the available packs",
+    )
+    scenario_cmd.add_argument(
+        "dir", nargs="?", metavar="DIR", help="output corpus directory (build)"
+    )
+    scenario_cmd.add_argument(
+        "--pack",
+        default="messy-world",
+        help="scenario pack to apply (see `repro scenario list`)",
+    )
+    scenario_cmd.add_argument(
+        "--scenario-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="corruption seed — same (pack, seed, corpus) always yields the "
+        "same manifest digest and corpus fingerprint",
+    )
+
     lda = sub.add_parser(
         "lda-sweep", help="Figure 2: LDA perplexity vs topics", parents=[shared]
     )
@@ -257,6 +291,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="--retrain (default) follows the paper exactly: refit every "
         "model on the data before each window; --no-retrain trains once "
         "before the first window — much faster, approximate numbers",
+    )
+
+    replay_cmd = sub.add_parser(
+        "replay",
+        help="time-sliced replay of a frozen model, with optional canary",
+        parents=[shared],
+    )
+    replay_cmd.add_argument(
+        "--windows", type=int, default=6, help="sliding windows to replay"
+    )
+    replay_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        metavar="PHI",
+        help="recommendation probability threshold applied per window",
+    )
+    replay_cmd.add_argument(
+        "--model",
+        choices=["lda", "ngram", "unigram"],
+        default="lda",
+        help="incumbent model family, fitted once on pre-window data",
+    )
+    replay_cmd.add_argument(
+        "--canary",
+        action="store_true",
+        help="also fit a candidate and run the canary promotion gate "
+        "(incumbent vs candidate on the same replayed windows)",
+    )
+    replay_cmd.add_argument(
+        "--candidate-pack",
+        default=None,
+        metavar="PACK",
+        help="corrupt the candidate's training data with this scenario pack "
+        "first (e.g. 'drift' manufactures a rejectable candidate)",
+    )
+    replay_cmd.add_argument(
+        "--candidate-seed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fit seed for the canary candidate (and the corruption seed "
+        "when --candidate-pack is given)",
     )
 
     sub.add_parser(
@@ -375,6 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="exact",
         help="backend answering /similar: exact cosine or LSH with "
         "exact re-ranking",
+    )
+    serve.add_argument(
+        "--canary",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replay-based canary gate on /admin/hotswap: shadow-score the "
+        "candidate against the incumbent over N sliding windows of the "
+        "reference slice and reject regressions with a 409 (0 disables)",
     )
     serve.add_argument(
         "--workers",
@@ -559,6 +645,125 @@ def _cmd_corpus(args: argparse.Namespace) -> None:
           f"{len(manifest['columns'])} columns")
 
 
+def _cmd_scenario(args: argparse.Namespace) -> None:
+    from repro.scenarios import available_packs, write_scenario
+
+    if args.action == "list":
+        print(f"{'pack':<14} description")
+        for name, description in available_packs().items():
+            print(f"{name:<14} {description}")
+        return
+    if not args.dir:
+        raise SystemExit("repro scenario build: the DIR argument is required")
+    data = _experiment_data(args)
+    started = time.perf_counter()
+    result = write_scenario(
+        data.corpus, args.dir, args.pack, seed=args.scenario_seed
+    )
+    elapsed = time.perf_counter() - started
+    manifest = result.manifest
+    print(f"built scenario corpus at {args.dir}")
+    print(f"  pack:            {manifest.pack}")
+    print(f"  scenario seed:   {manifest.seed}")
+    print(f"  companies:       {result.corpus.n_companies}")
+    print(f"  source corpus:   {manifest.source_fingerprint}")
+    print(f"  result corpus:   {manifest.result_fingerprint}")
+    print(f"  manifest digest: {manifest.digest()}")
+    print(f"  build time:      {elapsed:.1f}s")
+    print(f"  events:          {len(manifest.events)}")
+    for kind, count in sorted(manifest.kinds().items()):
+        print(f"    {kind:<18} {count}")
+
+
+def _replay_model(family: str, train, *, seed: int):
+    """Fit one frozen model of the requested family on ``train``."""
+    if family == "lda":
+        from repro.models.lda import LatentDirichletAllocation
+
+        return LatentDirichletAllocation(
+            n_topics=3, inference="variational", n_iter=60, seed=seed
+        ).fit(train)
+    if family == "ngram":
+        from repro.models.ngram import NGramModel
+
+        return NGramModel(order=2).fit(train)
+    from repro.models.unigram import UnigramModel
+
+    return UnigramModel().fit(train)
+
+
+def _print_replay_report(report) -> None:
+    print(
+        f"{'window':<12} {'companies':>9} {'retrieved':>9} {'correct':>8} "
+        f"{'precision':>9} {'recall':>7} {'f1':>6} {'jsd':>7} {'drift':>5}"
+    )
+    for r in report.results:
+        jsd = "     --" if r.js_divergence != r.js_divergence else f"{r.js_divergence:>7.4f}"
+        precision = "      nan" if r.precision != r.precision else f"{r.precision:>9.3f}"
+        f1 = "   nan" if r.f1 != r.f1 else f"{r.f1:>6.3f}"
+        print(
+            f"{r.window_start.isoformat():<12} {r.n_companies:>9} "
+            f"{r.n_retrieved:>9} {r.n_correct:>8} {precision} "
+            f"{r.recall:>7.3f} {f1} {jsd} {'yes' if r.drifted else 'no':>5}"
+        )
+    print(
+        f"mean recall {report.mean_recall():.3f}, "
+        f"mean precision {report.mean_precision():.3f}, "
+        f"{report.windows_drifted}/{report.n_windows} windows drifted"
+    )
+
+
+def _cmd_replay(args: argparse.Namespace) -> None:
+    from repro.replay import CanaryGate, ReplayHarness
+
+    data = _experiment_data(args)
+    corpus = data.corpus
+    spec = SlidingWindowSpec(n_windows=args.windows)
+    # Models fit on the full timeline, as serving artifacts do; the
+    # harness then asks how each frozen artifact holds up window by
+    # window as the traffic distribution moves.
+    incumbent = _replay_model(args.model, corpus, seed=0)
+    harness = ReplayHarness(
+        corpus,
+        spec=spec,
+        threshold=args.threshold,
+        journal=_build_journal(args),
+    )
+    report = harness.replay(incumbent, args.model)
+    print(
+        f"replay of frozen {args.model} over {args.windows} windows "
+        f"(phi={args.threshold:g}):"
+    )
+    _print_replay_report(report)
+
+    if not args.canary and not args.candidate_pack:
+        return
+    if args.candidate_pack:
+        from repro.scenarios import build_scenario
+
+        candidate_train = build_scenario(
+            corpus, args.candidate_pack, seed=args.candidate_seed
+        ).corpus
+        candidate_desc = (
+            f"{args.model} fitted on {args.candidate_pack!r}-corrupted data"
+        )
+    else:
+        candidate_train = corpus
+        candidate_desc = f"{args.model} refit with seed {args.candidate_seed}"
+    candidate = _replay_model(args.model, candidate_train, seed=args.candidate_seed)
+    gate = CanaryGate(corpus, spec=spec, threshold=args.threshold)
+    verdict = gate.evaluate(incumbent, candidate)
+    print(f"\ncanary: candidate is {candidate_desc}")
+    _print_replay_report(verdict.candidate)
+    status = "PROMOTE" if verdict.passed else "REJECT"
+    print(f"\ncanary verdict: {status} ({verdict.reason})")
+    print(f"  {verdict.detail}")
+    for key, value in verdict.as_dict().items():
+        if key in ("passed", "reason", "detail"):
+            continue
+        print(f"  {key}: {value}")
+
+
 def _cmd_lda_sweep(args: argparse.Namespace) -> None:
     data = _experiment_data(args)
     rows = run_lda_sweep(data, n_iter=args.iterations, **_runtime_kwargs(args))
@@ -734,6 +939,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         batch_max=args.batch_max,
         topk_cache_size=args.topk_cache,
         similarity=args.similarity,
+        canary_windows=args.canary,
     )
     if args.workers > 1:
         _serve_fleet(args, config)
@@ -863,6 +1069,8 @@ def _cmd_representations(args: argparse.Namespace) -> None:
 _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": _cmd_table1,
     "corpus": _cmd_corpus,
+    "scenario": _cmd_scenario,
+    "replay": _cmd_replay,
     "lda-sweep": _cmd_lda_sweep,
     "lstm-grid": _cmd_lstm_grid,
     "fig1": _cmd_lstm_grid,

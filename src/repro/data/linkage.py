@@ -17,13 +17,17 @@ linkage" (Section 8).  This module provides that substrate:
 from __future__ import annotations
 
 import re
+import unicodedata
 from collections import defaultdict
+from dataclasses import dataclass
 
 __all__ = [
     "normalize_company_name",
     "jaro_similarity",
     "jaro_winkler_similarity",
     "CompanyNameMatcher",
+    "ResolutionDecision",
+    "EntityResolver",
 ]
 
 #: Legal-form suffixes dropped during normalisation.
@@ -59,14 +63,20 @@ _WHITESPACE = re.compile(r"\s+")
 def normalize_company_name(name: str) -> str:
     """Canonical form of a company name for blocking and exact matching.
 
-    Lowercases, strips punctuation and diacritically-simple symbols, removes
-    trailing legal-form suffixes ("inc", "gmbh", ...), and collapses
-    whitespace.  The empty string is returned for names that normalise away
-    entirely; callers should treat that as unmatchable.
+    Unicode-folds (NFKD decomposition with combining marks stripped, so
+    "Müller" and "Muller" share a key and full-width/compatibility forms
+    collapse), casefolds, strips punctuation — ASCII and Unicode alike —
+    removes trailing legal-form suffixes ("inc", "gmbh", ...), and
+    collapses whitespace.  The empty string is returned for names that
+    normalise away entirely; callers should treat that as unmatchable.
+    Never raises for string input: empty, single-character and
+    all-punctuation names normalise to a (possibly empty) string.
     """
     if not isinstance(name, str):
         raise TypeError(f"name must be a string, got {type(name).__name__}")
-    lowered = name.casefold().replace("&", " and ")
+    decomposed = unicodedata.normalize("NFKD", name)
+    folded = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    lowered = folded.casefold().replace("&", " and ")
     stripped = _NON_ALNUM.sub(" ", lowered)
     tokens = _WHITESPACE.sub(" ", stripped).strip().split(" ")
     while tokens and tokens[-1] in _LEGAL_SUFFIXES:
@@ -75,7 +85,16 @@ def normalize_company_name(name: str) -> str:
 
 
 def jaro_similarity(left: str, right: str) -> float:
-    """Jaro similarity in [0, 1]; 1 means identical, 0 means disjoint."""
+    """Jaro similarity in [0, 1]; 1 means identical, 0 means disjoint.
+
+    Total over all string pairs: empty strings, single characters and
+    unicode input return a finite value in [0, 1], never NaN.
+    """
+    if not isinstance(left, str) or not isinstance(right, str):
+        raise TypeError(
+            f"jaro_similarity expects strings, got "
+            f"{type(left).__name__} and {type(right).__name__}"
+        )
     if left == right:
         return 1.0
     len_l, len_r = len(left), len(right)
@@ -132,25 +151,57 @@ class CompanyNameMatcher:
     """Blocked fuzzy matcher from query names to a reference name list.
 
     Reference names are indexed by the first token of their normalised form;
-    a query only scores against names sharing its block (plus exact
+    a query first scores against names sharing its block (plus exact
     normalised matches, which short-circuit at similarity 1.0).  This is the
     standard blocking trick that keeps linkage linear-ish in practice.
+
+    A misspelling *inside the first token* lands the query in the wrong
+    block, where exact-block matching silently fragments the entity.  With
+    ``fuzzy_blocks`` (the default) a query that fails its own block is
+    rescued by also scoring blocks whose key is Jaro-Winkler-close to the
+    query's first token — one pass over the distinct block keys, not over
+    the reference list, so the cost stays sublinear in references.
     """
 
-    def __init__(self, reference_names: list[str], *, threshold: float = 0.88) -> None:
+    def __init__(
+        self,
+        reference_names: list[str],
+        *,
+        threshold: float = 0.88,
+        fuzzy_blocks: bool = True,
+        block_threshold: float = 0.82,
+    ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if not 0.0 < block_threshold <= 1.0:
+            raise ValueError(
+                f"block_threshold must be in (0, 1], got {block_threshold}"
+            )
         self.threshold = threshold
+        self.fuzzy_blocks = bool(fuzzy_blocks)
+        self.block_threshold = block_threshold
         self._reference = list(reference_names)
+        self._normal: list[str] = [
+            normalize_company_name(name) for name in self._reference
+        ]
         self._by_normal: dict[str, int] = {}
         self._blocks: dict[str, list[int]] = defaultdict(list)
-        for index, name in enumerate(self._reference):
-            normal = normalize_company_name(name)
+        for index, normal in enumerate(self._normal):
             if not normal:
                 continue
             self._by_normal.setdefault(normal, index)
             first_token = normal.split(" ", 1)[0]
             self._blocks[first_token].append(index)
+
+    def _best_in(
+        self, indices: list[int], normal: str, best: tuple[int, float]
+    ) -> tuple[int, float]:
+        best_index, best_score = best
+        for index in indices:
+            score = jaro_winkler_similarity(normal, self._normal[index])
+            if score > best_score:
+                best_index, best_score = index, score
+        return best_index, best_score
 
     def match(self, query: str) -> tuple[int, float] | None:
         """Best reference index for ``query``, or ``None`` below threshold.
@@ -165,14 +216,15 @@ class CompanyNameMatcher:
         if exact is not None:
             return exact, 1.0
         first_token = normal.split(" ", 1)[0]
-        best_index, best_score = -1, 0.0
-        for index in self._blocks.get(first_token, ()):
-            candidate = normalize_company_name(self._reference[index])
-            score = jaro_winkler_similarity(normal, candidate)
-            if score > best_score:
-                best_index, best_score = index, score
-        if best_index >= 0 and best_score >= self.threshold:
-            return best_index, best_score
+        best = self._best_in(self._blocks.get(first_token, []), normal, (-1, 0.0))
+        if best[1] < self.threshold and self.fuzzy_blocks:
+            for key, indices in self._blocks.items():
+                if key == first_token:
+                    continue
+                if jaro_winkler_similarity(first_token, key) >= self.block_threshold:
+                    best = self._best_in(indices, normal, best)
+        if best[0] >= 0 and best[1] >= self.threshold:
+            return best
         return None
 
     def match_all(self, queries: list[str]) -> list[tuple[int, float] | None]:
@@ -181,3 +233,88 @@ class CompanyNameMatcher:
 
     def __len__(self) -> int:
         return len(self._reference)
+
+
+@dataclass(frozen=True)
+class ResolutionDecision:
+    """Outcome of resolving one query name against the reference list.
+
+    ``status`` is one of ``"resolved"`` (safe to link automatically),
+    ``"review"`` (a plausible candidate exists but below the automatic
+    threshold — route to manual review / quarantine, never silently
+    link), or ``"unmatched"``.  ``reason`` is a machine-readable slug
+    suitable for quarantine records and HTTP error bodies.
+    """
+
+    status: str
+    index: int | None
+    score: float
+    reason: str
+
+    @property
+    def resolved(self) -> bool:
+        """True when the match is safe to link automatically."""
+        return self.status == "resolved"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form for quarantine records and HTTP bodies."""
+        return {
+            "status": self.status,
+            "index": self.index,
+            "score": round(self.score, 4),
+            "reason": self.reason,
+        }
+
+
+class EntityResolver:
+    """Three-way name resolution: resolve, review, or reject.
+
+    Wraps :class:`CompanyNameMatcher` with the two-threshold policy
+    standard in record linkage: scores at or above ``accept`` link
+    automatically, scores in ``[review, accept)`` are flagged for manual
+    review (the caller quarantines them with the candidate attached),
+    and anything below is unmatched.  This is what keeps aliased
+    companies from silently fragmenting install histories: an ambiguous
+    name surfaces as an explicit decision instead of a miss.
+    """
+
+    def __init__(
+        self,
+        reference_names: list[str],
+        *,
+        accept: float = 0.92,
+        review: float = 0.85,
+    ) -> None:
+        if not 0.0 < review <= accept <= 1.0:
+            raise ValueError(
+                f"need 0 < review <= accept <= 1, got review={review}, accept={accept}"
+            )
+        self.accept = accept
+        self.review = review
+        self._matcher = CompanyNameMatcher(reference_names, threshold=review)
+
+    def resolve(self, query: str) -> ResolutionDecision:
+        """Resolve one name; never raises for string input."""
+        if not isinstance(query, str):
+            raise TypeError(f"query must be a string, got {type(query).__name__}")
+        if not normalize_company_name(query):
+            return ResolutionDecision(
+                status="unmatched", index=None, score=0.0, reason="empty_name"
+            )
+        match = self._matcher.match(query)
+        if match is None:
+            return ResolutionDecision(
+                status="unmatched", index=None, score=0.0, reason="below_threshold"
+            )
+        index, score = match
+        if score >= 1.0:
+            return ResolutionDecision(
+                status="resolved", index=index, score=1.0, reason="exact_normalized"
+            )
+        if score >= self.accept:
+            return ResolutionDecision(
+                status="resolved", index=index, score=score, reason="fuzzy_accept"
+            )
+        return ResolutionDecision(
+            status="review", index=index, score=score, reason="needs_review"
+        )

@@ -1,0 +1,12 @@
+"""Time-sliced replay harness and canary-gated promotion."""
+
+from repro.replay.canary import CanaryGate, CanaryVerdict
+from repro.replay.harness import ReplayHarness, ReplayReport, ReplayWindowResult
+
+__all__ = [
+    "CanaryGate",
+    "CanaryVerdict",
+    "ReplayHarness",
+    "ReplayReport",
+    "ReplayWindowResult",
+]

@@ -1,0 +1,47 @@
+"""Messy-world scenario packs: seeded corruption generators with manifests."""
+
+from repro.scenarios.base import (
+    MANIFEST_FILENAME,
+    CorruptionEvent,
+    CorruptionGenerator,
+    CorruptionManifest,
+    ScenarioPack,
+    ScenarioResult,
+)
+from repro.scenarios.corruptions import (
+    AliasCorruption,
+    ChurnWaveCorruption,
+    ConflictingLabelCorruption,
+    MergerCorruption,
+    MissingFieldCorruption,
+    TaxonomyRemapCorruption,
+)
+from repro.scenarios.packs import (
+    PACKS,
+    available_packs,
+    build_pack,
+    build_scenario,
+    load_scenario_manifest,
+    write_scenario,
+)
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "CorruptionEvent",
+    "CorruptionGenerator",
+    "CorruptionManifest",
+    "ScenarioPack",
+    "ScenarioResult",
+    "AliasCorruption",
+    "ChurnWaveCorruption",
+    "ConflictingLabelCorruption",
+    "MergerCorruption",
+    "MissingFieldCorruption",
+    "TaxonomyRemapCorruption",
+    "PACKS",
+    "available_packs",
+    "build_pack",
+    "build_scenario",
+    "load_scenario_manifest",
+    "write_scenario",
+]

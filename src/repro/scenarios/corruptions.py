@@ -1,0 +1,430 @@
+"""The six messy-world corruption generators.
+
+Each generator is a pure, seeded transform ``companies -> (companies,
+events)`` modelling one class of real-feed imperfection:
+
+* :class:`AliasCorruption` — misspelled/aliased company names
+  (Jaro-Winkler-plausible perturbations that stress ``data/linkage``);
+* :class:`MissingFieldCorruption` — null firmographic fields;
+* :class:`ConflictingLabelCorruption` — a second feed disagreeing on the
+  SIC industry label;
+* :class:`MergerCorruption` — M&A events merging D-U-N-S site trees;
+* :class:`TaxonomyRemapCorruption` — the provider collapsing product
+  categories (the paper's 91→38 remap);
+* :class:`ChurnWaveCorruption` — adoption bursts and churn drops that
+  shift the traffic marginals inside a date window.
+
+Every injected change is recorded as a :class:`CorruptionEvent`, so a
+test can ask the manifest "which names did you perturb, from what, to
+what" and assert resolver recall against exact ground truth.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import replace
+
+import numpy as np
+
+from repro._validation import check_positive_int, check_probability
+from repro.data.company import Company
+from repro.data.industries import SIC2_CODES
+from repro.scenarios.base import CorruptionEvent, CorruptionGenerator
+
+__all__ = [
+    "AliasCorruption",
+    "MissingFieldCorruption",
+    "ConflictingLabelCorruption",
+    "MergerCorruption",
+    "TaxonomyRemapCorruption",
+    "ChurnWaveCorruption",
+]
+
+#: Accented variants used by the "diacritics" alias flavour.
+_DIACRITICS = {
+    "a": "á",
+    "e": "é",
+    "i": "í",
+    "o": "ö",
+    "u": "ü",
+    "n": "ñ",
+    "c": "ç",
+}
+
+#: Unicode punctuation injected by the "punctuation" alias flavour —
+#: exactly the characters a naive ASCII normaliser chokes on.
+_FANCY_PUNCT = ("’", "–", "·", "・")
+
+_LEGAL_FORMS = ("Inc.", "LLC", "Ltd.", "Corp.", "GmbH", "Co.", "PLC")
+
+_ALIAS_FLAVOURS = (
+    "typo_swap",
+    "typo_drop",
+    "typo_double",
+    "diacritics",
+    "punctuation",
+    "suffix_swap",
+)
+
+
+def _select(rng: np.random.Generator, n: int, rate: float) -> np.ndarray:
+    """Deterministic index subset of expected size ``rate * n``."""
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    mask = rng.random(n) < rate
+    return np.flatnonzero(mask)
+
+
+class AliasCorruption(CorruptionGenerator):
+    """Perturb company names into plausible aliases/misspellings."""
+
+    name = "alias"
+
+    def __init__(self, rate: float = 0.25, flavours: tuple[str, ...] | None = None):
+        self.rate = check_probability(rate, "rate")
+        self.flavours = tuple(flavours) if flavours else _ALIAS_FLAVOURS
+        unknown = set(self.flavours) - set(_ALIAS_FLAVOURS)
+        if unknown:
+            raise ValueError(f"unknown alias flavours: {sorted(unknown)}")
+
+    def _perturb(self, name: str, flavour: str, rng: np.random.Generator) -> str:
+        letters = [i for i, ch in enumerate(name) if ch.isalpha()]
+        if flavour == "typo_swap":
+            # Swap two adjacent letters somewhere inside the name.
+            spots = [i for i in letters if i + 1 < len(name) and name[i + 1].isalpha()]
+            if not spots:
+                return name + "s"
+            i = int(rng.choice(spots))
+            return name[:i] + name[i + 1] + name[i] + name[i + 2 :]
+        if flavour == "typo_drop":
+            if len(letters) < 2:
+                return name
+            i = int(rng.choice(letters))
+            return name[:i] + name[i + 1 :]
+        if flavour == "typo_double":
+            if not letters:
+                return name + name[-1:] if name else name
+            i = int(rng.choice(letters))
+            return name[:i] + name[i] + name[i:]
+        if flavour == "diacritics":
+            spots = [i for i in letters if name[i].lower() in _DIACRITICS]
+            if not spots:
+                return self._perturb(name, "typo_double", rng)
+            i = int(rng.choice(spots))
+            accented = _DIACRITICS[name[i].lower()]
+            if name[i].isupper():
+                accented = accented.upper()
+            return name[:i] + accented + name[i + 1 :]
+        if flavour == "punctuation":
+            mark = str(rng.choice(_FANCY_PUNCT))
+            spaces = [i for i, ch in enumerate(name) if ch == " "]
+            if spaces:
+                i = int(rng.choice(spaces))
+                return name[:i] + mark + name[i + 1 :]
+            return name + mark
+        if flavour == "suffix_swap":
+            stripped = name
+            for form in _LEGAL_FORMS:
+                if stripped.endswith(form):
+                    stripped = stripped[: -len(form)].rstrip()
+                    break
+            replacement = str(rng.choice(_LEGAL_FORMS))
+            return f"{stripped} {replacement}".strip()
+        raise AssertionError(f"unhandled flavour {flavour!r}")
+
+    def apply(self, companies, vocabulary, rng):
+        chosen = _select(rng, len(companies), self.rate)
+        flavours = rng.choice(len(self.flavours), size=chosen.size)
+        events: list[CorruptionEvent] = []
+        out = list(companies)
+        for index, flavour_index in zip(chosen, flavours):
+            company = out[index]
+            flavour = self.flavours[int(flavour_index)]
+            aliased = self._perturb(company.name, flavour, rng)
+            if aliased == company.name:
+                continue
+            out[index] = replace(company, name=aliased)
+            events.append(
+                CorruptionEvent(
+                    kind=self.name,
+                    duns=company.duns.value,
+                    field="name",
+                    before=company.name,
+                    after=aliased,
+                    detail={"flavour": flavour},
+                )
+            )
+        return out, events
+
+
+class MissingFieldCorruption(CorruptionGenerator):
+    """Null out firmographic fields (name and/or country)."""
+
+    name = "missing_field"
+
+    def __init__(self, rate: float = 0.1, fields: tuple[str, ...] = ("country", "name")):
+        self.rate = check_probability(rate, "rate")
+        allowed = {"country", "name"}
+        unknown = set(fields) - allowed
+        if unknown:
+            raise ValueError(
+                f"cannot null fields {sorted(unknown)}; only {sorted(allowed)} "
+                "are nullable (sic2 and n_sites are validated invariants — "
+                "use ConflictingLabelCorruption for label noise)"
+            )
+        if not fields:
+            raise ValueError("fields must be non-empty")
+        self.fields = tuple(fields)
+
+    def apply(self, companies, vocabulary, rng):
+        chosen = _select(rng, len(companies), self.rate)
+        field_picks = rng.choice(len(self.fields), size=chosen.size)
+        events: list[CorruptionEvent] = []
+        out = list(companies)
+        for index, pick in zip(chosen, field_picks):
+            company = out[index]
+            field_name = self.fields[int(pick)]
+            before = getattr(company, field_name)
+            if before == "":
+                continue
+            out[index] = replace(company, **{field_name: ""})
+            events.append(
+                CorruptionEvent(
+                    kind=self.name,
+                    duns=company.duns.value,
+                    field=field_name,
+                    before=before,
+                    after="",
+                )
+            )
+        return out, events
+
+
+class ConflictingLabelCorruption(CorruptionGenerator):
+    """Reassign the SIC2 industry label, as a disagreeing second feed would."""
+
+    name = "conflicting_label"
+
+    def __init__(self, rate: float = 0.08):
+        self.rate = check_probability(rate, "rate")
+        self._codes = tuple(sorted(SIC2_CODES))
+
+    def apply(self, companies, vocabulary, rng):
+        chosen = _select(rng, len(companies), self.rate)
+        events: list[CorruptionEvent] = []
+        out = list(companies)
+        for index in chosen:
+            company = out[index]
+            alternatives = [code for code in self._codes if code != company.sic2]
+            new_code = int(rng.choice(alternatives))
+            out[index] = replace(company, sic2=new_code)
+            events.append(
+                CorruptionEvent(
+                    kind=self.name,
+                    duns=company.duns.value,
+                    field="sic2",
+                    before=str(company.sic2),
+                    after=str(new_code),
+                )
+            )
+        return out, events
+
+
+class MergerCorruption(CorruptionGenerator):
+    """M&A: merge pairs of companies into one D-U-N-S site tree.
+
+    The acquirer (the larger site tree; ties break on D-U-N-S) keeps its
+    identity; the acquired company's install history is unioned in with
+    earliest-first-seen semantics — exactly the paper's domestic
+    aggregation rule applied across what used to be two ultimates.  The
+    event records the absorbed D-U-N-S so admission can alias it to the
+    survivor instead of 404ing.
+    """
+
+    name = "merger"
+
+    def __init__(self, rate: float = 0.05):
+        self.rate = check_probability(rate, "rate")
+
+    def apply(self, companies, vocabulary, rng):
+        n_pairs = int(len(companies) * self.rate / 2)
+        if n_pairs == 0 or len(companies) < 2:
+            return list(companies), []
+        order = rng.permutation(len(companies))
+        events: list[CorruptionEvent] = []
+        absorbed_indices: set[int] = set()
+        out = list(companies)
+        for pair in range(n_pairs):
+            i, j = int(order[2 * pair]), int(order[2 * pair + 1])
+            left, right = out[i], out[j]
+            if (right.n_sites, right.duns.value) > (left.n_sites, left.duns.value):
+                acquirer_index, acquired_index = j, i
+            else:
+                acquirer_index, acquired_index = i, j
+            acquirer, acquired = out[acquirer_index], out[acquired_index]
+            merged_first_seen = dict(acquirer.first_seen)
+            for category, seen in acquired.first_seen.items():
+                if category not in merged_first_seen or seen < merged_first_seen[category]:
+                    merged_first_seen[category] = seen
+            out[acquirer_index] = replace(
+                acquirer,
+                first_seen=merged_first_seen,
+                n_sites=acquirer.n_sites + acquired.n_sites,
+            )
+            absorbed_indices.add(acquired_index)
+            events.append(
+                CorruptionEvent(
+                    kind=self.name,
+                    duns=acquirer.duns.value,
+                    field="first_seen",
+                    before=str(len(acquirer.first_seen)),
+                    after=str(len(merged_first_seen)),
+                    detail={
+                        "absorbed": acquired.duns.value,
+                        "absorbed_name": acquired.name,
+                        "n_sites": acquirer.n_sites + acquired.n_sites,
+                    },
+                )
+            )
+        survivors = [c for k, c in enumerate(out) if k not in absorbed_indices]
+        return survivors, events
+
+
+class TaxonomyRemapCorruption(CorruptionGenerator):
+    """Collapse product categories, as the provider's 91→38 remap did.
+
+    ``n_merges`` source categories are folded into distinct target
+    categories: every install of a source moves to its target, keeping
+    the earliest first-seen date.  The vocabulary is left unchanged so
+    fitted models still score the corpus — their probability mass is
+    simply concentrated on the wrong columns, which is precisely the
+    drift signature the canary gate must catch.
+    """
+
+    name = "taxonomy_remap"
+
+    def __init__(self, n_merges: int = 4):
+        self.n_merges = check_positive_int(n_merges, "n_merges")
+
+    def apply(self, companies, vocabulary, rng):
+        if 2 * self.n_merges > len(vocabulary):
+            raise ValueError(
+                f"n_merges={self.n_merges} needs {2 * self.n_merges} distinct "
+                f"categories, vocabulary has {len(vocabulary)}"
+            )
+        picks = rng.choice(len(vocabulary), size=2 * self.n_merges, replace=False)
+        mapping = {
+            vocabulary[int(picks[k])]: vocabulary[int(picks[self.n_merges + k])]
+            for k in range(self.n_merges)
+        }
+        events: list[CorruptionEvent] = []
+        out: list[Company] = []
+        n_affected = {source: 0 for source in mapping}
+        for company in companies:
+            touched = [c for c in company.first_seen if c in mapping]
+            if not touched:
+                out.append(company)
+                continue
+            remapped = dict(company.first_seen)
+            for source in touched:
+                seen = remapped.pop(source)
+                target = mapping[source]
+                if target not in remapped or seen < remapped[target]:
+                    remapped[target] = seen
+                n_affected[source] += 1
+            out.append(replace(company, first_seen=remapped))
+        for source, target in mapping.items():
+            events.append(
+                CorruptionEvent(
+                    kind=self.name,
+                    duns="*",
+                    field="category",
+                    before=source,
+                    after=target,
+                    detail={"n_companies": n_affected[source]},
+                )
+            )
+        return out, events
+
+
+class ChurnWaveCorruption(CorruptionGenerator):
+    """Adoption bursts and churn drops inside a date window.
+
+    A wave of companies adopts ``wave_size`` trending categories at
+    random dates inside the window (shifting arrival traffic toward
+    them), while a churn cohort loses its most recent category.  Models
+    fitted before the wave see a different marginal during replay.
+    """
+
+    name = "churn_wave"
+
+    def __init__(
+        self,
+        *,
+        window_start: dt.date = dt.date(2015, 1, 1),
+        window_days: int = 365,
+        adopt_rate: float = 0.3,
+        churn_rate: float = 0.1,
+        wave_size: int = 3,
+    ):
+        self.window_start = window_start
+        self.window_days = check_positive_int(window_days, "window_days")
+        self.adopt_rate = check_probability(adopt_rate, "adopt_rate")
+        self.churn_rate = check_probability(churn_rate, "churn_rate")
+        self.wave_size = check_positive_int(wave_size, "wave_size")
+
+    def apply(self, companies, vocabulary, rng):
+        if self.wave_size > len(vocabulary):
+            raise ValueError(
+                f"wave_size={self.wave_size} exceeds vocabulary "
+                f"size {len(vocabulary)}"
+            )
+        wave = [
+            vocabulary[int(i)]
+            for i in rng.choice(len(vocabulary), size=self.wave_size, replace=False)
+        ]
+        events: list[CorruptionEvent] = []
+        out = list(companies)
+
+        adopters = _select(rng, len(out), self.adopt_rate)
+        offsets = rng.integers(0, self.window_days, size=adopters.size)
+        wave_picks = rng.choice(self.wave_size, size=adopters.size)
+        for index, offset, pick in zip(adopters, offsets, wave_picks):
+            company = out[index]
+            category = wave[int(pick)]
+            if category in company.first_seen:
+                continue
+            adopted_on = self.window_start + dt.timedelta(days=int(offset))
+            first_seen = dict(company.first_seen)
+            first_seen[category] = adopted_on
+            out[index] = replace(company, first_seen=first_seen)
+            events.append(
+                CorruptionEvent(
+                    kind="adoption",
+                    duns=company.duns.value,
+                    field="category",
+                    before=None,
+                    after=category,
+                    detail={"date": adopted_on.isoformat()},
+                )
+            )
+
+        churners = _select(rng, len(out), self.churn_rate)
+        for index in churners:
+            company = out[index]
+            if len(company.first_seen) < 2:
+                continue  # never leave a company with an empty install base
+            dropped, _ = company.sorted_categories()[-1]
+            first_seen = dict(company.first_seen)
+            del first_seen[dropped]
+            out[index] = replace(company, first_seen=first_seen)
+            events.append(
+                CorruptionEvent(
+                    kind="churn",
+                    duns=company.duns.value,
+                    field="category",
+                    before=dropped,
+                    after=None,
+                )
+            )
+        return out, events

@@ -1,0 +1,156 @@
+"""Named scenario packs and the scenario build step.
+
+A pack is a curated composition of corruption generators with rates
+tuned to a purpose: ``messy-world`` stresses linkage/admission,
+``aliases`` isolates the name-matching problem, ``drift`` manufactures
+exactly the marginal shift the canary gate must reject, ``mna`` the
+merger/alias resolution path.  :func:`build_scenario` applies a pack to
+a corpus; :func:`write_scenario` additionally persists the corrupted
+corpus as a columnar directory with its manifest side-car, which is the
+``repro scenario build`` CLI path.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from pathlib import Path
+
+from repro.data.columnar import write_corpus
+from repro.data.corpus import Corpus
+from repro.scenarios.base import (
+    MANIFEST_FILENAME,
+    CorruptionManifest,
+    ScenarioPack,
+    ScenarioResult,
+)
+from repro.scenarios.corruptions import (
+    AliasCorruption,
+    ChurnWaveCorruption,
+    ConflictingLabelCorruption,
+    MergerCorruption,
+    MissingFieldCorruption,
+    TaxonomyRemapCorruption,
+)
+
+__all__ = [
+    "PACKS",
+    "available_packs",
+    "build_pack",
+    "build_scenario",
+    "write_scenario",
+    "load_scenario_manifest",
+]
+
+
+def _messy_world(seed: int) -> ScenarioPack:
+    return ScenarioPack(
+        "messy-world",
+        [
+            AliasCorruption(rate=0.25),
+            MissingFieldCorruption(rate=0.1),
+            ConflictingLabelCorruption(rate=0.08),
+            MergerCorruption(rate=0.06),
+        ],
+        seed=seed,
+    )
+
+
+def _aliases(seed: int) -> ScenarioPack:
+    return ScenarioPack("aliases", [AliasCorruption(rate=0.4)], seed=seed)
+
+
+def _drift(seed: int) -> ScenarioPack:
+    return ScenarioPack(
+        "drift",
+        [
+            TaxonomyRemapCorruption(n_merges=4),
+            ChurnWaveCorruption(
+                window_start=dt.date(2015, 1, 1),
+                window_days=365,
+                adopt_rate=0.5,
+                churn_rate=0.15,
+            ),
+        ],
+        seed=seed,
+    )
+
+
+def _mna(seed: int) -> ScenarioPack:
+    return ScenarioPack(
+        "mna",
+        [MergerCorruption(rate=0.12), AliasCorruption(rate=0.1)],
+        seed=seed,
+    )
+
+
+#: Pack name → (factory, one-line description).
+PACKS = {
+    "messy-world": (
+        _messy_world,
+        "aliased names, missing firmographics, conflicting SIC labels, mergers",
+    ),
+    "aliases": (_aliases, "name misspellings/aliases only (linkage stress)"),
+    "drift": (
+        _drift,
+        "taxonomy remap + churn/adoption wave (canary-rejectable marginal shift)",
+    ),
+    "mna": (_mna, "M&A site-tree merges plus light aliasing"),
+}
+
+
+def available_packs() -> dict[str, str]:
+    """Pack name → description, for CLI listings."""
+    return {name: description for name, (_, description) in PACKS.items()}
+
+
+def build_pack(name: str, *, seed: int = 0) -> ScenarioPack:
+    """Instantiate a named pack with the given seed."""
+    try:
+        factory, _ = PACKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario pack {name!r}; available: {sorted(PACKS)}"
+        ) from None
+    return factory(seed)
+
+
+def build_scenario(corpus: Corpus, pack: str | ScenarioPack, *, seed: int = 0) -> ScenarioResult:
+    """Apply a pack (by name or instance) to ``corpus``."""
+    if isinstance(pack, str):
+        pack = build_pack(pack, seed=seed)
+    return pack.apply(corpus)
+
+
+def write_scenario(
+    corpus: Corpus,
+    path: str | Path,
+    pack: str | ScenarioPack,
+    *,
+    seed: int = 0,
+    batch_size: int = 8192,
+) -> ScenarioResult:
+    """Corrupt ``corpus`` and persist it as a columnar directory.
+
+    The corrupted corpus is streamed to ``path`` with
+    :func:`repro.data.columnar.write_corpus` (so the on-disk fingerprint
+    equals the in-memory one) and the manifest lands next to it as
+    ``scenario_manifest.json`` — serving bootstrap picks that side-car
+    up to alias merged D-U-N-S numbers at admission.
+    """
+    result = build_scenario(corpus, pack, seed=seed)
+    path = Path(path)
+    manifest = write_corpus(result.corpus, path, batch_size=batch_size)
+    if manifest["fingerprint"] != result.manifest.result_fingerprint:
+        raise AssertionError(
+            "columnar fingerprint diverged from the in-memory corrupted corpus"
+        )
+    result.manifest.save(path / MANIFEST_FILENAME)
+    return result
+
+
+def load_scenario_manifest(corpus_dir: str | Path) -> CorruptionManifest | None:
+    """The manifest side-car of a scenario build, or ``None`` for clean corpora."""
+    path = Path(corpus_dir) / MANIFEST_FILENAME
+    if not path.exists():
+        return None
+    return CorruptionManifest.load(path)

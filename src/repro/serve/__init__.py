@@ -29,7 +29,13 @@ Scale-out serving stacks the same core across processes:
 
 from __future__ import annotations
 
-from repro.serve.admission import AdmissionError, AdmissionPolicy, QuarantineLog, ValidatedRequest
+from repro.serve.admission import (
+    AdmissionError,
+    AdmissionPolicy,
+    QuarantineLog,
+    SimilarRequest,
+    ValidatedRequest,
+)
 from repro.serve.ann import LSHIndex
 from repro.serve.artifact import ArtifactStore, PublishedGeneration
 from repro.serve.batch import BatchedAnswer, MicroBatcher
@@ -58,6 +64,7 @@ __all__ = [
     "AdmissionError",
     "AdmissionPolicy",
     "QuarantineLog",
+    "SimilarRequest",
     "ValidatedRequest",
     "BatchedAnswer",
     "MicroBatcher",

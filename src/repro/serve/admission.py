@@ -8,6 +8,15 @@ the service's contract is that *no* unvalidated value ever reaches a model.
 the serving vocabulary, or raises :class:`AdmissionError` with an HTTP
 status and machine-readable reason.  Rejected payloads are recorded in the
 :class:`QuarantineLog` for offline inspection.
+
+Entity resolution rides on top of schema validation: with an
+:class:`~repro.data.linkage.EntityResolver` installed, ``/similar``
+accepts a ``name`` field and resolves aliased/misspelled company names to
+a D-U-N-S (ambiguous names are rejected with ``ambiguous_name`` and the
+best candidate attached — routed to quarantine, never silently linked);
+with a merger alias map, a D-U-N-S absorbed by an M&A event resolves to
+its surviving ultimate instead of 404ing, so install histories do not
+fragment across the merger.
 """
 
 from __future__ import annotations
@@ -18,11 +27,18 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.data.duns import is_valid_duns
+from repro.data.linkage import EntityResolver
 
-__all__ = ["AdmissionError", "ValidatedRequest", "AdmissionPolicy", "QuarantineLog"]
+__all__ = [
+    "AdmissionError",
+    "ValidatedRequest",
+    "SimilarRequest",
+    "AdmissionPolicy",
+    "QuarantineLog",
+]
 
 
 class AdmissionError(Exception):
@@ -55,6 +71,22 @@ class ValidatedRequest:
     deadline_s: float
     duns: str | None = None
     raw_fields: tuple[str, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class SimilarRequest:
+    """A validated ``/similar`` request, with its resolution provenance.
+
+    ``resolution`` is ``None`` for a plain valid D-U-N-S lookup; for a
+    merger-aliased D-U-N-S or a name resolved through the
+    :class:`~repro.data.linkage.EntityResolver` it records how the
+    identity was established (``via``, ``requested``, score, reason) so
+    responses can carry the provenance back to the caller.
+    """
+
+    duns: str
+    k: int
+    resolution: dict[str, Any] | None = None
 
 
 class QuarantineLog:
@@ -127,6 +159,15 @@ class AdmissionPolicy:
         Bounds on the ``top_n`` request field.
     default_deadline_s / max_deadline_s:
         Bounds on the per-request deadline budget.
+    resolver / resolver_duns:
+        Optional name resolution: a fitted
+        :class:`~repro.data.linkage.EntityResolver` over the serving
+        companies' names plus the D-U-N-S aligned with its reference
+        indices.  Enables the ``name`` field on ``/similar``.
+    aliases:
+        Absorbed D-U-N-S → surviving D-U-N-S (merger alias map, e.g.
+        from a scenario manifest).  Requests for an absorbed identifier
+        resolve to the survivor instead of falling through to 404.
     """
 
     def __init__(
@@ -138,9 +179,14 @@ class AdmissionPolicy:
         max_top_n: int = 50,
         default_deadline_s: float = 0.25,
         max_deadline_s: float = 5.0,
+        resolver: EntityResolver | None = None,
+        resolver_duns: Sequence[str] | None = None,
+        aliases: Mapping[str, str] | None = None,
     ) -> None:
         if not vocabulary:
             raise ValueError("vocabulary must be non-empty")
+        if (resolver is None) != (resolver_duns is None):
+            raise ValueError("resolver and resolver_duns must be given together")
         self.vocabulary = tuple(vocabulary)
         self._token = {name: i for i, name in enumerate(self.vocabulary)}
         self.max_history = max_history
@@ -148,6 +194,9 @@ class AdmissionPolicy:
         self.max_top_n = max_top_n
         self.default_deadline_s = default_deadline_s
         self.max_deadline_s = max_deadline_s
+        self.resolver = resolver
+        self._resolver_duns = tuple(resolver_duns) if resolver_duns else ()
+        self.aliases = dict(aliases) if aliases else {}
 
     # ------------------------------------------------------------------
     # Field helpers
@@ -235,6 +284,54 @@ class AdmissionPolicy:
             )
         return raw
 
+    def _apply_alias(self, duns: str) -> tuple[str, dict[str, Any] | None]:
+        """Follow the merger alias map; returns the surviving identity."""
+        survivor = self.aliases.get(duns)
+        if survivor is None:
+            return duns, None
+        return survivor, {
+            "via": "merger_alias",
+            "requested": duns,
+            "reason": "absorbed_by_merger",
+        }
+
+    def _resolve_name(self, raw: Any) -> tuple[str, dict[str, Any]]:
+        """Resolve a ``name`` field to a D-U-N-S, or reject with a reason."""
+        if not isinstance(raw, str):
+            raise AdmissionError(422, "schema", "name must be a string")
+        if self.resolver is None:
+            raise AdmissionError(
+                422,
+                "name_resolution_disabled",
+                "this deployment does not resolve company names; pass 'duns'",
+            )
+        decision = self.resolver.resolve(raw)
+        if decision.status == "resolved":
+            assert decision.index is not None
+            duns = self._resolver_duns[decision.index]
+            return duns, {
+                "via": "name",
+                "requested": raw,
+                "score": round(decision.score, 4),
+                "reason": decision.reason,
+            }
+        if decision.status == "review":
+            assert decision.index is not None
+            candidate = self._resolver_duns[decision.index]
+            raise AdmissionError(
+                422,
+                "ambiguous_name",
+                f"name {raw!r} resolves ambiguously (best candidate "
+                f"{candidate} at similarity {decision.score:.3f}); "
+                "confirm with an explicit 'duns'",
+            )
+        raise AdmissionError(
+            422,
+            "unresolved_name",
+            f"name {raw!r} does not match any serving company "
+            f"({decision.reason})",
+        )
+
     # ------------------------------------------------------------------
     # Endpoint validators
     # ------------------------------------------------------------------
@@ -256,21 +353,46 @@ class AdmissionPolicy:
         history = tuple(
             self._token_of(entry, position) for position, entry in enumerate(history_raw)
         )
+        duns = self._duns_of(fields, required=False)
+        if duns is not None:
+            duns, _ = self._apply_alias(duns)
         return ValidatedRequest(
             history=history,
             top_n=self._top_n_of(fields),
             threshold=self._threshold_of(fields),
             deadline_s=self._deadline_of(fields),
-            duns=self._duns_of(fields, required=False),
+            duns=duns,
             raw_fields=tuple(sorted(fields)),
+        )
+
+    def validate_similar_detail(self, payload: Any) -> SimilarRequest:
+        """Validate a ``/similar`` payload, resolving identity if needed.
+
+        Accepts either a ``duns`` field (merger aliases followed) or,
+        when a resolver is configured, a ``name`` field resolved through
+        the entity-resolution policy.  The returned request records the
+        resolution provenance.
+        """
+        fields = self._require_mapping(payload)
+        raw_k = fields.get("k", 10)
+        if isinstance(raw_k, bool) or not isinstance(raw_k, int) or raw_k < 1:
+            raise AdmissionError(422, "schema", f"k must be a positive integer, got {raw_k!r}")
+        if fields.get("duns") is not None:
+            duns = self._duns_of(fields, required=True)
+            assert duns is not None
+            duns, resolution = self._apply_alias(duns)
+            return SimilarRequest(duns=duns, k=raw_k, resolution=resolution)
+        if fields.get("name") is not None:
+            duns, resolution = self._resolve_name(fields["name"])
+            duns, alias_resolution = self._apply_alias(duns)
+            if alias_resolution is not None:
+                resolution = {**resolution, "merger_alias": alias_resolution["requested"]}
+            return SimilarRequest(duns=duns, k=raw_k, resolution=resolution)
+        raise AdmissionError(
+            422, "schema", "payload requires a 'duns' or 'name' field"
         )
 
     def validate_similar(self, payload: Any) -> tuple[str, int]:
         """Validate a ``/similar`` payload into ``(duns, k)``."""
-        fields = self._require_mapping(payload)
-        duns = self._duns_of(fields, required=True)
-        assert duns is not None
-        raw_k = fields.get("k", 10)
-        if isinstance(raw_k, bool) or not isinstance(raw_k, int) or raw_k < 1:
-            raise AdmissionError(422, "schema", f"k must be a positive integer, got {raw_k!r}")
-        return duns, raw_k
+        request = self.validate_similar_detail(payload)
+        return request.duns, request.k

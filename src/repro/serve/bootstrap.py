@@ -25,6 +25,9 @@ from repro.models.base import GenerativeModel
 from repro.models.lda import LatentDirichletAllocation
 from repro.models.ngram import NGramModel
 from repro.obs.logging import get_logger
+from repro.recommend.windows import SlidingWindowSpec
+from repro.replay.canary import CanaryGate
+from repro.scenarios.packs import load_scenario_manifest
 from repro.serve.artifact import ArtifactStore, PublishedGeneration
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import RecommendationService, ServiceConfig
@@ -114,10 +117,21 @@ def build_demo_service(
     reference = data.split.validation
     lda = models["lda"]
 
+    canary = None
+    if config.canary_windows > 0:
+        canary = CanaryGate(
+            reference,
+            spec=SlidingWindowSpec(n_windows=config.canary_windows),
+            threshold=config.default_threshold,
+            quality_margin=config.canary_quality_margin,
+            max_regressed=config.canary_max_regressed,
+            divergence_threshold=config.canary_divergence_threshold,
+        )
     registry = ModelRegistry(
         reference,
         perplexity_tolerance=config.swap_tolerance,
         threshold=config.default_threshold,
+        canary=canary,
     )
     for slot, model in models.items():
         registry.install(slot, model)
@@ -144,6 +158,21 @@ def build_demo_service(
                 index.build_recall if index.build_recall is not None else -1.0,
             )
 
+    # A corpus published by ``repro scenario build`` carries its
+    # corruption manifest; merger events there become admission aliases
+    # so a D-U-N-S absorbed by an M&A event resolves to its survivor.
+    aliases = None
+    if corpus_dir:
+        scenario = load_scenario_manifest(corpus_dir)
+        if scenario is not None:
+            aliases = scenario.merger_aliases() or None
+            if aliases:
+                log.info(
+                    "scenario corpus: %d merger aliases admitted from %s",
+                    len(aliases),
+                    scenario.pack,
+                )
+
     return RecommendationService(
         corpus=data.corpus,
         registry=registry,
@@ -151,6 +180,7 @@ def build_demo_service(
         tool=tool,
         feature_slot="lda" if with_tool else None,
         config=config,
+        aliases=aliases,
     )
 
 

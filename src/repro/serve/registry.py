@@ -12,6 +12,15 @@ load (corrupt artifact), is unfitted, disagrees on vocabulary, or flunks
 the perplexity gate is rejected — the previous model keeps serving
 throughout, bit-identically, and the rejection is recorded in the swap
 history.
+
+With a :class:`~repro.replay.canary.CanaryGate` installed, validation
+extends from "is the artifact sane" to "does it survive yesterday's
+traffic": the candidate is shadow-scored against the incumbent on
+replayed time-sliced windows, and a candidate whose windowed quality or
+recommendation distribution regresses is rejected on the same path —
+the admin endpoint surfaces it as a 409 with the canary verdict
+attached, and the fleet's all-or-nothing generation apply (which runs
+:meth:`ModelRegistry.validate` per slot) inherits the gate for free.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from repro.data.corpus import Corpus
 from repro.models.base import GenerativeModel
 from repro.obs.logging import get_logger
 from repro.recommend.recommender import ThresholdRecommender
+from repro.replay.canary import CanaryGate
 from repro.runtime import faults
 from repro.serve.admission import AdmissionError
 
@@ -48,10 +58,12 @@ class SwapReport:
     #: Registry-wide monotonic generation after this attempt; bumped only
     #: by promotions, so it names the model era an answer came from.
     generation: int = 0
+    #: Canary verdict summary when a canary gate ran for this attempt.
+    canary: dict[str, object] | None = None
 
     def as_dict(self) -> dict[str, object]:
         """JSON-encodable view for the admin endpoint response."""
-        return {
+        payload: dict[str, object] = {
             "name": self.name,
             "status": self.status,
             "reason": self.reason,
@@ -61,6 +73,9 @@ class SwapReport:
             "tolerance": self.tolerance,
             "generation": self.generation,
         }
+        if self.canary is not None:
+            payload["canary"] = self.canary
+        return payload
 
 
 @dataclass(frozen=True)
@@ -85,6 +100,10 @@ class ModelRegistry:
         model on the reference slice.
     threshold:
         Default phi for the recommenders built around serving models.
+    canary:
+        Optional :class:`~repro.replay.canary.CanaryGate`; when set,
+        every swap/validate additionally shadow-scores the candidate
+        against the incumbent on replayed traffic.
     clock:
         Injectable seconds source recorded with swaps (tests).
     """
@@ -95,6 +114,7 @@ class ModelRegistry:
         *,
         perplexity_tolerance: float = 1.25,
         threshold: float = 0.1,
+        canary: CanaryGate | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if perplexity_tolerance < 1.0:
@@ -102,6 +122,7 @@ class ModelRegistry:
         self.reference = reference
         self.perplexity_tolerance = perplexity_tolerance
         self.threshold = threshold
+        self.canary = canary
         self._clock = clock
         self._records: dict[str, _Record] = {}
         self._swap_lock = threading.Lock()
@@ -233,11 +254,12 @@ class ModelRegistry:
         current: _Record,
         source: GenerativeModel | str | Path,
         mmap_mode: str | None,
-    ) -> tuple[GenerativeModel | None, str, float | None]:
+    ) -> tuple[GenerativeModel | None, str, float | None, dict[str, object] | None]:
         """Stage + validate a candidate without committing.
 
-        Returns ``(candidate, reason, perplexity)`` — candidate is None
-        when any gate fails, with the rejection reason.
+        Returns ``(candidate, reason, perplexity, canary)`` — candidate
+        is None when any gate fails, with the rejection reason; canary
+        is the verdict summary when the canary gate ran.
         """
         baseline = current.monitor.reference_perplexity
         tolerance = self.perplexity_tolerance
@@ -247,31 +269,44 @@ class ModelRegistry:
             faults.inject(f"serve/swap/{name}")
             candidate = self._load_candidate(source, mmap_mode)
         except (ValueError, TypeError, faults.InjectedFault) as exc:
-            return None, f"stage failed: {exc}", None
+            return None, f"stage failed: {exc}", None, None
         if not isinstance(candidate, GenerativeModel) or not candidate.is_fitted:
-            return None, "candidate is not a fitted GenerativeModel", None
+            return None, "candidate is not a fitted GenerativeModel", None, None
         if candidate.vocab_size != self.reference.n_products:
             return None, (
                 f"candidate vocabulary {candidate.vocab_size} does not match "
                 f"the reference slice's {self.reference.n_products} products"
-            ), None
+            ), None, None
         try:
             candidate_ppl = candidate.perplexity(self.reference)
         except Exception as exc:  # noqa: BLE001 - degrade, never propagate
             return None, (
                 f"perplexity evaluation failed: {type(exc).__name__}: {exc}"
-            ), None
+            ), None, None
         if not math.isfinite(candidate_ppl):
             return None, (
                 f"candidate perplexity on the reference slice is non-finite "
                 f"({candidate_ppl})"
-            ), candidate_ppl
+            ), candidate_ppl, None
         if candidate_ppl > baseline * tolerance:
             return None, (
                 f"candidate perplexity {candidate_ppl:.3f} exceeds the gate "
                 f"{baseline:.3f} * {tolerance} = {baseline * tolerance:.3f}"
-            ), candidate_ppl
-        return candidate, "validation passed", candidate_ppl
+            ), candidate_ppl, None
+        canary_info: dict[str, object] | None = None
+        if self.canary is not None:
+            try:
+                verdict = self.canary.evaluate(current.model, candidate)
+            except Exception as exc:  # noqa: BLE001 - degrade, never propagate
+                return None, (
+                    f"canary evaluation failed: {type(exc).__name__}: {exc}"
+                ), candidate_ppl, None
+            canary_info = verdict.as_dict()
+            if not verdict.passed:
+                return None, (
+                    f"canary rejected ({verdict.reason}): {verdict.detail}"
+                ), candidate_ppl, canary_info
+        return candidate, "validation passed", candidate_ppl, canary_info
 
     def validate(
         self,
@@ -293,7 +328,7 @@ class ModelRegistry:
         if name not in self._records:
             raise AdmissionError(404, "unknown_model", f"no serving slot named {name!r}")
         with self._swap_lock:
-            candidate, reason, _ppl = self._gate(
+            candidate, reason, _ppl, _canary = self._gate(
                 name, self._records[name], source, mmap_mode
             )
         return candidate, reason
@@ -320,7 +355,11 @@ class ModelRegistry:
             baseline = current.monitor.reference_perplexity
             tolerance = self.perplexity_tolerance
 
-            def rejected(reason: str, candidate_ppl: float | None = None) -> SwapReport:
+            def rejected(
+                reason: str,
+                candidate_ppl: float | None = None,
+                canary: dict[str, object] | None = None,
+            ) -> SwapReport:
                 report = SwapReport(
                     name=name,
                     status="rejected",
@@ -330,6 +369,7 @@ class ModelRegistry:
                     baseline_perplexity=baseline,
                     tolerance=tolerance,
                     generation=self._generation,
+                    canary=canary,
                 )
                 self.history.append(report)
                 self._log.warning(
@@ -340,11 +380,11 @@ class ModelRegistry:
                 )
                 return report
 
-            candidate, reason, candidate_ppl = self._gate(
+            candidate, reason, candidate_ppl, canary_info = self._gate(
                 name, current, source, mmap_mode
             )
             if candidate is None:
-                return rejected(reason, candidate_ppl)
+                return rejected(reason, candidate_ppl, canary_info)
             try:
                 record = self._build_record(candidate, version=current.version + 1)
             except Exception as exc:  # noqa: BLE001 - roll back, never propagate
@@ -361,6 +401,7 @@ class ModelRegistry:
                 baseline_perplexity=baseline,
                 tolerance=tolerance,
                 generation=self._generation,
+                canary=canary_info,
             )
             self.history.append(report)
             self._log.info(

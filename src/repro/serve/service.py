@@ -62,6 +62,7 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
 from repro.obs.profile import SamplingProfiler
 from repro.obs.slo import Objective, SLOMonitor
+from repro.data.linkage import EntityResolver
 from repro.serve.admission import AdmissionError, AdmissionPolicy, QuarantineLog
 from repro.serve.batch import MicroBatcher
 from repro.serve.breaker import CircuitBreaker
@@ -122,6 +123,23 @@ class ServiceConfig:
     swap_tolerance: float = 1.25
     #: Optional JSONL file quarantined payloads are appended to.
     quarantine_path: str | None = None
+    #: Resolve ``name`` fields on /similar through the entity resolver
+    #: built over the serving companies' names (linear startup cost in
+    #: corpus size; disable for huge corpora that only take D-U-N-S).
+    resolve_names: bool = True
+    #: Replay windows the canary gate shadow-scores a swap candidate
+    #: over before promotion; 0 disables the canary (perplexity gate
+    #: only, the historical behaviour).
+    canary_windows: int = 0
+    #: Per-window recall/precision slack a candidate may lose before a
+    #: window counts as regressed.
+    canary_quality_margin: float = 0.05
+    #: Regressed windows tolerated before the canary rejects.
+    canary_max_regressed: int = 1
+    #: JS-divergence ceiling between incumbent and candidate
+    #: recommendation distributions on replayed traffic (looser than the
+    #: DriftMonitor's 0.05: healthy refits are not bit-stable).
+    canary_divergence_threshold: float = 0.2
 
     # -- transport ------------------------------------------------------
     #: Listen backlog of the accept socket.  socketserver's default of 5
@@ -242,6 +260,7 @@ class RecommendationService:
         config: ServiceConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
         metrics: MetricsRegistry | None = None,
+        aliases: Mapping[str, str] | None = None,
     ) -> None:
         self.corpus = corpus
         self.registry = registry
@@ -256,6 +275,15 @@ class RecommendationService:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._log = get_logger("serve.service")
 
+        resolver = None
+        resolver_duns: list[str] | None = None
+        if self.config.resolve_names:
+            names: list[str] = []
+            resolver_duns = []
+            for company in corpus.companies:
+                names.append(company.name)
+                resolver_duns.append(company.duns.value)
+            resolver = EntityResolver(names)
         self.policy = AdmissionPolicy(
             corpus.vocabulary,
             max_history=self.config.max_history,
@@ -263,6 +291,9 @@ class RecommendationService:
             max_top_n=self.config.max_top_n,
             default_deadline_s=self.config.default_deadline_ms / 1000.0,
             max_deadline_s=self.config.max_deadline_ms / 1000.0,
+            resolver=resolver,
+            resolver_duns=resolver_duns,
+            aliases=aliases,
         )
         self.quarantine = QuarantineLog(self.config.quarantine_path)
         self.flight = FlightRecorder(
@@ -951,7 +982,8 @@ class RecommendationService:
             raise AdmissionError(
                 404, "not_configured", "this deployment has no similarity index"
             )
-        duns, k = self.policy.validate_similar(payload)
+        request = self.policy.validate_similar_detail(payload)
+        duns, k = request.duns, request.k
         detail = getattr(self.tool, "similar_companies_detail", None)
         try:
             if detail is not None:
@@ -962,11 +994,15 @@ class RecommendationService:
         except KeyError:
             raise AdmissionError(404, "unknown_company", f"company {duns} is not in the corpus")
         self._inc("serve.path", {"endpoint": "/similar", "path": backend})
+        body_resolution = (
+            {"resolution": request.resolution} if request.resolution else {}
+        )
         return ServiceResponse(
             200,
             {
                 "duns": duns,
                 "backend": backend,
+                **body_resolution,
                 "similar": [
                     {"duns": hit.duns, "name": hit.name, "similarity": round(hit.similarity, 6)}
                     for hit in hits

@@ -344,3 +344,109 @@ class TestCorpusCommands:
         for command in ("tsne", "cocluster", "representations"):
             with pytest.raises(SystemExit, match="ground truth"):
                 main([command, "--corpus-dir", corpus_dir])
+
+
+class TestScenarioCommand:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["scenario", "build", "out-dir", "--pack", "drift",
+             "--scenario-seed", "9"]
+        )
+        assert (args.command, args.action, args.dir) == ("scenario", "build", "out-dir")
+        assert args.pack == "drift"
+        assert args.scenario_seed == 9
+
+    def test_list_packs(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for pack in ("messy-world", "aliases", "drift", "mna"):
+            assert pack in out
+
+    def test_build_requires_dir(self):
+        with pytest.raises(SystemExit, match="DIR argument"):
+            main(["--companies", "60", "scenario", "build"])
+
+    def test_build_is_deterministic_per_seed(self, capsys, tmp_path):
+        argv = ["--companies", "60", "--seed", "5", "scenario", "build"]
+
+        def digest_of(out):
+            return [
+                line.split()[-1]
+                for line in out.splitlines()
+                if "manifest digest" in line
+            ][0]
+
+        assert main(argv + [str(tmp_path / "a"), "--scenario-seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(argv + [str(tmp_path / "b"), "--scenario-seed", "3"]) == 0
+        second = capsys.readouterr().out
+        assert main(argv + [str(tmp_path / "c"), "--scenario-seed", "4"]) == 0
+        third = capsys.readouterr().out
+        assert digest_of(first) == digest_of(second)
+        assert digest_of(first) != digest_of(third)
+        assert "events:" in first
+
+    def test_built_scenario_serves_other_commands(self, capsys, tmp_path):
+        scenario_dir = str(tmp_path / "messy")
+        assert main(
+            ["--companies", "60", "scenario", "build", scenario_dir,
+             "--pack", "aliases"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["table1", "--corpus-dir", scenario_dir, "--methods", "unigram"]
+        ) == 0
+        assert "unigram" in capsys.readouterr().out
+
+
+class TestReplayCommand:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["replay", "--windows", "4", "--threshold", "0.2", "--model",
+             "ngram", "--canary", "--candidate-pack", "drift",
+             "--candidate-seed", "2"]
+        )
+        assert args.windows == 4
+        assert args.threshold == 0.2
+        assert args.model == "ngram"
+        assert args.canary is True
+        assert args.candidate_pack == "drift"
+        assert args.candidate_seed == 2
+
+    def test_replay_prints_window_table(self, capsys):
+        assert main(
+            ["--companies", "80", "replay", "--windows", "2", "--model",
+             "unigram"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replay of frozen unigram over 2 windows" in out
+        assert "precision" in out and "recall" in out
+        assert "mean recall" in out
+
+    def test_replay_canary_verdict_printed(self, capsys):
+        assert main(
+            ["--companies", "80", "replay", "--windows", "2", "--model",
+             "unigram", "--canary"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "canary verdict:" in out
+        assert "recommendation_divergence" in out
+
+    def test_replay_journal_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        argv = ["--companies", "80", "replay", "--windows", "2", "--model",
+                "unigram", "--checkpoint-dir", ckpt]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        obs.disable_all()
+        obs.reset_all()
+        metrics_json = str(tmp_path / "m.json")
+        assert main(argv + ["--resume", "--metrics-json", metrics_json]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        counters = json.loads((tmp_path / "m.json").read_text())["counters"]
+        assert counters["journal.skip"] == 2
+
+    def test_serve_canary_flag(self):
+        assert build_parser().parse_args(["serve"]).canary == 0
+        assert build_parser().parse_args(["serve", "--canary", "3"]).canary == 3

@@ -35,12 +35,44 @@ class TestJensenShannon:
         assert jensen_shannon_divergence(p, q) == pytest.approx(0.0, abs=1e-12)
 
     def test_shape_mismatch_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="length mismatch: 3 vs 4"):
             jensen_shannon_divergence(np.ones(3), np.ones(4))
 
     def test_zero_mass_rejected(self):
         with pytest.raises(ValueError):
             jensen_shannon_divergence(np.zeros(3), np.ones(3))
+
+    def test_zero_probability_bins_are_finite(self):
+        # Disjoint support must cap at ln 2, not produce inf/NaN.
+        p = np.array([0.5, 0.5, 0.0, 0.0])
+        q = np.array([0.0, 0.0, 0.5, 0.5])
+        value = jensen_shannon_divergence(p, q)
+        assert np.isfinite(value)
+        assert value == pytest.approx(np.log(2.0))
+
+    def test_nan_input_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            jensen_shannon_divergence(np.array([np.nan, 1.0]), np.ones(2))
+
+    def test_inf_input_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            jensen_shannon_divergence(np.ones(2), np.array([np.inf, 1.0]))
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            jensen_shannon_divergence(np.array([-0.1, 1.1]), np.ones(2))
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            jensen_shannon_divergence(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_scalar_inputs_promoted_to_1d(self):
+        assert jensen_shannon_divergence(1.0, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_lists_accepted(self):
+        assert jensen_shannon_divergence([0.5, 0.5], [0.5, 0.5]) == pytest.approx(
+            0.0, abs=1e-12
+        )
 
 
 class TestDriftMonitor:

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.data.linkage import (
     CompanyNameMatcher,
+    EntityResolver,
     jaro_similarity,
     jaro_winkler_similarity,
     normalize_company_name,
@@ -21,8 +22,11 @@ class TestNormalizeCompanyName:
             ("Acme Holdings, LLC", "acme"),
             ("  Acme   Inc  ", "acme"),
             ("Johnson & Johnson", "johnson and johnson"),
-            ("Müller GmbH", "m ller"),  # non-ascii folds to separator
+            ("Müller GmbH", "muller"),  # diacritics fold to their base letter
             ("A.B.C. Ltd", "a b c"),
+            ("Café Sociedad Anónima", "cafe sociedad anonima"),
+            ("Ｆｕｌｌｗｉｄｔｈ Ｃｏ", "fullwidth"),  # compatibility forms collapse
+            ("Acme’s – Apex · Co", "acme s apex"),  # unicode punctuation strips
         ],
     )
     def test_normalisation(self, raw, expected):
@@ -31,6 +35,9 @@ class TestNormalizeCompanyName:
     def test_pure_suffix_normalises_to_empty(self):
         assert normalize_company_name("Inc.") == ""
 
+    def test_pure_punctuation_normalises_to_empty(self):
+        assert normalize_company_name("’–·") == ""
+
     def test_rejects_non_string(self):
         with pytest.raises(TypeError):
             normalize_company_name(42)
@@ -38,6 +45,13 @@ class TestNormalizeCompanyName:
     def test_idempotent(self):
         once = normalize_company_name("Acme Widget Co.")
         assert normalize_company_name(once) == once
+
+    @given(st.text(max_size=24))
+    def test_total_over_text(self, raw):
+        # Never raises, never returns non-string, always idempotent.
+        normal = normalize_company_name(raw)
+        assert isinstance(normal, str)
+        assert normalize_company_name(normal) == normal
 
 
 class TestJaroSimilarity:
@@ -111,10 +125,22 @@ class TestCompanyNameMatcher:
         matcher = CompanyNameMatcher(self.REFERENCE, threshold=0.97)
         assert matcher.match("Acme Manufactuing Grp") is None
 
-    def test_different_block_not_searched(self):
+    def test_first_token_typo_rescued_by_fuzzy_blocks(self):
+        # 'Akme' lands in the wrong block; the default fuzzy-block pass
+        # rescues it by scanning Jaro-Winkler-close block keys.
         matcher = CompanyNameMatcher(self.REFERENCE)
+        result = matcher.match("Akme Manufacturing")
+        assert result is not None
+        assert self.REFERENCE[result[0]] == "Acme Manufacturing Inc."
+
+    def test_exact_blocking_without_fuzzy_rescue(self):
+        matcher = CompanyNameMatcher(self.REFERENCE, fuzzy_blocks=False)
         # 'Akme' blocks under 'akme', no candidates there.
         assert matcher.match("Akme Manufacturing") is None
+
+    def test_invalid_block_threshold(self):
+        with pytest.raises(ValueError):
+            CompanyNameMatcher(self.REFERENCE, block_threshold=0.0)
 
     def test_empty_query(self):
         matcher = CompanyNameMatcher(self.REFERENCE)
@@ -141,3 +167,93 @@ class TestCompanyNameMatcher:
             assert result is not None
             # Generated names may repeat; the match must normalise equally.
             assert normalize_company_name(names[result[0]]) == normalize_company_name(name)
+
+    def test_recall_floor_under_alias_corruption(self, corpus):
+        """The hardened matcher must relink most scenario-aliased names.
+
+        The ``aliases`` pack's manifest is ground truth: every alias
+        event records the clean name (``before``) and its corrupted form
+        (``after``).  Querying the corrupted names against the clean
+        reference list must recover the original entity for at least
+        85% of events — the floor that makes messy-feed linkage usable.
+        """
+        from repro.scenarios import build_scenario
+
+        result = build_scenario(corpus, "aliases", seed=5)
+        events = result.manifest.by_kind("alias")
+        assert len(events) >= 50
+        names = [c.name for c in corpus.companies]
+        matcher = CompanyNameMatcher(names)
+        relinked = 0
+        for event in events:
+            match = matcher.match(event.after)
+            if match is not None and (
+                normalize_company_name(names[match[0]])
+                == normalize_company_name(event.before)
+            ):
+                relinked += 1
+        assert relinked / len(events) >= 0.85
+
+
+class TestEntityResolver:
+    REFERENCE = [
+        "Acme Manufacturing Inc.",
+        "Northwind Traders",
+        "Contoso Ltd.",
+        "Blue Ridge Logistics Corp.",
+    ]
+
+    def test_exact_resolves(self):
+        decision = EntityResolver(self.REFERENCE).resolve("ACME MANUFACTURING")
+        assert decision.resolved
+        assert decision.status == "resolved"
+        assert decision.reason == "exact_normalized"
+        assert decision.score == 1.0
+
+    def test_close_typo_resolves_fuzzy(self):
+        decision = EntityResolver(self.REFERENCE).resolve("Northwind Tradres")
+        assert decision.resolved
+        assert decision.reason == "fuzzy_accept"
+        assert decision.index == 1
+
+    def test_marginal_candidate_goes_to_review(self):
+        resolver = EntityResolver(self.REFERENCE, accept=0.97, review=0.85)
+        decision = resolver.resolve("Northwind Tradres Grp")
+        assert decision.status == "review"
+        assert decision.reason == "needs_review"
+        assert decision.index == 1
+        assert 0.85 <= decision.score < 0.97
+
+    def test_unrelated_name_unmatched(self):
+        decision = EntityResolver(self.REFERENCE).resolve("Zephyr Quantum Labs")
+        assert decision.status == "unmatched"
+        assert decision.reason == "below_threshold"
+        assert decision.index is None
+
+    def test_empty_name_unmatched_with_reason(self):
+        decision = EntityResolver(self.REFERENCE).resolve("LLC")
+        assert decision.status == "unmatched"
+        assert decision.reason == "empty_name"
+
+    def test_as_dict_is_machine_readable(self):
+        payload = EntityResolver(self.REFERENCE).resolve("Contoso").as_dict()
+        assert payload == {
+            "status": "resolved",
+            "index": 2,
+            "score": 1.0,
+            "reason": "exact_normalized",
+        }
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            EntityResolver(self.REFERENCE).resolve(None)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            EntityResolver(self.REFERENCE, accept=0.8, review=0.9)
+
+    @given(st.text(max_size=20))
+    def test_total_over_text(self, query):
+        decision = EntityResolver(self.REFERENCE).resolve(query)
+        assert decision.status in ("resolved", "review", "unmatched")
+        assert 0.0 <= decision.score <= 1.0

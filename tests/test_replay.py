@@ -1,0 +1,322 @@
+"""Tests for the time-sliced replay harness and the canary promotion gate."""
+
+import datetime as dt
+import math
+
+import numpy as np
+import pytest
+
+from repro.models.lda import LatentDirichletAllocation
+from repro.models.ngram import NGramModel
+from repro.models.unigram import UnigramModel
+from repro.recommend.windows import SlidingWindowSpec
+from repro.replay import CanaryGate, CanaryVerdict, ReplayHarness, ReplayWindowResult
+from repro.runtime import RunJournal
+from repro.scenarios import build_scenario
+
+SPEC = SlidingWindowSpec(n_windows=3)
+
+
+@pytest.fixture(scope="module")
+def drifted_lda(corpus):
+    """An LDA fitted on drift-corrupted data — the canary's reject case."""
+    corrupted = build_scenario(corpus, "drift", seed=1).corpus
+    return LatentDirichletAllocation(
+        n_topics=3, inference="variational", n_iter=60, seed=1
+    ).fit(corrupted)
+
+
+@pytest.fixture(scope="module")
+def clean_refit_lda(split):
+    """A clean same-family refit — the canary's promote case."""
+    return LatentDirichletAllocation(
+        n_topics=3, inference="variational", n_iter=60, seed=1
+    ).fit(split.train)
+
+
+class TestReplayWindowResult:
+    def _result(self, **overrides):
+        base = dict(
+            window_start=dt.date(2013, 1, 1),
+            window_end=dt.date(2014, 1, 1),
+            n_companies=10,
+            n_retrieved=8,
+            n_correct=4,
+            n_relevant=5,
+            js_divergence=0.02,
+            drifted=False,
+            recommended=(3, 5, 0),
+        )
+        base.update(overrides)
+        return ReplayWindowResult(**base)
+
+    def test_quality_metrics(self):
+        result = self._result()
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(0.8)
+        assert result.f1 == pytest.approx(2 * 0.5 * 0.8 / 1.3)
+
+    def test_empty_retrieval_gives_nan_precision(self):
+        result = self._result(n_retrieved=0, n_correct=0)
+        assert math.isnan(result.precision)
+        assert math.isnan(result.f1)
+
+    def test_no_relevant_gives_zero_recall(self):
+        assert self._result(n_relevant=0).recall == 0.0
+
+    def test_json_round_trip(self):
+        result = self._result()
+        assert ReplayWindowResult.from_json(result.as_json()) == result
+
+    def test_json_round_trip_nan_divergence(self):
+        result = self._result(js_divergence=float("nan"))
+        payload = result.as_json()
+        assert payload["js_divergence"] is None
+        restored = ReplayWindowResult.from_json(payload)
+        assert math.isnan(restored.js_divergence)
+
+
+class TestReplayHarness:
+    def test_replay_produces_one_result_per_window(self, corpus, fitted_lda):
+        harness = ReplayHarness(corpus, spec=SPEC)
+        report = harness.replay(fitted_lda, "lda")
+        assert report.n_windows == 3
+        assert report.label == "lda"
+        for result in report.results:
+            assert result.n_companies > 0
+            assert 0 <= result.n_correct <= result.n_retrieved
+            assert len(result.recommended) == corpus.n_products
+            assert sum(result.recommended) == result.n_retrieved
+        assert 0.0 <= report.mean_recall() <= 1.0
+        dist = report.recommendation_distribution()
+        assert dist.shape == (corpus.n_products,)
+        assert dist.sum() > 0
+
+    def test_unfitted_model_rejected(self, corpus):
+        harness = ReplayHarness(corpus, spec=SPEC)
+        with pytest.raises(ValueError, match="not fitted"):
+            harness.replay(UnigramModel(), "uni")
+
+    def test_no_pretraffic_rejected(self, corpus):
+        early = SlidingWindowSpec(first_start=dt.date(1990, 1, 1), n_windows=2)
+        with pytest.raises(ValueError, match="before 1990-01-01"):
+            ReplayHarness(corpus, spec=early)
+
+    def test_invalid_divergence_threshold(self, corpus):
+        with pytest.raises(ValueError, match="positive"):
+            ReplayHarness(corpus, spec=SPEC, divergence_threshold=0.0)
+
+    def test_journal_resume_skips_scoring(self, corpus, split, tmp_path):
+        model = UnigramModel().fit(split.train)
+        path = tmp_path / "replay.jsonl"
+        first = ReplayHarness(
+            corpus, spec=SPEC, journal=RunJournal(path)
+        ).replay(model, "uni")
+
+        resumed_harness = ReplayHarness(
+            corpus, spec=SPEC, journal=RunJournal(path, resume=True)
+        )
+
+        def boom(histories):
+            raise AssertionError("resume must not re-score completed windows")
+
+        model.batch_next_product_proba = boom
+        resumed = resumed_harness.replay(model, "uni")
+        assert resumed == first
+
+    def test_journal_keys_separate_labels(self, corpus, split, tmp_path):
+        journal = RunJournal(tmp_path / "replay.jsonl")
+        harness = ReplayHarness(corpus, spec=SPEC, journal=journal)
+        uni = harness.replay(UnigramModel().fit(split.train), "uni")
+        ngram = harness.replay(NGramModel(order=2).fit(split.train), "ngram")
+        assert uni.results != ngram.results
+
+
+class TestCanaryGate:
+    def test_clean_refit_promotes(self, split, fitted_lda, clean_refit_lda):
+        gate = CanaryGate(split.validation, spec=SPEC)
+        verdict = gate.evaluate(fitted_lda, clean_refit_lda)
+        assert verdict.passed
+        assert verdict.reason == "passed"
+        assert verdict.regressed_windows <= gate.max_regressed
+
+    def test_drifted_candidate_rejected(self, split, fitted_lda, drifted_lda):
+        gate = CanaryGate(split.validation, spec=SPEC)
+        verdict = gate.evaluate(fitted_lda, drifted_lda)
+        assert not verdict.passed
+        assert verdict.reason in ("quality_regression", "recommendation_divergence")
+        assert verdict.detail
+
+    def test_verdict_dict_is_machine_readable(self, split, fitted_lda, drifted_lda):
+        gate = CanaryGate(split.validation, spec=SPEC)
+        payload = gate.evaluate(fitted_lda, drifted_lda).as_dict()
+        assert payload["passed"] is False
+        assert payload["n_windows"] == 3
+        assert isinstance(payload["regressed_windows"], int)
+        assert set(payload) == {
+            "passed",
+            "reason",
+            "detail",
+            "regressed_windows",
+            "n_windows",
+            "recommendation_divergence",
+            "incumbent_mean_recall",
+            "candidate_mean_recall",
+        }
+        assert 0.0 <= payload["incumbent_mean_recall"] <= 1.0
+        assert 0.0 <= payload["candidate_mean_recall"] <= 1.0
+
+    def test_incumbent_replay_cached_across_evaluations(
+        self, split, fitted_lda, clean_refit_lda, monkeypatch
+    ):
+        gate = CanaryGate(split.validation, spec=SPEC)
+        calls = []
+        original = gate.harness.replay
+
+        def counting(model, label):
+            calls.append(label)
+            return original(model, label)
+
+        monkeypatch.setattr(gate.harness, "replay", counting)
+        gate.evaluate(fitted_lda, clean_refit_lda)
+        gate.evaluate(fitted_lda, clean_refit_lda)
+        assert calls.count("incumbent") == 1
+        assert calls.count("candidate") == 2
+
+    def test_divergence_gate_rejects_shifted_recommendations(
+        self, split, fitted_lda, clean_refit_lda
+    ):
+        gate = CanaryGate(
+            split.validation, spec=SPEC, quality_margin=1.0, divergence_threshold=1e-6
+        )
+        verdict = gate.evaluate(fitted_lda, clean_refit_lda)
+        assert not verdict.passed
+        assert verdict.reason == "recommendation_divergence"
+
+    def test_invalid_parameters(self, split):
+        with pytest.raises(ValueError):
+            CanaryGate(split.validation, spec=SPEC, quality_margin=-0.1)
+        with pytest.raises(ValueError):
+            CanaryGate(split.validation, spec=SPEC, max_regressed=-1)
+        with pytest.raises(ValueError):
+            CanaryGate(split.validation, spec=SPEC, divergence_threshold=0.0)
+
+    def test_identical_models_always_pass(self, split, fitted_lda):
+        gate = CanaryGate(split.validation, spec=SPEC)
+        verdict = gate.evaluate(fitted_lda, fitted_lda)
+        assert verdict.passed
+        assert verdict.regressed_windows == 0
+        assert verdict.recommendation_divergence == pytest.approx(0.0, abs=1e-12)
+
+
+class TestRegistryCanaryGate:
+    """The promotion contract: reject-and-keep-serving vs promote."""
+
+    @pytest.fixture()
+    def registry(self, split, fitted_lda):
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(
+            split.validation,
+            # Loose enough that the canary — not the perplexity gate — is
+            # the deciding check for the drifted candidate.
+            perplexity_tolerance=6.0,
+            canary=CanaryGate(split.validation, spec=SPEC),
+        )
+        registry.install("lda", fitted_lda)
+        return registry
+
+    def test_drifted_candidate_rejected_with_canary_reason(
+        self, registry, split, drifted_lda
+    ):
+        history = split.test.sequences()[0][:4]
+        recs_before = registry.recommender("lda").recommend_scored(history)
+
+        report = registry.swap("lda", drifted_lda)
+        assert report.status == "rejected"
+        assert "canary rejected" in report.reason
+        assert report.canary is not None
+        assert report.canary["passed"] is False
+        assert registry.version("lda") == 1
+        # The incumbent keeps serving bit-identically.
+        assert registry.recommender("lda").recommend_scored(history) == recs_before
+
+    def test_clean_candidate_promotes_with_canary_report(
+        self, registry, clean_refit_lda
+    ):
+        report = registry.swap("lda", clean_refit_lda)
+        assert report.status == "promoted"
+        assert report.canary is not None
+        assert report.canary["passed"] is True
+        assert registry.version("lda") == 2
+
+    def test_rejection_recorded_in_history_as_dict(self, registry, drifted_lda):
+        report = registry.swap("lda", drifted_lda)
+        payload = report.as_dict()
+        assert payload["status"] == "rejected"
+        assert payload["canary"]["reason"] in (
+            "quality_regression",
+            "recommendation_divergence",
+        )
+        assert registry.history[-1] is report
+
+
+class TestServiceCanaryGate:
+    """End-to-end: /admin/hotswap answers 409 and the 200 path is stable."""
+
+    @pytest.fixture()
+    def service(self, corpus, split, fitted_lda):
+        from repro.serve import ModelRegistry, RecommendationService, ServiceConfig
+
+        registry = ModelRegistry(
+            split.validation,
+            perplexity_tolerance=6.0,
+            canary=CanaryGate(split.validation, spec=SPEC),
+        )
+        registry.install("lda", fitted_lda)
+        return RecommendationService(
+            corpus=corpus,
+            registry=registry,
+            tiers=("lda",),
+            config=ServiceConfig(batch_window_ms=0.0, topk_cache_size=0),
+        )
+
+    @staticmethod
+    def _stable_fields(response):
+        return {
+            key: response.body[key]
+            for key in ("tier", "recommendations", "model_versions")
+        }
+
+    def test_hotswap_409_keeps_serving_bit_identically(
+        self, service, corpus, drifted_lda, tmp_path
+    ):
+        payload = {"history": [corpus.vocabulary[0], corpus.vocabulary[2]], "top_n": 5}
+        before = service.handle("POST", "/recommend", payload)
+        assert before.status == 200
+
+        staged = tmp_path / "drifted.npz"
+        drifted_lda.save(staged)
+        swap = service.handle(
+            "POST", "/admin/hotswap", {"name": "lda", "path": str(staged)}
+        )
+        assert swap.status == 409
+        assert "canary rejected" in swap.body["reason"]
+        assert swap.body["canary"]["passed"] is False
+
+        after = service.handle("POST", "/recommend", payload)
+        assert after.status == 200
+        assert self._stable_fields(after) == self._stable_fields(before)
+
+    def test_hotswap_promotes_clean_candidate(
+        self, service, corpus, clean_refit_lda, tmp_path
+    ):
+        staged = tmp_path / "clean.npz"
+        clean_refit_lda.save(staged)
+        swap = service.handle(
+            "POST", "/admin/hotswap", {"name": "lda", "path": str(staged)}
+        )
+        assert swap.status == 200
+        assert swap.body["status"] == "promoted"
+        assert swap.body["canary"]["passed"] is True
+        assert swap.body["version"] == 2

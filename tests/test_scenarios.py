@@ -1,0 +1,200 @@
+"""Tests for the messy-world scenario packs and their ground-truth manifests."""
+
+import dataclasses
+
+import pytest
+
+from repro.data.columnar import open_corpus, write_corpus
+from repro.data.industries import is_valid_sic2
+from repro.scenarios import (
+    AliasCorruption,
+    ChurnWaveCorruption,
+    CorruptionManifest,
+    MergerCorruption,
+    ScenarioPack,
+    available_packs,
+    build_pack,
+    build_scenario,
+    load_scenario_manifest,
+    write_scenario,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest_same_fingerprint(self, corpus):
+        first = build_scenario(corpus, "messy-world", seed=11)
+        second = build_scenario(corpus, "messy-world", seed=11)
+        assert first.manifest.digest() == second.manifest.digest()
+        assert first.corpus.fingerprint() == second.corpus.fingerprint()
+        assert first.manifest.result_fingerprint == first.corpus.fingerprint()
+        assert first.manifest.source_fingerprint == corpus.fingerprint()
+
+    def test_different_seed_differs(self, corpus):
+        first = build_scenario(corpus, "messy-world", seed=11)
+        second = build_scenario(corpus, "messy-world", seed=12)
+        assert first.manifest.digest() != second.manifest.digest()
+        assert first.corpus.fingerprint() != second.corpus.fingerprint()
+
+    def test_appending_a_generator_preserves_earlier_draws(self, corpus):
+        alias_only = ScenarioPack("a", [AliasCorruption(rate=0.2)], seed=3)
+        extended = ScenarioPack(
+            "b", [AliasCorruption(rate=0.2), MergerCorruption(rate=0.1)], seed=3
+        )
+        short_events = alias_only.apply(corpus).manifest.by_kind("alias")
+        long_events = extended.apply(corpus).manifest.by_kind("alias")
+        assert short_events == long_events
+
+    def test_columnar_corpus_corrupts_identically(self, corpus, tmp_path):
+        write_corpus(corpus, tmp_path / "clean")
+        columnar = open_corpus(tmp_path / "clean")
+        in_memory = build_scenario(corpus, "messy-world", seed=4)
+        from_disk = build_scenario(columnar, "messy-world", seed=4)
+        assert in_memory.manifest.digest() == from_disk.manifest.digest()
+        assert in_memory.corpus.fingerprint() == from_disk.corpus.fingerprint()
+
+
+class TestManifest:
+    def test_round_trip_and_digest_check(self, corpus, tmp_path):
+        manifest = build_scenario(corpus, "mna", seed=2).manifest
+        path = manifest.save(tmp_path / "manifest.json")
+        loaded = CorruptionManifest.load(path)
+        assert loaded == manifest
+        assert loaded.digest() == manifest.digest()
+
+    def test_tampered_manifest_rejected(self, corpus, tmp_path):
+        manifest = build_scenario(corpus, "aliases", seed=2).manifest
+        path = manifest.save(tmp_path / "manifest.json")
+        text = path.read_text().replace('"alias"', '"aliaz"', 1)
+        path.write_text(text)
+        with pytest.raises(ValueError, match="digest mismatch"):
+            CorruptionManifest.load(path)
+
+    def test_merger_aliases_map_absorbed_to_survivor(self, corpus):
+        result = build_scenario(corpus, "mna", seed=6)
+        aliases = result.manifest.merger_aliases()
+        assert aliases
+        surviving = {str(c.duns) for c in result.corpus.companies}
+        for absorbed, survivor in aliases.items():
+            assert absorbed not in surviving
+            assert survivor in surviving
+
+    def test_packs_registry(self):
+        packs = available_packs()
+        assert set(packs) == {"messy-world", "aliases", "drift", "mna"}
+        for name in packs:
+            assert build_pack(name, seed=1).seed == 1
+        with pytest.raises(ValueError, match="unknown scenario pack"):
+            build_pack("nope")
+
+
+class TestGenerators:
+    def test_alias_changes_name_only(self, corpus):
+        result = build_scenario(corpus, "aliases", seed=9)
+        by_duns = {str(c.duns): c for c in corpus.companies}
+        corrupted_by_duns = {str(c.duns): c for c in result.corpus.companies}
+        events = result.manifest.by_kind("alias")
+        assert events
+        for event in events:
+            clean = by_duns[event.duns]
+            dirty = corrupted_by_duns[event.duns]
+            assert event.before == clean.name
+            assert event.after == dirty.name
+            assert dirty.name != clean.name
+            assert dirty.first_seen == clean.first_seen
+            assert dirty.sic2 == clean.sic2
+            assert "flavour" in event.detail
+
+    def test_missing_field_nulls_recorded_attribute(self, corpus):
+        result = build_scenario(corpus, "messy-world", seed=9)
+        corrupted_by_duns = {str(c.duns): c for c in result.corpus.companies}
+        events = result.manifest.by_kind("missing_field")
+        assert events
+        checked = 0
+        for event in events:
+            assert event.field in ("country", "name")
+            company = corrupted_by_duns.get(event.duns)
+            if company is None:
+                continue  # absorbed by a later merger in the same pack
+            assert getattr(company, event.field) == ""
+            checked += 1
+        assert checked > 0
+
+    def test_conflicting_label_swaps_to_valid_sic2(self, corpus):
+        result = build_scenario(corpus, "messy-world", seed=9)
+        by_duns = {str(c.duns): c for c in corpus.companies}
+        corrupted_by_duns = {str(c.duns): c for c in result.corpus.companies}
+        events = result.manifest.by_kind("conflicting_label")
+        assert events
+        checked = 0
+        for event in events:
+            assert event.field == "sic2"
+            dirty = corrupted_by_duns.get(event.duns)
+            if dirty is None:
+                continue  # absorbed by a later merger in the same pack
+            assert dirty.sic2 != by_duns[event.duns].sic2
+            assert is_valid_sic2(dirty.sic2)
+            checked += 1
+        assert checked > 0
+
+    def test_merger_absorbs_site_tree(self, corpus):
+        result = build_scenario(corpus, "mna", seed=7)
+        by_duns = {str(c.duns): c for c in corpus.companies}
+        corrupted_by_duns = {str(c.duns): c for c in result.corpus.companies}
+        events = result.manifest.by_kind("merger")
+        assert events
+        for event in events:
+            absorbed = by_duns[event.detail["absorbed"]]
+            survivor_before = by_duns[event.duns]
+            survivor_after = corrupted_by_duns[event.duns]
+            assert event.detail["absorbed"] not in corrupted_by_duns
+            assert survivor_after.n_sites == (
+                survivor_before.n_sites + absorbed.n_sites
+            )
+            # The union history keeps the earliest adoption date per category.
+            for category, date in absorbed.first_seen.items():
+                assert survivor_after.first_seen[category] <= date
+
+    def test_drift_pack_keeps_vocabulary_and_nonempty_histories(self, corpus):
+        result = build_scenario(corpus, "drift", seed=7)
+        assert result.corpus.vocabulary == corpus.vocabulary
+        kinds = result.manifest.kinds()
+        assert kinds.get("taxonomy_remap")
+        assert kinds.get("adoption")
+        assert kinds.get("churn")
+        for company in result.corpus.companies:
+            assert len(company.first_seen) >= 1
+
+    def test_churn_generator_alone_never_empties_history(self, corpus):
+        pack = ScenarioPack(
+            "churn-heavy", [ChurnWaveCorruption(churn_rate=1.0)], seed=0
+        )
+        result = pack.apply(corpus)
+        for company in result.corpus.companies:
+            assert len(company.first_seen) >= 1
+
+    def test_source_companies_not_mutated(self, corpus):
+        snapshots = [
+            (c.name, c.sic2, dict(c.first_seen), c.n_sites)
+            for c in corpus.companies
+        ]
+        build_scenario(corpus, "messy-world", seed=13)
+        for company, (name, sic2, first_seen, n_sites) in zip(
+            corpus.companies, snapshots
+        ):
+            assert (company.name, company.sic2, dict(company.first_seen),
+                    company.n_sites) == (name, sic2, first_seen, n_sites)
+
+
+class TestWriteScenario:
+    def test_write_and_reload(self, corpus, tmp_path):
+        out = tmp_path / "messy"
+        result = write_scenario(corpus, out, "messy-world", seed=5)
+        reopened = open_corpus(out)
+        assert reopened.fingerprint() == result.manifest.result_fingerprint
+        sidecar = load_scenario_manifest(out)
+        assert sidecar is not None
+        assert sidecar.digest() == result.manifest.digest()
+
+    def test_clean_corpus_has_no_manifest(self, corpus, tmp_path):
+        write_corpus(corpus, tmp_path / "clean")
+        assert load_scenario_manifest(tmp_path / "clean") is None
